@@ -1,0 +1,272 @@
+// Benchmarks regenerating every table and figure of the paper (run with
+// `go test -bench=. -benchmem`), plus ablation micro-benchmarks for the
+// design choices DESIGN.md calls out: view-based vs copy-based snapshot
+// assembly, ring vs naive AllReduce, index vs standard preprocessing, the
+// three shuffling strategies, and the parallel sparse/dense kernels.
+package pgti
+
+import (
+	"io"
+	"testing"
+
+	"pgti/internal/batching"
+	"pgti/internal/cluster"
+	"pgti/internal/dataset"
+	"pgti/internal/experiments"
+	"pgti/internal/graph"
+	"pgti/internal/nn"
+	"pgti/internal/perfmodel"
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+
+	"pgti/internal/autograd"
+)
+
+// benchOpts are quiet, quick experiment options for benchmarking.
+var benchOpts = experiments.Options{Out: io.Discard, Quick: true, Seed: 42}
+
+// runExperiment benches one full experiment regeneration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per paper table/figure -----------------------------------
+
+func BenchmarkTable1DatasetSizes(b *testing.B)       { runExperiment(b, "table1") }
+func BenchmarkTable2CaseStudy(b *testing.B)          { runExperiment(b, "table2") }
+func BenchmarkTable3BaseVsIndex(b *testing.B)        { runExperiment(b, "table3") }
+func BenchmarkTable4GPUIndex(b *testing.B)           { runExperiment(b, "table4") }
+func BenchmarkTable5Shuffling(b *testing.B)          { runExperiment(b, "table5") }
+func BenchmarkTable6A3TGCN(b *testing.B)             { runExperiment(b, "table6") }
+func BenchmarkFig2MemoryCurves(b *testing.B)         { runExperiment(b, "fig2") }
+func BenchmarkFig3DataGrowth(b *testing.B)           { runExperiment(b, "fig3") }
+func BenchmarkFig5AccuracyCurves(b *testing.B)       { runExperiment(b, "fig5") }
+func BenchmarkFig6PeMSMemory(b *testing.B)           { runExperiment(b, "fig6") }
+func BenchmarkFig7ScalingStudy(b *testing.B)         { runExperiment(b, "fig7") }
+func BenchmarkFig8AccuracyVsGPUs(b *testing.B)       { runExperiment(b, "fig8") }
+func BenchmarkFig9GeneralizedDistIndex(b *testing.B) { runExperiment(b, "fig9") }
+func BenchmarkFig10STLLMScaling(b *testing.B)        { runExperiment(b, "fig10") }
+
+// --- ablation: snapshot assembly, view vs copy ------------------------------
+
+func benchSignal(b *testing.B, entries, nodes, features int) *tensor.Tensor {
+	b.Helper()
+	return tensor.Randn(tensor.NewRNG(1), entries, nodes, features)
+}
+
+// BenchmarkSnapshotView measures index-batching's zero-copy snapshot
+// reconstruction (the paper's Fig. 4 operation).
+func BenchmarkSnapshotView(b *testing.B) {
+	idx, err := batching.NewIndexDataset(benchSignal(b, 2000, 200, 2), 12, 0.7, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := idx.Snapshot(i % idx.NumSnapshots())
+		_ = x
+		_ = y
+	}
+}
+
+// BenchmarkSnapshotCopy measures the copy-based alternative (what standard
+// batching pays per snapshot during SWA).
+func BenchmarkSnapshotCopy(b *testing.B) {
+	data := benchSignal(b, 2000, 200, 2)
+	h := 12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := i % (2000 - 2*h + 1)
+		x := data.Slice(0, s, s+h).Clone()
+		y := data.Slice(0, s+h, s+2*h).Clone()
+		_ = x
+		_ = y
+	}
+}
+
+// BenchmarkAssembleBatch measures batched collation from views with buffer
+// reuse (the steady-state training path).
+func BenchmarkAssembleBatch(b *testing.B) {
+	idx, err := batching.NewIndexDataset(benchSignal(b, 2000, 200, 2), 12, 0.7, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	indices := make([]int, 32)
+	for i := range indices {
+		indices[i] = i * 7 % idx.NumSnapshots()
+	}
+	var buf batching.BatchBuffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := idx.AssembleBatch(indices, &buf)
+		_ = x
+		_ = y
+	}
+}
+
+// --- ablation: preprocessing pipelines --------------------------------------
+
+func BenchmarkStandardPreprocess(b *testing.B) {
+	data := benchSignal(b, 800, 50, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := batching.StandardPreprocess(data.Clone(), 12, 0.7, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexPreprocess(b *testing.B) {
+	data := benchSignal(b, 800, 50, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := batching.NewIndexDataset(data.Clone(), 12, 0.7, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation: shuffling strategies -----------------------------------------
+
+func benchIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func BenchmarkGlobalShuffler(b *testing.B) {
+	s := batching.NewGlobalShuffler(benchIndices(50000), 64, 8, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EpochBatches(i)
+	}
+}
+
+func BenchmarkLocalShuffler(b *testing.B) {
+	s := batching.NewLocalShuffler(benchIndices(50000), 64, 8, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EpochBatches(i)
+	}
+}
+
+func BenchmarkBatchShuffler(b *testing.B) {
+	s := batching.NewBatchShuffler(benchIndices(50000), 64, 8, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EpochBatches(i)
+	}
+}
+
+// --- ablation: AllReduce algorithms ------------------------------------------
+
+func benchAllReduce(b *testing.B, workers, vecLen int, naive bool) {
+	b.Helper()
+	clu, err := cluster.New(cluster.Config{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := clu.Run(func(w *cluster.Worker) error {
+			vec := make([]float64, vecLen)
+			for j := range vec {
+				vec[j] = float64(w.Rank() + j)
+			}
+			if naive {
+				w.NaiveAllReduceMean(vec)
+			} else {
+				w.RingAllReduceMean(vec)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRingAllReduce4x64k(b *testing.B)  { benchAllReduce(b, 4, 65536, false) }
+func BenchmarkNaiveAllReduce4x64k(b *testing.B) { benchAllReduce(b, 4, 65536, true) }
+
+// --- micro: numeric kernels ---------------------------------------------------
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	x := tensor.Randn(rng, 128, 128)
+	y := tensor.Randn(rng, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkSpMM(b *testing.B) {
+	g, err := graph.RoadNetwork(1, 500, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd, _ := g.TransitionMatrices()
+	x := tensor.Randn(tensor.NewRNG(3), 500, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fwd.SpMM(x)
+	}
+}
+
+func BenchmarkDCGRUStepForward(b *testing.B) {
+	g, err := graph.RoadNetwork(1, 100, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd, bwd := g.TransitionMatrices()
+	cell := nn.NewDCGRUCell(tensor.NewRNG(4), "c", []*sparse.CSR{fwd, bwd}, 2, 2, 32)
+	x := autograd.Constant(tensor.Randn(tensor.NewRNG(5), 8, 100, 2))
+	h := cell.InitState(8, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell.Step(x, h)
+	}
+}
+
+func BenchmarkTrainingStep(b *testing.B) {
+	g, err := graph.RoadNetwork(1, 50, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd, bwd := g.TransitionMatrices()
+	model := nn.NewPGTDCRNN(tensor.NewRNG(6), []*sparse.CSR{fwd, bwd}, 2, 2, 16, 12)
+	opt := nn.NewAdam(model, 0.01)
+	rng := tensor.NewRNG(7)
+	x := tensor.Randn(rng, 8, 12, 50, 2)
+	y := tensor.Randn(rng, 8, 12, 50, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loss := autograd.MAELoss(model.Forward(autograd.Constant(x)), y)
+		if err := autograd.Backward(loss); err != nil {
+			b.Fatal(err)
+		}
+		opt.Step()
+	}
+}
+
+// --- micro: cost-model throughput ---------------------------------------------
+
+func BenchmarkPerfModelFullSweep(b *testing.B) {
+	c := perfmodel.NewDeterministic()
+	dims := perfmodel.PGTDCRNNDims(dataset.PeMS.Nodes, dataset.PeMS.Nodes*9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 1; p <= 128; p *= 2 {
+			c.DistIndexRun(dims, dataset.PeMS, 32, p, 30)
+			c.BaselineDDPRun(dims, dataset.PeMS, 32, p, 30)
+		}
+	}
+}

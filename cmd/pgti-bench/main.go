@@ -1,0 +1,59 @@
+// Command pgti-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pgti-bench [flags] <experiment-id>...
+//	pgti-bench all
+//
+// Experiment ids: table1 table2 table3 table4 table5 table6
+//
+//	fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10
+//
+// Each experiment prints the paper's reference numbers next to the modeled
+// full-scale values and the measured reduced-scale values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pgti/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "measured-mode dataset scale factor (0,1]")
+	epochs := flag.Int("epochs", 6, "measured-mode training epochs")
+	seed := flag.Uint64("seed", 42, "random seed")
+	quick := flag.Bool("quick", false, "trim measured runs to smoke-test size")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pgti-bench [flags] <experiment>...\navailable: all %s\nflags:\n",
+			strings.Join(experiments.IDs(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := experiments.Options{
+		Out:    os.Stdout,
+		Scale:  *scale,
+		Epochs: *epochs,
+		Seed:   *seed,
+		Quick:  *quick,
+	}
+	for _, id := range flag.Args() {
+		var err error
+		if id == "all" {
+			err = experiments.RunAll(opt)
+		} else {
+			err = experiments.Run(id, opt)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pgti-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

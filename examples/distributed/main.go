@@ -1,0 +1,67 @@
+// Distributed training demo: distributed-index-batching vs baseline DDP on
+// a scaled PeMS-BAY, with real worker goroutines and a real ring AllReduce.
+// The virtual clock reports modeled Polaris time; the communication column
+// shows why index-batching wins — baseline DDP pays an on-demand data fetch
+// for every batch, distributed-index-batching only synchronizes gradients.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pgti"
+)
+
+func main() {
+	base := pgti.Config{
+		Dataset:   "PeMS-BAY",
+		Scale:     0.03,
+		Model:     pgti.ModelPGTDCRNN,
+		BatchSize: 4,
+		Epochs:    3,
+		Hidden:    12,
+		K:         1,
+		Seed:      11,
+	}
+
+	fmt.Println("workers | strategy        | best val MAE | virtual time | comm time | grad traffic")
+	for _, workers := range []int{1, 2, 4} {
+		for _, strat := range []pgti.Strategy{pgti.StrategyDistIndex, pgti.StrategyBaselineDDP} {
+			if workers == 1 && strat == pgti.StrategyBaselineDDP {
+				continue
+			}
+			cfg := base
+			cfg.Strategy = strat
+			cfg.Workers = workers
+			rep, err := pgti.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%7d | %-15v | %12.4f | %12v | %9v | %s\n",
+				workers, rep.Strategy, rep.Curve.BestVal(),
+				rep.VirtualTime.Round(1e6), rep.CommTime.Round(1e6),
+				pgti.FormatBytes(rep.GradSyncBytes))
+		}
+	}
+
+	fmt.Println("\nlarge-global-batch effect (fig. 8): same epochs, growing workers")
+	for _, workers := range []int{1, 4} {
+		cfg := base
+		cfg.Strategy = pgti.StrategyDistIndex
+		cfg.Workers = workers
+		cfg.Epochs = 5
+		plain, err := pgti.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.ScaleLR = true
+		scaled, err := pgti.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("global batch %2d: best val MAE %.4f (plain) vs %.4f (linear LR scaling)\n",
+			cfg.BatchSize*workers, plain.Curve.BestVal(), scaled.Curve.BestVal())
+	}
+}

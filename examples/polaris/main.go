@@ -1,0 +1,51 @@
+// Capacity planning with the calibrated Polaris model: estimate what every
+// strategy costs on the full PeMS dataset at paper scale — which ones OOM a
+// 512 GB node, how distributed-index-batching scales to 128 GPUs — without
+// owning a supercomputer. This regenerates the headline numbers of the
+// paper's Tables 2/4 and Fig. 7 through the public API.
+//
+//	go run ./examples/polaris
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pgti"
+)
+
+func estimate(cfg pgti.Config) *pgti.PolarisEstimate {
+	est, err := pgti.EstimatePolaris(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return est
+}
+
+func main() {
+	fmt.Println("== single GPU, full PeMS (419 GB after standard preprocessing) ==")
+	for _, s := range []pgti.Strategy{pgti.StrategyBaseline, pgti.StrategyIndex, pgti.StrategyGPUIndex} {
+		est := estimate(pgti.Config{Dataset: "PeMS", Strategy: s, Epochs: 30})
+		status := fmt.Sprintf("%8.1f min | node %6.1f GiB | GPU %5.1f GiB", est.TotalMinutes, est.PeakNodeGiB, est.PeakGPUGiB)
+		if est.OOM {
+			status = "OOM — " + est.OOMDetail
+		}
+		fmt.Printf("%-22v %s\n", s, status)
+	}
+
+	fmt.Println("\n== scaling distributed-index-batching vs baseline DDP (PeMS, 30 epochs) ==")
+	fmt.Printf("%5s | %-14s | %-14s | %s\n", "GPUs", "dist-index", "baseline DDP", "ratio")
+	for _, workers := range []int{4, 8, 16, 32, 64, 128} {
+		di := estimate(pgti.Config{Dataset: "PeMS", Strategy: pgti.StrategyDistIndex, Workers: workers, Epochs: 30})
+		dd := estimate(pgti.Config{Dataset: "PeMS", Strategy: pgti.StrategyBaselineDDP, Workers: workers, Epochs: 30})
+		fmt.Printf("%5d | %10.1f min | %10.1f min | %.2fx\n",
+			workers, di.TotalMinutes, dd.TotalMinutes, dd.TotalMinutes/di.TotalMinutes)
+	}
+
+	fmt.Println("\n== what would it take to train your dataset? (PeMS-BAY, 100 epochs) ==")
+	for _, workers := range []int{1, 8, 32} {
+		est := estimate(pgti.Config{Dataset: "PeMS-BAY", Strategy: pgti.StrategyDistIndex, Workers: workers, Epochs: 100})
+		fmt.Printf("%3d GPU(s): %6.1f min total (%.1f min training, %.1f s preprocessing)\n",
+			workers, est.TotalMinutes, est.TrainMinutes, est.PreprocessSeconds)
+	}
+}

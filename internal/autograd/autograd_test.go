@@ -1,0 +1,326 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+)
+
+// gradCheck verifies autograd gradients of f (a scalar function of the leaf
+// inputs) against central finite differences.
+func gradCheck(t *testing.T, name string, inputs []*Variable, f func(ins []*Variable) *Variable, tol float64) {
+	t.Helper()
+	out := f(inputs)
+	if err := Backward(out); err != nil {
+		t.Fatalf("%s: backward: %v", name, err)
+	}
+	const h = 1e-6
+	for vi, v := range inputs {
+		if !v.RequiresGrad() {
+			continue
+		}
+		if v.Grad == nil {
+			t.Fatalf("%s: input %d missing gradient", name, vi)
+		}
+		data := v.Value.Data()
+		grad := v.Grad.Contiguous().Data()
+		for i := range data {
+			orig := data[i]
+			data[i] = orig + h
+			plus := f(cloneLeaves(inputs)).Value.Item()
+			data[i] = orig - h
+			minus := f(cloneLeaves(inputs)).Value.Item()
+			data[i] = orig
+			numeric := (plus - minus) / (2 * h)
+			if math.Abs(numeric-grad[i]) > tol*(1+math.Abs(numeric)) {
+				t.Fatalf("%s: input %d elem %d: autograd %.8g vs numeric %.8g", name, vi, i, grad[i], numeric)
+			}
+		}
+	}
+}
+
+// cloneLeaves produces fresh leaf variables sharing the same storage, so the
+// finite-difference probes rebuild the graph without stale tape state.
+func cloneLeaves(inputs []*Variable) []*Variable {
+	out := make([]*Variable, len(inputs))
+	for i, v := range inputs {
+		if v.RequiresGrad() {
+			out[i] = NewVariable(v.Value)
+		} else {
+			out[i] = Constant(v.Value)
+		}
+	}
+	return out
+}
+
+func leaf(rng *tensor.RNG, shape ...int) *Variable {
+	return NewVariable(tensor.Randn(rng, shape...))
+}
+
+func TestGradAdd(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	gradCheck(t, "add", []*Variable{leaf(rng, 3, 4), leaf(rng, 3, 4)}, func(ins []*Variable) *Variable {
+		return MeanAll(Add(ins[0], ins[1]))
+	}, 1e-5)
+}
+
+func TestGradAddBroadcast(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	gradCheck(t, "addBroadcast", []*Variable{leaf(rng, 3, 4), leaf(rng, 4)}, func(ins []*Variable) *Variable {
+		return MeanAll(Add(ins[0], ins[1]))
+	}, 1e-5)
+}
+
+func TestGradSub(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	gradCheck(t, "sub", []*Variable{leaf(rng, 2, 3), leaf(rng, 1, 3)}, func(ins []*Variable) *Variable {
+		return MeanAll(Sub(ins[0], ins[1]))
+	}, 1e-5)
+}
+
+func TestGradMul(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	gradCheck(t, "mul", []*Variable{leaf(rng, 3, 2), leaf(rng, 3, 2)}, func(ins []*Variable) *Variable {
+		return SumAll(Mul(ins[0], ins[1]))
+	}, 1e-5)
+}
+
+func TestGradMulBroadcast(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	gradCheck(t, "mulBroadcast", []*Variable{leaf(rng, 4, 3), leaf(rng, 3)}, func(ins []*Variable) *Variable {
+		return SumAll(Mul(ins[0], ins[1]))
+	}, 1e-5)
+}
+
+func TestGradMatMul(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	gradCheck(t, "matmul", []*Variable{leaf(rng, 3, 4), leaf(rng, 4, 2)}, func(ins []*Variable) *Variable {
+		return MeanAll(MatMul(ins[0], ins[1]))
+	}, 1e-5)
+}
+
+func TestGradSpMM(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	m, err := sparse.FromCOO(4, 4, []sparse.Coord{
+		{Row: 0, Col: 1, Val: 0.5}, {Row: 1, Col: 0, Val: -1.2},
+		{Row: 2, Col: 3, Val: 2.0}, {Row: 3, Col: 3, Val: 0.7}, {Row: 0, Col: 0, Val: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradCheck(t, "spmm", []*Variable{leaf(rng, 4, 3)}, func(ins []*Variable) *Variable {
+		return MeanAll(SpMM(m, ins[0]))
+	}, 1e-5)
+}
+
+func TestGradActivations(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	gradCheck(t, "sigmoid", []*Variable{leaf(rng, 3, 3)}, func(ins []*Variable) *Variable {
+		return MeanAll(Sigmoid(ins[0]))
+	}, 1e-5)
+	gradCheck(t, "tanh", []*Variable{leaf(rng, 3, 3)}, func(ins []*Variable) *Variable {
+		return MeanAll(Tanh(ins[0]))
+	}, 1e-5)
+	// Shift ReLU input away from the kink at zero.
+	v := NewVariable(tensor.Randn(tensor.NewRNG(9), 3, 3).AddScalar(0.5))
+	gradCheck(t, "relu", []*Variable{v}, func(ins []*Variable) *Variable {
+		return MeanAll(Relu(ins[0]))
+	}, 1e-4)
+}
+
+func TestGradConcatStackSlice(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	gradCheck(t, "concat", []*Variable{leaf(rng, 2, 3), leaf(rng, 2, 2)}, func(ins []*Variable) *Variable {
+		return MeanAll(Concat(1, ins[0], ins[1]))
+	}, 1e-5)
+	gradCheck(t, "stack", []*Variable{leaf(rng, 2, 3), leaf(rng, 2, 3)}, func(ins []*Variable) *Variable {
+		return MeanAll(Stack(0, ins[0], ins[1]))
+	}, 1e-5)
+	gradCheck(t, "slice", []*Variable{leaf(rng, 5, 3)}, func(ins []*Variable) *Variable {
+		return MeanAll(Slice(ins[0], 0, 1, 4))
+	}, 1e-5)
+}
+
+func TestGradReshapeTranspose(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	gradCheck(t, "reshape", []*Variable{leaf(rng, 2, 6)}, func(ins []*Variable) *Variable {
+		return MeanAll(Reshape(ins[0], 3, 4))
+	}, 1e-5)
+	gradCheck(t, "transpose", []*Variable{leaf(rng, 2, 5)}, func(ins []*Variable) *Variable {
+		return MeanAll(Mul(Transpose(ins[0], 0, 1), Constant(tensor.Randn(tensor.NewRNG(99), 5, 2))))
+	}, 1e-5)
+}
+
+func TestGradSoftmax(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	w := Constant(tensor.Randn(tensor.NewRNG(13), 3, 4))
+	gradCheck(t, "softmax", []*Variable{leaf(rng, 3, 4)}, func(ins []*Variable) *Variable {
+		return SumAll(Mul(Softmax(ins[0]), w))
+	}, 1e-4)
+}
+
+func TestGradGatherRows(t *testing.T) {
+	rng := tensor.NewRNG(14)
+	gradCheck(t, "gatherRows", []*Variable{leaf(rng, 5, 3)}, func(ins []*Variable) *Variable {
+		return MeanAll(GatherRows(ins[0], []int{0, 2, 2, 4}))
+	}, 1e-5)
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	rng := tensor.NewRNG(15)
+	x := leaf(rng, 4, 6)
+	gamma := NewVariable(tensor.Ones(6))
+	beta := NewVariable(tensor.New(6))
+	w := Constant(tensor.Randn(tensor.NewRNG(16), 4, 6))
+	gradCheck(t, "layerNorm", []*Variable{x, gamma, beta}, func(ins []*Variable) *Variable {
+		return SumAll(Mul(LayerNorm(ins[0], ins[1], ins[2], 1e-5), w))
+	}, 1e-4)
+}
+
+func TestGradLosses(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	target := tensor.Randn(tensor.NewRNG(18), 4, 3)
+	gradCheck(t, "mse", []*Variable{leaf(rng, 4, 3)}, func(ins []*Variable) *Variable {
+		return MSELoss(ins[0], target)
+	}, 1e-4)
+	gradCheck(t, "mae", []*Variable{leaf(rng, 4, 3)}, func(ins []*Variable) *Variable {
+		return MAELoss(ins[0], target)
+	}, 1e-4)
+}
+
+func TestGradChainedExpression(t *testing.T) {
+	// A small DCGRU-like expression: sigmoid(W1 x + W2 h) gating tanh(...).
+	rng := tensor.NewRNG(19)
+	x := leaf(rng, 4, 3)
+	h := leaf(rng, 4, 5)
+	w1 := leaf(rng, 3, 5)
+	w2 := leaf(rng, 5, 5)
+	gradCheck(t, "chained", []*Variable{x, h, w1, w2}, func(ins []*Variable) *Variable {
+		u := Sigmoid(Add(MatMul(ins[0], ins[2]), MatMul(ins[1], ins[3])))
+		c := Tanh(MatMul(ins[0], ins[2]))
+		out := Add(Mul(u, ins[1]), Mul(AddScalar(Neg(u), 1), c))
+		return MeanAll(out)
+	}, 1e-4)
+}
+
+func TestGradAccumulatesOnReuse(t *testing.T) {
+	// y = x + x must give gradient 2.
+	x := NewVariable(tensor.FromSlice([]float64{1, 2}, 2))
+	y := SumAll(Add(x, x))
+	if err := Backward(y); err != nil {
+		t.Fatal(err)
+	}
+	if x.Grad.At(0) != 2 || x.Grad.At(1) != 2 {
+		t.Fatalf("reused-variable grad wrong: %v", x.Grad)
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	x := NewVariable(tensor.New(2, 2))
+	if err := Backward(Add(x, x)); err == nil {
+		t.Fatal("expected error for non-scalar Backward")
+	}
+}
+
+func TestConstantsGetNoGrad(t *testing.T) {
+	x := NewVariable(tensor.Ones(2))
+	c := Constant(tensor.Ones(2))
+	y := SumAll(Mul(x, c))
+	if err := Backward(y); err != nil {
+		t.Fatal(err)
+	}
+	if c.Grad != nil {
+		t.Fatal("constant must not receive gradient")
+	}
+	if x.Grad == nil {
+		t.Fatal("leaf must receive gradient")
+	}
+}
+
+func TestDetachCutsGraph(t *testing.T) {
+	x := NewVariable(tensor.Ones(2))
+	h := Mul(x, x)
+	d := h.Detach()
+	y := SumAll(Mul(d, d))
+	if err := Backward(y); err != nil {
+		t.Fatal(err)
+	}
+	if x.Grad != nil {
+		t.Fatal("detach must stop gradient flow")
+	}
+}
+
+func TestZeroGradAndRepeatedBackward(t *testing.T) {
+	x := NewVariable(tensor.Ones(3))
+	run := func() float64 {
+		y := SumAll(Mul(x, x))
+		if err := Backward(y); err != nil {
+			t.Fatal(err)
+		}
+		return x.Grad.At(0)
+	}
+	if g := run(); g != 2 {
+		t.Fatalf("first backward grad %v", g)
+	}
+	// Without ZeroGrad, gradients accumulate (PyTorch semantics).
+	if g := run(); g != 4 {
+		t.Fatalf("accumulated grad %v want 4", g)
+	}
+	x.ZeroGrad()
+	if g := run(); g != 2 {
+		t.Fatalf("after ZeroGrad grad %v want 2", g)
+	}
+}
+
+func TestBackwardWithGradSeed(t *testing.T) {
+	x := NewVariable(tensor.Ones(2, 2))
+	y := ScalarMul(x, 3)
+	seed := tensor.Full(2, 2, 2)
+	if err := BackwardWithGrad(y, seed); err != nil {
+		t.Fatal(err)
+	}
+	if x.Grad.At(1, 1) != 6 {
+		t.Fatalf("seeded backward grad %v", x.Grad)
+	}
+	if err := BackwardWithGrad(y, tensor.Ones(3)); err == nil {
+		t.Fatal("expected seed-shape error")
+	}
+}
+
+func TestLongChainBackwardNoStackOverflow(t *testing.T) {
+	// Simulates an RNN unrolled over many steps.
+	x := NewVariable(tensor.Ones(4))
+	v := ScalarMul(x, 1.0)
+	for i := 0; i < 3000; i++ {
+		v = AddScalar(ScalarMul(v, 0.999), 0.001)
+	}
+	if err := Backward(MeanAll(v)); err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(0.999, 3000) / 4
+	if math.Abs(x.Grad.At(0)-want) > 1e-9 {
+		t.Fatalf("long-chain grad %v want %v", x.Grad.At(0), want)
+	}
+}
+
+// Property: gradient of sum(a*b) wrt a equals b exactly, for random shapes.
+func TestPropertyMulGradIdentity(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		m := int(mRaw%5) + 1
+		n := int(nRaw%5) + 1
+		rng := tensor.NewRNG(seed)
+		a := NewVariable(tensor.Randn(rng, m, n))
+		b := tensor.Randn(rng, m, n)
+		y := SumAll(Mul(a, Constant(b)))
+		if err := Backward(y); err != nil {
+			return false
+		}
+		return a.Grad.AllClose(b, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

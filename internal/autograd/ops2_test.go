@@ -1,0 +1,152 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+
+	"pgti/internal/tensor"
+)
+
+func TestGradDiv(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	a := leaf(rng, 3, 3)
+	b := NewVariable(tensor.Randn(rng, 3, 3).Apply(func(v float64) float64 { return v + 3 })) // keep away from 0
+	gradCheck(t, "div", []*Variable{a, b}, func(ins []*Variable) *Variable {
+		return MeanAll(Div(ins[0], ins[1]))
+	}, 1e-4)
+}
+
+func TestGradDivBroadcast(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	a := leaf(rng, 2, 4)
+	b := NewVariable(tensor.Rand(rng, 4).AddScalar(1))
+	gradCheck(t, "divBroadcast", []*Variable{a, b}, func(ins []*Variable) *Variable {
+		return MeanAll(Div(ins[0], ins[1]))
+	}, 1e-4)
+}
+
+func TestGradExpLogSqrtPow(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	pos := NewVariable(tensor.Rand(rng, 3, 3).AddScalar(0.5))
+	gradCheck(t, "exp", []*Variable{leaf(rng, 3, 3)}, func(ins []*Variable) *Variable {
+		return MeanAll(Exp(ins[0]))
+	}, 1e-4)
+	gradCheck(t, "log", []*Variable{pos}, func(ins []*Variable) *Variable {
+		return MeanAll(Log(ins[0]))
+	}, 1e-4)
+	pos2 := NewVariable(tensor.Rand(tensor.NewRNG(24), 3, 3).AddScalar(0.5))
+	gradCheck(t, "sqrt", []*Variable{pos2}, func(ins []*Variable) *Variable {
+		return MeanAll(Sqrt(ins[0]))
+	}, 1e-4)
+	pos3 := NewVariable(tensor.Rand(tensor.NewRNG(25), 3, 3).AddScalar(0.5))
+	gradCheck(t, "pow", []*Variable{pos3}, func(ins []*Variable) *Variable {
+		return MeanAll(Pow(ins[0], 2.5))
+	}, 1e-4)
+}
+
+func TestGradSumMeanAxis(t *testing.T) {
+	rng := tensor.NewRNG(26)
+	w := Constant(tensor.Randn(tensor.NewRNG(27), 4))
+	gradCheck(t, "sumAxis", []*Variable{leaf(rng, 3, 4)}, func(ins []*Variable) *Variable {
+		return SumAll(Mul(SumAxis(ins[0], 0), w))
+	}, 1e-5)
+	gradCheck(t, "meanAxis", []*Variable{leaf(rng, 3, 4)}, func(ins []*Variable) *Variable {
+		return SumAll(MeanAxis(ins[0], 1))
+	}, 1e-5)
+}
+
+func TestGradBMM(t *testing.T) {
+	rng := tensor.NewRNG(28)
+	gradCheck(t, "bmm", []*Variable{leaf(rng, 2, 3, 2), leaf(rng, 2, 2, 3)}, func(ins []*Variable) *Variable {
+		return MeanAll(BMM(ins[0], ins[1]))
+	}, 1e-4)
+}
+
+func TestBMMValueMatchesMatMul(t *testing.T) {
+	rng := tensor.NewRNG(29)
+	a := tensor.Randn(rng, 3, 4, 5)
+	b := tensor.Randn(rng, 3, 5, 2)
+	out := BMM(Constant(a), Constant(b))
+	for i := 0; i < 3; i++ {
+		want := tensor.MatMul(a.Index(0, i), b.Index(0, i))
+		if !out.Value.Index(0, i).AllClose(want, 1e-12) {
+			t.Fatalf("BMM value wrong at batch %d", i)
+		}
+	}
+}
+
+func TestGradClamp(t *testing.T) {
+	// Values away from the boundaries so finite differences are valid.
+	vals := tensor.FromSlice([]float64{-2, -0.5, 0.3, 2.5}, 4)
+	v := NewVariable(vals)
+	y := SumAll(Clamp(v, -1, 1))
+	if err := Backward(y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 1, 0}
+	for i, wv := range want {
+		if v.Grad.At(i) != wv {
+			t.Fatalf("clamp grad[%d] = %v want %v", i, v.Grad.At(i), wv)
+		}
+	}
+}
+
+func TestDropout(t *testing.T) {
+	rng := tensor.NewRNG(30)
+	x := NewVariable(tensor.Ones(1000))
+	y := Dropout(x, 0.4, rng)
+	// Expectation preserved by inverted scaling.
+	mean := y.Value.MeanAll()
+	if math.Abs(mean-1) > 0.12 {
+		t.Fatalf("dropout mean %v should stay near 1", mean)
+	}
+	zeros := 0
+	for _, v := range y.Value.Data() {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros < 300 || zeros > 500 {
+		t.Fatalf("dropout zeroed %d of 1000, expected ~400", zeros)
+	}
+	// Gradient flows only through survivors, scaled.
+	if err := Backward(SumAll(y)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range y.Value.Data() {
+		if (v == 0) != (x.Grad.At(i) == 0) {
+			t.Fatal("dropout gradient mask mismatch")
+		}
+	}
+	// p=0 is identity.
+	if Dropout(x, 0, rng) != x {
+		t.Fatal("p=0 dropout must be identity")
+	}
+}
+
+func TestDropoutPanicsOnP1(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dropout(NewVariable(tensor.Ones(2)), 1, tensor.NewRNG(1))
+}
+
+func TestGradHuber(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	target := tensor.Randn(tensor.NewRNG(32), 4, 3)
+	gradCheck(t, "huber", []*Variable{leaf(rng, 4, 3)}, func(ins []*Variable) *Variable {
+		return HuberLoss(ins[0], target, 0.7)
+	}, 1e-4)
+}
+
+func TestHuberMatchesMSEInQuadraticRegion(t *testing.T) {
+	pred := NewVariable(tensor.FromSlice([]float64{0.1, -0.2}, 2))
+	target := tensor.New(2)
+	h := HuberLoss(pred, target, 10) // large delta: pure quadratic
+	mse := MSELoss(NewVariable(pred.Value), target)
+	if math.Abs(h.Value.Item()-0.5*mse.Value.Item()) > 1e-12 {
+		t.Fatalf("huber %v vs mse/2 %v", h.Value.Item(), 0.5*mse.Value.Item())
+	}
+}

@@ -1,0 +1,438 @@
+package batching
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pgti/internal/memsim"
+	"pgti/internal/tensor"
+)
+
+func signal(seed uint64, entries, nodes, features int) *tensor.Tensor {
+	return tensor.Randn(tensor.NewRNG(seed), entries, nodes, features)
+}
+
+func TestStandardPreprocessShapes(t *testing.T) {
+	data := signal(1, 40, 5, 2)
+	res, err := StandardPreprocess(data, 4, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 40 - (2*4 - 1)
+	if res.NumSnapshots() != s {
+		t.Fatalf("snapshots %d want %d", res.NumSnapshots(), s)
+	}
+	if sh := res.X.Shape(); sh[0] != s || sh[1] != 4 || sh[2] != 5 || sh[3] != 2 {
+		t.Fatalf("X shape %v", sh)
+	}
+	if !res.X.SameShape(res.Y) {
+		t.Fatal("X and Y must have the same shape")
+	}
+}
+
+func TestStandardPreprocessWindowSemantics(t *testing.T) {
+	// Data where entry t has constant value t: window contents are exact.
+	entries, h := 12, 3
+	data := tensor.New(entries, 2, 1)
+	for e := 0; e < entries; e++ {
+		data.Index(0, e).Fill(float64(e))
+	}
+	res, err := StandardPreprocess(data, h, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undo standardization to compare against raw values.
+	unz := func(v float64) float64 { return v*res.Std + res.Mean }
+	x0, y0 := res.Snapshot(0)
+	if got := unz(x0.At(2, 0, 0)); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("x0 last row %v want 2", got)
+	}
+	if got := unz(y0.At(0, 0, 0)); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("y0 first row %v want 3 (y = data[start+h:start+2h])", got)
+	}
+	x2, y2 := res.Snapshot(2)
+	if got := unz(x2.At(0, 1, 0)); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("x2 first row %v want 2", got)
+	}
+	if got := unz(y2.At(2, 1, 0)); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("y2 last row %v want 7", got)
+	}
+}
+
+func TestStandardPreprocessMemoryAccounting(t *testing.T) {
+	mem := memsim.NewTracker("sys", 0)
+	data := signal(2, 30, 4, 2)
+	res, err := StandardPreprocess(data, 3, 0.7, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retained after preprocessing = eq. (1).
+	eq1 := 2 * int64(30-5) * 3 * 4 * 2 * 8
+	if got := res.StandardRetainedBytes(); got != eq1 {
+		t.Fatalf("retained %d want eq1 %d", got, eq1)
+	}
+	if mem.Current() != eq1 {
+		t.Fatalf("tracker current %d want %d", mem.Current(), eq1)
+	}
+	// Peak = lists (eq1) + stacked (eq1) + one standardize temp (eq1/2).
+	wantPeak := eq1 + eq1 + eq1/2
+	if mem.Peak() != wantPeak {
+		t.Fatalf("tracker peak %d want %d", mem.Peak(), wantPeak)
+	}
+}
+
+func TestStandardPreprocessOOM(t *testing.T) {
+	// Capacity large enough for the lists but not the stacked arrays:
+	// the crash must happen at the stacking stage, like the paper's PeMS run.
+	eq1 := 2 * int64(30-5) * 3 * 4 * 2 * 8
+	mem := memsim.NewTracker("node", eq1+eq1/4)
+	data := signal(3, 30, 4, 2)
+	_, err := StandardPreprocess(data, 3, 0.7, mem)
+	if err == nil {
+		t.Fatal("expected OOM")
+	}
+	if mem.Peak() != mem.Capacity() {
+		t.Fatal("peak must pin to capacity on OOM")
+	}
+}
+
+func TestIndexDatasetSnapshotsAreViews(t *testing.T) {
+	data := signal(4, 40, 5, 2)
+	idx, err := NewIndexDataset(data, 4, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := idx.Snapshot(3)
+	if !x.SharesStorage(idx.Data) || !y.SharesStorage(idx.Data) {
+		t.Fatal("snapshots must be zero-copy views")
+	}
+	if x.Dim(0) != 4 || y.Dim(0) != 4 {
+		t.Fatal("window length wrong")
+	}
+}
+
+// The paper's core equivalence: index-batching feeds byte-identical
+// snapshots to the model as standard batching.
+func TestIndexMatchesStandardSnapshots(t *testing.T) {
+	raw := signal(5, 60, 6, 2)
+	std, err := StandardPreprocess(raw.Clone(), 5, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewIndexDataset(raw.Clone(), 5, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(std.Mean-idx.Mean) > 1e-9*(1+math.Abs(std.Mean)) {
+		t.Fatalf("means differ: %v vs %v", std.Mean, idx.Mean)
+	}
+	if math.Abs(std.Std-idx.Std) > 1e-9*(1+std.Std) {
+		t.Fatalf("stds differ: %v vs %v", std.Std, idx.Std)
+	}
+	if std.NumSnapshots() != idx.NumSnapshots() {
+		t.Fatalf("snapshot counts differ: %d vs %d", std.NumSnapshots(), idx.NumSnapshots())
+	}
+	for i := 0; i < std.NumSnapshots(); i++ {
+		sx, sy := std.Snapshot(i)
+		ix, iy := idx.Snapshot(i)
+		if !sx.AllClose(ix, 1e-9) || !sy.AllClose(iy, 1e-9) {
+			t.Fatalf("snapshot %d differs between pipelines", i)
+		}
+	}
+}
+
+// Property: the equivalence holds for random shapes, horizons, and splits.
+func TestPropertyIndexStandardEquivalence(t *testing.T) {
+	f := func(seed uint64, hRaw, nRaw uint8) bool {
+		h := int(hRaw%6) + 1
+		nodes := int(nRaw%5) + 1
+		entries := 2*h + 1 + int(seed%40)
+		raw := signal(seed, entries, nodes, 1)
+		std, err := StandardPreprocess(raw.Clone(), h, 0.7, nil)
+		if err != nil {
+			return false
+		}
+		idx, err := NewIndexDataset(raw.Clone(), h, 0.7, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < std.NumSnapshots(); i++ {
+			sx, sy := std.Snapshot(i)
+			ix, iy := idx.Snapshot(i)
+			if !sx.AllClose(ix, 1e-9) || !sy.AllClose(iy, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexDatasetMemoryIsEq2(t *testing.T) {
+	mem := memsim.NewTracker("sys", 0)
+	entries, nodes, features, h := 50, 4, 2, 5
+	data := signal(6, entries, nodes, features)
+	dataBytes := data.NumBytes()
+	mem.MustAlloc("data", dataBytes) // the caller owns the single data copy
+	idx, err := NewIndexDataset(data, h, 0.7, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq2 := int64(entries)*int64(nodes)*int64(features)*8 + int64(entries-(2*h-1))*8
+	if got := idx.RetainedBytes(); got != eq2 {
+		t.Fatalf("RetainedBytes %d want eq2 %d", got, eq2)
+	}
+	if mem.Current() != eq2 {
+		t.Fatalf("tracker current %d want eq2 %d", mem.Current(), eq2)
+	}
+	// Peak never exceeded eq2: no transient duplication at all.
+	if mem.Peak() != eq2 {
+		t.Fatalf("tracker peak %d want eq2 %d", mem.Peak(), eq2)
+	}
+}
+
+func TestIndexDatasetValidation(t *testing.T) {
+	if _, err := NewIndexDataset(tensor.New(4, 4), 2, 0.7, nil); err == nil {
+		t.Fatal("rank-2 data must fail")
+	}
+	if _, err := NewIndexDataset(tensor.New(5, 2, 1), 3, 0.7, nil); err == nil {
+		t.Fatal("too-short series must fail")
+	}
+	if _, err := NewIndexDataset(tensor.New(30, 2, 1), 0, 0.7, nil); err == nil {
+		t.Fatal("zero horizon must fail")
+	}
+	nonContig := tensor.New(30, 2, 2).Slice(2, 0, 1)
+	if _, err := NewIndexDataset(nonContig, 3, 0.7, nil); err == nil {
+		t.Fatal("non-contiguous data must fail")
+	}
+}
+
+func TestAssembleBatchMatchesSnapshots(t *testing.T) {
+	data := signal(7, 40, 3, 2)
+	idx, err := NewIndexDataset(data, 4, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf BatchBuffer
+	batch := []int{5, 0, 9}
+	x, y := idx.AssembleBatch(batch, &buf)
+	if x.Dim(0) != 3 || x.Dim(1) != 4 {
+		t.Fatalf("batch shape %v", x.Shape())
+	}
+	for bi, si := range batch {
+		sx, sy := idx.Snapshot(si)
+		if !x.Index(0, bi).Equal(sx) || !y.Index(0, bi).Equal(sy) {
+			t.Fatalf("batch element %d mismatch", bi)
+		}
+	}
+	// Buffer reuse: a second call with fewer items must reuse storage.
+	x2, _ := idx.AssembleBatch([]int{1, 2}, &buf)
+	if !x2.SharesStorage(buf.x) {
+		t.Fatal("AssembleBatch must reuse the buffer")
+	}
+	if x2.Dim(0) != 2 {
+		t.Fatalf("reused batch shape %v", x2.Shape())
+	}
+}
+
+func TestMakeSplit(t *testing.T) {
+	s := MakeSplit(100, 0.7, 0.1)
+	if len(s.Train) != 70 || len(s.Val) != 10 || len(s.Test) != 20 {
+		t.Fatalf("split sizes %d/%d/%d", len(s.Train), len(s.Val), len(s.Test))
+	}
+	// Temporal ordering: train indices precede val precede test.
+	if s.Train[69] >= s.Val[0] || s.Val[9] >= s.Test[0] {
+		t.Fatal("split must be temporally contiguous")
+	}
+	// Defaults kick in for zero fractions.
+	d := MakeSplit(10, 0, 0)
+	if len(d.Train) != 7 || len(d.Val) != 1 || len(d.Test) != 2 {
+		t.Fatalf("default split %d/%d/%d", len(d.Train), len(d.Val), len(d.Test))
+	}
+}
+
+func TestBatches(t *testing.T) {
+	b := Batches([]int{0, 1, 2, 3, 4}, 2)
+	if len(b) != 3 || len(b[2]) != 1 || b[2][0] != 4 {
+		t.Fatalf("batches %v", b)
+	}
+}
+
+func TestPartitionRangeCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7} {
+		covered := make([]bool, 20)
+		for r := 0; r < workers; r++ {
+			lo, hi := PartitionRange(20, workers, r)
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Fatalf("index %d covered twice", i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("index %d not covered with %d workers", i, workers)
+			}
+		}
+	}
+}
+
+// collectAll flattens a worker's epoch batches into a sorted index list.
+func collectAll(batches [][]int) []int {
+	var out []int
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestGlobalShufflerPartitionIsExactCover(t *testing.T) {
+	indices := make([]int, 97)
+	for i := range indices {
+		indices[i] = i + 100
+	}
+	workers := 4
+	var all []int
+	for r := 0; r < workers; r++ {
+		s := NewGlobalShuffler(indices, 8, workers, r, 42)
+		all = append(all, collectAll(s.EpochBatches(3))...)
+	}
+	sort.Ints(all)
+	if len(all) != len(indices) {
+		t.Fatalf("global shuffle coverage %d want %d", len(all), len(indices))
+	}
+	for i, v := range all {
+		if v != i+100 {
+			t.Fatalf("missing or duplicated index at %d: %d", i, v)
+		}
+	}
+}
+
+func TestGlobalShufflerEpochsDifferButAreDeterministic(t *testing.T) {
+	indices := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	a := NewGlobalShuffler(indices, 3, 1, 0, 7)
+	b := NewGlobalShuffler(indices, 3, 1, 0, 7)
+	e0a := collectFlat(a.EpochBatches(0))
+	e0b := collectFlat(b.EpochBatches(0))
+	for i := range e0a {
+		if e0a[i] != e0b[i] {
+			t.Fatal("same (seed, epoch) must give same order")
+		}
+	}
+	e1 := collectFlat(a.EpochBatches(1))
+	same := true
+	for i := range e0a {
+		if e0a[i] != e1[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different epochs should reshuffle")
+	}
+}
+
+func collectFlat(batches [][]int) []int {
+	var out []int
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func TestLocalShufflerStaysInPartition(t *testing.T) {
+	indices := make([]int, 40)
+	for i := range indices {
+		indices[i] = i
+	}
+	s := NewLocalShuffler(indices, 4, 4, 1, 9)
+	lo, hi := PartitionRange(40, 4, 1)
+	for epoch := 0; epoch < 3; epoch++ {
+		for _, v := range collectFlat(s.EpochBatches(epoch)) {
+			if v < lo || v >= hi {
+				t.Fatalf("epoch %d leaked index %d outside [%d,%d)", epoch, v, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBatchShufflerKeepsBatchContentsFixed(t *testing.T) {
+	indices := make([]int, 24)
+	for i := range indices {
+		indices[i] = i
+	}
+	s := NewBatchShuffler(indices, 4, 2, 0, 11)
+	key := func(b []int) int { return b[0] }
+	contents := map[int][]int{}
+	for _, b := range s.EpochBatches(0) {
+		contents[key(b)] = append([]int{}, b...)
+	}
+	for epoch := 1; epoch < 4; epoch++ {
+		for _, b := range s.EpochBatches(epoch) {
+			want := contents[key(b)]
+			if len(want) != len(b) {
+				t.Fatal("batch contents changed across epochs")
+			}
+			for i := range b {
+				if b[i] != want[i] {
+					t.Fatal("batch contents must be fixed; only order shuffles")
+				}
+			}
+		}
+	}
+}
+
+func TestSamplerDescribe(t *testing.T) {
+	idx := []int{0, 1, 2, 3}
+	if NewGlobalShuffler(idx, 2, 1, 0, 1).Describe() != "global-shuffle" ||
+		NewLocalShuffler(idx, 2, 1, 0, 1).Describe() != "local-shuffle" ||
+		NewBatchShuffler(idx, 2, 1, 0, 1).Describe() != "batch-shuffle" {
+		t.Fatal("Describe strings wrong")
+	}
+}
+
+// Property: every sampler visits each of its worker-set indices exactly once
+// per epoch.
+func TestPropertySamplersArePermutations(t *testing.T) {
+	f := func(seed uint64, nRaw, wRaw, bRaw uint8) bool {
+		n := int(nRaw%50) + 4
+		workers := int(wRaw%4) + 1
+		batch := int(bRaw%8) + 1
+		indices := make([]int, n)
+		for i := range indices {
+			indices[i] = i
+		}
+		samplers := []BatchSampler{}
+		for r := 0; r < workers; r++ {
+			samplers = append(samplers,
+				NewGlobalShuffler(indices, batch, workers, r, seed),
+				NewLocalShuffler(indices, batch, workers, r, seed),
+				NewBatchShuffler(indices, batch, workers, r, seed))
+		}
+		// Per strategy, the union across workers must be exactly [0, n).
+		for strat := 0; strat < 3; strat++ {
+			var union []int
+			for r := 0; r < workers; r++ {
+				union = append(union, collectFlat(samplers[r*3+strat].EpochBatches(int(seed%5)))...)
+			}
+			sort.Ints(union)
+			if len(union) != n {
+				return false
+			}
+			for i, v := range union {
+				if v != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

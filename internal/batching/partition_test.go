@@ -1,0 +1,155 @@
+package batching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pgti/internal/tensor"
+)
+
+func partitionFixture(t *testing.T, entries, nodes, h, workers int) (*IndexDataset, *PartitionStore) {
+	t.Helper()
+	data := tensor.Randn(tensor.NewRNG(8), entries, nodes, 1)
+	ds, err := NewIndexDataset(data, h, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewPartitionStore(ds, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, store
+}
+
+func TestPartitionStoreValidation(t *testing.T) {
+	ds, _ := partitionFixture(t, 60, 3, 4, 2)
+	if _, err := NewPartitionStore(ds, 0); err == nil {
+		t.Fatal("expected error for zero workers")
+	}
+	if _, err := NewPartitionStore(ds, 1000); err == nil {
+		t.Fatal("expected error for more workers than rows")
+	}
+}
+
+func TestPartitionStoreOwnership(t *testing.T) {
+	_, store := partitionFixture(t, 60, 3, 4, 3)
+	// Shards cover all rows exactly once, in rank order.
+	covered := 0
+	for r := 0; r < 3; r++ {
+		lo, hi := store.LocalRows(r)
+		if lo != covered {
+			t.Fatalf("rank %d shard starts at %d, want %d", r, lo, covered)
+		}
+		for row := lo; row < hi; row++ {
+			if store.OwnerOf(row) != r {
+				t.Fatalf("row %d owner %d want %d", row, store.OwnerOf(row), r)
+			}
+		}
+		covered = hi
+	}
+	if covered != 60 {
+		t.Fatalf("shards cover %d of 60 rows", covered)
+	}
+	// Local bytes sum to the data's bytes.
+	var total int64
+	for r := 0; r < 3; r++ {
+		total += store.LocalBytes(r)
+	}
+	if total != int64(60*3*8) {
+		t.Fatalf("LocalBytes sum %d", total)
+	}
+}
+
+func TestFetchBatchMatchesAssemble(t *testing.T) {
+	ds, store := partitionFixture(t, 80, 4, 5, 2)
+	var buf1, buf2 BatchBuffer
+	batch := []int{3, 4, 5, 6}
+	x1, y1 := ds.AssembleBatch(batch, &buf1)
+	x2, y2, local, remote := store.FetchBatch(0, batch, &buf2)
+	if !x1.Equal(x2) || !y1.Equal(y2) {
+		t.Fatal("FetchBatch must assemble identical tensors")
+	}
+	if local+remote <= 0 {
+		t.Fatal("traffic accounting missing")
+	}
+	// Contiguous batch [3..6] with h=5 covers rows [3, 16): all within
+	// rank 0's shard [0, 40).
+	if remote != 0 {
+		t.Fatalf("interior batch must be fully local, remote = %d", remote)
+	}
+	rowBytes := int64(4 * 8)
+	if local != 13*rowBytes {
+		t.Fatalf("local bytes %d want %d (13 rows)", local, 13*rowBytes)
+	}
+}
+
+func TestFetchBatchRemoteAccounting(t *testing.T) {
+	_, store := partitionFixture(t, 80, 4, 5, 2)
+	// Rank 1 fetching rank-0-resident rows: all remote.
+	var buf BatchBuffer
+	_, _, local, remote := store.FetchBatch(1, []int{0, 1}, &buf)
+	if local != 0 || remote == 0 {
+		t.Fatalf("cross-shard fetch accounting wrong: local %d remote %d", local, remote)
+	}
+}
+
+// The §5.4 design rationale, measured: contiguous batch-shuffled batches on
+// a worker's own partition are almost entirely local, while the same
+// batches shipped as materialized windows would move ~2*horizon times the
+// volume.
+func TestPartitionLocalityOfBatchShuffling(t *testing.T) {
+	ds, store := partitionFixture(t, 200, 4, 6, 2)
+	train := make([]int, ds.NumSnapshots())
+	for i := range train {
+		train[i] = i
+	}
+	var buf BatchBuffer
+	for rank := 0; rank < 2; rank++ {
+		sampler := NewBatchShuffler(train, 16, 2, rank, 9)
+		var local, remote, materialized int64
+		for _, batch := range sampler.EpochBatches(0) {
+			_, _, l, r := store.FetchBatch(rank, batch, &buf)
+			local += l
+			remote += r
+			materialized += store.MaterializedFetchBytes(batch)
+		}
+		if remote >= local/4 {
+			t.Fatalf("rank %d: batch-shuffled fetches should be mostly local (local %d, remote %d)", rank, local, remote)
+		}
+		if materialized < 5*(local+remote) {
+			t.Fatalf("rank %d: materialized volume %d should dwarf index volume %d", rank, materialized, local+remote)
+		}
+	}
+}
+
+// Property: FetchBatch traffic accounting is conserved — local+remote
+// equals rowBytes x covering-span size, and assembly always matches
+// AssembleBatch.
+func TestPropertyFetchConservation(t *testing.T) {
+	f := func(seed uint64, wRaw, bRaw uint8) bool {
+		workers := int(wRaw%4) + 1
+		data := tensor.Randn(tensor.NewRNG(seed), 100, 2, 1)
+		ds, err := NewIndexDataset(data, 4, 0.7, nil)
+		if err != nil {
+			return false
+		}
+		store, err := NewPartitionStore(ds, workers)
+		if err != nil {
+			return false
+		}
+		start := int(seed % uint64(ds.NumSnapshots()-3))
+		batch := []int{start, start + 1, start + 2}
+		var buf, buf2 BatchBuffer
+		x, y, local, remote := store.FetchBatch(int(bRaw)%workers, batch, &buf)
+		xr, yr := ds.AssembleBatch(batch, &buf2)
+		if !x.Equal(xr) || !y.Equal(yr) {
+			return false
+		}
+		// Covering span: rows [start, start+2+2*4) = 10 rows.
+		rowBytes := int64(2 * 8)
+		return local+remote == 10*rowBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

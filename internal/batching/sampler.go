@@ -1,0 +1,190 @@
+package batching
+
+import (
+	"fmt"
+
+	"pgti/internal/tensor"
+)
+
+// Split is the temporal 70/10/20 train/validation/test division of the
+// snapshot indices used throughout the paper.
+type Split struct {
+	Train, Val, Test []int
+}
+
+// MakeSplit divides [0, n) contiguously: the first trainFrac for training,
+// the next valFrac for validation, the remainder for test — the temporal
+// split of the reference DCRNN pipeline (shuffling across the split
+// boundary would leak future data).
+func MakeSplit(n int, trainFrac, valFrac float64) Split {
+	if trainFrac <= 0 {
+		trainFrac = DefaultTrainFrac
+	}
+	if valFrac <= 0 {
+		valFrac = DefaultValFrac
+	}
+	trainEnd := int(float64(n) * trainFrac)
+	valEnd := trainEnd + int(float64(n)*valFrac)
+	if trainEnd > n {
+		trainEnd = n
+	}
+	if valEnd > n {
+		valEnd = n
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return Split{Train: all[:trainEnd], Val: all[trainEnd:valEnd], Test: all[valEnd:]}
+}
+
+// Batches chunks indices into groups of batchSize (the final batch may be
+// short).
+func Batches(indices []int, batchSize int) [][]int {
+	if batchSize < 1 {
+		panic(fmt.Sprintf("batching: batch size %d", batchSize))
+	}
+	out := make([][]int, 0, (len(indices)+batchSize-1)/batchSize)
+	for lo := 0; lo < len(indices); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(indices) {
+			hi = len(indices)
+		}
+		out = append(out, indices[lo:hi])
+	}
+	return out
+}
+
+// PartitionRange returns worker `rank`'s contiguous shard [lo, hi) of n
+// items split across `workers` shards, balanced to within one item.
+func PartitionRange(n, workers, rank int) (lo, hi int) {
+	if workers < 1 || rank < 0 || rank >= workers {
+		panic(fmt.Sprintf("batching: invalid partition rank %d of %d", rank, workers))
+	}
+	base := n / workers
+	extra := n % workers
+	lo = rank*base + minInt(rank, extra)
+	hi = lo + base
+	if rank < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BatchSampler yields each worker's batch schedule for an epoch. All
+// implementations are deterministic functions of (seed, epoch, rank), so
+// workers coordinate without communication — the property
+// distributed-index-batching relies on for communication-free global
+// shuffling.
+type BatchSampler interface {
+	// EpochBatches returns this worker's ordered batches for the epoch.
+	EpochBatches(epoch int) [][]int
+	// Describe names the strategy for reports.
+	Describe() string
+}
+
+// GlobalShuffler implements the paper's global shuffling: every epoch, all
+// workers derive the same seeded permutation of the full training set, and
+// each takes its contiguous shard. Requires every worker to hold the full
+// dataset locally (distributed-index-batching's arrangement).
+type GlobalShuffler struct {
+	indices   []int
+	batchSize int
+	workers   int
+	rank      int
+	seed      uint64
+}
+
+// NewGlobalShuffler constructs the sampler for one worker.
+func NewGlobalShuffler(indices []int, batchSize, workers, rank int, seed uint64) *GlobalShuffler {
+	return &GlobalShuffler{indices: indices, batchSize: batchSize, workers: workers, rank: rank, seed: seed}
+}
+
+// EpochBatches implements BatchSampler.
+func (g *GlobalShuffler) EpochBatches(epoch int) [][]int {
+	perm := make([]int, len(g.indices))
+	copy(perm, g.indices)
+	rng := tensor.NewRNG(g.seed ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15)
+	rng.Shuffle(perm)
+	lo, hi := PartitionRange(len(perm), g.workers, g.rank)
+	return Batches(perm[lo:hi], g.batchSize)
+}
+
+// Describe implements BatchSampler.
+func (g *GlobalShuffler) Describe() string { return "global-shuffle" }
+
+// LocalShuffler implements local shuffling: each worker owns a fixed
+// contiguous partition of the data and shuffles only within it. The paper
+// cites this as the convergence-risky strategy (Meng et al., Nguyen et al.)
+// that global shuffling avoids.
+type LocalShuffler struct {
+	partition []int
+	batchSize int
+	rank      int
+	seed      uint64
+}
+
+// NewLocalShuffler constructs a local shuffler over worker `rank`'s fixed
+// shard of indices.
+func NewLocalShuffler(indices []int, batchSize, workers, rank int, seed uint64) *LocalShuffler {
+	lo, hi := PartitionRange(len(indices), workers, rank)
+	part := make([]int, hi-lo)
+	copy(part, indices[lo:hi])
+	return &LocalShuffler{partition: part, batchSize: batchSize, rank: rank, seed: seed}
+}
+
+// EpochBatches implements BatchSampler.
+func (l *LocalShuffler) EpochBatches(epoch int) [][]int {
+	perm := make([]int, len(l.partition))
+	copy(perm, l.partition)
+	rng := tensor.NewRNG(l.seed ^ uint64(l.rank)<<32 ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15)
+	rng.Shuffle(perm)
+	return Batches(perm, l.batchSize)
+}
+
+// Describe implements BatchSampler.
+func (l *LocalShuffler) Describe() string { return "local-shuffle" }
+
+// BatchShuffler implements the batch-level local shuffling of §5.4
+// (generalized-distributed-index-batching): each worker's partition is
+// pre-chunked into fixed batches; epochs shuffle only the *order* of the
+// batches, keeping their contents contiguous for memory locality and
+// one-fetch-per-batch communication.
+type BatchShuffler struct {
+	batches [][]int
+	rank    int
+	seed    uint64
+}
+
+// NewBatchShuffler constructs the sampler over worker `rank`'s fixed shard.
+func NewBatchShuffler(indices []int, batchSize, workers, rank int, seed uint64) *BatchShuffler {
+	lo, hi := PartitionRange(len(indices), workers, rank)
+	part := make([]int, hi-lo)
+	copy(part, indices[lo:hi])
+	return &BatchShuffler{batches: Batches(part, batchSize), rank: rank, seed: seed}
+}
+
+// EpochBatches implements BatchSampler.
+func (b *BatchShuffler) EpochBatches(epoch int) [][]int {
+	order := make([]int, len(b.batches))
+	for i := range order {
+		order[i] = i
+	}
+	rng := tensor.NewRNG(b.seed ^ uint64(b.rank)<<32 ^ (uint64(epoch)+1)*0x9e3779b97f4a7c15)
+	rng.Shuffle(order)
+	out := make([][]int, len(order))
+	for i, bi := range order {
+		out[i] = b.batches[bi]
+	}
+	return out
+}
+
+// Describe implements BatchSampler.
+func (b *BatchShuffler) Describe() string { return "batch-shuffle" }

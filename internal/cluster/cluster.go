@@ -1,0 +1,388 @@
+// Package cluster is the reproduction's stand-in for Dask.distributed on
+// Polaris: a set of worker goroutines with collective operations and a
+// virtual-time network model.
+//
+// Two layers coexist deliberately:
+//
+//   - Real data movement. AllReduce really exchanges gradient chunks between
+//     worker goroutines (ring algorithm over channels), so distributed
+//     training is numerically genuine — replicas stay bitwise identical.
+//   - Virtual time. Every compute or communication event also advances a
+//     per-worker virtual clock using the Polaris cost model (Slingshot
+//     bandwidth/latency, Dask dispatch overhead). Collectives synchronize
+//     clocks to the slowest participant, exactly as a real bulk-synchronous
+//     DDP step would. Paper-scale runtimes (128 GPUs, full PeMS) are read
+//     off these clocks.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NetworkModel captures the interconnect cost parameters.
+type NetworkModel struct {
+	// Bandwidth is effective point-to-point bytes/second.
+	Bandwidth float64
+	// Latency is the per-message wire latency.
+	Latency time.Duration
+	// DispatchOverhead is the per-request software overhead of the data
+	// service (Dask scheduler + serialization), dominating small requests.
+	DispatchOverhead time.Duration
+}
+
+// SlingshotModel returns the cost model for Polaris' HPE Slingshot-11
+// fabric fronted by a Dask data service: ~20 GB/s effective per-pair
+// bandwidth, 2 us wire latency, and ~1 ms software dispatch per request.
+func SlingshotModel() NetworkModel {
+	return NetworkModel{
+		Bandwidth:        20e9,
+		Latency:          2 * time.Microsecond,
+		DispatchOverhead: 1 * time.Millisecond,
+	}
+}
+
+// TransferTime returns the modeled cost of moving bytes in one message.
+func (n NetworkModel) TransferTime(bytes int64) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	sec := float64(bytes) / n.Bandwidth
+	return n.Latency + time.Duration(sec*float64(time.Second))
+}
+
+// FetchTime returns the modeled cost of an on-demand data fetch through the
+// data service (dispatch + transfer) — the per-batch path of baseline DDP.
+func (n NetworkModel) FetchTime(bytes int64) time.Duration {
+	return n.DispatchOverhead + n.TransferTime(bytes)
+}
+
+// RingAllReduceTime returns the modeled cost of a bandwidth-optimal ring
+// all-reduce of `bytes` across p workers: 2(p-1) phases, each moving a
+// 1/p-sized chunk between neighbours.
+func (n NetworkModel) RingAllReduceTime(bytes int64, p int) time.Duration {
+	if p <= 1 {
+		return 0
+	}
+	chunk := bytes / int64(p)
+	per := n.TransferTime(chunk)
+	return time.Duration(2*(p-1)) * per
+}
+
+// NaiveAllReduceTime returns the cost of the gather-at-root + broadcast
+// alternative (the ablation baseline): the root serializes 2(p-1) full-size
+// messages.
+func (n NetworkModel) NaiveAllReduceTime(bytes int64, p int) time.Duration {
+	if p <= 1 {
+		return 0
+	}
+	return time.Duration(2*(p-1)) * n.TransferTime(bytes)
+}
+
+// Config configures a simulated cluster.
+type Config struct {
+	Workers int
+	Net     NetworkModel
+}
+
+// Cluster coordinates a fixed set of workers.
+type Cluster struct {
+	cfg Config
+	// ringIn[r] carries chunks from worker r-1 to worker r.
+	ringIn  []chan []float64
+	barrier *timeBarrier
+
+	// Point-to-point fabric and AllGather scratch (see collectives.go).
+	p2pOnce     sync.Once
+	mailboxes   []chan message
+	gatherOnce  sync.Once
+	gatherMu    sync.Mutex
+	gatherSlots [][]float64
+}
+
+// New constructs a cluster with cfg.Workers workers.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("cluster: need >= 1 worker, got %d", cfg.Workers)
+	}
+	if cfg.Net.Bandwidth <= 0 {
+		cfg.Net = SlingshotModel()
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		ringIn:  make([]chan []float64, cfg.Workers),
+		barrier: newTimeBarrier(cfg.Workers),
+	}
+	for i := range c.ringIn {
+		c.ringIn[i] = make(chan []float64, 1)
+	}
+	return c, nil
+}
+
+// Size returns the worker count.
+func (c *Cluster) Size() int { return c.cfg.Workers }
+
+// Net returns the network model.
+func (c *Cluster) Net() NetworkModel { return c.cfg.Net }
+
+// Run executes fn concurrently on every worker and waits for completion,
+// returning the first error. Virtual clocks start at zero.
+func (c *Cluster) Run(fn func(w *Worker) error) error {
+	errs := make([]error, c.cfg.Workers)
+	var wg sync.WaitGroup
+	for r := 0; r < c.cfg.Workers; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			w := &Worker{cluster: c, rank: rank}
+			errs[rank] = fn(w)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Worker is one participant's handle, valid inside Cluster.Run.
+type Worker struct {
+	cluster *Cluster
+	rank    int
+	vt      time.Duration // virtual clock
+}
+
+// Rank returns this worker's 0-based rank.
+func (w *Worker) Rank() int { return w.rank }
+
+// Size returns the number of workers.
+func (w *Worker) Size() int { return w.cluster.cfg.Workers }
+
+// VirtualTime returns the worker's current virtual clock.
+func (w *Worker) VirtualTime() time.Duration { return w.vt }
+
+// AdvanceTime adds a locally-computed duration (e.g. modeled GPU compute)
+// to the worker's virtual clock.
+func (w *Worker) AdvanceTime(d time.Duration) {
+	if d > 0 {
+		w.vt += d
+	}
+}
+
+// FetchRemote models an on-demand data fetch of `bytes` through the data
+// service, advancing only this worker's clock (fetches are asynchronous to
+// other workers).
+func (w *Worker) FetchRemote(bytes int64) {
+	w.vt += w.cluster.cfg.Net.FetchTime(bytes)
+}
+
+// Barrier synchronizes all workers, advancing every clock to the maximum.
+func (w *Worker) Barrier() {
+	w.vt, _ = w.cluster.barrier.wait(w.vt, 0, 0, OpSum)
+}
+
+// synchronized runs a collective: clocks align to the slowest participant
+// plus the modeled collective cost.
+func (w *Worker) synchronized(cost time.Duration) {
+	w.vt, _ = w.cluster.barrier.wait(w.vt, cost, 0, OpSum)
+}
+
+// RingAllReduceMean averages vec element-wise across all workers, in place,
+// using a bandwidth-optimal ring (reduce-scatter then all-gather) with real
+// chunk exchange over channels. All workers must call it with equal-length
+// vectors. Virtual clocks advance by the modeled ring cost and synchronize.
+func (w *Worker) RingAllReduceMean(vec []float64) {
+	p := w.Size()
+	if p == 1 {
+		return
+	}
+	c := w.cluster
+	right := c.ringIn[(w.rank+1)%p] // we send into our right neighbour's inbox
+	left := c.ringIn[w.rank]        // we receive from our own inbox
+
+	// Chunk boundaries (chunk j = [bounds[j], bounds[j+1])).
+	bounds := make([]int, p+1)
+	for j := 0; j <= p; j++ {
+		bounds[j] = j * len(vec) / p
+	}
+	chunk := func(j int) []float64 { return vec[bounds[j]:bounds[j+1]] }
+
+	// Reduce-scatter: after p-1 steps, worker r owns the fully-reduced
+	// chunk (r+1) mod p.
+	for step := 0; step < p-1; step++ {
+		sendIdx := mod(w.rank-step, p)
+		recvIdx := mod(w.rank-step-1, p)
+		out := make([]float64, len(chunk(sendIdx)))
+		copy(out, chunk(sendIdx))
+		right <- out
+		in := <-left
+		dst := chunk(recvIdx)
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	// All-gather: circulate the reduced chunks.
+	for step := 0; step < p-1; step++ {
+		sendIdx := mod(w.rank-step+1, p)
+		recvIdx := mod(w.rank-step, p)
+		out := make([]float64, len(chunk(sendIdx)))
+		copy(out, chunk(sendIdx))
+		right <- out
+		in := <-left
+		copy(chunk(recvIdx), in)
+	}
+	inv := 1 / float64(p)
+	for i := range vec {
+		vec[i] *= inv
+	}
+	w.synchronized(c.cfg.Net.RingAllReduceTime(int64(len(vec))*8, p))
+}
+
+// NaiveAllReduceMean averages vec across workers via gather-at-root and
+// broadcast — the ablation baseline for the AllReduce bench. Uses the scalar
+// reduction rendezvous internally per element block for simplicity of
+// correctness; its virtual cost model is the serialized root pattern.
+func (w *Worker) NaiveAllReduceMean(vec []float64) {
+	p := w.Size()
+	if p == 1 {
+		return
+	}
+	// Reuse the ring transport for the actual data movement (numerically
+	// identical), but charge the naive algorithm's cost.
+	c := w.cluster
+	cost := c.cfg.Net.NaiveAllReduceTime(int64(len(vec))*8, p)
+	w.ringReduceNoClock(vec)
+	w.synchronized(cost)
+}
+
+// ringReduceNoClock performs the ring exchange without touching clocks.
+func (w *Worker) ringReduceNoClock(vec []float64) {
+	saved := w.vt
+	p := w.Size()
+	c := w.cluster
+	right := c.ringIn[(w.rank+1)%p]
+	left := c.ringIn[w.rank]
+	bounds := make([]int, p+1)
+	for j := 0; j <= p; j++ {
+		bounds[j] = j * len(vec) / p
+	}
+	chunk := func(j int) []float64 { return vec[bounds[j]:bounds[j+1]] }
+	for step := 0; step < p-1; step++ {
+		out := append([]float64(nil), chunk(mod(w.rank-step, p))...)
+		right <- out
+		in := <-left
+		dst := chunk(mod(w.rank-step-1, p))
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	for step := 0; step < p-1; step++ {
+		out := append([]float64(nil), chunk(mod(w.rank-step+1, p))...)
+		right <- out
+		copy(chunk(mod(w.rank-step, p)), <-left)
+	}
+	inv := 1 / float64(p)
+	for i := range vec {
+		vec[i] *= inv
+	}
+	w.vt = saved
+}
+
+// ReduceOp selects the scalar reduction.
+type ReduceOp int
+
+// Supported scalar reductions.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// AllReduceScalar reduces one value across workers (used for loss/metric
+// aggregation). The cost charged is one small ring all-reduce. The
+// reduction happens inside the barrier generation, so back-to-back calls
+// from fast workers cannot corrupt a slow worker's result.
+func (w *Worker) AllReduceScalar(v float64, op ReduceOp) float64 {
+	p := w.Size()
+	if p == 1 {
+		return v
+	}
+	var out float64
+	w.vt, out = w.cluster.barrier.wait(w.vt, w.cluster.cfg.Net.RingAllReduceTime(8, p), v, op)
+	return out
+}
+
+func mod(a, p int) int {
+	return ((a % p) + p) % p
+}
+
+// timeBarrier is a reusable all-worker rendezvous that computes the max
+// virtual clock and an optional scalar reduction per generation. Results
+// latch until every waiter of the generation has left: a waiter that has
+// not returned cannot re-arrive, and the next generation needs all workers,
+// so cross-generation overwrites are impossible.
+type timeBarrier struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	size      int
+	count     int
+	gen       int
+	maxVT     time.Duration
+	sum       float64
+	max, min  float64
+	hasVal    bool
+	result    time.Duration
+	resultVal float64
+}
+
+func newTimeBarrier(size int) *timeBarrier {
+	b := &timeBarrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all workers arrive, then returns (max(vt)+cost,
+// reduce(vals)). cost and op must be identical across one generation's
+// callers.
+func (b *timeBarrier) wait(vt, cost time.Duration, val float64, op ReduceOp) (time.Duration, float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if vt > b.maxVT {
+		b.maxVT = vt
+	}
+	b.sum += val
+	if !b.hasVal || val > b.max {
+		b.max = val
+	}
+	if !b.hasVal || val < b.min {
+		b.min = val
+	}
+	b.hasVal = true
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.result = b.maxVT + cost
+		switch op {
+		case OpMax:
+			b.resultVal = b.max
+		case OpMin:
+			b.resultVal = b.min
+		default:
+			b.resultVal = b.sum
+		}
+		b.count = 0
+		b.maxVT = 0
+		b.sum = 0
+		b.hasVal = false
+		b.gen++
+		b.cond.Broadcast()
+		return b.result, b.resultVal
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.result, b.resultVal
+}

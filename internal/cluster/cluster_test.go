@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"pgti/internal/tensor"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 0}); err == nil {
+		t.Fatal("expected error for zero workers")
+	}
+	c, err := New(Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 3 {
+		t.Fatalf("size %d", c.Size())
+	}
+	// Default network model applied.
+	if c.Net().Bandwidth <= 0 {
+		t.Fatal("default network model missing")
+	}
+}
+
+func TestRunExecutesAllWorkers(t *testing.T) {
+	c, _ := New(Config{Workers: 5})
+	var count int64
+	err := c.Run(func(w *Worker) error {
+		atomic.AddInt64(&count, 1)
+		if w.Size() != 5 {
+			t.Error("wrong size")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("ran %d workers", count)
+	}
+}
+
+func TestRingAllReduceMeanCorrectness(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 7} {
+		c, _ := New(Config{Workers: p})
+		results := make([][]float64, p)
+		n := 23 // deliberately not divisible by p
+		err := c.Run(func(w *Worker) error {
+			vec := make([]float64, n)
+			for i := range vec {
+				vec[i] = float64(w.Rank()*100 + i)
+			}
+			w.RingAllReduceMean(vec)
+			results[w.Rank()] = vec
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Expected mean across ranks: 100*(p-1)/2 + i.
+		base := 100 * float64(p-1) / 2
+		for r := 0; r < p; r++ {
+			for i := 0; i < n; i++ {
+				want := base + float64(i)
+				if math.Abs(results[r][i]-want) > 1e-9 {
+					t.Fatalf("p=%d rank %d elem %d: got %v want %v", p, r, i, results[r][i], want)
+				}
+			}
+		}
+		// All replicas bitwise identical (the DDP invariant).
+		for r := 1; r < p; r++ {
+			for i := range results[0] {
+				if results[r][i] != results[0][i] {
+					t.Fatalf("replicas diverge at rank %d elem %d", r, i)
+				}
+			}
+		}
+	}
+}
+
+func TestNaiveAllReduceMatchesRing(t *testing.T) {
+	p := 4
+	n := 40
+	rng := tensor.NewRNG(1)
+	inputs := make([][]float64, p)
+	for r := range inputs {
+		inputs[r] = make([]float64, n)
+		for i := range inputs[r] {
+			inputs[r][i] = rng.NormFloat64()
+		}
+	}
+	run := func(naive bool) [][]float64 {
+		c, _ := New(Config{Workers: p})
+		out := make([][]float64, p)
+		_ = c.Run(func(w *Worker) error {
+			vec := append([]float64(nil), inputs[w.Rank()]...)
+			if naive {
+				w.NaiveAllReduceMean(vec)
+			} else {
+				w.RingAllReduceMean(vec)
+			}
+			out[w.Rank()] = vec
+			return nil
+		})
+		return out
+	}
+	ring := run(false)
+	naive := run(true)
+	for r := 0; r < p; r++ {
+		for i := 0; i < n; i++ {
+			if math.Abs(ring[r][i]-naive[r][i]) > 1e-12 {
+				t.Fatalf("naive and ring disagree at rank %d elem %d", r, i)
+			}
+		}
+	}
+}
+
+func TestAllReduceScalar(t *testing.T) {
+	c, _ := New(Config{Workers: 4})
+	sums := make([]float64, 4)
+	maxs := make([]float64, 4)
+	err := c.Run(func(w *Worker) error {
+		sums[w.Rank()] = w.AllReduceScalar(float64(w.Rank()+1), OpSum)
+		maxs[w.Rank()] = w.AllReduceScalar(float64(w.Rank()+1), OpMax)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if sums[r] != 10 {
+			t.Fatalf("sum at rank %d = %v want 10", r, sums[r])
+		}
+		if maxs[r] != 4 {
+			t.Fatalf("max at rank %d = %v want 4", r, maxs[r])
+		}
+	}
+}
+
+func TestAllReduceScalarBackToBackNoCorruption(t *testing.T) {
+	// Regression test for the cross-generation race: many consecutive
+	// reductions must each return the correct value on every worker.
+	c, _ := New(Config{Workers: 3})
+	err := c.Run(func(w *Worker) error {
+		for k := 0; k < 200; k++ {
+			got := w.AllReduceScalar(float64(k), OpSum)
+			if got != float64(3*k) {
+				t.Errorf("iteration %d: got %v want %v", k, got, 3*k)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualClockSynchronization(t *testing.T) {
+	c, _ := New(Config{Workers: 3})
+	clocks := make([]time.Duration, 3)
+	err := c.Run(func(w *Worker) error {
+		// Worker r does r seconds of "compute".
+		w.AdvanceTime(time.Duration(w.Rank()) * time.Second)
+		w.Barrier()
+		clocks[w.Rank()] = w.VirtualTime()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, vt := range clocks {
+		if vt != 2*time.Second {
+			t.Fatalf("rank %d clock %v want 2s (slowest worker)", r, vt)
+		}
+	}
+}
+
+func TestRingAllReduceAdvancesClocksEqually(t *testing.T) {
+	c, _ := New(Config{Workers: 4})
+	clocks := make([]time.Duration, 4)
+	err := c.Run(func(w *Worker) error {
+		vec := make([]float64, 1000)
+		w.RingAllReduceMean(vec)
+		clocks[w.Rank()] = w.VirtualTime()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Net().RingAllReduceTime(8000, 4)
+	for r, vt := range clocks {
+		if vt != want {
+			t.Fatalf("rank %d clock %v want %v", r, vt, want)
+		}
+	}
+}
+
+func TestFetchRemoteAdvancesOnlyLocalClock(t *testing.T) {
+	c, _ := New(Config{Workers: 2})
+	clocks := make([]time.Duration, 2)
+	err := c.Run(func(w *Worker) error {
+		if w.Rank() == 0 {
+			w.FetchRemote(1 << 20)
+		}
+		clocks[w.Rank()] = w.VirtualTime()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clocks[0] <= 0 {
+		t.Fatal("fetch must cost time")
+	}
+	if clocks[1] != 0 {
+		t.Fatal("other workers must be unaffected")
+	}
+}
+
+func TestNetworkCostModel(t *testing.T) {
+	n := SlingshotModel()
+	// 20 GB at 20 GB/s = 1 s.
+	d := n.TransferTime(20_000_000_000)
+	if d < time.Second || d > time.Second+time.Millisecond {
+		t.Fatalf("transfer time %v", d)
+	}
+	// Fetch adds dispatch overhead.
+	if n.FetchTime(0) < n.DispatchOverhead {
+		t.Fatal("fetch must include dispatch overhead")
+	}
+	// Ring cost is bandwidth-optimal: ~2x payload regardless of p.
+	small := n.RingAllReduceTime(1<<30, 4)
+	large := n.RingAllReduceTime(1<<30, 64)
+	if large > 2*small {
+		t.Fatalf("ring cost must be nearly p-independent: p=4 %v vs p=64 %v", small, large)
+	}
+	// Naive cost degrades linearly with p.
+	if n.NaiveAllReduceTime(1<<30, 64) < 10*n.NaiveAllReduceTime(1<<30, 4) {
+		t.Fatal("naive cost must scale with p")
+	}
+	if n.RingAllReduceTime(1<<20, 1) != 0 || n.NaiveAllReduceTime(1<<20, 1) != 0 {
+		t.Fatal("single worker collectives are free")
+	}
+}
+
+// Property: ring all-reduce of random vectors equals the arithmetic mean
+// for any worker count and vector length.
+func TestPropertyRingAllReduce(t *testing.T) {
+	f := func(seed uint64, pRaw, nRaw uint8) bool {
+		p := int(pRaw%6) + 1
+		n := int(nRaw%50) + 1
+		rng := tensor.NewRNG(seed)
+		inputs := make([][]float64, p)
+		want := make([]float64, n)
+		for r := 0; r < p; r++ {
+			inputs[r] = make([]float64, n)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.NormFloat64()
+				want[i] += inputs[r][i] / float64(p)
+			}
+		}
+		c, _ := New(Config{Workers: p})
+		ok := int64(1)
+		_ = c.Run(func(w *Worker) error {
+			vec := append([]float64(nil), inputs[w.Rank()]...)
+			w.RingAllReduceMean(vec)
+			for i := range vec {
+				if math.Abs(vec[i]-want[i]) > 1e-9 {
+					atomic.StoreInt64(&ok, 0)
+				}
+			}
+			return nil
+		})
+		return ok == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSendRecv(t *testing.T) {
+	c, _ := New(Config{Workers: 2})
+	var got []float64
+	err := c.Run(func(w *Worker) error {
+		if w.Rank() == 0 {
+			w.Send(1, 7, []float64{1, 2, 3})
+			if w.VirtualTime() <= 0 {
+				t.Error("Send must cost virtual time")
+			}
+		} else {
+			payload, from := w.Recv(0, 7)
+			if from != 0 {
+				t.Errorf("from = %d", from)
+			}
+			got = payload
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("payload %v", got)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	c, _ := New(Config{Workers: 2})
+	err := c.Run(func(w *Worker) error {
+		if w.Rank() == 0 {
+			buf := []float64{1}
+			w.Send(1, 1, buf)
+			buf[0] = 99 // mutation after send must not be visible
+		} else {
+			payload, _ := w.Recv(0, 1)
+			if payload[0] != 1 {
+				t.Errorf("payload aliased sender buffer: %v", payload)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvFiltersByTagAndSender(t *testing.T) {
+	c, _ := New(Config{Workers: 3})
+	err := c.Run(func(w *Worker) error {
+		switch w.Rank() {
+		case 0:
+			w.Send(2, 5, []float64{50})
+		case 1:
+			w.Send(2, 6, []float64{60})
+		case 2:
+			// Ask for tag 6 first even though tag 5 may arrive first.
+			p6, from6 := w.Recv(-1, 6)
+			if p6[0] != 60 || from6 != 1 {
+				t.Errorf("tag-6 recv wrong: %v from %d", p6, from6)
+			}
+			p5, from5 := w.Recv(0, 5)
+			if p5[0] != 50 || from5 != 0 {
+				t.Errorf("tag-5 recv wrong: %v from %d", p5, from5)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendPanicsOnBadArgs(t *testing.T) {
+	c, _ := New(Config{Workers: 1})
+	_ = c.Run(func(w *Worker) error {
+		for _, f := range []func(){
+			func() { w.Send(5, 0, nil) },
+			func() { w.Send(0, -1, nil) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("expected panic")
+					}
+				}()
+				f()
+			}()
+		}
+		return nil
+	})
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, p := range []int{2, 3, 5} {
+		c, _ := New(Config{Workers: p})
+		results := make([][]float64, p)
+		err := c.Run(func(w *Worker) error {
+			vec := make([]float64, 4)
+			if w.Rank() == 1 { // non-zero root
+				for i := range vec {
+					vec[i] = float64(10 + i)
+				}
+			}
+			w.Broadcast(vec, 1)
+			results[w.Rank()] = vec
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < p; r++ {
+			for i := 0; i < 4; i++ {
+				if results[r][i] != float64(10+i) {
+					t.Fatalf("p=%d rank %d elem %d = %v", p, r, i, results[r][i])
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastRepeated(t *testing.T) {
+	c, _ := New(Config{Workers: 3})
+	err := c.Run(func(w *Worker) error {
+		for round := 0; round < 20; round++ {
+			vec := []float64{0}
+			if w.Rank() == 0 {
+				vec[0] = float64(round)
+			}
+			w.Broadcast(vec, 0)
+			if vec[0] != float64(round) {
+				t.Errorf("round %d: got %v", round, vec[0])
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	c, _ := New(Config{Workers: 4})
+	var bad int64
+	err := c.Run(func(w *Worker) error {
+		vec := []float64{float64(w.Rank()), float64(w.Rank() * 10)}
+		out := w.AllGather(vec)
+		if len(out) != 8 {
+			atomic.AddInt64(&bad, 1)
+			return nil
+		}
+		for r := 0; r < 4; r++ {
+			if out[2*r] != float64(r) || out[2*r+1] != float64(r*10) {
+				atomic.AddInt64(&bad, 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("%d workers saw bad AllGather results", bad)
+	}
+}
+
+func TestAllGatherRepeatedNoCorruption(t *testing.T) {
+	// Regression: fast workers must not overwrite slots before slow readers
+	// of the previous generation finish.
+	c, _ := New(Config{Workers: 3})
+	var bad int64
+	err := c.Run(func(w *Worker) error {
+		for round := 0; round < 50; round++ {
+			out := w.AllGather([]float64{float64(round*100 + w.Rank())})
+			for r := 0; r < 3; r++ {
+				if out[r] != float64(round*100+r) {
+					atomic.AddInt64(&bad, 1)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatal("AllGather corrupted across generations")
+	}
+}
+
+func TestAllGatherSingleWorker(t *testing.T) {
+	c, _ := New(Config{Workers: 1})
+	err := c.Run(func(w *Worker) error {
+		out := w.AllGather([]float64{3, 4})
+		if len(out) != 2 || out[1] != 4 {
+			t.Errorf("single-worker AllGather %v", out)
+		}
+		w.Broadcast([]float64{1}, 0) // no-op path
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 128: 7}
+	for in, want := range cases {
+		if got := log2Ceil(in); got != want {
+			t.Fatalf("log2Ceil(%d) = %d want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package core composes the substrates into the six end-to-end strategies
+// the paper evaluates:
+//
+//	Baseline      — Algorithm-1 standard batching, single GPU
+//	Index         — index-batching, single GPU (§4.1)
+//	GPUIndex      — GPU-resident index-batching, single GPU (§4.1)
+//	BaselineDDP   — standard DDP with on-demand Dask data fetches (§5)
+//	DistIndex     — distributed-index-batching, global shuffling (§4.2)
+//	GenDistIndex  — generalized-distributed-index-batching, partitioned
+//	                data + batch-level shuffling (§5.4)
+//
+// Run executes a strategy for real (measured mode) at a dataset scale that
+// fits the host, with byte-exact memory accounting and optional capacity
+// limits that reproduce the paper's OOM behavior. Paper-scale estimates are
+// produced by internal/perfmodel and composed by internal/experiments.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pgti/internal/batching"
+	"pgti/internal/dataset"
+	"pgti/internal/ddp"
+	"pgti/internal/memsim"
+	"pgti/internal/metrics"
+	"pgti/internal/nn"
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+)
+
+// Strategy selects the end-to-end pipeline.
+type Strategy int
+
+// The six strategies of the paper.
+const (
+	Baseline Strategy = iota
+	Index
+	GPUIndex
+	BaselineDDP
+	DistIndex
+	GenDistIndex
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case Index:
+		return "index"
+	case GPUIndex:
+		return "gpu-index"
+	case BaselineDDP:
+		return "baseline-ddp"
+	case DistIndex:
+		return "dist-index"
+	case GenDistIndex:
+		return "gen-dist-index"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// IsDistributed reports whether the strategy runs on multiple workers.
+func (s Strategy) IsDistributed() bool {
+	return s == BaselineDDP || s == DistIndex || s == GenDistIndex
+}
+
+// ModelKind selects the forecasting model.
+type ModelKind int
+
+// The model families of the paper's evaluation.
+const (
+	ModelPGTDCRNN ModelKind = iota
+	ModelDCRNN
+	ModelA3TGCN
+	ModelSTLLM
+)
+
+// String implements fmt.Stringer.
+func (m ModelKind) String() string {
+	switch m {
+	case ModelDCRNN:
+		return "dcrnn"
+	case ModelA3TGCN:
+		return "a3tgcn"
+	case ModelSTLLM:
+		return "st-llm"
+	default:
+		return "pgt-dcrnn"
+	}
+}
+
+// Config parameterizes a measured run.
+type Config struct {
+	Meta     dataset.Meta
+	Scale    float64 // dataset scale factor in (0, 1]; 0/1 = full size
+	Model    ModelKind
+	Strategy Strategy
+
+	Workers   int // distributed strategies only
+	BatchSize int
+	Epochs    int
+	LR        float64
+	// UseLRScaling applies the linear LR scaling rule for large global
+	// batches.
+	UseLRScaling bool
+	ClipNorm     float64
+	Hidden       int
+	K            int
+	Seed         uint64
+
+	// SystemMemory and GPUMemory cap the trackers (0 = unlimited); a run
+	// that exceeds SystemMemory reports OOM instead of failing.
+	SystemMemory int64
+	GPUMemory    int64
+
+	// Sampler overrides the shuffling strategy for distributed runs
+	// (defaults: global for DistIndex/BaselineDDP, batch for GenDistIndex).
+	Sampler ddp.SamplerKind
+	// samplerSet tracks whether Sampler was set explicitly.
+	SamplerSet bool
+
+	// MissingFrac injects sensor dropouts: each (entry, node) observation
+	// is zeroed with this probability before preprocessing, and training
+	// switches to the masked-MAE loss so missing readings contribute no
+	// gradient (the METR-LA/PeMS missing-data convention).
+	MissingFrac float64
+
+	// LoadCheckpoint initializes the model from a checkpoint file before
+	// training; SaveCheckpoint writes the trained parameters afterwards.
+	// Single-GPU strategies only.
+	LoadCheckpoint string
+	SaveCheckpoint string
+
+	// EmitForecasts, when > 0, runs inference on the first N test snapshots
+	// after training and attaches the predictions (in original signal
+	// units) to the report. Single-GPU strategies only.
+	EmitForecasts int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 32
+	}
+	if c.Epochs < 1 {
+		c.Epochs = 1
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	if c.Hidden < 1 {
+		c.Hidden = 32
+	}
+	if c.K < 1 {
+		c.K = 2
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+	if !c.SamplerSet && c.Strategy == GenDistIndex {
+		c.Sampler = ddp.BatchShuffle
+	}
+}
+
+// Report is the outcome of a measured run.
+type Report struct {
+	Strategy    Strategy
+	Model       ModelKind
+	DatasetName string
+	Workers     int
+	GlobalBatch int
+
+	Curve metrics.Curve
+
+	WallTime    time.Duration
+	VirtualTime time.Duration
+	CommTime    time.Duration
+
+	PeakSystemBytes int64
+	PeakGPUBytes    int64
+	SystemSeries    []memsim.Sample
+
+	// RetainedDataBytes is the post-preprocessing footprint of the data
+	// structures (eq. 1 for standard, eq. 2 for index).
+	RetainedDataBytes int64
+
+	OOM      bool
+	OOMError string
+
+	// TestMSE is the post-training test-split MSE in standardized units
+	// (single-GPU strategies only; 0 when not evaluated). Table 6 reports
+	// this metric for A3T-GCN.
+	TestMSE float64
+
+	// Forecasts holds post-training predictions for test snapshots when
+	// Config.EmitForecasts > 0.
+	Forecasts []Forecast
+
+	Steps         int
+	GradSyncBytes int64
+}
+
+// Forecast is one test-window prediction in original signal units, laid
+// out row-major as [step][node].
+type Forecast struct {
+	SnapshotIndex  int
+	Horizon, Nodes int
+	Pred           []float64
+	Actual         []float64
+}
+
+// MAE returns the forecast's mean absolute error.
+func (f Forecast) MAE() float64 {
+	var sum float64
+	for i := range f.Pred {
+		d := f.Pred[i] - f.Actual[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	if len(f.Pred) == 0 {
+		return 0
+	}
+	return sum / float64(len(f.Pred))
+}
+
+// buildModel constructs the configured model over the dataset's graph.
+func buildModel(kind ModelKind, seed uint64, supports []*sparse.CSR, in, hidden, k, horizon, nodes int) nn.SeqModel {
+	rng := tensor.NewRNG(seed)
+	switch kind {
+	case ModelDCRNN:
+		return nn.NewDCRNN(rng, supports, nn.DCRNNConfig{In: in, Hidden: hidden, Layers: 2, K: k, Horizon: horizon})
+	case ModelA3TGCN:
+		return nn.NewA3TGCN(rng, supports[0], in, hidden, horizon)
+	case ModelSTLLM:
+		return nn.NewSTLLMLite(rng, nodes, horizon, in, hidden, horizon)
+	default:
+		return nn.NewPGTDCRNN(rng, supports, k, in, hidden, horizon)
+	}
+}
+
+// Run executes the configured strategy in measured mode. Out-of-memory is a
+// result (Report.OOM), not an error — the experiments observe it, exactly
+// as the paper's Figs. 2 and 6 plot crashed runs.
+func Run(cfg Config) (*Report, error) {
+	cfg.fillDefaults()
+	meta := cfg.Meta
+	if cfg.Scale < 1 {
+		meta = meta.Scaled(cfg.Scale)
+	}
+	ds, err := dataset.Generate(meta, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MissingFrac > 0 {
+		dataset.InjectMissing(ds.Data, cfg.MissingFrac, cfg.Seed^0xd20b)
+	}
+	sys := memsim.NewTracker("system", cfg.SystemMemory)
+	gpu := memsim.NewTracker("gpu", cfg.GPUMemory)
+
+	report := &Report{
+		Strategy:    cfg.Strategy,
+		Model:       cfg.Model,
+		DatasetName: meta.Name,
+		Workers:     cfg.Workers,
+		GlobalBatch: cfg.BatchSize * cfg.Workers,
+	}
+
+	// Stage 0/1: raw signal, then time-of-day augmentation (Fig. 3 stage 1).
+	if err := sys.Alloc("raw", ds.Data.NumBytes()); err != nil {
+		return oomReport(report, sys, gpu, err)
+	}
+	sys.Record(0.01)
+	aug := ds.Augmented()
+	if meta.TimeOfDay {
+		if err := sys.Alloc("data", aug.NumBytes()); err != nil {
+			return oomReport(report, sys, gpu, err)
+		}
+		sys.Free("raw", ds.Data.NumBytes())
+	} else {
+		// No augmentation: relabel the raw allocation as the data copy.
+		sys.Free("raw", ds.Data.NumBytes())
+		if err := sys.Alloc("data", aug.NumBytes()); err != nil {
+			return oomReport(report, sys, gpu, err)
+		}
+		aug = aug.Clone() // decouple from the generator's buffer
+	}
+	sys.Record(0.03)
+
+	fwd, bwd := ds.Graph.TransitionMatrices()
+	supports := []*sparse.CSR{fwd, bwd}
+	in := meta.Features()
+
+	factory := func(seed uint64) nn.SeqModel {
+		return buildModel(cfg.Model, seed, supports, in, cfg.Hidden, cfg.K, meta.Horizon, meta.Nodes)
+	}
+
+	start := time.Now()
+	switch cfg.Strategy {
+	case Baseline:
+		err = runBaselineSingleGPU(cfg, meta, aug, factory, sys, gpu, report)
+	case Index, GPUIndex:
+		err = runIndexSingleGPU(cfg, meta, aug, factory, sys, gpu, report)
+	case BaselineDDP, DistIndex, GenDistIndex:
+		err = runDistributed(cfg, meta, aug, factory, sys, gpu, report)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+	}
+	report.WallTime = time.Since(start)
+	report.PeakSystemBytes = sys.Peak()
+	report.PeakGPUBytes = gpu.Peak()
+	report.SystemSeries = sys.Series()
+	if err != nil {
+		var oom *memsim.OOMError
+		if errors.As(err, &oom) {
+			report.OOM = true
+			report.OOMError = err.Error()
+			return report, nil
+		}
+		return nil, err
+	}
+	return report, nil
+}
+
+func oomReport(r *Report, sys, gpu *memsim.Tracker, err error) (*Report, error) {
+	var oom *memsim.OOMError
+	if errors.As(err, &oom) {
+		r.OOM = true
+		r.OOMError = err.Error()
+		r.PeakSystemBytes = sys.Peak()
+		r.PeakGPUBytes = gpu.Peak()
+		r.SystemSeries = sys.Series()
+		return r, nil
+	}
+	return nil, err
+}
+
+// runDistributed drives the three DDP strategies through internal/ddp.
+func runDistributed(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory ddp.ModelFactory, sys, gpu *memsim.Tracker, report *Report) error {
+	idx, err := batching.NewIndexDataset(aug, meta.Horizon, batching.DefaultTrainFrac, sys)
+	if err != nil {
+		return err
+	}
+	report.RetainedDataBytes = idx.RetainedBytes()
+	sys.Record(0.08)
+
+	// Per-worker replica + staging accounting. In-process all workers share
+	// one address space; the tracker reflects what a real deployment holds
+	// per strategy: DistIndex replicates the dataset per worker, the
+	// partitioned strategies hold one share each.
+	model := factory(cfg.Seed)
+	paramBytes := nn.ParameterBytes(model)
+	batchBytes := 2 * int64(cfg.BatchSize) * int64(meta.Horizon) * int64(meta.Nodes) * int64(meta.Features()) * 8
+	perWorkerData := int64(0)
+	if cfg.Strategy == DistIndex {
+		perWorkerData = idx.RetainedBytes() // full local copy per worker
+	} else {
+		perWorkerData = idx.RetainedBytes() / int64(cfg.Workers)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		if err := sys.Alloc("worker.replica", paramBytes+batchBytes); err != nil {
+			return err
+		}
+		if w > 0 { // worker 0's share is the tracked "data" allocation
+			if err := sys.Alloc("worker.data", perWorkerData); err != nil {
+				return err
+			}
+		}
+		if err := gpu.Alloc("worker.gpu", paramBytes+batchBytes); err != nil {
+			return err
+		}
+	}
+	sys.Record(0.10)
+
+	ddpCfg := ddp.Config{
+		Workers:      cfg.Workers,
+		BatchSize:    cfg.BatchSize,
+		Epochs:       cfg.Epochs,
+		LR:           cfg.LR,
+		UseLRScaling: cfg.UseLRScaling,
+		ClipNorm:     cfg.ClipNorm,
+		Sampler:      cfg.Sampler,
+		Seed:         cfg.Seed,
+		RemoteFetch:  cfg.Strategy == BaselineDDP,
+	}
+	if cfg.Strategy == GenDistIndex && cfg.Workers > 1 {
+		// The larger-than-memory layout: rows partitioned across workers;
+		// only boundary rows travel.
+		store, err := batching.NewPartitionStore(idx, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		ddpCfg.Store = store
+	}
+	res, err := ddp.Train(idx, batching.MakeSplit(idx.NumSnapshots(), batching.DefaultTrainFrac, batching.DefaultValFrac), factory, ddpCfg)
+	if err != nil {
+		return err
+	}
+	sys.Record(1.0)
+	report.Curve = res.Curve
+	report.VirtualTime = res.VirtualTime
+	report.CommTime = res.CommTime
+	report.Steps = res.Steps
+	report.GradSyncBytes = res.GradSyncBytes
+	return nil
+}

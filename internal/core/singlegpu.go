@@ -1,0 +1,239 @@
+package core
+
+import (
+	"time"
+
+	"pgti/internal/autograd"
+	"pgti/internal/batching"
+	"pgti/internal/dataset"
+	"pgti/internal/ddp"
+	"pgti/internal/device"
+	"pgti/internal/memsim"
+	"pgti/internal/metrics"
+	"pgti/internal/nn"
+	"pgti/internal/tensor"
+)
+
+// batchSource abstracts the two data pipelines for the single-GPU trainer.
+type batchSource interface {
+	NumSnapshots() int
+	Assemble(indices []int) (x, y *tensor.Tensor)
+	Std() float64
+	Mean() float64
+}
+
+// standardSource adapts a materialized StandardResult.
+type standardSource struct{ res *batching.StandardResult }
+
+func (s standardSource) NumSnapshots() int { return s.res.NumSnapshots() }
+func (s standardSource) Std() float64      { return s.res.Std }
+func (s standardSource) Mean() float64     { return s.res.Mean }
+func (s standardSource) Assemble(indices []int) (x, y *tensor.Tensor) {
+	return s.res.Batch(indices)
+}
+
+// indexSource adapts an IndexDataset with a reusable buffer.
+type indexSource struct {
+	ds  *batching.IndexDataset
+	buf batching.BatchBuffer
+}
+
+func (s *indexSource) NumSnapshots() int { return s.ds.NumSnapshots() }
+func (s *indexSource) Std() float64      { return s.ds.Std }
+func (s *indexSource) Mean() float64     { return s.ds.Mean }
+func (s *indexSource) Assemble(indices []int) (x, y *tensor.Tensor) {
+	return s.ds.AssembleBatch(indices, &s.buf)
+}
+
+// maskValueFor returns the standardized encoding of a raw zero — the
+// missing-data sentinel after z-scoring: (0 - mean) / std. Both pipelines
+// standardize with the identical expression, so the comparison is exact.
+func maskValueFor(src batchSource) float64 {
+	return (0 - src.Mean()) / src.Std()
+}
+
+// runBaselineSingleGPU runs Algorithm-1 preprocessing + single-GPU training.
+func runBaselineSingleGPU(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory ddp.ModelFactory, sys, gpu *memsim.Tracker, report *Report) error {
+	res, err := batching.StandardPreprocess(aug, meta.Horizon, batching.DefaultTrainFrac, sys)
+	if err != nil {
+		return err
+	}
+	// The augmented source array is released once the materialized x/y
+	// arrays exist (the reference keeps only the preprocessed data).
+	sys.FreeAll("data")
+	report.RetainedDataBytes = res.StandardRetainedBytes()
+	sys.Record(0.10)
+	return trainSingleGPU(cfg, meta, standardSource{res}, factory, sys, gpu, report, false)
+}
+
+// runIndexSingleGPU runs index-batching (CPU or GPU-resident).
+func runIndexSingleGPU(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory ddp.ModelFactory, sys, gpu *memsim.Tracker, report *Report) error {
+	idx, err := batching.NewIndexDataset(aug, meta.Horizon, batching.DefaultTrainFrac, sys)
+	if err != nil {
+		return err
+	}
+	report.RetainedDataBytes = idx.RetainedBytes()
+	sys.Record(0.10)
+	gpuResident := cfg.Strategy == GPUIndex
+	if gpuResident {
+		// One consolidated staging copy: the dataset moves to the device
+		// and the host copy is released (§4.1, GPU-index-batching).
+		if err := gpu.Alloc("data", idx.Data.NumBytes()); err != nil {
+			return err
+		}
+		report.VirtualTime += device.NewGPU("stage", 0).TransferTime(idx.Data.NumBytes())
+		sys.FreeAll("data")
+		sys.Record(0.12)
+	}
+	return trainSingleGPU(cfg, meta, &indexSource{ds: idx}, factory, sys, gpu, report, gpuResident)
+}
+
+// trainSingleGPU is the shared single-GPU epoch loop with byte-exact GPU
+// accounting and a transfer-cost virtual clock.
+func trainSingleGPU(cfg Config, meta dataset.Meta, src batchSource, factory ddp.ModelFactory, sys, gpu *memsim.Tracker, report *Report, gpuResident bool) error {
+	model := factory(cfg.Seed)
+	if cfg.LoadCheckpoint != "" {
+		if err := nn.LoadCheckpointFile(cfg.LoadCheckpoint, model); err != nil {
+			return err
+		}
+	}
+	if err := gpu.Alloc("model.params", nn.ParameterBytes(model)); err != nil {
+		return err
+	}
+	opt := nn.NewAdam(model, cfg.LR)
+	split := batching.MakeSplit(src.NumSnapshots(), batching.DefaultTrainFrac, batching.DefaultValFrac)
+	sampler := batching.NewGlobalShuffler(split.Train, cfg.BatchSize, 1, 0, cfg.Seed)
+	xfer := device.NewGPU("train", 0)
+
+	batchBytes := 2 * int64(cfg.BatchSize) * int64(meta.Horizon) * int64(meta.Nodes) * int64(meta.Features()) * 8
+	if gpuResident {
+		// The batch staging buffer lives on the device permanently.
+		if err := gpu.Alloc("batch.buffer", batchBytes); err != nil {
+			return err
+		}
+	}
+
+	totalBatches := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		batches := sampler.EpochBatches(epoch)
+		var trainAcc metrics.Running
+		for bi, idx := range batches {
+			x, y := src.Assemble(idx)
+			if !gpuResident {
+				// Per-batch pageable H2D transfer: the cost GPU-index
+				// eliminates.
+				thisBatch := 2 * x.NumBytes()
+				if err := gpu.Alloc("batch.transient", thisBatch); err != nil {
+					return err
+				}
+				report.VirtualTime += xfer.TransferTime(thisBatch)
+			}
+			target := y.Slice(3, 0, 1).Contiguous()
+			start := time.Now()
+			var loss *autograd.Variable
+			if cfg.MissingFrac > 0 {
+				loss = autograd.MaskedMAELoss(model.Forward(autograd.Constant(x)), target, maskValueFor(src))
+			} else {
+				loss = autograd.MAELoss(model.Forward(autograd.Constant(x)), target)
+			}
+			if err := autograd.Backward(loss); err != nil {
+				return err
+			}
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(model, cfg.ClipNorm)
+			}
+			opt.Step()
+			report.VirtualTime += time.Since(start)
+			trainAcc.Add(loss.Value.Item()*src.Std(), len(idx))
+			if !gpuResident {
+				gpu.Free("batch.transient", 2*x.NumBytes())
+			}
+			totalBatches++
+			if bi%8 == 0 {
+				progress := 0.15 + 0.85*float64(epoch*len(batches)+bi)/float64(cfg.Epochs*len(batches))
+				sys.Record(progress)
+			}
+		}
+		valMAE := evaluateSingle(model, src, split.Val, cfg.BatchSize, cfg.MissingFrac > 0)
+		report.Curve = append(report.Curve, metrics.EpochRecord{
+			Epoch:    epoch,
+			TrainMAE: trainAcc.Mean(),
+			ValMAE:   valMAE,
+		})
+	}
+	sys.Record(1.0)
+	report.Steps = totalBatches
+	report.TestMSE = evaluateTestMSE(model, src, split.Test, cfg.BatchSize)
+	if cfg.EmitForecasts > 0 {
+		report.Forecasts = emitForecasts(model, src, split.Test, cfg.EmitForecasts, meta.Nodes)
+	}
+	if cfg.SaveCheckpoint != "" {
+		if err := nn.SaveCheckpointFile(cfg.SaveCheckpoint, model); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitForecasts runs inference on the first n test snapshots, un-z-scoring
+// predictions and ground truth back to original units.
+func emitForecasts(model nn.SeqModel, src batchSource, test []int, n, nodes int) []Forecast {
+	if n > len(test) {
+		n = len(test)
+	}
+	out := make([]Forecast, 0, n)
+	for _, si := range test[:n] {
+		x, y := src.Assemble([]int{si})
+		pred := model.Forward(autograd.Constant(x))
+		target := y.Slice(3, 0, 1).Contiguous()
+		horizon := pred.Value.Dim(1)
+		unz := func(v float64) float64 { return v*src.Std() + src.Mean() }
+		f := Forecast{
+			SnapshotIndex: si,
+			Horizon:       horizon,
+			Nodes:         nodes,
+			Pred:          make([]float64, 0, horizon*nodes),
+			Actual:        make([]float64, 0, horizon*nodes),
+		}
+		for t := 0; t < horizon; t++ {
+			for nd := 0; nd < nodes; nd++ {
+				f.Pred = append(f.Pred, unz(pred.Value.At(0, t, nd, 0)))
+				f.Actual = append(f.Actual, unz(target.At(0, t, nd, 0)))
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// evaluateTestMSE computes the test-split MSE in standardized units
+// (the convention of the A3T-GCN example the paper reuses for Table 6).
+func evaluateTestMSE(model nn.SeqModel, src batchSource, test []int, batchSize int) float64 {
+	var acc metrics.Running
+	for _, batch := range batching.Batches(test, batchSize) {
+		x, y := src.Assemble(batch)
+		target := y.Slice(3, 0, 1).Contiguous()
+		pred := model.Forward(autograd.Constant(x))
+		acc.Add(metrics.MSE(pred.Value, target), len(batch))
+	}
+	return acc.Mean()
+}
+
+// evaluateSingle computes validation MAE in original units (masked when
+// the run injects missing data).
+func evaluateSingle(model nn.SeqModel, src batchSource, val []int, batchSize int, masked bool) float64 {
+	var acc metrics.Running
+	for _, batch := range batching.Batches(val, batchSize) {
+		x, y := src.Assemble(batch)
+		target := y.Slice(3, 0, 1).Contiguous()
+		pred := model.Forward(autograd.Constant(x))
+		var mae float64
+		if masked {
+			mae = metrics.MaskedMAE(pred.Value, target, maskValueFor(src))
+		} else {
+			mae = metrics.MAE(pred.Value, target)
+		}
+		acc.Add(mae*src.Std(), len(batch))
+	}
+	return acc.Mean()
+}

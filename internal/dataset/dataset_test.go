@@ -1,0 +1,298 @@
+package dataset
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"pgti/internal/tensor"
+)
+
+// TestTable1ByteCounts verifies the analytic formulas against the paper's
+// Table 1 (binary-prefix column values; the paper mixes decimal/binary
+// units, so we verify against the exact byte products).
+func TestTable1ByteCounts(t *testing.T) {
+	cases := []struct {
+		meta       Meta
+		raw, after int64
+	}{
+		{ChickenpoxHungary, 522 * 20 * 8, 2 * (522 - 7) * 4 * 20 * 8},
+		{WindmillLarge, 17472 * 319 * 8, 2 * (17472 - 15) * 8 * 319 * 8},
+		{MetrLA, 34272 * 207 * 8, 2 * (34272 - 23) * 12 * 207 * 2 * 8},
+		{PeMSBay, 52105 * 325 * 8, 2 * (52105 - 23) * 12 * 325 * 2 * 8},
+		{PeMSAllLA, 105120 * 2716 * 8, 2 * (105120 - 23) * 12 * 2716 * 2 * 8},
+		{PeMS, 105120 * 11160 * 8, 2 * (105120 - 23) * 12 * 11160 * 2 * 8},
+	}
+	for _, c := range cases {
+		if got := c.meta.RawBytes(); got != c.raw {
+			t.Fatalf("%s RawBytes %d want %d", c.meta.Name, got, c.raw)
+		}
+		if got := c.meta.StandardBytes(); got != c.after {
+			t.Fatalf("%s StandardBytes %d want %d", c.meta.Name, got, c.after)
+		}
+	}
+	// Spot-check the headline magnitudes in GiB against the paper.
+	gib := func(b int64) float64 { return float64(b) / (1 << 30) }
+	if g := gib(PeMS.StandardBytes()); math.Abs(g-419.44) > 0.5 {
+		t.Fatalf("PeMS after-preprocessing %f GiB, paper reports 419.46 GB", g)
+	}
+	if g := gib(PeMSAllLA.StandardBytes()); math.Abs(g-102.08) > 0.5 {
+		t.Fatalf("PeMS-All-LA after-preprocessing %f GiB, paper reports 102.08 GB", g)
+	}
+	if g := gib(PeMS.RawBytes()); math.Abs(g-8.74) > 0.2 {
+		t.Fatalf("PeMS raw %f GiB, paper reports 8.71 GB", g)
+	}
+}
+
+func TestIndexBytesFormula(t *testing.T) {
+	m := PeMSBay
+	want := int64(52105)*325*2*8 + int64(52105-23)*8
+	if got := m.IndexBytes(); got != want {
+		t.Fatalf("IndexBytes %d want %d", got, want)
+	}
+	// Index footprint must be dramatically smaller: eq1/eq2 ~ 2*horizon.
+	ratio := float64(m.StandardBytes()) / float64(m.IndexBytes())
+	if ratio < 20 || ratio > 25 {
+		t.Fatalf("eq1/eq2 ratio %f, expected ~2*horizon (24)", ratio)
+	}
+}
+
+func TestGrowthFactor(t *testing.T) {
+	// Growth factor approaches 2*horizon for long series.
+	if gf := PeMS.GrowthFactor(); math.Abs(gf-24) > 0.1 {
+		t.Fatalf("PeMS growth factor %f want ~24", gf)
+	}
+	if gf := ChickenpoxHungary.GrowthFactor(); math.Abs(gf-8*float64(515)/522) > 0.2 {
+		t.Fatalf("Chickenpox growth factor %f", gf)
+	}
+}
+
+func TestSnapshots(t *testing.T) {
+	if s := PeMSBay.Snapshots(); s != 52105-23 {
+		t.Fatalf("Snapshots %d", s)
+	}
+	tiny := Meta{Entries: 3, Horizon: 12}
+	if tiny.Snapshots() != 0 {
+		t.Fatal("too-short series must have zero snapshots")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := PeMSBay.Scaled(0.1)
+	if s.Nodes != 32 || s.Entries != 5210 {
+		t.Fatalf("scaled dims %dx%d", s.Entries, s.Nodes)
+	}
+	if s.Horizon != PeMSBay.Horizon || !s.TimeOfDay {
+		t.Fatal("scaling must preserve preprocessing parameters")
+	}
+	// Degenerate factors are ignored.
+	if same := PeMSBay.Scaled(0); same.Nodes != PeMSBay.Nodes {
+		t.Fatal("factor 0 must be a no-op")
+	}
+	// Entries floor keeps at least one snapshot.
+	micro := PeMSBay.Scaled(0.00001)
+	if micro.Snapshots() < 1 {
+		t.Fatalf("scaled dataset must keep >= 1 snapshot, got %d", micro.Snapshots())
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("PeMS-BAY")
+	if err != nil || m.Nodes != 325 {
+		t.Fatalf("ByName: %v %v", m, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	if len(All()) != 6 {
+		t.Fatalf("All() returned %d datasets", len(All()))
+	}
+}
+
+func TestGenerateTrafficShapeAndRealism(t *testing.T) {
+	meta := PeMSBay.Scaled(0.02) // 6 nodes x 1042 entries
+	ds, err := Generate(meta, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Data.Dim(0) != meta.Entries || ds.Data.Dim(1) != meta.Nodes || ds.Data.Dim(2) != 1 {
+		t.Fatalf("shape %v", ds.Data.Shape())
+	}
+	// Speeds in a plausible band.
+	if ds.Data.MinAll() < 0 || ds.Data.MaxAll() > 90 {
+		t.Fatalf("speeds out of range: [%f, %f]", ds.Data.MinAll(), ds.Data.MaxAll())
+	}
+	// Rush hour must slow traffic: compare mean speed at 8am vs 3am.
+	period := meta.PeriodSteps
+	var rush, night float64
+	var rc, nc int
+	for tt := 0; tt < meta.Entries; tt++ {
+		tod := float64(tt%period) / float64(period)
+		m := ds.Data.Index(0, tt).MeanAll()
+		if tod > 0.30 && tod < 0.36 {
+			rush += m
+			rc++
+		}
+		if tod > 0.08 && tod < 0.14 {
+			night += m
+			nc++
+		}
+	}
+	if rc == 0 || nc == 0 {
+		t.Fatal("no samples in rush/night windows")
+	}
+	if rush/float64(rc) >= night/float64(nc) {
+		t.Fatalf("rush-hour speeds (%f) must be below night speeds (%f)", rush/float64(rc), night/float64(nc))
+	}
+}
+
+func TestGenerateEnergyBounded(t *testing.T) {
+	meta := WindmillLarge.Scaled(0.05)
+	ds, err := Generate(meta, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Data.MinAll() < 0 || ds.Data.MaxAll() > 1 {
+		t.Fatalf("energy output out of [0,1]: [%f, %f]", ds.Data.MinAll(), ds.Data.MaxAll())
+	}
+}
+
+func TestGenerateEpidemicNonNegativeIntegers(t *testing.T) {
+	ds, err := Generate(ChickenpoxHungary, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Data.Data()
+	for _, v := range d {
+		if v < 0 || v != math.Round(v) {
+			t.Fatalf("case count %v must be a non-negative integer", v)
+		}
+	}
+	if ds.Data.MaxAll() == 0 {
+		t.Fatal("epidemic signal must not be all-zero")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	meta := MetrLA.Scaled(0.01)
+	a, err := Generate(meta, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(meta, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Data.Equal(b.Data) {
+		t.Fatal("generation must be deterministic per seed")
+	}
+	c, err := Generate(meta, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Data.Equal(c.Data) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGenerateRejectsPaperScalePeMS(t *testing.T) {
+	if _, err := Generate(PeMS, 1); err == nil {
+		t.Fatal("full PeMS generation must be refused (use modeled pipelines)")
+	}
+}
+
+func TestGenerateRejectsBadShapes(t *testing.T) {
+	if _, err := Generate(Meta{Name: "x", Domain: Traffic, Nodes: 0, Entries: 5}, 1); err == nil {
+		t.Fatal("expected shape error")
+	}
+	if _, err := Generate(Meta{Name: "x", Domain: "quantum", Nodes: 3, Entries: 5, RawFeatures: 1, NeighborsK: 2}, 1); err == nil {
+		t.Fatal("expected unknown-domain error")
+	}
+}
+
+func TestAugmentTimeOfDay(t *testing.T) {
+	data := tensor.Ones(6, 2, 1)
+	aug := AugmentTimeOfDay(data, 4)
+	if aug.Dim(2) != 2 {
+		t.Fatalf("augmented features %d", aug.Dim(2))
+	}
+	// Original channel preserved.
+	if aug.At(3, 1, 0) != 1 {
+		t.Fatal("original feature clobbered")
+	}
+	// Time-of-day cycles with period 4.
+	if aug.At(0, 0, 1) != 0 || aug.At(1, 0, 1) != 0.25 || aug.At(5, 1, 1) != 0.25 {
+		t.Fatalf("time-of-day values wrong: %v %v %v", aug.At(0, 0, 1), aug.At(1, 0, 1), aug.At(5, 1, 1))
+	}
+	// Byte accounting: augmentation matches AugmentedBytes for the meta.
+	meta := Meta{Nodes: 2, Entries: 6, RawFeatures: 1, TimeOfDay: true}
+	if aug.NumBytes() != meta.AugmentedBytes() {
+		t.Fatalf("augmented bytes %d want %d", aug.NumBytes(), meta.AugmentedBytes())
+	}
+}
+
+func TestAugmentedHelper(t *testing.T) {
+	meta := PeMSBay.Scaled(0.01)
+	ds, err := Generate(meta, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug := ds.Augmented()
+	if aug.Dim(2) != 2 {
+		t.Fatalf("traffic augmented features %d", aug.Dim(2))
+	}
+	epi, err := Generate(ChickenpoxHungary.Scaled(0.5), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epi.Augmented().Dim(2) != 1 {
+		t.Fatal("epidemic dataset must not gain a time-of-day channel")
+	}
+}
+
+func TestSaveLoadSignalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sig.pgti")
+	data := tensor.Randn(tensor.NewRNG(1), 7, 3, 2)
+	if err := SaveSignal(path, data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSignal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestLoadSignalRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage")
+	if err := SaveSignal(path, tensor.New(2, 2)); err == nil {
+		t.Fatal("rank-2 save must fail")
+	}
+	if _, err := LoadSignal(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+// Property: eq. (1) always exceeds eq. (2) once there is more than one
+// snapshot, and the ratio is bounded by 2*horizon.
+func TestPropertyGrowthDomination(t *testing.T) {
+	f := func(entriesRaw, nodesRaw, horizonRaw uint16) bool {
+		h := int(horizonRaw%12) + 1
+		entries := int(entriesRaw%2000) + 2*h + 1
+		nodes := int(nodesRaw%500) + 1
+		m := Meta{Nodes: nodes, Entries: entries, RawFeatures: 1, Horizon: h}
+		if m.StandardBytes() <= 0 {
+			return false
+		}
+		ratio := float64(m.StandardBytes()) / float64(m.IndexBytes())
+		return ratio <= float64(2*h) && m.IndexBytes() >= m.RawBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"testing"
+
+	"pgti/internal/tensor"
+)
+
+func TestGenerateDynamicValidation(t *testing.T) {
+	meta := PeMSBay.Scaled(0.02)
+	if _, err := GenerateDynamic(meta, 1, 0, 0.1); err == nil {
+		t.Fatal("expected error for zero period")
+	}
+	if _, err := GenerateDynamic(meta, 1, 100, 1.5); err == nil {
+		t.Fatal("expected error for bad rewire fraction")
+	}
+}
+
+func TestGenerateDynamicGraphSchedule(t *testing.T) {
+	meta := PeMSBay.Scaled(0.02)
+	d, err := GenerateDynamic(meta, 3, 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGraphs := (meta.Entries + 99) / 100
+	if len(d.Graphs) != wantGraphs {
+		t.Fatalf("graphs %d want %d", len(d.Graphs), wantGraphs)
+	}
+	// Piecewise-constant mapping.
+	if d.GraphAt(0) != d.Graphs[0] || d.GraphAt(99) != d.Graphs[0] || d.GraphAt(100) != d.Graphs[1] {
+		t.Fatal("GraphAt mapping wrong")
+	}
+	// Topology actually changes across periods…
+	if d.Graphs[0].Adj.ToDense().Equal(d.Graphs[1].Adj.ToDense()) {
+		t.Fatal("rewiring must change edge weights")
+	}
+	// …but sparsity structure is preserved (weights perturbed, not edges
+	// added/removed) and self-loops survive.
+	if d.Graphs[0].Adj.NNZ() != d.Graphs[1].Adj.NNZ() {
+		t.Fatal("rewiring must preserve the edge set")
+	}
+}
+
+func TestDynamicSupportsCachedAndWindowed(t *testing.T) {
+	meta := PeMSBay.Scaled(0.02)
+	d, err := GenerateDynamic(meta, 4, 50, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := d.SupportsAt(10)
+	s2 := d.SupportsAt(20)
+	if s1[0] != s2[0] {
+		t.Fatal("same-period supports must be cached and shared")
+	}
+	win := d.SupportsForWindow(45, 12)
+	if len(win) != 12 {
+		t.Fatalf("window length %d", len(win))
+	}
+	// The window spans the period boundary at 50: supports change inside it.
+	if win[0][0] == win[11][0] {
+		t.Fatal("window crossing a period boundary must see two topologies")
+	}
+	if d.NumGraphBytes() <= 0 {
+		t.Fatal("graph bytes accounting missing")
+	}
+}
+
+func TestDynamicWithSinglePeriodMatchesStatic(t *testing.T) {
+	meta := PeMSBay.Scaled(0.02)
+	d, err := GenerateDynamic(meta, 5, meta.Entries, 0.5) // one period = static
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Graphs) != 1 {
+		t.Fatalf("expected a single graph, got %d", len(d.Graphs))
+	}
+	static, err := Generate(meta, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Data.Equal(static.Data) {
+		t.Fatal("dynamic generation must reuse the static signal process")
+	}
+	if !d.Graphs[0].Adj.ToDense().Equal(static.Graph.Adj.ToDense()) {
+		t.Fatal("first graph must be the base topology")
+	}
+}
+
+func TestInjectMissing(t *testing.T) {
+	data := tensor.Ones(100, 10, 2)
+	dropped := InjectMissing(data, 0.3, 7)
+	if dropped < 200 || dropped > 400 {
+		t.Fatalf("dropped %d of 1000, expected ~300", dropped)
+	}
+	// Every drop zeroes all features of the observation.
+	zeros := 0
+	for tt := 0; tt < 100; tt++ {
+		for n := 0; n < 10; n++ {
+			a, b := data.At(tt, n, 0), data.At(tt, n, 1)
+			if (a == 0) != (b == 0) {
+				t.Fatal("features must be dropped together")
+			}
+			if a == 0 {
+				zeros++
+			}
+		}
+	}
+	if zeros != dropped {
+		t.Fatalf("zeros %d != dropped %d", zeros, dropped)
+	}
+	// frac 0 is a no-op; deterministic per seed.
+	if InjectMissing(data, 0, 7) != 0 {
+		t.Fatal("frac 0 must drop nothing")
+	}
+	d2 := tensor.Ones(100, 10, 2)
+	if InjectMissing(d2, 0.3, 7) != dropped {
+		t.Fatal("injection must be deterministic per seed")
+	}
+}

@@ -1,0 +1,180 @@
+// Package dataset defines the six spatiotemporal datasets of the paper's
+// Table 1 — their exact shapes, the analytic byte-growth formulas (eqs. 1
+// and 2), and seeded synthetic generators that stand in for the proprietary
+// feeds (Caltrans PeMS, METR-LA loop detectors, Hungarian chickenpox
+// surveillance, wind-farm SCADA). The generators reproduce Table 1's byte
+// counts exactly (they are pure functions of the shapes) and provide enough
+// spatiotemporal structure (diurnal cycles, rush-hour congestion diffusing
+// over the sensor graph, seasonal epidemics) for the models to learn from.
+package dataset
+
+import (
+	"fmt"
+)
+
+// Domain classifies a dataset by application area.
+type Domain string
+
+// Domains used in the paper.
+const (
+	Traffic         Domain = "traffic"
+	Energy          Domain = "energy"
+	Epidemiological Domain = "epidemiological"
+)
+
+// Meta describes a dataset's shape and preprocessing parameters.
+type Meta struct {
+	Name        string
+	Domain      Domain
+	Nodes       int
+	Entries     int
+	RawFeatures int  // features in the source file (speed / output / cases)
+	TimeOfDay   bool // whether preprocessing appends a time-of-day feature
+	Horizon     int  // window size = prediction horizon (paper's settings)
+	PeriodSteps int  // entries per diurnal/seasonal period (for generators
+	// and the time-of-day feature)
+	NeighborsK int // sensor-graph k-nearest neighbours
+}
+
+// Features returns the per-node feature count after stage-1 augmentation
+// (Fig. 3): RawFeatures plus the time-of-day channel when enabled.
+func (m Meta) Features() int {
+	if m.TimeOfDay {
+		return m.RawFeatures + 1
+	}
+	return m.RawFeatures
+}
+
+// Snapshots returns the number of valid sliding-window placements,
+// entries - (2*horizon - 1): each snapshot needs horizon input steps and
+// horizon label steps.
+func (m Meta) Snapshots() int {
+	s := m.Entries - (2*m.Horizon - 1)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// RawBytes returns the on-disk size before preprocessing:
+// entries x nodes x rawFeatures x 8 bytes (float64, Table 1 column 6).
+func (m Meta) RawBytes() int64 {
+	return int64(m.Entries) * int64(m.Nodes) * int64(m.RawFeatures) * 8
+}
+
+// AugmentedBytes returns the size after stage-1 feature augmentation
+// (Fig. 3 stage 1: the time-of-day channel doubles traffic datasets).
+func (m Meta) AugmentedBytes() int64 {
+	return int64(m.Entries) * int64(m.Nodes) * int64(m.Features()) * 8
+}
+
+// StandardBytes returns eq. (1) of the paper — the materialized size after
+// standard sliding-window preprocessing:
+//
+//	2 * (entries - (2*horizon - 1)) * horizon * nodes * features * 8
+//
+// This is Table 1's "Size After Preprocessing" column.
+func (m Meta) StandardBytes() int64 {
+	return 2 * int64(m.Snapshots()) * int64(m.Horizon) * int64(m.Nodes) * int64(m.Features()) * 8
+}
+
+// IndexBytes returns eq. (2) of the paper — the footprint under
+// index-batching: one copy of the (augmented) data plus an 8-byte index per
+// snapshot.
+func (m Meta) IndexBytes() int64 {
+	return m.AugmentedBytes() + int64(m.Snapshots())*8
+}
+
+// GrowthFactor returns StandardBytes / AugmentedBytes, the data-duplication
+// multiplier eliminated by index-batching (~2*horizon).
+func (m Meta) GrowthFactor() float64 {
+	if m.AugmentedBytes() == 0 {
+		return 0
+	}
+	return float64(m.StandardBytes()) / float64(m.AugmentedBytes())
+}
+
+// Scaled returns a copy with nodes and entries scaled by factor (minimum 1
+// node; entries floor at 2*horizon so at least one snapshot survives).
+// Measured-mode experiments run the identical pipelines at reduced scale.
+func (m Meta) Scaled(factor float64) Meta {
+	if factor <= 0 || factor > 1 {
+		return m
+	}
+	s := m
+	s.Name = fmt.Sprintf("%s@%.3g", m.Name, factor)
+	s.Nodes = maxInt(1, int(float64(m.Nodes)*factor))
+	s.Entries = maxInt(2*m.Horizon, int(float64(m.Entries)*factor))
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// The six datasets of Table 1, with the horizons that reproduce the table's
+// post-preprocessing byte counts exactly: h=4 for Chickenpox, h=8 for
+// Windmill, h=12 for the traffic datasets (speed + time-of-day features).
+var (
+	// ChickenpoxHungary: weekly county-level case counts, 20 nodes x 522
+	// weeks. 83.52 kB raw -> 659.2 kB preprocessed.
+	ChickenpoxHungary = Meta{
+		Name: "Chickenpox-Hungary", Domain: Epidemiological,
+		Nodes: 20, Entries: 522, RawFeatures: 1, TimeOfDay: false,
+		Horizon: 4, PeriodSteps: 52, NeighborsK: 4,
+	}
+	// WindmillLarge: hourly energy output, 319 turbines x 17,472 hours.
+	// 44.59 MB raw -> 712.80 MB preprocessed.
+	WindmillLarge = Meta{
+		Name: "Windmill-Large", Domain: Energy,
+		Nodes: 319, Entries: 17472, RawFeatures: 1, TimeOfDay: false,
+		Horizon: 8, PeriodSteps: 24, NeighborsK: 8,
+	}
+	// MetrLA: LA loop-detector speeds, 207 sensors x 34,272 five-minute
+	// intervals. 54 MB raw -> 2.54 GB preprocessed.
+	MetrLA = Meta{
+		Name: "METR-LA", Domain: Traffic,
+		Nodes: 207, Entries: 34272, RawFeatures: 1, TimeOfDay: true,
+		Horizon: 12, PeriodSteps: 288, NeighborsK: 8,
+	}
+	// PeMSBay: Bay Area speeds, 325 sensors x 52,105 intervals.
+	// 130 MB raw -> 6.05 GB preprocessed.
+	PeMSBay = Meta{
+		Name: "PeMS-BAY", Domain: Traffic,
+		Nodes: 325, Entries: 52105, RawFeatures: 1, TimeOfDay: true,
+		Horizon: 12, PeriodSteps: 288, NeighborsK: 8,
+	}
+	// PeMSAllLA: the All-LA district, 2,716 sensors x 105,120 intervals
+	// (one year at 5 minutes). 2.12 GB raw -> 102.08 GB preprocessed.
+	PeMSAllLA = Meta{
+		Name: "PeMS-All-LA", Domain: Traffic,
+		Nodes: 2716, Entries: 105120, RawFeatures: 1, TimeOfDay: true,
+		Horizon: 12, PeriodSteps: 288, NeighborsK: 8,
+	}
+	// PeMS: the full statewide dataset, 11,160 sensors x 105,120 intervals.
+	// 8.74 GB raw -> 419.44 GB preprocessed; the dataset that OOMs a 512 GB
+	// Polaris node under standard preprocessing.
+	PeMS = Meta{
+		Name: "PeMS", Domain: Traffic,
+		Nodes: 11160, Entries: 105120, RawFeatures: 1, TimeOfDay: true,
+		Horizon: 12, PeriodSteps: 288, NeighborsK: 8,
+	}
+)
+
+// All lists the Table 1 datasets in ascending size order.
+func All() []Meta {
+	return []Meta{ChickenpoxHungary, WindmillLarge, MetrLA, PeMSBay, PeMSAllLA, PeMS}
+}
+
+// ByName returns the dataset metadata with the given name.
+func ByName(name string) (Meta, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Meta{}, fmt.Errorf("dataset: unknown dataset %q", name)
+}

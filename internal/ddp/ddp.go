@@ -1,0 +1,322 @@
+// Package ddp implements distributed data-parallel training over the
+// simulated cluster, mirroring the paper's Dask-DDP integration: every
+// worker holds a model replica, processes its shard of each (globally or
+// locally shuffled) epoch, and averages gradients with a ring AllReduce.
+// The gradient exchange is numerically real — replicas remain bitwise
+// identical — while virtual clocks accumulate the Polaris-scale runtime.
+package ddp
+
+import (
+	"fmt"
+	"time"
+
+	"pgti/internal/autograd"
+	"pgti/internal/batching"
+	"pgti/internal/cluster"
+	"pgti/internal/metrics"
+	"pgti/internal/nn"
+	"pgti/internal/tensor"
+)
+
+// SamplerKind selects the epoch shuffling strategy.
+type SamplerKind int
+
+// The three strategies evaluated in the paper.
+const (
+	// GlobalShuffle reshuffles the full training set every epoch
+	// (distributed-index-batching's default, §4.2).
+	GlobalShuffle SamplerKind = iota
+	// LocalShuffle shuffles within fixed per-worker partitions.
+	LocalShuffle
+	// BatchShuffle keeps batch contents fixed and shuffles batch order
+	// within partitions (generalized-distributed-index-batching, §5.4).
+	BatchShuffle
+)
+
+// String implements fmt.Stringer.
+func (k SamplerKind) String() string {
+	switch k {
+	case LocalShuffle:
+		return "local"
+	case BatchShuffle:
+		return "batch"
+	default:
+		return "global"
+	}
+}
+
+// ModelFactory builds one model replica. It is called once per worker with
+// the shared seed, so replicas initialize identically.
+type ModelFactory func(seed uint64) nn.SeqModel
+
+// Config parameterizes a distributed training run.
+type Config struct {
+	Workers   int
+	BatchSize int // per worker; global batch = BatchSize * Workers
+	Epochs    int
+	LR        float64
+	// UseLRScaling applies the linear scaling rule lr*Workers (§5.3.3's
+	// mitigation for large-global-batch accuracy loss).
+	UseLRScaling bool
+	ClipNorm     float64
+	Sampler      SamplerKind
+	Seed         uint64
+	Net          cluster.NetworkModel
+	// RemoteFetch models the baseline-DDP data path: every batch is fetched
+	// on demand through the data service (charged to the virtual clock).
+	// Distributed-index-batching leaves this false: data is worker-local.
+	RemoteFetch bool
+	// Store, when set, partitions the data across workers (generalized-
+	// distributed-index-batching, §5.4): batches are assembled through the
+	// store and only rows outside the worker's shard are charged as remote
+	// traffic. Mutually exclusive with RemoteFetch.
+	Store *batching.PartitionStore
+	// ComputeCost, when set, supplies the modeled per-batch compute time
+	// for the virtual clock (paper-scale runs). When nil, real elapsed time
+	// is charged.
+	ComputeCost func(batchItems int) time.Duration
+}
+
+// Result summarizes a distributed run.
+type Result struct {
+	Curve metrics.Curve
+	// VirtualTime is the synchronized virtual clock at completion.
+	VirtualTime time.Duration
+	// CommTime is the portion of VirtualTime spent in modeled communication
+	// (gradient AllReduce + remote fetches), from worker 0's perspective.
+	CommTime time.Duration
+	// GradSyncBytes is the total gradient traffic per worker.
+	GradSyncBytes int64
+	// Steps is the number of optimizer steps taken.
+	Steps int
+	// GlobalBatch is BatchSize * Workers.
+	GlobalBatch int
+}
+
+// FlattenGrads packs every parameter gradient into one contiguous vector
+// (missing gradients contribute zeros), the unit of AllReduce traffic.
+func FlattenGrads(params []*nn.Parameter, buf []float64) []float64 {
+	n := 0
+	for _, p := range params {
+		n += p.Tensor().NumElements()
+	}
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	pos := 0
+	for _, p := range params {
+		cnt := p.Tensor().NumElements()
+		dst := buf[pos : pos+cnt]
+		if p.V.Grad != nil {
+			copy(dst, p.V.Grad.Contiguous().Data())
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+		pos += cnt
+	}
+	return buf
+}
+
+// UnflattenGrads scatters vec back into the parameters' gradients,
+// replacing their contents (gradients are allocated if absent).
+func UnflattenGrads(params []*nn.Parameter, vec []float64) {
+	pos := 0
+	for _, p := range params {
+		cnt := p.Tensor().NumElements()
+		if p.V.Grad == nil || !p.V.Grad.IsContiguous() {
+			p.V.Grad = tensor.New(p.Tensor().Shape()...)
+		}
+		copy(p.V.Grad.Data(), vec[pos:pos+cnt])
+		pos += cnt
+	}
+}
+
+// Train runs distributed data-parallel training of factory-built replicas
+// over the index dataset. All workers see identical initialization and the
+// deterministic sampler schedule, so the run is reproducible bit-for-bit.
+func Train(data *batching.IndexDataset, split batching.Split, factory ModelFactory, cfg Config) (*Result, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("ddp: need >= 1 worker, got %d", cfg.Workers)
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("ddp: need batch size >= 1, got %d", cfg.BatchSize)
+	}
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("ddp: need >= 1 epoch, got %d", cfg.Epochs)
+	}
+	if cfg.Store != nil && cfg.RemoteFetch {
+		return nil, fmt.Errorf("ddp: Store and RemoteFetch are mutually exclusive data paths")
+	}
+	if cfg.Store != nil && cfg.Store.Workers() != cfg.Workers {
+		return nil, fmt.Errorf("ddp: store partitioned for %d workers, run has %d", cfg.Store.Workers(), cfg.Workers)
+	}
+	if len(split.Train) < cfg.Workers {
+		return nil, fmt.Errorf("ddp: %d training snapshots cannot feed %d workers", len(split.Train), cfg.Workers)
+	}
+	clu, err := cluster.New(cluster.Config{Workers: cfg.Workers, Net: cfg.Net})
+	if err != nil {
+		return nil, err
+	}
+
+	lr := cfg.LR
+	if lr <= 0 {
+		lr = 0.01
+	}
+	if cfg.UseLRScaling {
+		lr = nn.ScaleLR(lr, cfg.Workers)
+	}
+
+	type workerOut struct {
+		curve    metrics.Curve
+		vt       time.Duration
+		comm     time.Duration
+		bytes    int64
+		steps    int
+		checksum float64
+	}
+	outs := make([]workerOut, cfg.Workers)
+
+	net := clu.Net()
+	runErr := clu.Run(func(w *cluster.Worker) error {
+		rank := w.Rank()
+		model := factory(cfg.Seed)
+		params := model.Parameters()
+		opt := nn.NewAdam(model, lr)
+		sampler := newSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Workers, rank, cfg.Seed)
+		var buf batching.BatchBuffer
+		var gradBuf []float64
+		var comm time.Duration
+		var curve metrics.Curve
+		var totalBytes int64
+		steps := 0
+
+		// Per-batch byte volume for the baseline-DDP fetch path: x and y.
+		n, f := data.Data.Dim(1), data.Data.Dim(2)
+		batchBytes := int64(cfg.BatchSize) * int64(2*data.Horizon) * int64(n) * int64(f) * 8
+
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			batches := sampler.EpochBatches(epoch)
+			// Equalize step counts across workers so collectives line up.
+			stepsThisEpoch := int(w.AllReduceScalar(float64(len(batches)), cluster.OpMin))
+			var trainAcc metrics.Running
+			for s := 0; s < stepsThisEpoch; s++ {
+				idx := batches[s]
+				var x, y *tensor.Tensor
+				if cfg.Store != nil {
+					var remote int64
+					x, y, _, remote = cfg.Store.FetchBatch(rank, idx, &buf)
+					if remote > 0 {
+						w.FetchRemote(remote)
+						comm += net.FetchTime(remote)
+					}
+				} else if cfg.RemoteFetch {
+					w.FetchRemote(batchBytes)
+					comm += net.FetchTime(batchBytes)
+				}
+				start := time.Now()
+				if cfg.Store == nil {
+					x, y = data.AssembleBatch(idx, &buf)
+				}
+				target := y.Slice(3, 0, 1).Contiguous()
+				pred := model.Forward(autograd.Constant(x))
+				loss := autograd.MAELoss(pred, target)
+				if err := autograd.Backward(loss); err != nil {
+					return fmt.Errorf("ddp: rank %d backward: %w", rank, err)
+				}
+				if cfg.ClipNorm > 0 {
+					nn.ClipGradNorm(model, cfg.ClipNorm)
+				}
+				if cfg.ComputeCost != nil {
+					w.AdvanceTime(cfg.ComputeCost(len(idx)))
+				} else {
+					w.AdvanceTime(time.Since(start))
+				}
+				gradBuf = FlattenGrads(params, gradBuf)
+				w.RingAllReduceMean(gradBuf)
+				// Attribute the modeled collective cost (the clock delta
+				// additionally contains straggler wait, which is compute
+				// imbalance, not communication).
+				if cfg.Workers > 1 {
+					comm += net.RingAllReduceTime(int64(len(gradBuf))*8, cfg.Workers)
+				}
+				totalBytes += int64(len(gradBuf)) * 8
+				UnflattenGrads(params, gradBuf)
+				opt.Step()
+				steps++
+				// Report in the signal's original units, like validation.
+				trainAcc.Add(loss.Value.Item()*data.Std, len(idx))
+			}
+			// Epoch metrics: weighted AllReduce of train loss and val MAE
+			// (the validation AllReduce the paper lists as DDP overhead).
+			trainMAE := reduceWeighted(w, trainAcc)
+			valMAE := evaluateShard(w, model, data, split.Val, cfg.BatchSize, &buf)
+			curve = append(curve, metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE})
+		}
+		var checksum float64
+		for _, p := range params {
+			checksum += p.Tensor().SumAll()
+		}
+		w.Barrier()
+		outs[rank] = workerOut{curve: curve, vt: w.VirtualTime(), comm: comm, bytes: totalBytes, steps: steps, checksum: checksum}
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Replicas must have remained identical.
+	for r := 1; r < cfg.Workers; r++ {
+		if outs[r].checksum != outs[0].checksum {
+			return nil, fmt.Errorf("ddp: replica divergence: rank %d checksum %v vs rank 0 %v", r, outs[r].checksum, outs[0].checksum)
+		}
+	}
+	return &Result{
+		Curve:         outs[0].curve,
+		VirtualTime:   outs[0].vt,
+		CommTime:      outs[0].comm,
+		GradSyncBytes: outs[0].bytes,
+		Steps:         outs[0].steps,
+		GlobalBatch:   cfg.BatchSize * cfg.Workers,
+	}, nil
+}
+
+// newSampler builds the worker-local batch sampler for the strategy.
+func newSampler(kind SamplerKind, train []int, batchSize, workers, rank int, seed uint64) batching.BatchSampler {
+	switch kind {
+	case LocalShuffle:
+		return batching.NewLocalShuffler(train, batchSize, workers, rank, seed)
+	case BatchShuffle:
+		return batching.NewBatchShuffler(train, batchSize, workers, rank, seed)
+	default:
+		return batching.NewGlobalShuffler(train, batchSize, workers, rank, seed)
+	}
+}
+
+// reduceWeighted AllReduces a weighted Running accumulator into the global
+// weighted mean.
+func reduceWeighted(w *cluster.Worker, acc metrics.Running) float64 {
+	sum := w.AllReduceScalar(acc.Mean()*float64(acc.Count()), cluster.OpSum)
+	count := w.AllReduceScalar(float64(acc.Count()), cluster.OpSum)
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}
+
+// evaluateShard computes this worker's share of the validation MAE and
+// AllReduces the weighted mean (in original units, un-z-scored).
+func evaluateShard(w *cluster.Worker, model nn.SeqModel, data *batching.IndexDataset, val []int, batchSize int, buf *batching.BatchBuffer) float64 {
+	lo, hi := batching.PartitionRange(len(val), w.Size(), w.Rank())
+	var acc metrics.Running
+	for _, batch := range batching.Batches(val[lo:hi], batchSize) {
+		x, y := data.AssembleBatch(batch, buf)
+		target := y.Slice(3, 0, 1).Contiguous()
+		pred := model.Forward(autograd.Constant(x))
+		// Report MAE in the signal's original units.
+		acc.Add(metrics.MAE(pred.Value, target)*data.Std, len(batch))
+	}
+	return reduceWeighted(w, acc)
+}

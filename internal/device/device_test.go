@@ -1,0 +1,81 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"pgti/internal/memsim"
+)
+
+func TestPolarisNodeShapes(t *testing.T) {
+	host, gpus := NewPolarisNode()
+	if host.Mem.Capacity() != 512*memsim.GiB {
+		t.Fatalf("host capacity %d", host.Mem.Capacity())
+	}
+	if len(gpus) != 4 {
+		t.Fatalf("gpu count %d", len(gpus))
+	}
+	for _, g := range gpus {
+		if g.Mem.Capacity() != 40*memsim.GiB {
+			t.Fatalf("gpu capacity %d", g.Mem.Capacity())
+		}
+		if g.Kind != GPU {
+			t.Fatal("kind must be GPU")
+		}
+	}
+	if host.Kind.String() != "cpu" || gpus[0].Kind.String() != "gpu" {
+		t.Fatal("Kind strings wrong")
+	}
+}
+
+func TestTransferTimeModel(t *testing.T) {
+	g := NewGPU("g", 40*memsim.GiB)
+	// 25 GiB at 25 GiB/s = 1 s (+10 us latency).
+	d := g.TransferTime(25 * memsim.GiB)
+	want := time.Second + PCIeLatency
+	if d < want-time.Millisecond || d > want+time.Millisecond {
+		t.Fatalf("transfer time %v want ~%v", d, want)
+	}
+	if g.TransferTime(0) != 0 {
+		t.Fatal("zero bytes must cost nothing")
+	}
+	cpu := NewCPU("c", 0)
+	if cpu.TransferTime(memsim.GiB) != 0 {
+		t.Fatal("CPU transfers are free")
+	}
+}
+
+func TestTransferAllocatesAndOOMs(t *testing.T) {
+	g := NewGPU("g", 10*memsim.GiB)
+	d, err := g.Transfer("dataset", 8*memsim.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("expected positive transfer time")
+	}
+	if g.Mem.Current() != 8*memsim.GiB {
+		t.Fatalf("gpu usage %d", g.Mem.Current())
+	}
+	if _, err := g.Transfer("more", 4*memsim.GiB); err == nil {
+		t.Fatal("expected GPU OOM")
+	}
+}
+
+func TestLatencyDominatesSmallTransfers(t *testing.T) {
+	g := NewGPU("g", 0)
+	small := g.TransferTime(1024)
+	if small < PCIeLatency {
+		t.Fatalf("small transfer %v must include latency %v", small, PCIeLatency)
+	}
+	// Many small transfers cost more than one bulk transfer of the same
+	// volume — the effect GPU-index-batching exploits.
+	bulk := g.TransferTime(1024 * 1000)
+	var many time.Duration
+	for i := 0; i < 1000; i++ {
+		many += g.TransferTime(1024)
+	}
+	if many <= bulk {
+		t.Fatal("per-batch transfers must cost more than one consolidated transfer")
+	}
+}

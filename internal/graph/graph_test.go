@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+)
+
+func TestGaussianKernelAdjacency(t *testing.T) {
+	// 3 nodes in a line, unit spacing.
+	dist := tensor.FromSlice([]float64{
+		0, 1, 2,
+		1, 0, 1,
+		2, 1, 0,
+	}, 3, 3)
+	adj, err := GaussianKernelAdjacency(dist, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj.At(0, 0) != 1 {
+		t.Fatal("self-loop weight must be 1")
+	}
+	w01 := adj.At(0, 1)
+	if math.Abs(w01-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("w01 = %v want exp(-1)", w01)
+	}
+	// exp(-4) = 0.018 < 0.2 threshold: edge dropped.
+	if adj.At(0, 2) != 0 {
+		t.Fatal("below-threshold edge must be dropped")
+	}
+}
+
+func TestGaussianKernelSigmaDefault(t *testing.T) {
+	dist := tensor.FromSlice([]float64{0, 2, 2, 0}, 2, 2)
+	adj, err := GaussianKernelAdjacency(dist, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj.At(0, 1) <= 0 || adj.At(0, 1) >= 1 {
+		t.Fatalf("kernel weight out of (0,1): %v", adj.At(0, 1))
+	}
+}
+
+func TestGaussianKernelRejectsNonSquare(t *testing.T) {
+	if _, err := GaussianKernelAdjacency(tensor.New(2, 3), 1, 0); err == nil {
+		t.Fatal("expected error for non-square distances")
+	}
+}
+
+func TestNewFromAdjacencyValidates(t *testing.T) {
+	if _, err := NewFromAdjacency(&sparse.CSR{RowsN: 2, ColsN: 3, RowPtr: make([]int, 3)}); err == nil {
+		t.Fatal("expected error for non-square adjacency")
+	}
+}
+
+func TestTransitionMatricesRowStochastic(t *testing.T) {
+	g, err := RoadNetwork(1, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, bwd := g.TransitionMatrices()
+	for _, s := range fwd.RowSums() {
+		if s != 0 && math.Abs(s-1) > 1e-12 {
+			t.Fatalf("fwd row sum %v", s)
+		}
+	}
+	for _, s := range bwd.RowSums() {
+		if s != 0 && math.Abs(s-1) > 1e-12 {
+			t.Fatalf("bwd row sum %v", s)
+		}
+	}
+}
+
+func TestRoadNetworkDeterministic(t *testing.T) {
+	a, err := RoadNetwork(7, 25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RoadNetwork(7, 25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Adj.ToDense().Equal(b.Adj.ToDense()) {
+		t.Fatal("RoadNetwork must be deterministic per seed")
+	}
+	c, err := RoadNetwork(8, 25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Adj.ToDense().Equal(c.Adj.ToDense()) {
+		t.Fatal("different seeds should give different graphs")
+	}
+}
+
+func TestRoadNetworkSparsity(t *testing.T) {
+	g, err := RoadNetwork(3, 100, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 100 {
+		t.Fatalf("N = %d", g.N)
+	}
+	avg := g.AverageDegree()
+	if avg <= 1 || avg > 14 {
+		t.Fatalf("average degree %v out of expected sparse band", avg)
+	}
+}
+
+func TestRoadNetworkErrors(t *testing.T) {
+	if _, err := RoadNetwork(1, 0, 3); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	// k >= n must be clamped, not fail.
+	g, err := RoadNetwork(1, 3, 10)
+	if err != nil || g.N != 3 {
+		t.Fatalf("clamped k failed: %v", err)
+	}
+}
+
+func TestKNearestDistancesSymmetricZeroDiagonal(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	sensors := SensorGrid(rng, 20, 1.0)
+	d := KNearestDistances(sensors, 5)
+	for i := 0; i < 20; i++ {
+		if d.At(i, i) != 0 {
+			t.Fatal("diagonal must be zero")
+		}
+		finite := 0
+		for j := 0; j < 20; j++ {
+			if i != j && !math.IsInf(d.At(i, j), 1) {
+				finite++
+			}
+		}
+		if finite != 5 {
+			t.Fatalf("row %d keeps %d neighbours, want 5", i, finite)
+		}
+	}
+}
+
+// Property: every kernel weight lies in [0, 1] and self-loops are present.
+func TestPropertyKernelWeightsBounded(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 5
+		g, err := RoadNetwork(seed, n, 4)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if g.Adj.At(i, i) != 1 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				w := g.Adj.At(i, j)
+				if w < 0 || w > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

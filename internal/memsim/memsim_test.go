@@ -1,0 +1,157 @@
+package memsim
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAllocFreePeak(t *testing.T) {
+	tr := NewTracker("sys", 0)
+	if err := tr.Alloc("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Alloc("b", 50); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Current() != 150 || tr.Peak() != 150 {
+		t.Fatalf("current %d peak %d", tr.Current(), tr.Peak())
+	}
+	tr.Free("a", 100)
+	if tr.Current() != 50 {
+		t.Fatalf("current %d", tr.Current())
+	}
+	if tr.Peak() != 150 {
+		t.Fatal("peak must persist after free")
+	}
+	if tr.LabelBytes("b") != 50 {
+		t.Fatalf("label b %d", tr.LabelBytes("b"))
+	}
+}
+
+func TestOOM(t *testing.T) {
+	tr := NewTracker("node", 512)
+	if err := tr.Alloc("data", 400); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.Alloc("swa", 200)
+	if err == nil {
+		t.Fatal("expected OOM")
+	}
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("error type %T", err)
+	}
+	if oom.Requested != 200 || oom.Current != 400 || oom.Capacity != 512 {
+		t.Fatalf("OOM fields %+v", oom)
+	}
+	if !strings.Contains(oom.Error(), "out of memory") {
+		t.Fatalf("OOM message %q", oom.Error())
+	}
+	// Failed allocation is not recorded, but peak pins to capacity.
+	if tr.Current() != 400 {
+		t.Fatalf("current after OOM %d", tr.Current())
+	}
+	if tr.Peak() != 512 {
+		t.Fatalf("peak after OOM %d", tr.Peak())
+	}
+}
+
+func TestFreeAll(t *testing.T) {
+	tr := NewTracker("t", 0)
+	tr.MustAlloc("x", 70)
+	tr.MustAlloc("x", 30)
+	if got := tr.FreeAll("x"); got != 100 {
+		t.Fatalf("FreeAll %d", got)
+	}
+	if tr.Current() != 0 {
+		t.Fatalf("current %d", tr.Current())
+	}
+}
+
+func TestOverFreePanics(t *testing.T) {
+	tr := NewTracker("t", 0)
+	tr.MustAlloc("x", 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-free")
+		}
+	}()
+	tr.Free("x", 20)
+}
+
+func TestNegativeAllocError(t *testing.T) {
+	tr := NewTracker("t", 0)
+	if err := tr.Alloc("x", -1); err == nil {
+		t.Fatal("expected error for negative allocation")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	tr := NewTracker("t", 0)
+	tr.MustAlloc("x", 10)
+	tr.Record(0.1)
+	tr.MustAlloc("y", 20)
+	tr.Record(0.5)
+	s := tr.Series()
+	if len(s) != 2 || s[0].Bytes != 10 || s[1].Bytes != 30 || s[1].Progress != 0.5 {
+		t.Fatalf("series %v", s)
+	}
+	tr.RecordValue(0.9, 99)
+	if tr.Peak() != 99 {
+		t.Fatal("RecordValue must update peak")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := NewTracker("t", 0)
+	tr.MustAlloc("x", 10)
+	tr.Record(0.5)
+	tr.Reset()
+	if tr.Current() != 0 || tr.Peak() != 0 || len(tr.Series()) != 0 || len(tr.Labels()) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestLabelsSorted(t *testing.T) {
+	tr := NewTracker("t", 0)
+	tr.MustAlloc("zeta", 1)
+	tr.MustAlloc("alpha", 1)
+	l := tr.Labels()
+	if len(l) != 2 || l[0] != "alpha" || l[1] != "zeta" {
+		t.Fatalf("labels %v", l)
+	}
+}
+
+func TestConcurrentAllocations(t *testing.T) {
+	tr := NewTracker("t", 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.MustAlloc("x", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Current() != 8000 {
+		t.Fatalf("concurrent total %d", tr.Current())
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512 B",
+		2 * KiB:   "2.00 KiB",
+		3 * MiB:   "3.00 MiB",
+		419 * GiB: "419.00 GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Fatalf("FormatBytes(%d) = %q want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package metrics provides the error metrics and running statistics used by
+// the evaluation: MAE (the paper's headline metric), MSE, RMSE, masked
+// variants for missing sensor readings, and epoch-level accumulators.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"pgti/internal/tensor"
+)
+
+// MAE returns the mean absolute error between two same-shaped tensors.
+func MAE(pred, target *tensor.Tensor) float64 {
+	checkShapes("MAE", pred, target)
+	return tensor.Sub(pred, target).Abs().MeanAll()
+}
+
+// MSE returns the mean squared error.
+func MSE(pred, target *tensor.Tensor) float64 {
+	checkShapes("MSE", pred, target)
+	d := tensor.Sub(pred, target)
+	return tensor.Mul(d, d).MeanAll()
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(pred, target *tensor.Tensor) float64 { return math.Sqrt(MSE(pred, target)) }
+
+// MaskedMAE returns the MAE over entries where target != maskValue,
+// matching the missing-data convention of the traffic benchmarks (sensor
+// dropouts are encoded as zeros). Returns 0 when everything is masked.
+func MaskedMAE(pred, target *tensor.Tensor, maskValue float64) float64 {
+	checkShapes("MaskedMAE", pred, target)
+	p := pred.Contiguous().Data()
+	tg := target.Contiguous().Data()
+	var sum float64
+	var n int
+	for i := range tg {
+		if tg[i] != maskValue {
+			sum += math.Abs(p[i] - tg[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func checkShapes(op string, a, b *tensor.Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("metrics: %s shape mismatch %v vs %v", op, a.Shape(), b.Shape()))
+	}
+}
+
+// Running accumulates a streaming mean (Welford), used for per-epoch loss
+// averaging across batches and workers.
+type Running struct {
+	n    int
+	mean float64
+}
+
+// Add folds value in with the given weight (e.g. batch size).
+func (r *Running) Add(value float64, weight int) {
+	if weight <= 0 {
+		return
+	}
+	r.n += weight
+	r.mean += (value - r.mean) * float64(weight) / float64(r.n)
+}
+
+// Mean returns the current weighted mean (0 before any Add).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Count returns the accumulated weight.
+func (r *Running) Count() int { return r.n }
+
+// Merge combines another accumulator into r (used when reducing worker
+// metrics).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	total := r.n + o.n
+	r.mean = (r.mean*float64(r.n) + o.mean*float64(o.n)) / float64(total)
+	r.n = total
+}
+
+// EpochRecord is one row of a training curve.
+type EpochRecord struct {
+	Epoch    int
+	TrainMAE float64
+	ValMAE   float64
+}
+
+// Curve is a training/validation curve across epochs.
+type Curve []EpochRecord
+
+// BestVal returns the minimum validation MAE in the curve (+Inf if empty).
+func (c Curve) BestVal() float64 {
+	best := math.Inf(1)
+	for _, r := range c {
+		if r.ValMAE < best {
+			best = r.ValMAE
+		}
+	}
+	return best
+}
+
+// FinalTrain returns the last epoch's training MAE (NaN if empty).
+func (c Curve) FinalTrain() float64 {
+	if len(c) == 0 {
+		return math.NaN()
+	}
+	return c[len(c)-1].TrainMAE
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pgti/internal/tensor"
+)
+
+func TestMAE(t *testing.T) {
+	p := tensor.FromSlice([]float64{1, 2, 3}, 3)
+	g := tensor.FromSlice([]float64{2, 2, 1}, 3)
+	if got := MAE(p, g); got != 1 {
+		t.Fatalf("MAE %v want 1", got)
+	}
+}
+
+func TestMSEAndRMSE(t *testing.T) {
+	p := tensor.FromSlice([]float64{0, 0}, 2)
+	g := tensor.FromSlice([]float64{3, 4}, 2)
+	if got := MSE(p, g); got != 12.5 {
+		t.Fatalf("MSE %v want 12.5", got)
+	}
+	if got := RMSE(p, g); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE %v", got)
+	}
+}
+
+func TestMaskedMAE(t *testing.T) {
+	p := tensor.FromSlice([]float64{1, 5, 9}, 3)
+	g := tensor.FromSlice([]float64{2, 0, 10}, 3) // middle entry masked
+	if got := MaskedMAE(p, g, 0); got != 1 {
+		t.Fatalf("MaskedMAE %v want 1", got)
+	}
+	allMasked := tensor.New(3)
+	if got := MaskedMAE(p, allMasked, 0); got != 0 {
+		t.Fatalf("fully-masked MAE %v want 0", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MAE(tensor.New(2), tensor.New(3))
+}
+
+func TestRunningMean(t *testing.T) {
+	var r Running
+	r.Add(1, 1)
+	r.Add(3, 1)
+	if r.Mean() != 2 || r.Count() != 2 {
+		t.Fatalf("mean %v count %d", r.Mean(), r.Count())
+	}
+	// Weighted: 2 with weight 2, 5 with weight 1 -> 3.
+	var w Running
+	w.Add(2, 2)
+	w.Add(5, 1)
+	if math.Abs(w.Mean()-3) > 1e-12 {
+		t.Fatalf("weighted mean %v", w.Mean())
+	}
+	// Zero/negative weights are ignored.
+	w.Add(100, 0)
+	if math.Abs(w.Mean()-3) > 1e-12 {
+		t.Fatal("zero weight must be ignored")
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	var a, b Running
+	a.Add(1, 2)
+	b.Add(4, 1)
+	a.Merge(b)
+	if math.Abs(a.Mean()-2) > 1e-12 || a.Count() != 3 {
+		t.Fatalf("merged mean %v count %d", a.Mean(), a.Count())
+	}
+	var empty Running
+	a.Merge(empty)
+	if a.Count() != 3 {
+		t.Fatal("merging empty must be a no-op")
+	}
+}
+
+// Property: merging two accumulators equals accumulating everything in one.
+func TestPropertyMergeEquivalence(t *testing.T) {
+	f := func(vals []float64) bool {
+		var all, left, right Running
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true // metric values are bounded in practice
+			}
+			all.Add(v, 1)
+			if i%2 == 0 {
+				left.Add(v, 1)
+			} else {
+				right.Add(v, 1)
+			}
+		}
+		left.Merge(right)
+		return left.Count() == all.Count() && math.Abs(left.Mean()-all.Mean()) < 1e-9*(1+math.Abs(all.Mean()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	c := Curve{{0, 3, 4}, {1, 2, 2.5}, {2, 1.8, 2.7}}
+	if c.BestVal() != 2.5 {
+		t.Fatalf("BestVal %v", c.BestVal())
+	}
+	if c.FinalTrain() != 1.8 {
+		t.Fatalf("FinalTrain %v", c.FinalTrain())
+	}
+	var empty Curve
+	if !math.IsInf(empty.BestVal(), 1) || !math.IsNaN(empty.FinalTrain()) {
+		t.Fatal("empty curve sentinels wrong")
+	}
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+
+	"pgti/internal/autograd"
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+)
+
+// A3TGCN is the attention temporal graph convolutional network of Zhu et
+// al., used in the paper's broader-applicability study (§5.5, Table 6). A
+// TGCN cell (1-hop graph convolution + GRU) produces a hidden state per
+// input step; a learned temporal-attention head scores the steps, and the
+// attention-weighted context predicts the full horizon in one shot.
+type A3TGCN struct {
+	In, Hidden, Horizon int
+	cell                *DCGRUCell
+	attScore            *Linear // hidden -> 1, per-step attention logit
+	head                *Linear // hidden -> Horizon
+}
+
+// NewA3TGCN constructs the model. The TGCN graph convolution is realized as
+// a K=1 diffusion convolution over the forward transition matrix only.
+func NewA3TGCN(rng *tensor.RNG, support *sparse.CSR, in, hidden, horizon int) *A3TGCN {
+	if hidden == 0 {
+		hidden = 32
+	}
+	return &A3TGCN{
+		In:       in,
+		Hidden:   hidden,
+		Horizon:  horizon,
+		cell:     NewDCGRUCell(rng, "a3tgcn.cell", []*sparse.CSR{support}, 1, in, hidden),
+		attScore: NewLinear(rng, "a3tgcn.att", hidden, 1),
+		head:     NewLinear(rng, "a3tgcn.head", hidden, horizon),
+	}
+}
+
+// Parameters implements Module.
+func (m *A3TGCN) Parameters() []*Parameter {
+	ps := m.cell.Parameters()
+	ps = append(ps, m.attScore.Parameters()...)
+	return append(ps, m.head.Parameters()...)
+}
+
+// OutSteps implements SeqModel.
+func (m *A3TGCN) OutSteps() int { return m.Horizon }
+
+// Forward maps x [B, T, N, In] to [B, Horizon, N, 1].
+func (m *A3TGCN) Forward(x *autograd.Variable) *autograd.Variable {
+	shape := x.Shape()
+	if len(shape) != 4 || shape[3] != m.In {
+		panic(fmt.Sprintf("nn: A3TGCN expects [B,T,N,%d], got %v", m.In, shape))
+	}
+	b, steps, n := shape[0], shape[1], shape[2]
+
+	// Run the TGCN recurrence, keeping every hidden state.
+	h := m.cell.InitState(b, n)
+	hiddens := make([]*autograd.Variable, 0, steps)
+	scores := make([]*autograd.Variable, 0, steps)
+	for t := 0; t < steps; t++ {
+		h = m.cell.Step(stepInput(x, t), h)
+		hiddens = append(hiddens, h)
+		// Per-(batch, node) attention logit for this step: [B, N].
+		scores = append(scores, autograd.Reshape(m.attScore.Forward(h), b, n))
+	}
+
+	// Softmax over time, then attention-weighted sum of hidden states.
+	weights := autograd.Softmax(autograd.Stack(2, scores...)) // [B, N, T]
+	var context *autograd.Variable
+	for t, ht := range hiddens {
+		wt := autograd.Slice(weights, 2, t, t+1) // [B, N, 1], broadcasts over Hidden
+		term := autograd.Mul(wt, ht)
+		if context == nil {
+			context = term
+		} else {
+			context = autograd.Add(context, term)
+		}
+	}
+
+	// Predict the whole horizon from the context: [B, N, Horizon].
+	out := m.head.Forward(context)
+	// Rearrange to [B, Horizon, N, 1].
+	return autograd.Reshape(autograd.Transpose(out, 1, 2), b, m.Horizon, n, 1)
+}

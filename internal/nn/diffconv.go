@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"fmt"
+
+	"pgti/internal/autograd"
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+)
+
+// DiffusionConv implements the diffusion convolution of Li et al. (DCRNN):
+//
+//	H = sum_{s in supports} sum_{k=0..K} theta_{s,k} (S_s)^k X
+//
+// realized, as in the reference implementation, by concatenating the powers
+// [X, S1 X, S1^2 X, ..., S2 X, ...] along the feature axis followed by a
+// single dense projection. Supports are the forward/backward random-walk
+// transition matrices of the sensor graph; they are constants (the graph
+// topology is static), so only the projection carries gradients.
+type DiffusionConv struct {
+	Supports []*sparse.CSR
+	K        int
+	In, Out  int
+	proj     *Linear
+}
+
+// NewDiffusionConv constructs a diffusion-convolution layer with K hops per
+// support matrix.
+func NewDiffusionConv(rng *tensor.RNG, name string, supports []*sparse.CSR, k, in, out int) *DiffusionConv {
+	if len(supports) == 0 {
+		panic("nn: DiffusionConv needs at least one support matrix")
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("nn: DiffusionConv needs K >= 1, got %d", k))
+	}
+	mats := 1 + k*len(supports)
+	return &DiffusionConv{
+		Supports: supports,
+		K:        k,
+		In:       in,
+		Out:      out,
+		proj:     NewLinear(rng, name+".proj", mats*in, out),
+	}
+}
+
+// Parameters implements Module.
+func (dc *DiffusionConv) Parameters() []*Parameter { return dc.proj.Parameters() }
+
+// Forward maps node features [B, N, In] to [B, N, Out] using the supports
+// the layer was constructed with (the static-graph case).
+func (dc *DiffusionConv) Forward(x *autograd.Variable) *autograd.Variable {
+	return dc.ForwardOn(dc.Supports, x)
+}
+
+// ForwardOn applies the layer's weights with the given support matrices —
+// the dynamic-graph path (the paper's §7 extension: topology that evolves
+// over time while the learned diffusion filters are shared). The support
+// count must match the layer's construction.
+func (dc *DiffusionConv) ForwardOn(supports []*sparse.CSR, x *autograd.Variable) *autograd.Variable {
+	if len(supports) != len(dc.Supports) {
+		panic(fmt.Sprintf("nn: DiffusionConv built for %d supports, got %d", len(dc.Supports), len(supports)))
+	}
+	shape := x.Shape()
+	if len(shape) != 3 || shape[2] != dc.In {
+		panic(fmt.Sprintf("nn: DiffusionConv expects [B,N,%d], got %v", dc.In, shape))
+	}
+	b, n, c := shape[0], shape[1], shape[2]
+	if n != supports[0].RowsN {
+		panic(fmt.Sprintf("nn: DiffusionConv graph has %d nodes, input has %d", supports[0].RowsN, n))
+	}
+	// SpMM contracts over the node axis, so fold batch and channels together:
+	// [B,N,C] -> [N, B*C].
+	xNodeMajor := autograd.Reshape(autograd.Transpose(x, 0, 1), n, b*c)
+	feats := []*autograd.Variable{xNodeMajor}
+	for _, s := range supports {
+		cur := xNodeMajor
+		for k := 0; k < dc.K; k++ {
+			cur = autograd.SpMM(s, cur)
+			feats = append(feats, cur)
+		}
+	}
+	// Reassemble each power as [N,B,C], concat on the channel axis, restore
+	// batch-major layout, and project.
+	parts := make([]*autograd.Variable, len(feats))
+	for i, f := range feats {
+		parts[i] = autograd.Reshape(f, n, b, c)
+	}
+	stacked := autograd.Concat(2, parts...)                      // [N, B, C*mats]
+	batchMajor := autograd.Transpose(stacked, 0, 1)              // [B, N, C*mats]
+	flat := autograd.Reshape(batchMajor, b*n, len(feats)*c)      // [B*N, C*mats]
+	return autograd.Reshape(dc.proj.Forward(flat), b, n, dc.Out) // [B, N, Out]
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"testing"
+
+	"pgti/internal/autograd"
+	"pgti/internal/graph"
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+)
+
+// dynamicSupports builds `periods` distinct topologies over the same nodes.
+func dynamicSupports(t *testing.T, n, periods int) [][]*sparse.CSR {
+	t.Helper()
+	out := make([][]*sparse.CSR, periods)
+	for i := 0; i < periods; i++ {
+		g, err := graph.RoadNetwork(uint64(100+i), n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd, bwd := g.TransitionMatrices()
+		out[i] = []*sparse.CSR{fwd, bwd}
+	}
+	return out
+}
+
+func TestForwardDynamicNilMatchesStatic(t *testing.T) {
+	sup := testSupports(t, 6)
+	rng := tensor.NewRNG(60)
+	m := NewPGTDCRNN(rng, sup, 1, 1, 6, 3)
+	x := autograd.Constant(tensor.Randn(rng, 2, 3, 6, 1))
+	a := m.Forward(x)
+	b := m.ForwardDynamic(x, nil)
+	if !a.Value.Equal(b.Value) {
+		t.Fatal("nil supports must reproduce the static forward pass")
+	}
+	// Explicit constant supports also match.
+	static := [][]*sparse.CSR{sup, sup, sup}
+	c := m.ForwardDynamic(x, static)
+	if !a.Value.Equal(c.Value) {
+		t.Fatal("constant dynamic supports must reproduce the static pass")
+	}
+}
+
+func TestForwardDynamicTopologyChangesOutput(t *testing.T) {
+	sup := testSupports(t, 6)
+	other := dynamicSupports(t, 6, 2)
+	rng := tensor.NewRNG(61)
+	m := NewPGTDCRNN(rng, sup, 1, 1, 6, 3)
+	x := autograd.Constant(tensor.Randn(rng, 2, 3, 6, 1))
+	static := m.Forward(x)
+	dynamic := m.ForwardDynamic(x, [][]*sparse.CSR{sup, other[0], other[1]})
+	if static.Value.Equal(dynamic.Value) {
+		t.Fatal("changing mid-window topology must change predictions")
+	}
+}
+
+func TestDynamicTrainingReducesLoss(t *testing.T) {
+	sup := testSupports(t, 6)
+	perStep := dynamicSupports(t, 6, 3)
+	rng := tensor.NewRNG(62)
+	m := NewPGTDCRNN(rng, sup, 1, 1, 6, 3)
+	opt := NewAdam(m, 0.01)
+	x := tensor.Randn(rng, 4, 3, 6, 1)
+	y := tensor.Randn(rng, 4, 3, 6, 1).MulScalar(0.3)
+	var first, last float64
+	for i := 0; i < 20; i++ {
+		out := m.ForwardDynamic(autograd.Constant(x), perStep)
+		loss := autograd.MAELoss(out, y)
+		if i == 0 {
+			first = loss.Value.Item()
+		}
+		last = loss.Value.Item()
+		if err := autograd.Backward(loss); err != nil {
+			t.Fatal(err)
+		}
+		opt.Step()
+	}
+	if last >= first {
+		t.Fatalf("dynamic-graph training did not reduce loss: %v -> %v", first, last)
+	}
+}
+
+func TestDiffusionConvForwardOnValidation(t *testing.T) {
+	sup := testSupports(t, 6)
+	dc := NewDiffusionConv(tensor.NewRNG(63), "dc", sup, 1, 2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for support-count mismatch")
+		}
+	}()
+	dc.ForwardOn(sup[:1], autograd.Constant(tensor.Randn(tensor.NewRNG(64), 1, 6, 2)))
+}
+
+func TestForwardDynamicLengthValidation(t *testing.T) {
+	sup := testSupports(t, 6)
+	m := NewPGTDCRNN(tensor.NewRNG(65), sup, 1, 1, 4, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong supports length")
+		}
+	}()
+	m.ForwardDynamic(autograd.Constant(tensor.New(1, 3, 6, 1)), [][]*sparse.CSR{sup})
+}

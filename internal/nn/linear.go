@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"fmt"
+
+	"pgti/internal/autograd"
+	"pgti/internal/tensor"
+)
+
+// Linear is a fully-connected layer y = x @ W + b applied over the last
+// dimension. Inputs of rank > 2 are flattened to [M, In] and restored.
+type Linear struct {
+	In, Out int
+	Weight  *Parameter
+	Bias    *Parameter
+}
+
+// NewLinear constructs a Glorot-initialized linear layer.
+func NewLinear(rng *tensor.RNG, name string, in, out int) *Linear {
+	return &Linear{
+		In:     in,
+		Out:    out,
+		Weight: &Parameter{Name: name + ".weight", V: autograd.NewVariable(tensor.GlorotUniform(rng, in, out, in, out))},
+		Bias:   &Parameter{Name: name + ".bias", V: autograd.NewVariable(tensor.New(out))},
+	}
+}
+
+// Parameters implements Module.
+func (l *Linear) Parameters() []*Parameter { return []*Parameter{l.Weight, l.Bias} }
+
+// Forward applies the affine map over the last dimension of x.
+func (l *Linear) Forward(x *autograd.Variable) *autograd.Variable {
+	shape := x.Shape()
+	last := len(shape) - 1
+	if shape[last] != l.In {
+		panic(fmt.Sprintf("nn: Linear(%d->%d) got input with last dim %d", l.In, l.Out, shape[last]))
+	}
+	flat := x
+	if len(shape) != 2 {
+		flat = autograd.Reshape(x, -1, l.In)
+	}
+	out := autograd.Add(autograd.MatMul(flat, l.Weight.V), l.Bias.V)
+	if len(shape) != 2 {
+		outShape := append(append([]int{}, shape[:last]...), l.Out)
+		out = autograd.Reshape(out, outShape...)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package nn
+
+import "math"
+
+// LRSchedule adjusts an optimizer's learning rate across epochs. The
+// reference DCRNN trains with a multi-step decay; cosine is provided as the
+// common modern alternative.
+type LRSchedule interface {
+	// LR returns the learning rate for the given 0-based epoch.
+	LR(epoch int) float64
+}
+
+// ConstantLR holds the rate fixed.
+type ConstantLR float64
+
+// LR implements LRSchedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// MultiStepLR decays the base rate by Gamma at each milestone epoch —
+// DCRNN's schedule (milestones {20, 30, 40, 50}, gamma 0.1 in the
+// reference implementation).
+type MultiStepLR struct {
+	Base       float64
+	Milestones []int
+	Gamma      float64
+}
+
+// LR implements LRSchedule.
+func (m MultiStepLR) LR(epoch int) float64 {
+	lr := m.Base
+	gamma := m.Gamma
+	if gamma <= 0 {
+		gamma = 0.1
+	}
+	for _, ms := range m.Milestones {
+		if epoch >= ms {
+			lr *= gamma
+		}
+	}
+	return lr
+}
+
+// CosineLR anneals from Base to Floor over Epochs.
+type CosineLR struct {
+	Base   float64
+	Floor  float64
+	Epochs int
+}
+
+// LR implements LRSchedule.
+func (c CosineLR) LR(epoch int) float64 {
+	if c.Epochs <= 1 {
+		return c.Base
+	}
+	t := float64(epoch) / float64(c.Epochs-1)
+	if t > 1 {
+		t = 1
+	}
+	return c.Floor + 0.5*(c.Base-c.Floor)*(1+math.Cos(math.Pi*t))
+}
+
+// ApplySchedule sets the optimizer's rate for the epoch and returns it.
+func ApplySchedule(opt Optimizer, s LRSchedule, epoch int) float64 {
+	lr := s.LR(epoch)
+	opt.SetLearningRate(lr)
+	return lr
+}
+
+// EarlyStopper implements patience-based early stopping on a monitored
+// metric (lower is better), the standard guard for the paper's 100-epoch
+// runs.
+type EarlyStopper struct {
+	Patience int
+	MinDelta float64
+
+	best    float64
+	bad     int
+	started bool
+}
+
+// NewEarlyStopper returns a stopper that gives up after `patience` epochs
+// without an improvement of at least minDelta.
+func NewEarlyStopper(patience int, minDelta float64) *EarlyStopper {
+	return &EarlyStopper{Patience: patience, MinDelta: minDelta}
+}
+
+// Observe records an epoch's metric and reports whether training should
+// stop.
+func (e *EarlyStopper) Observe(value float64) bool {
+	if !e.started || value < e.best-e.MinDelta {
+		e.best = value
+		e.bad = 0
+		e.started = true
+		return false
+	}
+	e.bad++
+	return e.bad >= e.Patience
+}
+
+// Best returns the best metric seen so far (+Inf before any observation).
+func (e *EarlyStopper) Best() float64 {
+	if !e.started {
+		return math.Inf(1)
+	}
+	return e.best
+}
+
+// ScheduledSampler implements inverse-sigmoid scheduled sampling
+// (curriculum learning), the original DCRNN's decoder training trick: early
+// in training the decoder is fed ground truth with high probability, and
+// the probability decays toward 0 so the model learns to consume its own
+// predictions.
+type ScheduledSampler struct {
+	// Tau controls the decay: p(step) = Tau / (Tau + exp(step/Tau)).
+	Tau float64
+	// step counts global optimizer steps.
+	step int
+}
+
+// NewScheduledSampler returns a sampler with decay constant tau
+// (the reference uses 3000).
+func NewScheduledSampler(tau float64) *ScheduledSampler {
+	if tau <= 0 {
+		tau = 3000
+	}
+	return &ScheduledSampler{Tau: tau}
+}
+
+// TeacherForcingProb returns the current probability of feeding ground
+// truth to the decoder.
+func (s *ScheduledSampler) TeacherForcingProb() float64 {
+	return s.Tau / (s.Tau + math.Exp(float64(s.step)/s.Tau))
+}
+
+// Step advances the global step counter.
+func (s *ScheduledSampler) Step() { s.step++ }

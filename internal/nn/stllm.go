@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"pgti/internal/autograd"
+	"pgti/internal/tensor"
+)
+
+// STLLMLite is a compact stand-in for ST-LLM (Liu et al.), the third model
+// family in the paper's broader-applicability study (§5.5, Fig. 10). Like
+// ST-LLM it tokenizes each graph node: the node's input window is embedded
+// into a d-model vector, enriched with a learned spatial (node) embedding,
+// passed through a pre-norm transformer block with full spatial
+// self-attention, and regressed to the prediction horizon. The GPT-2
+// backbone is replaced by a single from-scratch attention block — the piece
+// that matters for the paper's claims is the sequence-to-sequence data
+// interface, which is identical.
+type STLLMLite struct {
+	Nodes, TIn, TOut, In, D int
+	inProj                  *Linear
+	nodeEmb                 *Parameter
+	q, k, v, o              *Linear
+	ln1g, ln1b, ln2g, ln2b  *Parameter
+	ff1, ff2                *Linear
+	head                    *Linear
+}
+
+// NewSTLLMLite constructs the model: nodes tokens, window length tIn with
+// `in` features each, model width d, predicting tOut steps.
+func NewSTLLMLite(rng *tensor.RNG, nodes, tIn, in, d, tOut int) *STLLMLite {
+	if d == 0 {
+		d = 64
+	}
+	m := &STLLMLite{
+		Nodes:   nodes,
+		TIn:     tIn,
+		TOut:    tOut,
+		In:      in,
+		D:       d,
+		inProj:  NewLinear(rng, "stllm.inProj", tIn*in, d),
+		nodeEmb: &Parameter{Name: "stllm.nodeEmb", V: autograd.NewVariable(tensor.Randn(rng, nodes, d).MulScalar(0.02))},
+		q:       NewLinear(rng, "stllm.q", d, d),
+		k:       NewLinear(rng, "stllm.k", d, d),
+		v:       NewLinear(rng, "stllm.v", d, d),
+		o:       NewLinear(rng, "stllm.o", d, d),
+		ln1g:    &Parameter{Name: "stllm.ln1.gamma", V: autograd.NewVariable(tensor.Ones(d))},
+		ln1b:    &Parameter{Name: "stllm.ln1.beta", V: autograd.NewVariable(tensor.New(d))},
+		ln2g:    &Parameter{Name: "stllm.ln2.gamma", V: autograd.NewVariable(tensor.Ones(d))},
+		ln2b:    &Parameter{Name: "stllm.ln2.beta", V: autograd.NewVariable(tensor.New(d))},
+		ff1:     NewLinear(rng, "stllm.ff1", d, 4*d),
+		ff2:     NewLinear(rng, "stllm.ff2", 4*d, d),
+		head:    NewLinear(rng, "stllm.head", d, tOut),
+	}
+	return m
+}
+
+// Parameters implements Module.
+func (m *STLLMLite) Parameters() []*Parameter {
+	ps := []*Parameter{m.nodeEmb, m.ln1g, m.ln1b, m.ln2g, m.ln2b}
+	for _, l := range []*Linear{m.inProj, m.q, m.k, m.v, m.o, m.ff1, m.ff2, m.head} {
+		ps = append(ps, l.Parameters()...)
+	}
+	return ps
+}
+
+// OutSteps implements SeqModel.
+func (m *STLLMLite) OutSteps() int { return m.TOut }
+
+// Forward maps x [B, T, N, In] to [B, TOut, N, 1].
+func (m *STLLMLite) Forward(x *autograd.Variable) *autograd.Variable {
+	shape := x.Shape()
+	if len(shape) != 4 || shape[1] != m.TIn || shape[2] != m.Nodes || shape[3] != m.In {
+		panic(fmt.Sprintf("nn: STLLMLite expects [B,%d,%d,%d], got %v", m.TIn, m.Nodes, m.In, shape))
+	}
+	b, n := shape[0], shape[2]
+
+	// Tokenize: each node's full window becomes one token.
+	// [B,T,N,F] -> [B,N,T,F] -> [B*N, T*F] -> [B,N,D]
+	tokens := m.inProj.Forward(autograd.Reshape(autograd.Transpose(x, 1, 2), b*n, m.TIn*m.In))
+	tokens = autograd.Reshape(tokens, b, n, m.D)
+	tokens = autograd.Add(tokens, m.nodeEmb.V) // broadcast spatial embedding
+
+	// Pre-norm spatial self-attention with residual, batched over B via BMM
+	// (no per-batch-element Go loop).
+	scale := 1 / math.Sqrt(float64(m.D))
+	normed := autograd.LayerNorm(tokens, m.ln1g.V, m.ln1b.V, 1e-5)
+	qv := m.q.Forward(normed) // [B, N, D]
+	kv := m.k.Forward(normed)
+	vv := m.v.Forward(normed)
+	scores := autograd.ScalarMul(autograd.BMM(qv, autograd.Transpose(kv, 1, 2)), scale)
+	att := autograd.Softmax(scores) // softmax over the key axis
+	tokens = autograd.Add(tokens, m.o.Forward(autograd.BMM(att, vv)))
+
+	// Pre-norm feed-forward with residual.
+	ff := m.ff2.Forward(autograd.Relu(m.ff1.Forward(autograd.LayerNorm(tokens, m.ln2g.V, m.ln2b.V, 1e-5))))
+	tokens = autograd.Add(tokens, ff)
+
+	out := m.head.Forward(tokens) // [B, N, TOut]
+	return autograd.Reshape(autograd.Transpose(out, 1, 2), b, m.TOut, n, 1)
+}

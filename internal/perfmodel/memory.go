@@ -1,0 +1,167 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"pgti/internal/dataset"
+	"pgti/internal/memsim"
+)
+
+// StageOp is one event of a modeled memory timeline: allocate bytes under
+// Label, or free everything held under FreeLabel.
+type StageOp struct {
+	Label     string
+	Alloc     int64
+	FreeLabel string
+}
+
+// ReplayStages walks a stage sequence against a capacity-limited tracker,
+// recording a progress sample after each event. It stops with the OOM error
+// at the first stage that exceeds capacity — the modeled equivalent of the
+// paper's crashed preprocessing runs.
+func ReplayStages(t *memsim.Tracker, stages []StageOp) error {
+	for i, s := range stages {
+		if s.FreeLabel != "" {
+			t.FreeAll(s.FreeLabel)
+		}
+		if s.Alloc > 0 {
+			if err := t.Alloc(s.Label, s.Alloc); err != nil {
+				t.Record(float64(i+1) / float64(len(stages)))
+				return fmt.Errorf("perfmodel: stage %d (%s): %w", i, s.Label, err)
+			}
+		}
+		t.Record(float64(i+1) / float64(len(stages)))
+	}
+	return nil
+}
+
+// activationUnit returns the per-batch activation building block:
+// batch x steps x nodes x hidden x 8 bytes.
+func activationUnit(batch, steps, nodes, hidden int) int64 {
+	return int64(batch) * int64(steps) * int64(nodes) * int64(hidden) * 8
+}
+
+// StandardPipelineStages returns the host-memory timeline of Algorithm 1 as
+// run by PGT-DCRNN (dcrnnLoader=false) or the original DCRNN
+// (dcrnnLoader=true, which holds an extra padded dataset copy). The stage
+// sequence mirrors internal/batching.StandardPreprocess and reproduces the
+// paper's measured peaks: 259.84 GB (PGT) and 371.25 GB (DCRNN) on
+// PeMS-All-LA.
+func StandardPipelineStages(meta dataset.Meta, dcrnnLoader bool) []StageOp {
+	eq1 := meta.StandardBytes()
+	stages := []StageOp{
+		{Label: "raw", Alloc: meta.RawBytes()},
+		{Label: "augmented", Alloc: meta.AugmentedBytes()},
+		{Label: "raw", FreeLabel: "raw"},
+		// SWA snapshot lists (x + y copies).
+		{Label: "swa.lists", Alloc: eq1},
+		// Stacked arrays while the lists are still alive.
+		{Label: "swa.stacked", Alloc: eq1},
+	}
+	if dcrnnLoader {
+		// The original DCRNN loader builds its padded copies inside the
+		// same scope, before anything is released (Table 2 analysis).
+		stages = append(stages, StageOp{
+			Label: "loader.padded",
+			Alloc: int64(float64(eq1) * (1 + DCRNNPadFrac)),
+		})
+	}
+	stages = append(stages,
+		// Standardization materializes one array at a time.
+		StageOp{Label: "standardize.temp", Alloc: int64(float64(eq1) * StdTempFrac)},
+		StageOp{FreeLabel: "swa.stacked"},
+		StageOp{FreeLabel: "swa.lists"},
+	)
+	return stages
+}
+
+// IndexPipelineStages returns the host-memory timeline of CPU
+// index-batching: framework runtime + the single data copy + a transient
+// standardization buffer (the reference numpy pipeline standardizes into a
+// fresh array). Peak on full PeMS: ~44.4 GiB vs. the paper's measured
+// 45.84 GB.
+func IndexPipelineStages(meta dataset.Meta) []StageOp {
+	aug := meta.AugmentedBytes()
+	return []StageOp{
+		{Label: "framework", Alloc: FrameworkOverheadBytes},
+		{Label: "data", Alloc: aug},
+		{Label: "index.starts", Alloc: int64(meta.Snapshots()) * 8},
+		{Label: "standardize.temp", Alloc: aug},
+		{Label: "standardize.temp", FreeLabel: "standardize.temp"},
+	}
+}
+
+// GPUIndexPipelineStages returns the (host, device) timelines of
+// GPU-index-batching: the host only ever holds the raw file plus runtime;
+// the device holds the augmented data (raw + time-of-day channel built in
+// place) and the resident training footprint. Table 4 anchors: 18.20 GB
+// CPU, 18.60 GB GPU.
+func GPUIndexPipelineStages(meta dataset.Meta, batch, hidden int) (host, gpu []StageOp) {
+	host = []StageOp{
+		{Label: "framework", Alloc: FrameworkOverheadBytes},
+		{Label: "raw", Alloc: meta.RawBytes()},
+		// Raw is released once staged to the device.
+		{Label: "raw", FreeLabel: "raw"},
+	}
+	act := int64(float64(activationUnit(batch, meta.Horizon, meta.Nodes, hidden)) * ActFactorResident)
+	gpu = []StageOp{
+		{Label: "data.raw", Alloc: meta.RawBytes()},
+		{Label: "data.timeofday", Alloc: meta.AugmentedBytes() - meta.RawBytes()},
+		{Label: "index.starts", Alloc: int64(meta.Snapshots()) * 8},
+		{Label: "train.activations", Alloc: act},
+	}
+	return host, gpu
+}
+
+// TrainingGPUBytes returns the modeled device footprint during non-resident
+// training (batch staging + retained activations) for the given model
+// class.
+func TrainingGPUBytes(meta dataset.Meta, batch, hidden int, dcrnn bool) int64 {
+	steps := meta.Horizon
+	factor := ActFactorPGTDCRNN
+	if dcrnn {
+		steps *= 2 // encoder + decoder
+		factor = ActFactorDCRNN
+	}
+	batchStage := BatchBytes(batch, meta.Horizon, meta.Nodes, meta.Features())
+	return batchStage + int64(float64(activationUnit(batch, steps, meta.Nodes, hidden))*factor)
+}
+
+// DaskWorkerOverheadBytes is the per-Dask-worker process footprint in a
+// multi-worker deployment (lighter than the single-process PyTorch runtime:
+// no dataloader workers, shared CUDA libs). Calibrated to Fig. 7's 90.18 GB
+// per-node footprint for distributed-index-batching at 32 workers.
+var DaskWorkerOverheadBytes = int64(5 * memsim.GiB)
+
+// DistIndexWorkerBytes returns one worker's host footprint under
+// distributed-index-batching: the full local augmented copy (the strategy's
+// defining trade) plus the worker runtime.
+func DistIndexWorkerBytes(meta dataset.Meta) int64 {
+	return meta.AugmentedBytes() + int64(meta.Snapshots())*8 + DaskWorkerOverheadBytes
+}
+
+// GenDistIndexWorkerBytes returns one worker's host footprint under
+// generalized-distributed-index-batching (§5.4): a 1/workers partition of
+// the single data copy plus the process runtime.
+func GenDistIndexWorkerBytes(meta dataset.Meta, workers int) int64 {
+	part := (meta.AugmentedBytes() + int64(meta.Snapshots())*8) / int64(workers)
+	return part + FrameworkOverheadBytes
+}
+
+// BaselineDDPWorkerBytes returns one DDP worker's host bytes: its partition
+// of the materialized eq. 1 arrays plus batch staging (Fig. 7 anchor:
+// 53.3 GB per node at 32 workers).
+func BaselineDDPWorkerBytes(meta dataset.Meta, batch, workers int) int64 {
+	part := meta.StandardBytes() / int64(workers)
+	return part + 2*BatchBytes(batch, meta.Horizon, meta.Nodes, meta.Features())
+}
+
+// NodeBytes scales a per-worker footprint to a Polaris node (4 workers per
+// node, one per GPU).
+func NodeBytes(perWorker int64, workers int) int64 {
+	perNode := workers
+	if perNode > 4 {
+		perNode = 4
+	}
+	return int64(perNode) * perWorker
+}

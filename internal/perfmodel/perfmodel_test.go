@@ -1,0 +1,331 @@
+package perfmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pgti/internal/dataset"
+	"pgti/internal/memsim"
+)
+
+// within asserts |got-want|/want <= frac.
+func within(t *testing.T, name string, got, want, frac float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if math.Abs(got-want)/math.Abs(want) > frac {
+		t.Fatalf("%s: got %.4g, paper %.4g (off by more than %.0f%%)", name, got, want, frac*100)
+	}
+}
+
+func gib(b int64) float64 { return float64(b) / float64(memsim.GiB) }
+
+func pemsDims() DCGRUDims {
+	return PGTDCRNNDims(dataset.PeMS.Nodes, dataset.PeMS.Nodes*9)
+}
+
+func allLADims() DCGRUDims {
+	return PGTDCRNNDims(dataset.PeMSAllLA.Nodes, dataset.PeMSAllLA.Nodes*9)
+}
+
+// --- Table 2 anchors -------------------------------------------------------
+
+func TestTable2RuntimeAnchors(t *testing.T) {
+	c := NewDeterministic()
+	pgt := c.SingleGPURun(allLADims(), dataset.PeMSAllLA, 32, 1, false)
+	within(t, "PGT-DCRNN All-LA epoch (min)", pgt.Total.Minutes(), 4.48, 0.10)
+	dcrnn := c.BaselineSingleGPURun(allLADims(), dataset.PeMSAllLA, 32, 1)
+	within(t, "DCRNN All-LA epoch (min)", dcrnn.Total.Minutes(), 68.48, 0.15)
+	// The headline ratio: PGT-DCRNN ~15.3x faster.
+	within(t, "DCRNN/PGT ratio", dcrnn.Total.Minutes()/pgt.Total.Minutes(), 15.3, 0.15)
+}
+
+func TestTable2MemoryAnchors(t *testing.T) {
+	trPGT := memsim.NewTracker("pgt", 0)
+	if err := ReplayStages(trPGT, StandardPipelineStages(dataset.PeMSAllLA, false)); err != nil {
+		t.Fatal(err)
+	}
+	within(t, "PGT-DCRNN All-LA system peak (GiB)", gib(trPGT.Peak()), 259.84, 0.03)
+
+	trD := memsim.NewTracker("dcrnn", 0)
+	if err := ReplayStages(trD, StandardPipelineStages(dataset.PeMSAllLA, true)); err != nil {
+		t.Fatal(err)
+	}
+	within(t, "DCRNN All-LA system peak (GiB)", gib(trD.Peak()), 371.25, 0.03)
+
+	within(t, "DCRNN All-LA GPU (GiB)", gib(TrainingGPUBytes(dataset.PeMSAllLA, 32, 64, true)), 24.84, 0.10)
+	within(t, "PGT All-LA GPU (GiB)", gib(TrainingGPUBytes(dataset.PeMSAllLA, 32, 64, false)), 1.58, 0.25)
+}
+
+// --- Table 4 anchors -------------------------------------------------------
+
+func TestTable4RuntimeAnchors(t *testing.T) {
+	c := NewDeterministic()
+	idx := c.SingleGPURun(pemsDims(), dataset.PeMS, 32, 30, false)
+	gidx := c.SingleGPURun(pemsDims(), dataset.PeMS, 32, 30, true)
+	within(t, "index-batching PeMS 30 epochs (min)", idx.Total.Minutes(), 333.58, 0.05)
+	within(t, "GPU-index-batching PeMS 30 epochs (min)", gidx.Total.Minutes(), 290.65, 0.05)
+	saving := 1 - gidx.Total.Minutes()/idx.Total.Minutes()
+	within(t, "GPU-index runtime saving", saving, 0.1287, 0.10)
+}
+
+func TestTable4PreprocessingAnchors(t *testing.T) {
+	c := NewDeterministic()
+	within(t, "index preprocessing (s)", c.IndexPreprocessTime(dataset.PeMS, false).Seconds(), 26.05, 0.10)
+	within(t, "GPU-index preprocessing (s)", c.IndexPreprocessTime(dataset.PeMS, true).Seconds(), 19.05, 0.15)
+	within(t, "DDP preprocessing (s)", c.DDPPreprocessTime(dataset.PeMS).Seconds(), 305, 0.05)
+}
+
+func TestTable4MemoryAnchors(t *testing.T) {
+	trIdx := memsim.NewTracker("idx", 0)
+	if err := ReplayStages(trIdx, IndexPipelineStages(dataset.PeMS)); err != nil {
+		t.Fatal(err)
+	}
+	within(t, "index PeMS CPU peak (GiB)", gib(trIdx.Peak()), 45.84, 0.05)
+
+	host, gpu := GPUIndexPipelineStages(dataset.PeMS, 32, 64)
+	trH := memsim.NewTracker("host", 0)
+	trG := memsim.NewTracker("gpu", 0)
+	if err := ReplayStages(trH, host); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayStages(trG, gpu); err != nil {
+		t.Fatal(err)
+	}
+	within(t, "GPU-index CPU peak (GiB)", gib(trH.Peak()), 18.20, 0.05)
+	within(t, "GPU-index GPU peak (GiB)", gib(trG.Peak()), 18.60, 0.05)
+	within(t, "index PeMS GPU (GiB)", gib(TrainingGPUBytes(dataset.PeMS, 32, 64, false)), 5.50, 0.05)
+}
+
+// --- OOM semantics (Figs. 2 and 6) ----------------------------------------
+
+func TestStandardPipelineOOMsOnPeMS(t *testing.T) {
+	// Full PeMS under standard preprocessing must exceed a 512 GB node —
+	// the paper's crashing configuration.
+	tr := memsim.NewTracker("polaris", 512*memsim.GiB)
+	err := ReplayStages(tr, StandardPipelineStages(dataset.PeMS, false))
+	if err == nil {
+		t.Fatal("standard preprocessing of PeMS must OOM a 512 GB node")
+	}
+	if !strings.Contains(err.Error(), "out of memory") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// All-LA fits (the paper trains it successfully, near the limit).
+	tr2 := memsim.NewTracker("polaris", 512*memsim.GiB)
+	if err := ReplayStages(tr2, StandardPipelineStages(dataset.PeMSAllLA, false)); err != nil {
+		t.Fatalf("All-LA must fit on a 512 GB node: %v", err)
+	}
+	// Index-batching makes PeMS fit easily.
+	tr3 := memsim.NewTracker("polaris", 512*memsim.GiB)
+	if err := ReplayStages(tr3, IndexPipelineStages(dataset.PeMS)); err != nil {
+		t.Fatalf("index-batching PeMS must fit: %v", err)
+	}
+	if gib(tr3.Peak()) > 64 {
+		t.Fatalf("index PeMS peak %.1f GiB should be far below the node limit", gib(tr3.Peak()))
+	}
+}
+
+// --- Fig. 7 scaling anchors -------------------------------------------------
+
+func TestFig7ScalingAnchors(t *testing.T) {
+	c := NewDeterministic()
+	d := pemsDims()
+	single := c.SingleGPURun(d, dataset.PeMS, 32, 30, false)
+
+	di4 := c.DistIndexRun(d, dataset.PeMS, 32, 4, 30)
+	ddp4 := c.BaselineDDPRun(d, dataset.PeMS, 32, 4, 30)
+	within(t, "DDP/dist-index ratio at 4 GPUs", ddp4.Total.Minutes()/di4.Total.Minutes(), 2.16, 0.10)
+
+	di128 := c.DistIndexRun(d, dataset.PeMS, 32, 128, 30)
+	ddp128 := c.BaselineDDPRun(d, dataset.PeMS, 32, 128, 30)
+	within(t, "DDP/dist-index ratio at 128 GPUs", ddp128.Total.Minutes()/di128.Total.Minutes(), 11.78, 0.15)
+
+	within(t, "dist-index total speedup at 128 GPUs",
+		single.Total.Minutes()/di128.Total.Minutes(), 79.41, 0.15)
+	trainSpeedup := (single.Train + single.Comm).Minutes() / (di128.Train + di128.Comm).Minutes()
+	within(t, "dist-index training speedup at 128 GPUs", trainSpeedup, 115.49, 0.10)
+}
+
+func TestFig7NearLinearThrough32(t *testing.T) {
+	c := NewDeterministic()
+	d := pemsDims()
+	prev := c.DistIndexRun(d, dataset.PeMS, 32, 4, 30).Total.Minutes()
+	for _, p := range []int{8, 16, 32} {
+		cur := c.DistIndexRun(d, dataset.PeMS, 32, p, 30).Total.Minutes()
+		ratio := prev / cur
+		if ratio < 1.7 || ratio > 2.05 {
+			t.Fatalf("doubling to %d GPUs gave %fx, expected near-linear (1.7-2.05x)", p, ratio)
+		}
+		prev = cur
+	}
+	// Beyond 64 GPUs fixed costs bite: sub-linear, as the paper reports.
+	d64 := c.DistIndexRun(d, dataset.PeMS, 32, 64, 30).Total.Minutes()
+	d128 := c.DistIndexRun(d, dataset.PeMS, 32, 128, 30).Total.Minutes()
+	if d64/d128 > 1.85 {
+		t.Fatalf("64->128 GPUs gave %fx, paper reports clearly sub-linear scaling there", d64/d128)
+	}
+}
+
+func TestFig7DDPDominatedByCommunication(t *testing.T) {
+	c := NewDeterministic()
+	d := pemsDims()
+	for _, p := range []int{16, 32, 64, 128} {
+		ddp := c.BaselineDDPRun(d, dataset.PeMS, 32, p, 30)
+		if ddp.Comm < ddp.Train {
+			t.Fatalf("at %d GPUs DDP must be communication-dominated (comm %v vs train %v)", p, ddp.Comm, ddp.Train)
+		}
+		di := c.DistIndexRun(d, dataset.PeMS, 32, p, 30)
+		if di.Comm > di.Train {
+			t.Fatalf("at %d GPUs dist-index must be compute-dominated (comm %v vs train %v)", p, di.Comm, di.Train)
+		}
+	}
+}
+
+func TestFig7MemoryAnchors(t *testing.T) {
+	within(t, "dist-index per-node bytes at 32 workers (GiB)",
+		gib(NodeBytes(DistIndexWorkerBytes(dataset.PeMS), 32)), 90.18, 0.05)
+	within(t, "DDP per-node bytes at 32 workers (GiB)",
+		gib(NodeBytes(BaselineDDPWorkerBytes(dataset.PeMS, 32, 32), 32)), 53.30, 0.05)
+}
+
+// --- Fig. 9 anchors ---------------------------------------------------------
+
+func TestFig9EpochAnchors(t *testing.T) {
+	c := NewDeterministic()
+	d := pemsDims()
+	base4 := c.BaselineBatchShuffleEpoch(d, dataset.PeMS, 32, 4)
+	within(t, "batch-shuffled DDP epoch at 4 GPUs (s)", base4.Total.Seconds(), 303, 0.10)
+	for _, p := range []int{4, 8, 16, 32, 64, 128} {
+		gi := c.GenDistIndexEpoch(d, dataset.PeMS, 32, p)
+		bb := c.BaselineBatchShuffleEpoch(d, dataset.PeMS, 32, p)
+		ratio := bb.Total.Seconds() / gi.Total.Seconds()
+		if ratio < 1.5 {
+			t.Fatalf("generalized-dist-index must beat batch-shuffled DDP at %d GPUs (ratio %f)", p, ratio)
+		}
+		// Index moves each data row ~once; baseline moves it 2*horizon
+		// times, so the index comm segment must be far smaller.
+		if gi.Comm*4 > bb.Comm {
+			t.Fatalf("at %d GPUs index comm %v must be <1/4 of baseline comm %v", p, gi.Comm, bb.Comm)
+		}
+	}
+}
+
+func TestFig9MemoryAnchors(t *testing.T) {
+	within(t, "generalized-dist-index 4 workers (GiB)",
+		gib(4*GenDistIndexWorkerBytes(dataset.PeMS, 4)), 53.28, 0.05)
+	within(t, "batch-shuffled DDP 4 workers (GiB)",
+		gib(4*BaselineDDPWorkerBytes(dataset.PeMS, 32, 4)), 479.66, 0.15)
+}
+
+// --- FLOP / dimension model -------------------------------------------------
+
+func TestFLOPModelScalesLinearlyInBatch(t *testing.T) {
+	d := pemsDims()
+	f32 := d.StepFLOPs(32)
+	f64 := d.StepFLOPs(64)
+	if math.Abs(f64/f32-2) > 0.01 {
+		t.Fatalf("FLOPs must scale ~linearly with batch: %f", f64/f32)
+	}
+}
+
+func TestDCRNNDimsCostMoreThanPGT(t *testing.T) {
+	n, nnz := 1000, 9000
+	pgt := PGTDCRNNDims(n, nnz)
+	dcrnn := DCRNNDims(n, nnz)
+	if dcrnn.StepFLOPs(32) < 4*pgt.StepFLOPs(32) {
+		t.Fatal("encoder-decoder DCRNN must cost several times the single-cell PGT variant")
+	}
+	if dcrnn.ParamCount() < 3*pgt.ParamCount() {
+		t.Fatal("DCRNN must have several times the parameters")
+	}
+}
+
+func TestParamCountMatchesArchitecture(t *testing.T) {
+	// PGT-DCRNN, hidden 64, K=2, 2 supports, in=2: mats=5, cin=66.
+	d := PGTDCRNNDims(100, 900)
+	want := 5*66*128 + 128 + 5*66*64 + 64 + 64 + 1
+	if d.ParamCount() != want {
+		t.Fatalf("ParamCount %d want %d", d.ParamCount(), want)
+	}
+	if d.GradBytes() != int64(want)*8 {
+		t.Fatal("GradBytes inconsistent")
+	}
+}
+
+func TestBatchBytes(t *testing.T) {
+	// 32 windows of 12+12 steps, 100 nodes, 2 features, float64.
+	want := int64(32) * 24 * 100 * 2 * 8
+	if got := BatchBytes(32, 12, 100, 2); got != want {
+		t.Fatalf("BatchBytes %d want %d", got, want)
+	}
+}
+
+func TestJitterBand(t *testing.T) {
+	c := New(7)
+	base := NewDeterministic().ReadTime(dataset.PeMS.RawBytes()).Seconds()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 50; i++ {
+		v := c.ReadTime(dataset.PeMS.RawBytes()).Seconds()
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo < base*(1-LustreJitterFrac)-1 || hi > base*(1+LustreJitterFrac)+1 {
+		t.Fatalf("jitter out of band: [%f, %f] around %f", lo, hi, base)
+	}
+	if hi-lo < base*0.3 {
+		t.Fatalf("jitter band suspiciously narrow: [%f, %f]", lo, hi)
+	}
+}
+
+func TestReplayStagesRecordsSeries(t *testing.T) {
+	tr := memsim.NewTracker("t", 0)
+	stages := []StageOp{
+		{Label: "a", Alloc: 100},
+		{Label: "b", Alloc: 50},
+		{FreeLabel: "a"},
+	}
+	if err := ReplayStages(tr, stages); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Series()
+	if len(s) != 3 || s[0].Bytes != 100 || s[1].Bytes != 150 || s[2].Bytes != 50 {
+		t.Fatalf("series %v", s)
+	}
+	if tr.Peak() != 150 {
+		t.Fatalf("peak %d", tr.Peak())
+	}
+}
+
+// Property: for any worker count, StepsPerWorker x workers covers the
+// training set within one global batch.
+func TestPropertyStepsCoverTrainingSet(t *testing.T) {
+	f := func(pRaw, bRaw uint8) bool {
+		p := int(pRaw%128) + 1
+		b := int(bRaw%64) + 1
+		steps := StepsPerWorker(dataset.PeMSBay, b, p)
+		covered := steps * b * p
+		trainS := TrainSnapshots(dataset.PeMSBay)
+		return covered >= trainS && covered-trainS < b*p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dist-index total time decreases monotonically with workers up
+// to 128 (the regime the paper tests).
+func TestPropertyDistIndexMonotone(t *testing.T) {
+	c := NewDeterministic()
+	d := pemsDims()
+	prev := math.Inf(1)
+	for p := 1; p <= 128; p *= 2 {
+		cur := c.DistIndexRun(d, dataset.PeMS, 32, p, 30).Total.Seconds()
+		if cur >= prev {
+			t.Fatalf("dist-index time must decrease: %f -> %f at %d workers", prev, cur, p)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,55 @@
+package perfmodel
+
+import (
+	"time"
+
+	"pgti/internal/dataset"
+)
+
+// ST-LLM cost constants (§5.5, Fig. 10). ST-LLM tokenizes each graph node
+// and runs the tokens through a partially-frozen GPT-2; compute is
+// dominated by the transformer, not the graph.
+const (
+	// STLLMBackboneParams is GPT-2 small (124M parameters).
+	STLLMBackboneParams = 124e6
+	// STLLMBackwardFactor scales backward cost; most backbone layers are
+	// frozen in ST-LLM, so backward is cheaper than the usual 2x forward.
+	STLLMBackwardFactor = 1.8
+	// STLLMGradParams is the trainable fraction (embeddings + adapters +
+	// head), the AllReduce payload.
+	STLLMGradParams = 12e6
+)
+
+// STLLMStepSeconds returns the modeled optimizer-step time for ST-LLM on a
+// graph with `nodes` tokens at the given batch size.
+func STLLMStepSeconds(nodes, batch int) float64 {
+	fwd := 2 * STLLMBackboneParams * float64(nodes) * float64(batch)
+	return fwd * STLLMBackwardFactor / EffectiveGPUFLOPS
+}
+
+// GenericDistRun estimates a distributed-index-batching run for an
+// arbitrary per-step cost (used for non-DCGRU models such as ST-LLM).
+func (c *CostModel) GenericDistRun(stepSeconds float64, gradBytes int64, meta dataset.Meta, batch, workers, epochs int) RunEstimate {
+	steps := StepsPerWorker(meta, batch, workers)
+	perStepComm := ringTime(gradBytes, workers) + stepSyncTime(workers)
+	train := time.Duration(epochs) * time.Duration(steps) * seconds(stepSeconds+PerBatchHostOverhead)
+	comm := time.Duration(epochs) * (time.Duration(steps)*perStepComm + seconds(EpochFixedOverhead))
+	comm += c.BulkStageTime(meta.AugmentedBytes())
+	est := RunEstimate{
+		Workers:     workers,
+		GlobalBatch: batch * workers,
+		Preprocess:  c.IndexPreprocessTime(meta, true),
+		Train:       train,
+		Comm:        comm,
+	}
+	if workers > 1 {
+		est.Setup = c.DaskSetupTime(workers)
+	}
+	return compose(est, epochs)
+}
+
+// STLLMDistRun estimates Fig. 10's ST-LLM distributed-index-batching run on
+// the given dataset.
+func (c *CostModel) STLLMDistRun(meta dataset.Meta, batch, workers, epochs int) RunEstimate {
+	return c.GenericDistRun(STLLMStepSeconds(meta.Nodes, batch), int64(STLLMGradParams)*8, meta, batch, workers, epochs)
+}

@@ -1,0 +1,285 @@
+// Package sparse provides compressed-sparse-row matrices and the parallel
+// sparse-dense products used by graph convolutions. Diffusion convolution
+// multiplies random-walk transition matrices (derived from the sensor graph)
+// against node-feature matrices; SpMM is the hot kernel.
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pgti/internal/tensor"
+)
+
+// CSR is a sparse matrix in compressed-sparse-row format.
+type CSR struct {
+	RowsN, ColsN int
+	RowPtr       []int     // length RowsN+1
+	ColIdx       []int     // length NNZ
+	Val          []float64 // length NNZ
+}
+
+// Coord is a single (row, col, value) triplet for COO-style construction.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// FromCOO builds a CSR matrix from coordinate triplets. Duplicate (row,col)
+// entries are summed. Zero-valued entries are dropped.
+func FromCOO(rows, cols int, entries []Coord) (*CSR, error) {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of bounds for %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	sorted := make([]Coord, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{RowsN: rows, ColsN: cols, RowPtr: make([]int, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		if v != 0 {
+			m.ColIdx = append(m.ColIdx, sorted[i].Col)
+			m.Val = append(m.Val, v)
+			m.RowPtr[sorted[i].Row+1]++
+		}
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m, nil
+}
+
+// FromDense converts a dense rank-2 tensor to CSR, dropping exact zeros.
+func FromDense(t *tensor.Tensor) *CSR {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("sparse: FromDense requires rank 2, got %v", t.Shape()))
+	}
+	rows, cols := t.Dim(0), t.Dim(1)
+	m := &CSR{RowsN: rows, ColsN: cols, RowPtr: make([]int, rows+1)}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if v := t.At(i, j); v != 0 {
+				m.ColIdx = append(m.ColIdx, j)
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.RowPtr[i+1] = len(m.ColIdx)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *CSR {
+	m := &CSR{RowsN: n, ColsN: n, RowPtr: make([]int, n+1), ColIdx: make([]int, n), Val: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = i + 1
+		m.ColIdx[i] = i
+		m.Val[i] = 1
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// NumBytes returns the storage footprint of the CSR arrays in bytes,
+// assuming 8-byte values and 8-byte indices (the accounting convention used
+// throughout the memory model).
+func (m *CSR) NumBytes() int64 {
+	return int64(len(m.RowPtr)+len(m.ColIdx))*8 + int64(len(m.Val))*8
+}
+
+// At returns the value at (i, j), zero when not stored.
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.RowsN || j < 0 || j >= m.ColsN {
+		panic(fmt.Sprintf("sparse: At(%d,%d) out of bounds for %dx%d", i, j, m.RowsN, m.ColsN))
+	}
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	k := lo + sort.SearchInts(m.ColIdx[lo:hi], j)
+	if k < hi && m.ColIdx[k] == j {
+		return m.Val[k]
+	}
+	return 0
+}
+
+// ToDense materializes the matrix as a dense tensor.
+func (m *CSR) ToDense() *tensor.Tensor {
+	out := tensor.New(m.RowsN, m.ColsN)
+	for i := 0; i < m.RowsN; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			out.Set(m.Val[k], i, m.ColIdx[k])
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{
+		RowsN:  m.RowsN,
+		ColsN:  m.ColsN,
+		RowPtr: make([]int, len(m.RowPtr)),
+		ColIdx: make([]int, len(m.ColIdx)),
+		Val:    make([]float64, len(m.Val)),
+	}
+	copy(c.RowPtr, m.RowPtr)
+	copy(c.ColIdx, m.ColIdx)
+	copy(c.Val, m.Val)
+	return c
+}
+
+// Transpose returns the transposed matrix in CSR form.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		RowsN:  m.ColsN,
+		ColsN:  m.RowsN,
+		RowPtr: make([]int, m.ColsN+1),
+		ColIdx: make([]int, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < m.ColsN; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := make([]int, m.ColsN)
+	copy(next, t.RowPtr[:m.ColsN])
+	for i := 0; i < m.RowsN; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			c := m.ColIdx[k]
+			t.ColIdx[next[c]] = i
+			t.Val[next[c]] = m.Val[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// RowSums returns the vector of per-row sums.
+func (m *CSR) RowSums() []float64 {
+	sums := make([]float64, m.RowsN)
+	for i := 0; i < m.RowsN; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sums[i] += m.Val[k]
+		}
+	}
+	return sums
+}
+
+// RowNormalize returns D^{-1} A: each row scaled to sum to one (rows with a
+// zero sum are left zero). This is the random-walk transition matrix used by
+// diffusion convolution.
+func (m *CSR) RowNormalize() *CSR {
+	out := m.Clone()
+	sums := m.RowSums()
+	for i := 0; i < out.RowsN; i++ {
+		if sums[i] == 0 {
+			continue
+		}
+		inv := 1 / sums[i]
+		for k := out.RowPtr[i]; k < out.RowPtr[i+1]; k++ {
+			out.Val[k] *= inv
+		}
+	}
+	return out
+}
+
+// Scale returns a copy with every stored value multiplied by s.
+func (m *CSR) Scale(s float64) *CSR {
+	out := m.Clone()
+	for i := range out.Val {
+		out.Val[i] *= s
+	}
+	return out
+}
+
+// spmmParallelThreshold is the minimum work (nnz * feature columns) before
+// SpMM fans out across goroutines.
+const spmmParallelThreshold = 32 * 1024
+
+// SpMM computes the sparse-dense product m @ x for x of shape [ColsN, F],
+// returning a dense [RowsN, F] tensor. Rows are processed in parallel for
+// large products.
+func (m *CSR) SpMM(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(0) != m.ColsN {
+		panic(fmt.Sprintf("sparse: SpMM shape mismatch: %dx%d @ %v", m.RowsN, m.ColsN, x.Shape()))
+	}
+	f := x.Dim(1)
+	xc := x.Contiguous()
+	xd := xc.Data()
+	out := tensor.New(m.RowsN, f)
+	od := out.Data()
+
+	rowRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := od[i*f : (i+1)*f]
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				v := m.Val[k]
+				xrow := xd[m.ColIdx[k]*f : (m.ColIdx[k]+1)*f]
+				for j := range orow {
+					orow[j] += v * xrow[j]
+				}
+			}
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if m.NNZ()*f < spmmParallelThreshold || workers < 2 || m.RowsN < 2 {
+		rowRange(0, m.RowsN)
+		return out
+	}
+	if workers > m.RowsN {
+		workers = m.RowsN
+	}
+	var wg sync.WaitGroup
+	chunk := (m.RowsN + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m.RowsN {
+			hi = m.RowsN
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			rowRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// MulVec computes the sparse matrix-vector product m @ v.
+func (m *CSR) MulVec(v []float64) []float64 {
+	if len(v) != m.ColsN {
+		panic(fmt.Sprintf("sparse: MulVec length %d != cols %d", len(v), m.ColsN))
+	}
+	out := make([]float64, m.RowsN)
+	for i := 0; i < m.RowsN; i++ {
+		var s float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * v[m.ColIdx[k]]
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxMinAxis(t *testing.T) {
+	a := FromSlice([]float64{1, 5, 3, 4, 2, 6}, 2, 3)
+	mx := a.Max(0)
+	if mx.At(0) != 4 || mx.At(1) != 5 || mx.At(2) != 6 {
+		t.Fatalf("Max(0) = %v", mx)
+	}
+	mn := a.Min(1)
+	if mn.At(0) != 1 || mn.At(1) != 2 {
+		t.Fatalf("Min(1) = %v", mn)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	a := FromSlice([]float64{0, 9, 2, 7, 1, 3}, 2, 3)
+	am := a.ArgMax()
+	if am[0] != 1 || am[1] != 0 {
+		t.Fatalf("ArgMax = %v", am)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rank != 2")
+		}
+	}()
+	New(3).ArgMax()
+}
+
+func TestClampPowLogNorm(t *testing.T) {
+	a := FromSlice([]float64{-2, 0.5, 3}, 3)
+	c := a.Clamp(-1, 1)
+	if c.At(0) != -1 || c.At(1) != 0.5 || c.At(2) != 1 {
+		t.Fatalf("Clamp = %v", c)
+	}
+	p := FromSlice([]float64{2, 3}, 2).Pow(2)
+	if p.At(0) != 4 || p.At(1) != 9 {
+		t.Fatalf("Pow = %v", p)
+	}
+	l := FromSlice([]float64{math.E}, 1).Log()
+	if math.Abs(l.At(0)-1) > 1e-12 {
+		t.Fatalf("Log = %v", l)
+	}
+	n := FromSlice([]float64{3, 4}, 2).Norm()
+	if math.Abs(n-5) > 1e-12 {
+		t.Fatalf("Norm = %v", n)
+	}
+}
+
+func TestBMMSmall(t *testing.T) {
+	a := FromSlice([]float64{
+		1, 2, 3, 4, // batch 0: [[1,2],[3,4]]
+		5, 6, 7, 8, // batch 1
+	}, 2, 2, 2)
+	b := FromSlice([]float64{
+		1, 0, 0, 1, // identity
+		2, 0, 0, 2, // 2*identity
+	}, 2, 2, 2)
+	c := BMM(a, b)
+	if !c.Index(0, 0).Equal(a.Index(0, 0)) {
+		t.Fatal("BMM with identity wrong")
+	}
+	if c.At(1, 0, 0) != 10 || c.At(1, 1, 1) != 16 {
+		t.Fatalf("BMM scaled wrong: %v", c)
+	}
+}
+
+func TestBMMMatchesLoopedMatMul(t *testing.T) {
+	rng := NewRNG(9)
+	a := Randn(rng, 5, 7, 4)
+	b := Randn(rng, 5, 4, 6)
+	c := BMM(a, b)
+	for i := 0; i < 5; i++ {
+		want := MatMul(a.Index(0, i), b.Index(0, i))
+		if !c.Index(0, i).AllClose(want, 1e-12) {
+			t.Fatalf("BMM batch %d disagrees with MatMul", i)
+		}
+	}
+}
+
+func TestBMMParallelPath(t *testing.T) {
+	rng := NewRNG(10)
+	// Big enough to take the parallel branch.
+	a := Randn(rng, 8, 64, 32)
+	b := Randn(rng, 8, 32, 64)
+	c := BMM(a, b)
+	want := MatMul(a.Index(0, 3), b.Index(0, 3))
+	if !c.Index(0, 3).AllClose(want, 1e-10) {
+		t.Fatal("parallel BMM wrong")
+	}
+}
+
+func TestBMMShapePanics(t *testing.T) {
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { BMM(New(2, 2), New(2, 2, 2)) })
+	mustPanic(func() { BMM(New(2, 3, 4), New(3, 4, 5)) })
+	mustPanic(func() { BMM(New(2, 3, 4), New(2, 5, 6)) })
+}
+
+// Property: Max(axis) dominates every slice element; Min is dominated.
+func TestPropertyMaxMinDominance(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		m := int(mRaw%5) + 1
+		n := int(nRaw%5) + 1
+		a := Randn(NewRNG(seed), m, n)
+		mx := a.Max(0)
+		mn := a.Min(0)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if a.At(i, j) > mx.At(j) || a.At(i, j) < mn.At(j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

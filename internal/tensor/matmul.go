@@ -1,0 +1,110 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of output elements before MatMul
+// fans work out across goroutines. Small multiplies are faster serial.
+const parallelThreshold = 16 * 1024
+
+// MatMul returns the matrix product a @ b for rank-2 tensors
+// ([m,k] x [k,n] -> [m,n]). Large products are parallelized across
+// GOMAXPROCS goroutines by row blocks.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions disagree: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	ac := a.Contiguous()
+	bc := b.Contiguous()
+	ad := ac.Data()
+	bd := bc.Data()
+	od := out.Data()
+
+	workers := runtime.GOMAXPROCS(0)
+	if m*n < parallelThreshold || workers < 2 || m < 2 {
+		matmulRows(ad, bd, od, 0, m, k, n)
+		return out
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(ad, bd, od, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// matmulRows computes out[lo:hi] = a[lo:hi] @ b with an ikj loop order that
+// streams b row-wise for cache friendliness.
+func matmulRows(a, b, out []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		orow := out[i*n : (i+1)*n]
+		arow := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatVec returns the matrix-vector product a @ x for a rank-2 a ([m,k]) and
+// rank-1 x ([k]), yielding a rank-1 result ([m]).
+func MatVec(a, x *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(x.shape) != 1 {
+		panic(fmt.Sprintf("tensor: MatVec requires [m,k] x [k], got %v and %v", a.shape, x.shape))
+	}
+	res := MatMul(a, x.Reshape(x.shape[0], 1))
+	return res.Reshape(a.shape[0])
+}
+
+// Outer returns the outer product of two vectors ([m] x [n] -> [m,n]).
+func Outer(a, b *Tensor) *Tensor {
+	if len(a.shape) != 1 || len(b.shape) != 1 {
+		panic(fmt.Sprintf("tensor: Outer requires rank-1 operands, got %v and %v", a.shape, b.shape))
+	}
+	return MatMul(a.Reshape(a.shape[0], 1), b.Reshape(1, b.shape[0]))
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b *Tensor) float64 {
+	if len(a.shape) != 1 || len(b.shape) != 1 || a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: Dot requires equal-length vectors, got %v and %v", a.shape, b.shape))
+	}
+	ad := a.Contiguous().Data()
+	bd := b.Contiguous().Data()
+	var s float64
+	for i := range ad {
+		s += ad[i] * bd[i]
+	}
+	return s
+}

@@ -1,0 +1,245 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// BroadcastShapes returns the NumPy-style broadcast shape of a and b, or an
+// error if they are incompatible.
+func BroadcastShapes(a, b []int) ([]int, error) {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		da, db := 1, 1
+		if i >= n-len(a) {
+			da = a[i-(n-len(a))]
+		}
+		if i >= n-len(b) {
+			db = b[i-(n-len(b))]
+		}
+		switch {
+		case da == db:
+			out[i] = da
+		case da == 1:
+			out[i] = db
+		case db == 1:
+			out[i] = da
+		default:
+			return nil, fmt.Errorf("tensor: cannot broadcast shapes %v and %v", a, b)
+		}
+	}
+	return out, nil
+}
+
+// broadcastTo returns a zero-copy view of t expanded to shape using stride-0
+// broadcasting. t's shape must be broadcast-compatible with shape.
+func (t *Tensor) broadcastTo(shape []int) *Tensor {
+	if len(shape) < len(t.shape) {
+		panic(fmt.Sprintf("tensor: cannot broadcast %v to smaller rank %v", t.shape, shape))
+	}
+	newShape := cloneInts(shape)
+	strides := make([]int, len(shape))
+	off := len(shape) - len(t.shape)
+	for i := range shape {
+		if i < off {
+			strides[i] = 0
+			continue
+		}
+		d := t.shape[i-off]
+		switch {
+		case d == shape[i]:
+			strides[i] = t.strides[i-off]
+		case d == 1:
+			strides[i] = 0
+		default:
+			panic(fmt.Sprintf("tensor: cannot broadcast %v to %v", t.shape, shape))
+		}
+	}
+	return &Tensor{data: t.data, shape: newShape, strides: strides, offset: t.offset}
+}
+
+// BroadcastTo returns a read-only zero-copy view of t expanded to shape.
+func (t *Tensor) BroadcastTo(shape ...int) *Tensor { return t.broadcastTo(shape) }
+
+// binary applies op element-wise with broadcasting and returns a new tensor.
+func binary(a, b *Tensor, op func(x, y float64) float64) *Tensor {
+	shape, err := BroadcastShapes(a.shape, b.shape)
+	if err != nil {
+		panic(err.Error())
+	}
+	out := New(shape...)
+	av := a.broadcastTo(shape)
+	bv := b.broadcastTo(shape)
+	// Fast path: both operands contiguous with identical layout.
+	if av.IsContiguous() && bv.IsContiguous() {
+		ad, bd, od := av.Data(), bv.Data(), out.Data()
+		for i := range od {
+			od[i] = op(ad[i], bd[i])
+		}
+		return out
+	}
+	ai := newIterator(av)
+	bi := newIterator(bv)
+	od := out.data
+	for i := 0; ai.next() && bi.next(); i++ {
+		od[i] = op(av.data[ai.pos], bv.data[bi.pos])
+	}
+	return out
+}
+
+// Add returns a + b with broadcasting.
+func Add(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a - b with broadcasting.
+func Sub(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns the element-wise product a * b with broadcasting.
+func Mul(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x * y }) }
+
+// Div returns the element-wise quotient a / b with broadcasting.
+func Div(a, b *Tensor) *Tensor { return binary(a, b, func(x, y float64) float64 { return x / y }) }
+
+// Maximum returns the element-wise maximum with broadcasting.
+func Maximum(a, b *Tensor) *Tensor { return binary(a, b, math.Max) }
+
+// Minimum returns the element-wise minimum with broadcasting.
+func Minimum(a, b *Tensor) *Tensor { return binary(a, b, math.Min) }
+
+// AddScalar returns t + s.
+func (t *Tensor) AddScalar(s float64) *Tensor {
+	return t.Apply(func(x float64) float64 { return x + s })
+}
+
+// MulScalar returns t * s.
+func (t *Tensor) MulScalar(s float64) *Tensor {
+	return t.Apply(func(x float64) float64 { return x * s })
+}
+
+// Neg returns -t.
+func (t *Tensor) Neg() *Tensor { return t.MulScalar(-1) }
+
+// Abs returns |t| element-wise.
+func (t *Tensor) Abs() *Tensor { return t.Apply(math.Abs) }
+
+// Sqrt returns sqrt(t) element-wise.
+func (t *Tensor) Sqrt() *Tensor { return t.Apply(math.Sqrt) }
+
+// Exp returns exp(t) element-wise.
+func (t *Tensor) Exp() *Tensor { return t.Apply(math.Exp) }
+
+// Sigmoid returns 1/(1+exp(-t)) element-wise.
+func (t *Tensor) Sigmoid() *Tensor {
+	return t.Apply(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// Tanh returns tanh(t) element-wise.
+func (t *Tensor) Tanh() *Tensor { return t.Apply(math.Tanh) }
+
+// Relu returns max(t, 0) element-wise.
+func (t *Tensor) Relu() *Tensor {
+	return t.Apply(func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// Apply returns a new tensor with f applied element-wise.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	out := New(t.shape...)
+	if t.IsContiguous() {
+		td, od := t.Data(), out.Data()
+		for i := range od {
+			od[i] = f(td[i])
+		}
+		return out
+	}
+	it := newIterator(t)
+	od := out.data
+	for i := 0; it.next(); i++ {
+		od[i] = f(t.data[it.pos])
+	}
+	return out
+}
+
+// ApplyInPlace applies f element-wise, mutating t (including through views).
+func (t *Tensor) ApplyInPlace(f func(float64) float64) {
+	if t.IsContiguous() {
+		d := t.Data()
+		for i := range d {
+			d[i] = f(d[i])
+		}
+		return
+	}
+	it := newIterator(t)
+	for it.next() {
+		t.data[it.pos] = f(t.data[it.pos])
+	}
+}
+
+// AddInPlace accumulates o into t element-wise (o broadcast to t's shape).
+func (t *Tensor) AddInPlace(o *Tensor) {
+	ov := o.broadcastTo(t.shape)
+	if t.IsContiguous() && ov.IsContiguous() {
+		td, od := t.Data(), ov.Data()
+		for i := range td {
+			td[i] += od[i]
+		}
+		return
+	}
+	ti := newIterator(t)
+	oi := newIterator(ov)
+	for ti.next() && oi.next() {
+		t.data[ti.pos] += ov.data[oi.pos]
+	}
+}
+
+// SubInPlace subtracts o from t element-wise (o broadcast to t's shape).
+func (t *Tensor) SubInPlace(o *Tensor) {
+	ov := o.broadcastTo(t.shape)
+	ti := newIterator(t)
+	oi := newIterator(ov)
+	for ti.next() && oi.next() {
+		t.data[ti.pos] -= ov.data[oi.pos]
+	}
+}
+
+// MulInPlace multiplies t by o element-wise (o broadcast to t's shape).
+func (t *Tensor) MulInPlace(o *Tensor) {
+	ov := o.broadcastTo(t.shape)
+	ti := newIterator(t)
+	oi := newIterator(ov)
+	for ti.next() && oi.next() {
+		t.data[ti.pos] *= ov.data[oi.pos]
+	}
+}
+
+// ScaleInPlace multiplies every element of t by s.
+func (t *Tensor) ScaleInPlace(s float64) {
+	t.ApplyInPlace(func(x float64) float64 { return x * s })
+}
+
+// AxpyInPlace computes t += alpha * o for same-shaped tensors, the BLAS
+// axpy primitive used by the optimizers and gradient accumulation.
+func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AxpyInPlace shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	if t.IsContiguous() && o.IsContiguous() {
+		td, od := t.Data(), o.Data()
+		for i := range td {
+			td[i] += alpha * od[i]
+		}
+		return
+	}
+	ti := newIterator(t)
+	oi := newIterator(o)
+	for ti.next() && oi.next() {
+		t.data[ti.pos] += alpha * o.data[oi.pos]
+	}
+}

@@ -1,0 +1,104 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// SumAll returns the sum of all elements.
+func (t *Tensor) SumAll() float64 {
+	var s float64
+	if t.IsContiguous() {
+		for _, v := range t.Data() {
+			s += v
+		}
+		return s
+	}
+	it := newIterator(t)
+	for it.next() {
+		s += t.data[it.pos]
+	}
+	return s
+}
+
+// MeanAll returns the mean of all elements (0 for empty tensors).
+func (t *Tensor) MeanAll() float64 {
+	n := t.NumElements()
+	if n == 0 {
+		return 0
+	}
+	return t.SumAll() / float64(n)
+}
+
+// StdAll returns the population standard deviation of all elements.
+func (t *Tensor) StdAll() float64 {
+	n := t.NumElements()
+	if n == 0 {
+		return 0
+	}
+	mu := t.MeanAll()
+	var acc float64
+	it := newIterator(t)
+	for it.next() {
+		d := t.data[it.pos] - mu
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// MaxAll returns the maximum element (-Inf for empty tensors).
+func (t *Tensor) MaxAll() float64 {
+	best := math.Inf(-1)
+	it := newIterator(t)
+	for it.next() {
+		if t.data[it.pos] > best {
+			best = t.data[it.pos]
+		}
+	}
+	return best
+}
+
+// MinAll returns the minimum element (+Inf for empty tensors).
+func (t *Tensor) MinAll() float64 {
+	best := math.Inf(1)
+	it := newIterator(t)
+	for it.next() {
+		if t.data[it.pos] < best {
+			best = t.data[it.pos]
+		}
+	}
+	return best
+}
+
+// Sum reduces along axis, returning a tensor with that axis removed.
+func (t *Tensor) Sum(axis int) *Tensor {
+	if axis < 0 || axis >= len(t.shape) {
+		panic(fmt.Sprintf("tensor: Sum axis %d out of range for rank %d", axis, len(t.shape)))
+	}
+	out := New(removeAxis(t.shape, axis)...)
+	n := t.shape[axis]
+	for i := 0; i < n; i++ {
+		out.AddInPlace(t.Index(axis, i))
+	}
+	return out
+}
+
+// Mean reduces along axis by arithmetic mean.
+func (t *Tensor) Mean(axis int) *Tensor {
+	n := t.shape[axis]
+	out := t.Sum(axis)
+	if n > 0 {
+		out.ScaleInPlace(1 / float64(n))
+	}
+	return out
+}
+
+func removeAxis(shape []int, axis int) []int {
+	out := make([]int, 0, len(shape)-1)
+	for i, d := range shape {
+		if i != axis {
+			out = append(out, d)
+		}
+	}
+	return out
+}

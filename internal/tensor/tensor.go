@@ -1,0 +1,484 @@
+// Package tensor implements dense, row-major, float64 tensors with
+// shape/stride/offset semantics modeled on NumPy ndarrays.
+//
+// The central design requirement, inherited from the PGT-I paper, is
+// zero-copy views: Slice, Narrow, Index, Transpose and (for contiguous
+// tensors) Reshape all return tensors that alias the caller's storage.
+// Index-batching builds every spatiotemporal snapshot as such a view, so the
+// memory cost of a snapshot is O(1) regardless of horizon.
+//
+// Shape errors are programmer errors and panic with descriptive messages,
+// matching the convention of numeric Go libraries; I/O and capacity errors
+// are returned as error values by the packages layered above.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense float64 tensor. The zero value is not usable; construct
+// tensors with New, FromSlice, Zeros, Ones, Full, or the random helpers.
+type Tensor struct {
+	data    []float64
+	shape   []int
+	strides []int
+	offset  int
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{
+		data:    make([]float64, n),
+		shape:   cloneInts(shape),
+		strides: contiguousStrides(shape),
+	}
+}
+
+// Zeros is an alias for New, provided for readability at call sites.
+func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// Ones returns a tensor of the given shape filled with 1.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Full returns a tensor of the given shape filled with v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// FromSlice wraps data in a tensor of the given shape. The tensor aliases
+// data; it does not copy. len(data) must equal the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{
+		data:    data,
+		shape:   cloneInts(shape),
+		strides: contiguousStrides(shape),
+	}
+}
+
+// Scalar returns a rank-0 tensor holding v.
+func Scalar(v float64) *Tensor {
+	return &Tensor{data: []float64{v}, shape: []int{}, strides: []int{}}
+}
+
+// checkShape validates a shape and returns its element count.
+func checkShape(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func cloneInts(s []int) []int {
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}
+
+// contiguousStrides computes row-major strides for shape.
+func contiguousStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = acc
+		acc *= shape[i]
+	}
+	return strides
+}
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return cloneInts(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int {
+	if i < 0 || i >= len(t.shape) {
+		panic(fmt.Sprintf("tensor: Dim(%d) out of range for rank %d", i, len(t.shape)))
+	}
+	return t.shape[i]
+}
+
+// Strides returns a copy of the tensor's strides (in elements).
+func (t *Tensor) Strides() []int { return cloneInts(t.strides) }
+
+// NumElements returns the total number of elements.
+func (t *Tensor) NumElements() int {
+	n := 1
+	for _, d := range t.shape {
+		n *= d
+	}
+	return n
+}
+
+// NumBytes returns the logical size of the tensor's elements in bytes
+// (8 bytes per float64 element). Views report the size of the view, not of
+// the backing storage.
+func (t *Tensor) NumBytes() int64 { return int64(t.NumElements()) * 8 }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsContiguous reports whether the tensor's elements are laid out densely in
+// row-major order starting at its offset.
+func (t *Tensor) IsContiguous() bool {
+	acc := 1
+	for i := len(t.shape) - 1; i >= 0; i-- {
+		if t.shape[i] != 1 && t.strides[i] != acc {
+			return false
+		}
+		acc *= t.shape[i]
+	}
+	return true
+}
+
+// SharesStorage reports whether t and o alias the same backing array.
+// It is used by tests to verify the zero-copy guarantees of views.
+func (t *Tensor) SharesStorage(o *Tensor) bool {
+	return len(t.data) > 0 && len(o.data) > 0 && &t.data[0] == &o.data[0]
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.data[t.flatIndex(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.data[t.flatIndex(idx)] = v
+}
+
+func (t *Tensor) flatIndex(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v has wrong rank for shape %v", idx, t.shape))
+	}
+	pos := t.offset
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		pos += x * t.strides[i]
+	}
+	return pos
+}
+
+// Item returns the sole element of a one-element tensor.
+func (t *Tensor) Item() float64 {
+	if t.NumElements() != 1 {
+		panic(fmt.Sprintf("tensor: Item on tensor with %d elements", t.NumElements()))
+	}
+	if len(t.shape) == 0 {
+		return t.data[t.offset]
+	}
+	idx := make([]int, len(t.shape))
+	return t.data[t.flatIndex(idx)]
+}
+
+// Data returns the raw backing slice of a contiguous tensor, starting at the
+// tensor's first element. It panics for non-contiguous tensors; call
+// Contiguous first in that case.
+func (t *Tensor) Data() []float64 {
+	if !t.IsContiguous() {
+		panic("tensor: Data called on non-contiguous tensor; call Contiguous() first")
+	}
+	return t.data[t.offset : t.offset+t.NumElements()]
+}
+
+// Fill sets every element of t (including through views) to v.
+func (t *Tensor) Fill(v float64) {
+	if t.IsContiguous() {
+		d := t.Data()
+		for i := range d {
+			d[i] = v
+		}
+		return
+	}
+	it := newIterator(t)
+	for it.next() {
+		t.data[it.pos] = v
+	}
+}
+
+// Zero sets every element of t to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Clone returns a contiguous deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.shape...)
+	out.CopyFrom(t)
+	return out
+}
+
+// Contiguous returns t itself when already contiguous, or a contiguous deep
+// copy otherwise.
+func (t *Tensor) Contiguous() *Tensor {
+	if t.IsContiguous() {
+		return t
+	}
+	return t.Clone()
+}
+
+// CopyFrom copies the elements of src (same shape required) into t.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if !t.SameShape(src) {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %v vs %v", t.shape, src.shape))
+	}
+	if t.IsContiguous() && src.IsContiguous() {
+		copy(t.Data(), src.Data())
+		return
+	}
+	dst := newIterator(t)
+	s := newIterator(src)
+	for dst.next() && s.next() {
+		t.data[dst.pos] = src.data[s.pos]
+	}
+}
+
+// Slice returns a zero-copy view of t restricted to [start, end) along axis.
+// The view keeps t's rank.
+func (t *Tensor) Slice(axis, start, end int) *Tensor {
+	if axis < 0 || axis >= len(t.shape) {
+		panic(fmt.Sprintf("tensor: Slice axis %d out of range for rank %d", axis, len(t.shape)))
+	}
+	if start < 0 || end > t.shape[axis] || start > end {
+		panic(fmt.Sprintf("tensor: Slice range [%d:%d) invalid for axis %d of size %d", start, end, axis, t.shape[axis]))
+	}
+	shape := cloneInts(t.shape)
+	shape[axis] = end - start
+	return &Tensor{
+		data:    t.data,
+		shape:   shape,
+		strides: cloneInts(t.strides),
+		offset:  t.offset + start*t.strides[axis],
+	}
+}
+
+// Narrow is a synonym for Slice using (start, length) arguments, mirroring
+// torch.narrow.
+func (t *Tensor) Narrow(axis, start, length int) *Tensor {
+	return t.Slice(axis, start, start+length)
+}
+
+// Index returns a zero-copy view selecting position i along axis, with that
+// axis removed (rank decreases by one).
+func (t *Tensor) Index(axis, i int) *Tensor {
+	if axis < 0 || axis >= len(t.shape) {
+		panic(fmt.Sprintf("tensor: Index axis %d out of range for rank %d", axis, len(t.shape)))
+	}
+	if i < 0 || i >= t.shape[axis] {
+		panic(fmt.Sprintf("tensor: Index %d out of bounds for axis %d of size %d", i, axis, t.shape[axis]))
+	}
+	shape := make([]int, 0, len(t.shape)-1)
+	strides := make([]int, 0, len(t.shape)-1)
+	for d := range t.shape {
+		if d == axis {
+			continue
+		}
+		shape = append(shape, t.shape[d])
+		strides = append(strides, t.strides[d])
+	}
+	return &Tensor{
+		data:    t.data,
+		shape:   shape,
+		strides: strides,
+		offset:  t.offset + i*t.strides[axis],
+	}
+}
+
+// Transpose returns a zero-copy view with axes a and b exchanged.
+func (t *Tensor) Transpose(a, b int) *Tensor {
+	if a < 0 || a >= len(t.shape) || b < 0 || b >= len(t.shape) {
+		panic(fmt.Sprintf("tensor: Transpose axes (%d,%d) out of range for rank %d", a, b, len(t.shape)))
+	}
+	shape := cloneInts(t.shape)
+	strides := cloneInts(t.strides)
+	shape[a], shape[b] = shape[b], shape[a]
+	strides[a], strides[b] = strides[b], strides[a]
+	return &Tensor{data: t.data, shape: shape, strides: strides, offset: t.offset}
+}
+
+// T returns the 2-D transpose view of a matrix.
+func (t *Tensor) T() *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: T requires rank 2, got shape %v", t.shape))
+	}
+	return t.Transpose(0, 1)
+}
+
+// Permute returns a zero-copy view with axes reordered by perm.
+func (t *Tensor) Permute(perm ...int) *Tensor {
+	if len(perm) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: Permute %v has wrong length for rank %d", perm, len(t.shape)))
+	}
+	seen := make([]bool, len(perm))
+	shape := make([]int, len(perm))
+	strides := make([]int, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			panic(fmt.Sprintf("tensor: Permute %v is not a permutation", perm))
+		}
+		seen[p] = true
+		shape[i] = t.shape[p]
+		strides[i] = t.strides[p]
+	}
+	return &Tensor{data: t.data, shape: shape, strides: strides, offset: t.offset}
+}
+
+// Reshape returns a tensor with the given shape and the same elements in
+// row-major order. For contiguous tensors the result is a zero-copy view;
+// otherwise the data is copied. One dimension may be -1 (inferred).
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = cloneInts(shape)
+	infer := -1
+	known := 1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				panic(fmt.Sprintf("tensor: Reshape %v has multiple inferred dimensions", shape))
+			}
+			infer = i
+		} else {
+			known *= d
+		}
+	}
+	n := t.NumElements()
+	if infer >= 0 {
+		if known == 0 || n%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.shape, shape))
+		}
+		shape[infer] = n / known
+		known *= shape[infer]
+	}
+	if known != n {
+		panic(fmt.Sprintf("tensor: Reshape %v incompatible with %d elements", shape, n))
+	}
+	src := t.Contiguous()
+	return &Tensor{
+		data:    src.data,
+		shape:   shape,
+		strides: contiguousStrides(shape),
+		offset:  src.offset,
+	}
+}
+
+// Squeeze removes all dimensions of size 1.
+func (t *Tensor) Squeeze() *Tensor {
+	shape := make([]int, 0, len(t.shape))
+	strides := make([]int, 0, len(t.shape))
+	for i, d := range t.shape {
+		if d != 1 {
+			shape = append(shape, d)
+			strides = append(strides, t.strides[i])
+		}
+	}
+	return &Tensor{data: t.data, shape: shape, strides: strides, offset: t.offset}
+}
+
+// Unsqueeze inserts a size-1 dimension at axis.
+func (t *Tensor) Unsqueeze(axis int) *Tensor {
+	if axis < 0 || axis > len(t.shape) {
+		panic(fmt.Sprintf("tensor: Unsqueeze axis %d out of range for rank %d", axis, len(t.shape)))
+	}
+	shape := make([]int, 0, len(t.shape)+1)
+	strides := make([]int, 0, len(t.shape)+1)
+	shape = append(shape, t.shape[:axis]...)
+	shape = append(shape, 1)
+	shape = append(shape, t.shape[axis:]...)
+	strides = append(strides, t.strides[:axis]...)
+	strides = append(strides, 0)
+	strides = append(strides, t.strides[axis:]...)
+	return &Tensor{data: t.data, shape: shape, strides: strides, offset: t.offset}
+}
+
+// Equal reports exact element-wise equality of two same-shaped tensors.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	a := newIterator(t)
+	b := newIterator(o)
+	for a.next() && b.next() {
+		if t.data[a.pos] != o.data[b.pos] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports element-wise equality within absolute tolerance tol.
+func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	a := newIterator(t)
+	b := newIterator(o)
+	for a.next() && b.next() {
+		if math.Abs(t.data[a.pos]-o.data[b.pos]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// iterator walks a tensor's elements in row-major logical order, yielding
+// flat positions into the backing array.
+type iterator struct {
+	t       *Tensor
+	idx     []int
+	pos     int
+	n       int
+	count   int
+	started bool
+}
+
+func newIterator(t *Tensor) *iterator {
+	return &iterator{t: t, idx: make([]int, len(t.shape)), pos: t.offset, n: t.NumElements()}
+}
+
+func (it *iterator) next() bool {
+	if it.count >= it.n {
+		return false
+	}
+	if !it.started {
+		it.started = true
+		it.count++
+		return true
+	}
+	t := it.t
+	for d := len(t.shape) - 1; d >= 0; d-- {
+		it.idx[d]++
+		it.pos += t.strides[d]
+		if it.idx[d] < t.shape[d] {
+			it.count++
+			return true
+		}
+		it.pos -= it.idx[d] * t.strides[d]
+		it.idx[d] = 0
+	}
+	it.count++
+	return true // rank-0 single element handled by count guard
+}

@@ -1,0 +1,565 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapesAndZeroFill(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Rank() != 3 || a.NumElements() != 24 {
+		t.Fatalf("got rank %d, n %d", a.Rank(), a.NumElements())
+	}
+	if got := a.Shape(); got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("shape %v", got)
+	}
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+	if a.NumBytes() != 24*8 {
+		t.Fatalf("NumBytes = %d", a.NumBytes())
+	}
+}
+
+func TestFromSliceAliases(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	a := FromSlice(d, 2, 3)
+	d[0] = 42
+	if a.At(0, 0) != 42 {
+		t.Fatal("FromSlice must alias the input slice")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FromSlice(d, 4, 4)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	a := New(3, 4)
+	a.Set(7.5, 2, 1)
+	if a.At(2, 1) != 7.5 {
+		t.Fatal("Set/At round trip failed")
+	}
+	if a.At(0, 0) != 0 {
+		t.Fatal("Set must not disturb other elements")
+	}
+}
+
+func TestSliceIsZeroCopyView(t *testing.T) {
+	a := FromSlice([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 4, 3)
+	v := a.Slice(0, 1, 3) // rows 1..2
+	if !v.SharesStorage(a) {
+		t.Fatal("Slice must not copy")
+	}
+	if v.Dim(0) != 2 || v.Dim(1) != 3 {
+		t.Fatalf("view shape %v", v.Shape())
+	}
+	if v.At(0, 0) != 3 || v.At(1, 2) != 8 {
+		t.Fatalf("view content wrong: %v", v)
+	}
+	// Mutation through the view is visible in the parent.
+	v.Set(-1, 0, 0)
+	if a.At(1, 0) != -1 {
+		t.Fatal("view mutation must reach parent storage")
+	}
+}
+
+func TestSliceOfSliceComposes(t *testing.T) {
+	a := FromSlice([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 10)
+	v := a.Slice(0, 2, 9).Slice(0, 1, 4)
+	want := []float64{3, 4, 5}
+	for i, w := range want {
+		if v.At(i) != w {
+			t.Fatalf("composed slice: got %v at %d, want %v", v.At(i), i, w)
+		}
+	}
+}
+
+func TestIndexReducesRank(t *testing.T) {
+	a := FromSlice([]float64{0, 1, 2, 3, 4, 5}, 2, 3)
+	row := a.Index(0, 1)
+	if row.Rank() != 1 || row.Dim(0) != 3 {
+		t.Fatalf("row shape %v", row.Shape())
+	}
+	if row.At(2) != 5 {
+		t.Fatalf("row content %v", row)
+	}
+	col := a.Index(1, 0)
+	if col.At(0) != 0 || col.At(1) != 3 {
+		t.Fatalf("col content %v", col)
+	}
+	if !col.SharesStorage(a) {
+		t.Fatal("Index must be a view")
+	}
+}
+
+func TestTransposeView(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	tr := a.T()
+	if tr.Dim(0) != 3 || tr.Dim(1) != 2 {
+		t.Fatalf("transpose shape %v", tr.Shape())
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Fatal("transpose content wrong")
+	}
+	if tr.IsContiguous() {
+		t.Fatal("transpose of 2x3 must be non-contiguous")
+	}
+	back := tr.Contiguous()
+	if back.At(2, 1) != 6 {
+		t.Fatal("Contiguous changed content")
+	}
+	if back.SharesStorage(a) {
+		t.Fatal("Contiguous of non-contiguous must copy")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	a := Randn(NewRNG(1), 2, 3, 4)
+	p := a.Permute(2, 0, 1)
+	if p.Dim(0) != 4 || p.Dim(1) != 2 || p.Dim(2) != 3 {
+		t.Fatalf("permute shape %v", p.Shape())
+	}
+	if p.At(3, 1, 2) != a.At(1, 2, 3) {
+		t.Fatal("permute content wrong")
+	}
+}
+
+func TestReshapeContiguousIsView(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := a.Reshape(3, 2)
+	if !r.SharesStorage(a) {
+		t.Fatal("reshape of contiguous tensor must be a view")
+	}
+	if r.At(2, 1) != 6 {
+		t.Fatal("reshape content wrong")
+	}
+	inferred := a.Reshape(-1, 2)
+	if inferred.Dim(0) != 3 {
+		t.Fatalf("inferred shape %v", inferred.Shape())
+	}
+}
+
+func TestReshapeNonContiguousCopies(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := a.T().Reshape(6)
+	if r.SharesStorage(a) {
+		t.Fatal("reshape of non-contiguous tensor must copy")
+	}
+	want := []float64{1, 4, 2, 5, 3, 6}
+	for i, w := range want {
+		if r.At(i) != w {
+			t.Fatalf("reshape order wrong at %d: got %v want %v", i, r.At(i), w)
+		}
+	}
+}
+
+func TestSqueezeUnsqueeze(t *testing.T) {
+	a := New(1, 3, 1, 2)
+	s := a.Squeeze()
+	if s.Rank() != 2 || s.Dim(0) != 3 || s.Dim(1) != 2 {
+		t.Fatalf("squeeze shape %v", s.Shape())
+	}
+	u := s.Unsqueeze(1)
+	if u.Rank() != 3 || u.Dim(1) != 1 {
+		t.Fatalf("unsqueeze shape %v", u.Shape())
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	if got := Add(a, b).At(1, 1); got != 44 {
+		t.Fatalf("Add got %v", got)
+	}
+	if got := Sub(b, a).At(0, 0); got != 9 {
+		t.Fatalf("Sub got %v", got)
+	}
+	if got := Mul(a, b).At(0, 1); got != 40 {
+		t.Fatalf("Mul got %v", got)
+	}
+	if got := Div(b, a).At(1, 0); got != 10 {
+		t.Fatalf("Div got %v", got)
+	}
+}
+
+func TestBroadcasting(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	row := FromSlice([]float64{10, 20, 30}, 3)
+	sum := Add(a, row)
+	if sum.At(1, 2) != 36 || sum.At(0, 0) != 11 {
+		t.Fatalf("row broadcast wrong: %v", sum)
+	}
+	col := FromSlice([]float64{100, 200}, 2, 1)
+	sum2 := Add(a, col)
+	if sum2.At(0, 2) != 103 || sum2.At(1, 0) != 204 {
+		t.Fatalf("col broadcast wrong: %v", sum2)
+	}
+	scalar := Scalar(5)
+	sum3 := Add(a, scalar)
+	if sum3.At(1, 1) != 10 {
+		t.Fatalf("scalar broadcast wrong: %v", sum3)
+	}
+}
+
+func TestBroadcastShapesErrors(t *testing.T) {
+	if _, err := BroadcastShapes([]int{2, 3}, []int{4, 3}); err == nil {
+		t.Fatal("expected broadcast error for incompatible shapes")
+	}
+	got, err := BroadcastShapes([]int{4, 1, 3}, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 4 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("broadcast shape %v", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	a.AddInPlace(Ones(2, 2))
+	if a.At(0, 0) != 2 || a.At(1, 1) != 5 {
+		t.Fatalf("AddInPlace wrong: %v", a)
+	}
+	a.ScaleInPlace(2)
+	if a.At(1, 0) != 8 {
+		t.Fatalf("ScaleInPlace wrong: %v", a)
+	}
+	a.AxpyInPlace(-1, a.Clone())
+	if a.SumAll() != 0 {
+		t.Fatalf("Axpy self-cancel wrong: %v", a)
+	}
+}
+
+func TestInPlaceThroughView(t *testing.T) {
+	a := New(4, 3)
+	v := a.Slice(0, 1, 3)
+	v.Fill(7)
+	if a.At(0, 0) != 0 || a.At(1, 2) != 7 || a.At(3, 0) != 0 {
+		t.Fatalf("view fill leaked or missed: %v", a)
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("MatMul[%d][%d] = %v want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	rng := NewRNG(7)
+	a := Randn(rng, 150, 90)
+	b := Randn(rng, 90, 160) // 150*160 = 24000 > parallelThreshold
+	c := MatMul(a, b)
+	// Serial reference.
+	ref := New(150, 160)
+	matmulRows(a.Data(), b.Data(), ref.Data(), 0, 150, 90, 160)
+	if !c.AllClose(ref, 1e-12) {
+		t.Fatal("parallel MatMul disagrees with serial reference")
+	}
+}
+
+func TestMatMulTransposedOperand(t *testing.T) {
+	rng := NewRNG(3)
+	a := Randn(rng, 4, 5)
+	b := Randn(rng, 6, 5)
+	c := MatMul(a, b.T()) // [4,5] x [5,6]
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			var want float64
+			for k := 0; k < 5; k++ {
+				want += a.At(i, k) * b.At(j, k)
+			}
+			if math.Abs(c.At(i, j)-want) > 1e-12 {
+				t.Fatalf("MatMul with transposed view wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatVecAndDotAndOuter(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	x := FromSlice([]float64{1, 1}, 2)
+	y := MatVec(a, x)
+	if y.At(0) != 3 || y.At(1) != 7 {
+		t.Fatalf("MatVec wrong: %v", y)
+	}
+	if Dot(x, y) != 10 {
+		t.Fatalf("Dot wrong: %v", Dot(x, y))
+	}
+	o := Outer(x, y)
+	if o.At(1, 1) != 7 {
+		t.Fatalf("Outer wrong: %v", o)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if a.SumAll() != 21 {
+		t.Fatalf("SumAll %v", a.SumAll())
+	}
+	if a.MeanAll() != 3.5 {
+		t.Fatalf("MeanAll %v", a.MeanAll())
+	}
+	if a.MaxAll() != 6 || a.MinAll() != 1 {
+		t.Fatal("MaxAll/MinAll wrong")
+	}
+	s0 := a.Sum(0)
+	if s0.At(0) != 5 || s0.At(2) != 9 {
+		t.Fatalf("Sum(0) wrong: %v", s0)
+	}
+	m1 := a.Mean(1)
+	if m1.At(0) != 2 || m1.At(1) != 5 {
+		t.Fatalf("Mean(1) wrong: %v", m1)
+	}
+	std := FromSlice([]float64{2, 4, 4, 4, 5, 5, 7, 9}, 8).StdAll()
+	if math.Abs(std-2) > 1e-12 {
+		t.Fatalf("StdAll %v want 2", std)
+	}
+}
+
+func TestConcatAndStack(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 1, 2)
+	b := FromSlice([]float64{3, 4, 5, 6}, 2, 2)
+	c := Concat(0, a, b)
+	if c.Dim(0) != 3 || c.At(2, 1) != 6 {
+		t.Fatalf("Concat wrong: %v", c)
+	}
+	d := Concat(1, b, b)
+	if d.Dim(1) != 4 || d.At(1, 3) != 6 {
+		t.Fatalf("Concat axis1 wrong: %v", d)
+	}
+	s := Stack(0, b, b)
+	if s.Rank() != 3 || s.Dim(0) != 2 || s.At(1, 1, 0) != 5 {
+		t.Fatalf("Stack wrong: %v", s)
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	a := FromSlice([]float64{0, 1, 10, 11, 20, 21}, 3, 2)
+	g := a.GatherRows([]int{2, 0, 2})
+	if g.Dim(0) != 3 || g.At(0, 1) != 21 || g.At(1, 0) != 0 || g.At(2, 0) != 20 {
+		t.Fatalf("GatherRows wrong: %v", g)
+	}
+}
+
+func TestApplyFunctions(t *testing.T) {
+	a := FromSlice([]float64{-1, 0, 1}, 3)
+	r := a.Relu()
+	if r.At(0) != 0 || r.At(2) != 1 {
+		t.Fatalf("Relu wrong: %v", r)
+	}
+	s := a.Sigmoid()
+	if math.Abs(s.At(1)-0.5) > 1e-12 {
+		t.Fatalf("Sigmoid wrong: %v", s)
+	}
+	th := a.Tanh()
+	if math.Abs(th.At(2)-math.Tanh(1)) > 1e-12 {
+		t.Fatalf("Tanh wrong: %v", th)
+	}
+	ab := a.Abs()
+	if ab.At(0) != 1 {
+		t.Fatalf("Abs wrong: %v", ab)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	c := a.Clone()
+	c.Set(99, 0, 0)
+	if a.At(0, 0) == 99 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{1, 2, 3.0000001}, 3)
+	if a.Equal(b) {
+		t.Fatal("Equal must be exact")
+	}
+	if !a.AllClose(b, 1e-3) {
+		t.Fatal("AllClose within tol must hold")
+	}
+	if a.Equal(New(4)) {
+		t.Fatal("shape mismatch must not be Equal")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := Randn(NewRNG(42), 5, 5)
+	b := Randn(NewRNG(42), 5, 5)
+	if !a.Equal(b) {
+		t.Fatal("same seed must give identical tensors")
+	}
+	c := Randn(NewRNG(43), 5, 5)
+	if a.Equal(c) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	p := NewRNG(1).Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatal("Perm is not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+// Property: a slice view along axis 0 always equals the copy-based gather of
+// the same rows — the core index-batching identity.
+func TestPropertySliceEqualsGather(t *testing.T) {
+	f := func(seed uint64, rowsRaw, colsRaw uint8, startRaw, lenRaw uint8) bool {
+		rows := int(rowsRaw%20) + 2
+		cols := int(colsRaw%8) + 1
+		start := int(startRaw) % rows
+		length := int(lenRaw) % (rows - start)
+		if length == 0 {
+			length = 1
+			if start == rows {
+				start = rows - 1
+			}
+		}
+		a := Randn(NewRNG(seed), rows, cols)
+		view := a.Slice(0, start, start+length)
+		idx := make([]int, length)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		gathered := a.GatherRows(idx)
+		return view.Equal(gathered) && view.SharesStorage(a) && !gathered.SharesStorage(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative and Sub(x,x) is zero for random shapes.
+func TestPropertyAddCommutes(t *testing.T) {
+	f := func(seed uint64, aRaw, bRaw uint8) bool {
+		r := int(aRaw%6) + 1
+		c := int(bRaw%6) + 1
+		rng := NewRNG(seed)
+		a := Randn(rng, r, c)
+		b := Randn(rng, r, c)
+		return Add(a, b).Equal(Add(b, a)) && Sub(a, a).SumAll() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatMul distributes over addition: (A+B)C = AC + BC.
+func TestPropertyMatMulDistributes(t *testing.T) {
+	f := func(seed uint64, mRaw, kRaw, nRaw uint8) bool {
+		m := int(mRaw%5) + 1
+		k := int(kRaw%5) + 1
+		n := int(nRaw%5) + 1
+		rng := NewRNG(seed)
+		a := Randn(rng, m, k)
+		b := Randn(rng, m, k)
+		c := Randn(rng, k, n)
+		lhs := MatMul(Add(a, b), c)
+		rhs := Add(MatMul(a, c), MatMul(b, c))
+		return lhs.AllClose(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reshape round-trips and preserves row-major element order.
+func TestPropertyReshapeRoundTrip(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		m := int(mRaw%6) + 1
+		n := int(nRaw%6) + 1
+		a := Randn(NewRNG(seed), m, n)
+		return a.Reshape(n, m).Reshape(m, n).Equal(a) && a.Flatten().Reshape(m, n).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnShapeErrors(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	a := New(2, 3)
+	mustPanic("At rank", func() { a.At(1) })
+	mustPanic("At bounds", func() { a.At(2, 0) })
+	mustPanic("Slice bounds", func() { a.Slice(0, 0, 5) })
+	mustPanic("Slice axis", func() { a.Slice(3, 0, 1) })
+	mustPanic("MatMul inner", func() { MatMul(a, New(4, 2)) })
+	mustPanic("Reshape count", func() { a.Reshape(5) })
+	mustPanic("Concat shape", func() { Concat(0, a, New(2, 4)) })
+	mustPanic("Data non-contig", func() { a.T().Data() })
+	mustPanic("negative shape", func() { New(-1, 2) })
+	mustPanic("Item multi", func() { a.Item() })
+}
+
+func TestScalarAndItem(t *testing.T) {
+	s := Scalar(3.5)
+	if s.Item() != 3.5 || s.Rank() != 0 || s.NumElements() != 1 {
+		t.Fatal("Scalar wrong")
+	}
+	one := FromSlice([]float64{9}, 1, 1)
+	if one.Item() != 9 {
+		t.Fatal("Item on [1,1] wrong")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := FromSlice([]float64{1, 2}, 2)
+	if s := small.String(); s == "" {
+		t.Fatal("empty String")
+	}
+	big := New(100, 100)
+	if s := big.String(); s == "" {
+		t.Fatal("empty String for big tensor")
+	}
+}
+
+func TestGlorotUniformBounds(t *testing.T) {
+	w := GlorotUniform(NewRNG(5), 64, 32, 64, 32)
+	limit := math.Sqrt(6.0 / 96.0)
+	if w.MaxAll() > limit || w.MinAll() < -limit {
+		t.Fatalf("Glorot out of bounds: [%v, %v] limit %v", w.MinAll(), w.MaxAll(), limit)
+	}
+	if w.MaxAll() < limit*0.5 {
+		t.Fatal("Glorot suspiciously narrow")
+	}
+}
+
+func TestBroadcastToView(t *testing.T) {
+	row := FromSlice([]float64{1, 2, 3}, 3)
+	b := row.BroadcastTo(4, 3)
+	if b.Dim(0) != 4 || b.At(3, 2) != 3 {
+		t.Fatalf("BroadcastTo wrong: %v", b.Shape())
+	}
+	if !b.SharesStorage(row) {
+		t.Fatal("BroadcastTo must be zero-copy")
+	}
+}

@@ -1,0 +1,89 @@
+package pgti
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDatasetsList(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 6 || ds[0] != "Chickenpox-Hungary" || ds[5] != "PeMS" {
+		t.Fatalf("Datasets() = %v", ds)
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if _, err := Run(Config{Dataset: "nope"}); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestRunQuickstartShape(t *testing.T) {
+	rep, err := Run(Config{
+		Dataset:   "Chickenpox-Hungary",
+		Strategy:  StrategyIndex,
+		BatchSize: 4,
+		Epochs:    2,
+		Hidden:    8,
+		K:         1,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dataset != "Chickenpox-Hungary" || len(rep.Curve) != 2 {
+		t.Fatalf("report malformed: %+v", rep)
+	}
+	if rep.OOM || rep.Curve.BestVal() <= 0 || math.IsNaN(rep.Curve.BestVal()) {
+		t.Fatalf("bad result: %+v", rep)
+	}
+	if rep.RetainedDataBytes <= 0 || rep.PeakSystemBytes < rep.RetainedDataBytes {
+		t.Fatalf("memory accounting wrong: retained %d peak %d", rep.RetainedDataBytes, rep.PeakSystemBytes)
+	}
+}
+
+func TestRunMemoryCapProducesOOM(t *testing.T) {
+	rep, err := Run(Config{
+		Dataset:        "PeMS-BAY",
+		Scale:          0.012,
+		Strategy:       StrategyBaseline,
+		BatchSize:      4,
+		Epochs:         1,
+		Hidden:         8,
+		K:              1,
+		Seed:           2,
+		SystemMemoryGB: 0.001, // 1 MiB: below the standard pipeline's needs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OOM || rep.OOMError == "" {
+		t.Fatalf("expected OOM report, got %+v", rep)
+	}
+}
+
+func TestRunDistributedFacade(t *testing.T) {
+	rep, err := Run(Config{
+		Dataset:   "PeMS-BAY",
+		Scale:     0.012,
+		Strategy:  StrategyDistIndex,
+		Workers:   2,
+		BatchSize: 4,
+		Epochs:    1,
+		Hidden:    8,
+		K:         1,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 2 || rep.GlobalBatch != 8 || rep.GradSyncBytes == 0 {
+		t.Fatalf("distributed report malformed: %+v", rep)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	if FormatBytes(1<<30) != "1.00 GiB" {
+		t.Fatalf("FormatBytes: %s", FormatBytes(1<<30))
+	}
+}

@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: ci build vet fmt-check test race bench bench-smoke bench-json
+
+## ci runs the exact tier-1 gate the CI workflow enforces.
+ci: build vet fmt-check test race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -w needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench runs the full benchmark suite with allocation stats.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+## bench-smoke runs every benchmark once, as a does-it-still-run gate.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x .
+
+## bench-json emits a machine-readable perf snapshot (BENCH_* trajectory).
+## Staged through a temp file so a benchmark failure fails the target
+## instead of being masked by the pipeline's last command.
+bench-json:
+	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -run '^$$' -bench . -benchtime=1x . > "$$tmp" || { cat "$$tmp"; exit 1; }; \
+	$(GO) run ./cmd/pgti-benchjson < "$$tmp"

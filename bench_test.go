@@ -7,14 +7,18 @@ package pgti
 
 import (
 	"io"
+	"runtime"
 	"testing"
+	"time"
 
 	"pgti/internal/batching"
 	"pgti/internal/cluster"
 	"pgti/internal/dataset"
+	"pgti/internal/ddp"
 	"pgti/internal/experiments"
 	"pgti/internal/graph"
 	"pgti/internal/nn"
+	"pgti/internal/parallel"
 	"pgti/internal/perfmodel"
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
@@ -270,3 +274,126 @@ func BenchmarkPerfModelFullSweep(b *testing.B) {
 		}
 	}
 }
+
+// --- micro: parallel runtime vs serial kernels --------------------------------
+
+// benchWithWorkers runs body b.N times with the parallel pool pinned to the
+// given width (0 = GOMAXPROCS), restoring the previous width afterwards.
+func benchWithWorkers(b *testing.B, workers int, body func()) {
+	b.Helper()
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body()
+	}
+}
+
+// Element-wise binary op on a large tensor (4M elements).
+func benchAdd(b *testing.B, workers int) {
+	rng := tensor.NewRNG(11)
+	x := tensor.Randn(rng, 2048, 2048)
+	y := tensor.Randn(rng, 2048, 2048)
+	benchWithWorkers(b, workers, func() { tensor.Add(x, y) })
+}
+
+func BenchmarkElementwiseAddSerial(b *testing.B)   { benchAdd(b, 1) }
+func BenchmarkElementwiseAddParallel(b *testing.B) { benchAdd(b, 0) }
+
+// Transcendental Apply (sigmoid) on a large tensor: compute-bound per element.
+func benchSigmoid(b *testing.B, workers int) {
+	x := tensor.Randn(tensor.NewRNG(12), 2048, 1024)
+	benchWithWorkers(b, workers, func() { x.Sigmoid() })
+}
+
+func BenchmarkSigmoidSerial(b *testing.B)   { benchSigmoid(b, 1) }
+func BenchmarkSigmoidParallel(b *testing.B) { benchSigmoid(b, 0) }
+
+// Large SpMM: PeMS-scale sensor graph against a wide feature matrix.
+func benchSpMMLarge(b *testing.B, workers int) {
+	g, err := graph.RoadNetwork(13, 4000, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd, _ := g.TransitionMatrices()
+	x := tensor.Randn(tensor.NewRNG(14), 4000, 128)
+	benchWithWorkers(b, workers, func() { fwd.SpMM(x) })
+}
+
+func BenchmarkSpMMLargeSerial(b *testing.B)   { benchSpMMLarge(b, 1) }
+func BenchmarkSpMMLargeParallel(b *testing.B) { benchSpMMLarge(b, 0) }
+
+// Batched matmul as used by attention: [64, 128, 64] x [64, 64, 128].
+func benchBMM(b *testing.B, workers int) {
+	rng := tensor.NewRNG(15)
+	x := tensor.Randn(rng, 64, 128, 64)
+	y := tensor.Randn(rng, 64, 64, 128)
+	benchWithWorkers(b, workers, func() { tensor.BMM(x, y) })
+}
+
+func BenchmarkBMMSerial(b *testing.B)   { benchBMM(b, 1) }
+func BenchmarkBMMParallel(b *testing.B) { benchBMM(b, 0) }
+
+// Index-gather batch assembly (the per-step data path of index-batching).
+func benchAssemble(b *testing.B, workers int) {
+	idx, err := batching.NewIndexDataset(benchSignal(b, 4000, 400, 2), 12, 0.7, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	indices := make([]int, 64)
+	for i := range indices {
+		indices[i] = i * 13 % idx.NumSnapshots()
+	}
+	var buf batching.BatchBuffer
+	benchWithWorkers(b, workers, func() { idx.AssembleBatch(indices, &buf) })
+}
+
+func BenchmarkAssembleBatchSerial(b *testing.B)   { benchAssemble(b, 1) }
+func BenchmarkAssembleBatchParallel(b *testing.B) { benchAssemble(b, 0) }
+
+// --- ablation: DDP gradient sync schedules ------------------------------------
+
+// benchDDPSync trains one epoch at 8 workers on a bandwidth-constrained
+// fabric and reports the modeled epoch virtual time, comparing the bucketed
+// overlapping AllReduce against the flatten-then-AllReduce baseline.
+func benchDDPSync(b *testing.B, mode ddp.SyncMode) {
+	g, err := graph.RoadNetwork(16, 24, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd, bwd := g.TransitionMatrices()
+	supports := []*sparse.CSR{fwd, bwd}
+	raw := tensor.Randn(tensor.NewRNG(17), 160, 24, 1)
+	data, err := batching.NewIndexDataset(raw, 3, 0.7, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := batching.MakeSplit(data.NumSnapshots(), 0.7, 0.1)
+	factory := func(seed uint64) nn.SeqModel {
+		return nn.NewPGTDCRNN(tensor.NewRNG(seed), supports, 1, 1, 16, 3)
+	}
+	paramBytes := nn.ParameterBytes(factory(1))
+	cfg := ddp.Config{
+		Workers: 8, BatchSize: 2, Epochs: 1, LR: 0.01, Seed: 1, Sync: mode,
+		BucketBytes: paramBytes / 4,
+		Net:         cluster.NetworkModel{Bandwidth: 1e8, Latency: 2 * time.Microsecond, DispatchOverhead: time.Millisecond},
+		ComputeCost: func(int) time.Duration { return 5 * time.Millisecond },
+	}
+	var vt, comm time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ddp.Train(data, split, factory, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vt, comm = res.VirtualTime, res.CommTime
+	}
+	b.ReportMetric(float64(vt.Microseconds()), "virt-µs/epoch")
+	b.ReportMetric(float64(comm.Microseconds()), "exposed-comm-µs")
+}
+
+func BenchmarkDDPBucketedOverlap8(b *testing.B) { benchDDPSync(b, ddp.SyncBucketedOverlap) }
+func BenchmarkDDPFlatten8(b *testing.B)         { benchDDPSync(b, ddp.SyncFlatten) }

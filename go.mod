@@ -1,0 +1,3 @@
+module pgti
+
+go 1.24

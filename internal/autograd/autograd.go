@@ -74,6 +74,13 @@ func newOp(name string, value *tensor.Tensor, inputs []*Variable, backward func(
 	return out
 }
 
+// GradHook observes leaf gradients becoming final during a backward pass:
+// it is invoked exactly once per reachable gradient-requiring leaf, at the
+// moment no remaining op can still contribute to that leaf's gradient.
+// Distributed training uses this to launch per-bucket gradient AllReduce
+// while the rest of the backward pass is still running.
+type GradHook func(leaf *Variable)
+
 // Backward computes gradients of v with respect to every reachable variable
 // with RequiresGrad. v must be a scalar (one element); its seed gradient is 1.
 func Backward(v *Variable) error {
@@ -86,6 +93,23 @@ func Backward(v *Variable) error {
 // BackwardWithGrad runs backpropagation from v with an explicit seed
 // gradient of the same shape as v's value.
 func BackwardWithGrad(v *Variable, seed *tensor.Tensor) error {
+	return BackwardWithHook(v, seed, nil)
+}
+
+// BackwardHooked is Backward (scalar output, unit seed) with a
+// gradient-ready hook.
+func BackwardHooked(v *Variable, hook GradHook) error {
+	if v.Value.NumElements() != 1 {
+		return fmt.Errorf("autograd: Backward requires a scalar output, got shape %v", v.Value.Shape())
+	}
+	return BackwardWithHook(v, tensor.Ones(v.Value.Shape()...), hook)
+}
+
+// BackwardWithHook is BackwardWithGrad with a gradient-ready hook: as the
+// reverse sweep retires the last consumer of each gradient-requiring leaf,
+// hook fires with that leaf (its Grad is final, though possibly nil when no
+// gradient flowed to it). A nil hook degenerates to BackwardWithGrad.
+func BackwardWithHook(v *Variable, seed *tensor.Tensor, hook GradHook) error {
 	if !v.Value.SameShape(seed) {
 		return fmt.Errorf("autograd: seed gradient shape %v does not match output shape %v", seed.Shape(), v.Value.Shape())
 	}
@@ -96,29 +120,64 @@ func BackwardWithGrad(v *Variable, seed *tensor.Tensor) error {
 	if err != nil {
 		return err
 	}
+	// pending[leaf] counts the reachable ops still holding leaf as an input;
+	// when it hits zero the leaf's gradient can no longer change.
+	var pending map[*Variable]int
+	if hook != nil {
+		pending = make(map[*Variable]int)
+		for _, node := range order {
+			if node.op == nil {
+				continue
+			}
+			for _, in := range node.op.inputs {
+				if in.requiresGrad && in.op == nil {
+					pending[in]++
+				}
+			}
+		}
+		if v.op == nil {
+			// Degenerate graph: the root itself is the only leaf.
+			defer hook(v)
+		}
+	}
 	accumulate(v, seed)
 	// Reverse topological order: from output back to leaves.
 	for i := len(order) - 1; i >= 0; i-- {
 		node := order[i]
-		if node.op == nil || node.Grad == nil {
+		if node.op == nil {
 			continue
 		}
-		grads := node.op.backward(node.Grad)
-		if len(grads) != len(node.op.inputs) {
-			return fmt.Errorf("autograd: op %q returned %d gradients for %d inputs", node.op.name, len(grads), len(node.op.inputs))
+		if node.Grad != nil {
+			grads := node.op.backward(node.Grad)
+			if len(grads) != len(node.op.inputs) {
+				return fmt.Errorf("autograd: op %q returned %d gradients for %d inputs", node.op.name, len(grads), len(node.op.inputs))
+			}
+			for j, in := range node.op.inputs {
+				if !in.requiresGrad || grads[j] == nil {
+					continue
+				}
+				if !in.Value.SameShape(grads[j]) {
+					return fmt.Errorf("autograd: op %q produced gradient shape %v for input shape %v", node.op.name, grads[j].Shape(), in.Value.Shape())
+				}
+				accumulate(in, grads[j])
+			}
 		}
-		for j, in := range node.op.inputs {
-			if !in.requiresGrad || grads[j] == nil {
-				continue
+		// Retire this op's claims on its leaves even when no gradient flowed
+		// through it — readiness is structural, not value-dependent.
+		if hook != nil {
+			for _, in := range node.op.inputs {
+				if !in.requiresGrad || in.op != nil {
+					continue
+				}
+				pending[in]--
+				if pending[in] == 0 {
+					hook(in)
+				}
 			}
-			if !in.Value.SameShape(grads[j]) {
-				return fmt.Errorf("autograd: op %q produced gradient shape %v for input shape %v", node.op.name, grads[j].Shape(), in.Value.Shape())
-			}
-			accumulate(in, grads[j])
 		}
 		// Free the intermediate gradient: only leaves keep gradients after
 		// a full backward pass, matching PyTorch semantics.
-		if node.op != nil && node != v {
+		if node != v {
 			node.Grad = nil
 		}
 	}

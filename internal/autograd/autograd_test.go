@@ -324,3 +324,87 @@ func TestPropertyMulGradIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBackwardHookFiresOncePerLeafWithFinalGrad verifies the gradient-ready
+// hook: one firing per reachable gradient-requiring leaf, at a point where
+// the leaf's gradient already equals its final value.
+func TestBackwardHookFiresOncePerLeafWithFinalGrad(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	a := leaf(rng, 3, 3)
+	b := leaf(rng, 3, 3)
+	c := leaf(rng, 3, 3)
+	// a appears twice (two consumers); c feeds two separate ops.
+	out := MeanAll(Add(Mul(a, b), Add(Mul(a, c), Sigmoid(c))))
+
+	fired := map[*Variable]int{}
+	snapshot := map[*Variable]*tensor.Tensor{}
+	err := BackwardHooked(out, func(v *Variable) {
+		fired[v]++
+		if v.Grad != nil {
+			snapshot[v] = v.Grad.Clone()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]*Variable{"a": a, "b": b, "c": c} {
+		if fired[v] != 1 {
+			t.Fatalf("leaf %s: hook fired %d times, want 1", name, fired[v])
+		}
+		if v.Grad == nil || snapshot[v] == nil {
+			t.Fatalf("leaf %s: gradient missing at hook time", name)
+		}
+		if !snapshot[v].Equal(v.Grad) {
+			t.Fatalf("leaf %s: hook observed a non-final gradient", name)
+		}
+	}
+}
+
+// TestBackwardHookOrderMatchesBackwardSweep verifies the last-used leaf
+// (closest to the output) becomes ready before a leaf consumed only at the
+// start of the chain — the property DDP bucket overlap relies on.
+func TestBackwardHookOrderMatchesBackwardSweep(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	early := leaf(rng, 4, 4) // consumed first (deepest in the chain)
+	late := leaf(rng, 4, 4)  // consumed last (adjacent to the output)
+	out := MeanAll(MatMul(Tanh(MatMul(early, early)), late))
+
+	var order []*Variable
+	if err := BackwardHooked(out, func(v *Variable) { order = append(order, v) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != late || order[1] != early {
+		t.Fatalf("hook order wrong: got %d leaves, late-first=%v", len(order), len(order) > 0 && order[0] == late)
+	}
+}
+
+// TestBackwardHookNilAndConstantLeaves verifies a nil hook reproduces plain
+// Backward and constants never fire.
+func TestBackwardHookNilAndConstantLeaves(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	a := leaf(rng, 2, 2)
+	k := Constant(tensor.Ones(2, 2))
+	out := MeanAll(Mul(a, k))
+	if err := BackwardWithHook(out, tensor.Ones(), nil); err != nil {
+		t.Fatal(err)
+	}
+	want := a.Grad.Clone()
+	a.ZeroGrad()
+
+	fired := 0
+	out2 := MeanAll(Mul(a, k))
+	if err := BackwardHooked(out2, func(v *Variable) {
+		fired++
+		if v != a {
+			t.Fatal("hook fired for a non-gradient leaf")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times", fired)
+	}
+	if !a.Grad.Equal(want) {
+		t.Fatal("hooked backward changed the gradients")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"pgti/internal/memsim"
+	"pgti/internal/parallel"
 	"pgti/internal/tensor"
 )
 
@@ -154,10 +155,16 @@ func (d *IndexDataset) AssembleBatch(indices []int, buf *BatchBuffer) (x, y *ten
 	}
 	x = buf.x.Slice(0, 0, b)
 	y = buf.y.Slice(0, 0, b)
-	for bi, idx := range indices {
-		sx, sy := d.Snapshot(idx)
-		x.Index(0, bi).CopyFrom(sx)
-		y.Index(0, bi).CopyFrom(sy)
-	}
+	// Index-gather: each batch slot copies a disjoint [horizon, N, F] pair,
+	// so slots fan out over the worker pool (grain sized to keep one chunk's
+	// copied volume above the element-wise threshold).
+	grain := parallel.GrainFor(2*d.Horizon*n*f, 16*1024)
+	parallel.For(b, grain, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			sx, sy := d.Snapshot(indices[bi])
+			x.Index(0, bi).CopyFrom(sx)
+			y.Index(0, bi).CopyFrom(sy)
+		}
+	})
 	return x, y
 }

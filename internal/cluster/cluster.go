@@ -181,13 +181,13 @@ func (w *Worker) FetchRemote(bytes int64) {
 
 // Barrier synchronizes all workers, advancing every clock to the maximum.
 func (w *Worker) Barrier() {
-	w.vt, _ = w.cluster.barrier.wait(w.vt, 0, 0, OpSum)
+	w.vt, _ = w.cluster.barrier.wait(w.rank, w.vt, 0, 0, OpSum)
 }
 
 // synchronized runs a collective: clocks align to the slowest participant
 // plus the modeled collective cost.
 func (w *Worker) synchronized(cost time.Duration) {
-	w.vt, _ = w.cluster.barrier.wait(w.vt, cost, 0, OpSum)
+	w.vt, _ = w.cluster.barrier.wait(w.rank, w.vt, cost, 0, OpSum)
 }
 
 // RingAllReduceMean averages vec element-wise across all workers, in place,
@@ -195,6 +195,33 @@ func (w *Worker) synchronized(cost time.Duration) {
 // chunk exchange over channels. All workers must call it with equal-length
 // vectors. Virtual clocks advance by the modeled ring cost and synchronize.
 func (w *Worker) RingAllReduceMean(vec []float64) {
+	w.ringExchange(vec)
+	w.synchronized(w.cluster.cfg.Net.RingAllReduceTime(int64(len(vec))*8, w.Size()))
+}
+
+// AsyncRingAllReduceMean performs the same in-place ring averaging as
+// RingAllReduceMean but leaves every virtual clock untouched, returning the
+// modeled ring cost instead. Callers that overlap communication with
+// compute (bucketed DDP gradient sync) launch these during the backward
+// pass and charge the overlapped timeline afterwards via OverlapFinish.
+// All workers must issue matching calls in the same order.
+func (w *Worker) AsyncRingAllReduceMean(vec []float64) time.Duration {
+	w.ringExchange(vec)
+	return w.cluster.cfg.Net.RingAllReduceTime(int64(len(vec))*8, w.Size())
+}
+
+// NaiveAllReduceMean averages vec across workers via gather-at-root and
+// broadcast — the ablation baseline for the AllReduce bench. Uses the ring
+// transport internally for the actual data movement (numerically identical);
+// its virtual cost model is the serialized root pattern.
+func (w *Worker) NaiveAllReduceMean(vec []float64) {
+	w.ringExchange(vec)
+	w.synchronized(w.cluster.cfg.Net.NaiveAllReduceTime(int64(len(vec))*8, w.Size()))
+}
+
+// ringExchange is the pure data-movement ring all-reduce (reduce-scatter
+// then all-gather, then the 1/p mean scaling). It never touches clocks.
+func (w *Worker) ringExchange(vec []float64) {
 	p := w.Size()
 	if p == 1 {
 		return
@@ -238,57 +265,39 @@ func (w *Worker) RingAllReduceMean(vec []float64) {
 	for i := range vec {
 		vec[i] *= inv
 	}
-	w.synchronized(c.cfg.Net.RingAllReduceTime(int64(len(vec))*8, p))
 }
 
-// NaiveAllReduceMean averages vec across workers via gather-at-root and
-// broadcast — the ablation baseline for the AllReduce bench. Uses the scalar
-// reduction rendezvous internally per element block for simplicity of
-// correctness; its virtual cost model is the serialized root pattern.
-func (w *Worker) NaiveAllReduceMean(vec []float64) {
-	p := w.Size()
-	if p == 1 {
-		return
-	}
-	// Reuse the ring transport for the actual data movement (numerically
-	// identical), but charge the naive algorithm's cost.
-	c := w.cluster
-	cost := c.cfg.Net.NaiveAllReduceTime(int64(len(vec))*8, p)
-	w.ringReduceNoClock(vec)
-	w.synchronized(cost)
+// CommEvent is one communication launch inside an overlapped step: a
+// collective of modeled duration Cost whose inputs become available ReadyAt
+// into the step's compute.
+type CommEvent struct {
+	ReadyAt time.Duration
+	Cost    time.Duration
 }
 
-// ringReduceNoClock performs the ring exchange without touching clocks.
-func (w *Worker) ringReduceNoClock(vec []float64) {
-	saved := w.vt
-	p := w.Size()
-	c := w.cluster
-	right := c.ringIn[(w.rank+1)%p]
-	left := c.ringIn[w.rank]
-	bounds := make([]int, p+1)
-	for j := 0; j <= p; j++ {
-		bounds[j] = j * len(vec) / p
-	}
-	chunk := func(j int) []float64 { return vec[bounds[j]:bounds[j+1]] }
-	for step := 0; step < p-1; step++ {
-		out := append([]float64(nil), chunk(mod(w.rank-step, p))...)
-		right <- out
-		in := <-left
-		dst := chunk(mod(w.rank-step-1, p))
-		for i := range dst {
-			dst[i] += in[i]
+// OverlapFinish returns the completion time of a step whose compute spans
+// [0, compute) while the comm events execute back-to-back on one
+// communication channel, each starting no earlier than its ReadyAt:
+//
+//	start_i  = max(finish_{i-1}, ReadyAt_i)
+//	finish_i = start_i + Cost_i
+//	step     = max(compute, finish_last)
+//
+// This is the max(compute, comm) overlap charge — communication hidden
+// under remaining compute is free; only the exposed tail extends the step.
+func OverlapFinish(compute time.Duration, events []CommEvent) time.Duration {
+	var finish time.Duration
+	for _, e := range events {
+		start := finish
+		if e.ReadyAt > start {
+			start = e.ReadyAt
 		}
+		finish = start + e.Cost
 	}
-	for step := 0; step < p-1; step++ {
-		out := append([]float64(nil), chunk(mod(w.rank-step+1, p))...)
-		right <- out
-		copy(chunk(mod(w.rank-step, p)), <-left)
+	if compute > finish {
+		return compute
 	}
-	inv := 1 / float64(p)
-	for i := range vec {
-		vec[i] *= inv
-	}
-	w.vt = saved
+	return finish
 }
 
 // ReduceOp selects the scalar reduction.
@@ -311,7 +320,7 @@ func (w *Worker) AllReduceScalar(v float64, op ReduceOp) float64 {
 		return v
 	}
 	var out float64
-	w.vt, out = w.cluster.barrier.wait(w.vt, w.cluster.cfg.Net.RingAllReduceTime(8, p), v, op)
+	w.vt, out = w.cluster.barrier.wait(w.rank, w.vt, w.cluster.cfg.Net.RingAllReduceTime(8, p), v, op)
 	return out
 }
 
@@ -323,7 +332,9 @@ func mod(a, p int) int {
 // virtual clock and an optional scalar reduction per generation. Results
 // latch until every waiter of the generation has left: a waiter that has
 // not returned cannot re-arrive, and the next generation needs all workers,
-// so cross-generation overwrites are impossible.
+// so cross-generation overwrites are impossible. Contributions are stored
+// per rank and reduced in rank order once the last worker arrives, so the
+// floating-point reduction is deterministic regardless of arrival order.
 type timeBarrier struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -331,52 +342,48 @@ type timeBarrier struct {
 	count     int
 	gen       int
 	maxVT     time.Duration
-	sum       float64
-	max, min  float64
-	hasVal    bool
+	vals      []float64
 	result    time.Duration
 	resultVal float64
 }
 
 func newTimeBarrier(size int) *timeBarrier {
-	b := &timeBarrier{size: size}
+	b := &timeBarrier{size: size, vals: make([]float64, size)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
 // wait blocks until all workers arrive, then returns (max(vt)+cost,
 // reduce(vals)). cost and op must be identical across one generation's
-// callers.
-func (b *timeBarrier) wait(vt, cost time.Duration, val float64, op ReduceOp) (time.Duration, float64) {
+// callers; rank slots the caller's contribution for the ordered reduction.
+func (b *timeBarrier) wait(rank int, vt, cost time.Duration, val float64, op ReduceOp) (time.Duration, float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if vt > b.maxVT {
 		b.maxVT = vt
 	}
-	b.sum += val
-	if !b.hasVal || val > b.max {
-		b.max = val
-	}
-	if !b.hasVal || val < b.min {
-		b.min = val
-	}
-	b.hasVal = true
+	b.vals[rank] = val
 	gen := b.gen
 	b.count++
 	if b.count == b.size {
 		b.result = b.maxVT + cost
-		switch op {
-		case OpMax:
-			b.resultVal = b.max
-		case OpMin:
-			b.resultVal = b.min
-		default:
-			b.resultVal = b.sum
+		b.resultVal = b.vals[0]
+		for _, v := range b.vals[1:] {
+			switch op {
+			case OpMax:
+				if v > b.resultVal {
+					b.resultVal = v
+				}
+			case OpMin:
+				if v < b.resultVal {
+					b.resultVal = v
+				}
+			default:
+				b.resultVal += v
+			}
 		}
 		b.count = 0
 		b.maxVT = 0
-		b.sum = 0
-		b.hasVal = false
 		b.gen++
 		b.cond.Broadcast()
 		return b.result, b.resultVal

@@ -282,3 +282,67 @@ func TestPropertyRingAllReduce(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAsyncRingAllReduceMeanLeavesClocksUntouched(t *testing.T) {
+	for _, p := range []int{2, 5} {
+		c, _ := New(Config{Workers: p})
+		results := make([][]float64, p)
+		costs := make([]time.Duration, p)
+		err := c.Run(func(w *Worker) error {
+			w.AdvanceTime(time.Duration(w.Rank()) * time.Millisecond)
+			vec := make([]float64, 17)
+			for i := range vec {
+				vec[i] = float64(w.Rank()*10 + i)
+			}
+			costs[w.Rank()] = w.AsyncRingAllReduceMean(vec)
+			if got, want := w.VirtualTime(), time.Duration(w.Rank())*time.Millisecond; got != want {
+				t.Errorf("rank %d: clock moved to %v (want %v)", w.Rank(), got, want)
+			}
+			results[w.Rank()] = vec
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCost := c.Net().RingAllReduceTime(17*8, p)
+		for r := 0; r < p; r++ {
+			if costs[r] != wantCost {
+				t.Fatalf("rank %d returned cost %v want %v", r, costs[r], wantCost)
+			}
+			for i := range results[r] {
+				// Mean over ranks of (rank*10 + i).
+				want := 10*float64(p-1)/2 + float64(i)
+				if math.Abs(results[r][i]-want) > 1e-12 {
+					t.Fatalf("p=%d rank %d elem %d: %v want %v", p, r, i, results[r][i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestOverlapFinish(t *testing.T) {
+	ms := func(d float64) time.Duration { return time.Duration(d * float64(time.Millisecond)) }
+	cases := []struct {
+		name    string
+		compute time.Duration
+		events  []CommEvent
+		want    time.Duration
+	}{
+		{"no comm", ms(10), nil, ms(10)},
+		{"fully hidden", ms(10), []CommEvent{{ReadyAt: ms(1), Cost: ms(2)}, {ReadyAt: ms(4), Cost: ms(1)}}, ms(10)},
+		{"exposed tail", ms(10), []CommEvent{{ReadyAt: ms(9), Cost: ms(3)}}, ms(12)},
+		{"serialized channel", ms(10), []CommEvent{{ReadyAt: ms(8), Cost: ms(3)}, {ReadyAt: ms(9), Cost: ms(2)}}, ms(13)},
+		{"comm dominates", ms(1), []CommEvent{{ReadyAt: 0, Cost: ms(5)}, {ReadyAt: 0, Cost: ms(5)}}, ms(10)},
+	}
+	for _, tc := range cases {
+		if got := OverlapFinish(tc.compute, tc.events); got != tc.want {
+			t.Errorf("%s: OverlapFinish = %v want %v", tc.name, got, tc.want)
+		}
+	}
+	// Overlap never beats compute alone and never beats pure serialization.
+	events := []CommEvent{{ReadyAt: ms(2), Cost: ms(4)}, {ReadyAt: ms(6), Cost: ms(1)}}
+	got := OverlapFinish(ms(8), events)
+	if got < ms(8) || got > ms(8)+ms(5) {
+		t.Fatalf("OverlapFinish %v outside [compute, compute+sum(cost)]", got)
+	}
+}

@@ -123,6 +123,12 @@ type Config struct {
 	// samplerSet tracks whether Sampler was set explicitly.
 	SamplerSet bool
 
+	// GradSync selects the DDP gradient-exchange schedule (default bucketed
+	// overlapping AllReduce); GradBucketBytes caps one gradient bucket
+	// (0 = ddp.DefaultBucketBytes).
+	GradSync        ddp.SyncMode
+	GradBucketBytes int64
+
 	// MissingFrac injects sensor dropouts: each (entry, node) observation
 	// is zeroed with this probability before preprocessing, and training
 	// switches to the masked-MAE loss so missing readings contribute no
@@ -184,6 +190,11 @@ type Report struct {
 	WallTime    time.Duration
 	VirtualTime time.Duration
 	CommTime    time.Duration
+	// CommHiddenTime is modeled communication hidden under backward compute
+	// by the bucketed overlapping AllReduce (distributed strategies only).
+	CommHiddenTime time.Duration
+	// GradBuckets is the per-step gradient bucket count of the DDP run.
+	GradBuckets int
 
 	PeakSystemBytes int64
 	PeakGPUBytes    int64
@@ -392,6 +403,8 @@ func runDistributed(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory d
 		Sampler:      cfg.Sampler,
 		Seed:         cfg.Seed,
 		RemoteFetch:  cfg.Strategy == BaselineDDP,
+		Sync:         cfg.GradSync,
+		BucketBytes:  cfg.GradBucketBytes,
 	}
 	if cfg.Strategy == GenDistIndex && cfg.Workers > 1 {
 		// The larger-than-memory layout: rows partitioned across workers;
@@ -410,6 +423,8 @@ func runDistributed(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory d
 	report.Curve = res.Curve
 	report.VirtualTime = res.VirtualTime
 	report.CommTime = res.CommTime
+	report.CommHiddenTime = res.CommHiddenTime
+	report.GradBuckets = res.GradBuckets
 	report.Steps = res.Steps
 	report.GradSyncBytes = res.GradSyncBytes
 	return nil

@@ -49,6 +49,42 @@ func (k SamplerKind) String() string {
 // the shared seed, so replicas initialize identically.
 type ModelFactory func(seed uint64) nn.SeqModel
 
+// SyncMode selects the gradient synchronization strategy.
+type SyncMode int
+
+// The two gradient-exchange schedules.
+const (
+	// SyncBucketedOverlap (default) partitions the gradients into
+	// size-capped buckets and launches each bucket's ring AllReduce the
+	// moment its parameters' gradients are final during backward,
+	// overlapping communication with the remaining backward compute. The
+	// virtual clock charges max(compute, pipelined comm) per step.
+	SyncBucketedOverlap SyncMode = iota
+	// SyncFlatten is the pre-bucketing baseline: one monolithic flattened
+	// AllReduce after the whole backward pass, with its cost fully exposed
+	// (compute + comm). Kept for ablation benchmarks.
+	SyncFlatten
+)
+
+// String implements fmt.Stringer.
+func (m SyncMode) String() string {
+	if m == SyncFlatten {
+		return "flatten"
+	}
+	return "bucketed-overlap"
+}
+
+// DefaultBucketBytes caps one gradient bucket at 256 KiB (32Ki float64
+// elements), a few buckets for the paper's model sizes — small enough to
+// start communicating early in backward, large enough to stay
+// bandwidth-bound rather than latency-bound.
+const DefaultBucketBytes int64 = 256 << 10
+
+// backwardShare is the fraction of one step's compute spent in the backward
+// pass in the overlap model: forward occupies the first third, backward the
+// remaining two (the usual 1:2 fwd:bwd cost ratio).
+const backwardShare = 2.0 / 3.0
+
 // Config parameterizes a distributed training run.
 type Config struct {
 	Workers   int
@@ -58,10 +94,17 @@ type Config struct {
 	// UseLRScaling applies the linear scaling rule lr*Workers (§5.3.3's
 	// mitigation for large-global-batch accuracy loss).
 	UseLRScaling bool
-	ClipNorm     float64
-	Sampler      SamplerKind
-	Seed         uint64
-	Net          cluster.NetworkModel
+	// ClipNorm, when > 0, clips the gradient norm before the optimizer
+	// step. Note the clip point depends on Sync: SyncBucketedOverlap clips
+	// the globally *averaged* gradients (buckets are already exchanged when
+	// backward returns — torch-DDP semantics), while SyncFlatten preserves
+	// the legacy order of clipping local gradients before the AllReduce.
+	// With clipping enabled the two modes are therefore not bitwise
+	// ablations of each other; disable it when comparing schedules.
+	ClipNorm float64
+	Sampler  SamplerKind
+	Seed     uint64
+	Net      cluster.NetworkModel
 	// RemoteFetch models the baseline-DDP data path: every batch is fetched
 	// on demand through the data service (charged to the virtual clock).
 	// Distributed-index-batching leaves this false: data is worker-local.
@@ -75,6 +118,12 @@ type Config struct {
 	// for the virtual clock (paper-scale runs). When nil, real elapsed time
 	// is charged.
 	ComputeCost func(batchItems int) time.Duration
+	// Sync selects the gradient-exchange schedule (default bucketed
+	// overlapping AllReduce).
+	Sync SyncMode
+	// BucketBytes caps one gradient bucket for SyncBucketedOverlap
+	// (default DefaultBucketBytes).
+	BucketBytes int64
 }
 
 // Result summarizes a distributed run.
@@ -82,11 +131,19 @@ type Result struct {
 	Curve metrics.Curve
 	// VirtualTime is the synchronized virtual clock at completion.
 	VirtualTime time.Duration
-	// CommTime is the portion of VirtualTime spent in modeled communication
-	// (gradient AllReduce + remote fetches), from worker 0's perspective.
+	// CommTime is the portion of VirtualTime spent in *exposed* modeled
+	// communication (gradient AllReduce + remote fetches) from worker 0's
+	// perspective — comm hidden under backward compute by bucketed overlap
+	// does not appear here.
 	CommTime time.Duration
+	// CommHiddenTime is the modeled communication cost that bucketed
+	// overlap hid under backward compute (zero for SyncFlatten).
+	CommHiddenTime time.Duration
 	// GradSyncBytes is the total gradient traffic per worker.
 	GradSyncBytes int64
+	// GradBuckets is the number of gradient buckets per step (1 for
+	// SyncFlatten).
+	GradBuckets int
 	// Steps is the number of optimizer steps taken.
 	Steps int
 	// GlobalBatch is BatchSize * Workers.
@@ -134,6 +191,160 @@ func UnflattenGrads(params []*nn.Parameter, vec []float64) {
 	}
 }
 
+// GradBucket groups parameters whose gradients travel as one AllReduce.
+type GradBucket struct {
+	Params []*nn.Parameter
+	Elems  int
+}
+
+// BucketGrads partitions params into contiguous size-capped buckets in
+// reverse parameter order — the approximate order gradients become final
+// during backward (output-side layers first), so early buckets fill early.
+// A single parameter larger than the cap gets a bucket of its own.
+func BucketGrads(params []*nn.Parameter, bucketBytes int64) []GradBucket {
+	if bucketBytes <= 0 {
+		bucketBytes = DefaultBucketBytes
+	}
+	capElems := int(bucketBytes / 8)
+	if capElems < 1 {
+		capElems = 1
+	}
+	var out []GradBucket
+	var cur GradBucket
+	for i := len(params) - 1; i >= 0; i-- {
+		n := params[i].Tensor().NumElements()
+		if len(cur.Params) > 0 && cur.Elems+n > capElems {
+			out = append(out, cur)
+			cur = GradBucket{}
+		}
+		cur.Params = append(cur.Params, params[i])
+		cur.Elems += n
+	}
+	if len(cur.Params) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// bucketSyncer drives one worker's overlapped gradient exchange for one
+// step: the autograd gradient-ready hook counts down each bucket and
+// launches its (clock-deferred) ring AllReduce mid-backward; after backward
+// the syncer scatters the averaged buckets back and converts the launch
+// timeline into the overlapped virtual-time charge.
+type bucketSyncer struct {
+	w       *cluster.Worker
+	buckets []GradBucket
+	// bucketOf maps a parameter's leaf variable to its bucket index.
+	bucketOf   map[*autograd.Variable]int
+	totalElems int
+
+	remaining []int       // per bucket: params whose gradients are not yet final
+	launched  []bool      // per bucket: AllReduce already issued this step
+	flat      [][]float64 // per bucket: flatten/exchange scratch
+
+	order     []int               // bucket indices in launch order
+	events    []cluster.CommEvent // per launch: modeled cost (ReadyAt filled by finish)
+	readyFrac []float64           // per launch: backward progress when the bucket was ready
+	cumElems  int
+	commWall  time.Duration // real time spent blocked inside collective launches
+	totalCost time.Duration // sum of modeled bucket costs this step
+	stepBytes int64
+}
+
+func newBucketSyncer(w *cluster.Worker, buckets []GradBucket) *bucketSyncer {
+	s := &bucketSyncer{
+		w:         w,
+		buckets:   buckets,
+		bucketOf:  make(map[*autograd.Variable]int),
+		remaining: make([]int, len(buckets)),
+		launched:  make([]bool, len(buckets)),
+		flat:      make([][]float64, len(buckets)),
+	}
+	for bi, b := range buckets {
+		for _, p := range b.Params {
+			s.bucketOf[p.V] = bi
+		}
+		s.totalElems += b.Elems
+	}
+	return s
+}
+
+// reset prepares the syncer for the next step.
+func (s *bucketSyncer) reset() {
+	for bi := range s.buckets {
+		s.remaining[bi] = len(s.buckets[bi].Params)
+		s.launched[bi] = false
+	}
+	s.order = s.order[:0]
+	s.events = s.events[:0]
+	s.readyFrac = s.readyFrac[:0]
+	s.cumElems = 0
+	s.commWall = 0
+	s.totalCost = 0
+	s.stepBytes = 0
+}
+
+// onGradReady is the autograd.GradHook: count down the leaf's bucket and
+// launch it once every member gradient is final. Launch order is a
+// deterministic function of the (identical) replica graphs, so all workers
+// issue matching collectives.
+func (s *bucketSyncer) onGradReady(leaf *autograd.Variable) {
+	bi, ok := s.bucketOf[leaf]
+	if !ok {
+		return
+	}
+	s.remaining[bi]--
+	if s.remaining[bi] == 0 {
+		s.launch(bi)
+	}
+}
+
+// launch flattens bucket bi and issues its clock-deferred ring AllReduce.
+func (s *bucketSyncer) launch(bi int) {
+	b := s.buckets[bi]
+	s.flat[bi] = FlattenGrads(b.Params, s.flat[bi])
+	t0 := time.Now()
+	cost := s.w.AsyncRingAllReduceMean(s.flat[bi])
+	s.commWall += time.Since(t0)
+	s.launched[bi] = true
+	s.cumElems += b.Elems
+	s.order = append(s.order, bi)
+	s.events = append(s.events, cluster.CommEvent{Cost: cost})
+	s.readyFrac = append(s.readyFrac, float64(s.cumElems)/float64(s.totalElems))
+	s.totalCost += cost
+	s.stepBytes += int64(len(s.flat[bi])) * 8
+}
+
+// flush launches every bucket the backward pass never completed (parameters
+// outside the step's graph contribute zero gradients), in bucket order, and
+// scatters all averaged buckets back into the parameter gradients.
+func (s *bucketSyncer) flush() {
+	for bi := range s.buckets {
+		if !s.launched[bi] {
+			s.launch(bi)
+		}
+	}
+	for bi, b := range s.buckets {
+		UnflattenGrads(b.Params, s.flat[bi])
+	}
+}
+
+// finish converts the step's launch timeline into the overlapped virtual
+// duration: bucket i's collective becomes ready readyFrac[i] of the way
+// through backward (backward spans the last backwardShare of compute), the
+// collectives serialize on one communication channel, and the step ends at
+// max(compute, last comm finish). Returns the total step duration and the
+// exposed (non-hidden) communication tail.
+func (s *bucketSyncer) finish(compute time.Duration) (step, exposed time.Duration) {
+	fwd := time.Duration((1 - backwardShare) * float64(compute))
+	bwd := compute - fwd
+	for i := range s.events {
+		s.events[i].ReadyAt = fwd + time.Duration(s.readyFrac[i]*float64(bwd))
+	}
+	step = cluster.OverlapFinish(compute, s.events)
+	return step, step - compute
+}
+
 // Train runs distributed data-parallel training of factory-built replicas
 // over the index dataset. All workers see identical initialization and the
 // deterministic sampler schedule, so the run is reproducible bit-for-bit.
@@ -173,8 +384,10 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		curve    metrics.Curve
 		vt       time.Duration
 		comm     time.Duration
+		hidden   time.Duration
 		bytes    int64
 		steps    int
+		buckets  int
 		checksum float64
 	}
 	outs := make([]workerOut, cfg.Workers)
@@ -188,10 +401,20 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		sampler := newSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Workers, rank, cfg.Seed)
 		var buf batching.BatchBuffer
 		var gradBuf []float64
-		var comm time.Duration
+		var comm, hidden time.Duration
 		var curve metrics.Curve
 		var totalBytes int64
 		steps := 0
+
+		// Bucketed overlap only pays off with real peers; a single worker
+		// has nothing to exchange and keeps the plain path.
+		overlap := cfg.Sync == SyncBucketedOverlap && cfg.Workers > 1
+		var syncer *bucketSyncer
+		buckets := 1
+		if overlap {
+			syncer = newBucketSyncer(w, BucketGrads(params, cfg.BucketBytes))
+			buckets = len(syncer.buckets)
+		}
 
 		// Per-batch byte volume for the baseline-DDP fetch path: x and y.
 		n, f := data.Data.Dim(1), data.Data.Dim(2)
@@ -223,27 +446,62 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 				target := y.Slice(3, 0, 1).Contiguous()
 				pred := model.Forward(autograd.Constant(x))
 				loss := autograd.MAELoss(pred, target)
-				if err := autograd.Backward(loss); err != nil {
-					return fmt.Errorf("ddp: rank %d backward: %w", rank, err)
-				}
-				if cfg.ClipNorm > 0 {
-					nn.ClipGradNorm(model, cfg.ClipNorm)
-				}
-				if cfg.ComputeCost != nil {
-					w.AdvanceTime(cfg.ComputeCost(len(idx)))
+				if overlap {
+					// Bucketed overlapping sync: bucket AllReduces launch
+					// from the gradient-ready hook while backward still
+					// runs; the clock charges max(compute, pipelined comm).
+					syncer.reset()
+					if err := autograd.BackwardHooked(loss, syncer.onGradReady); err != nil {
+						return fmt.Errorf("ddp: rank %d backward: %w", rank, err)
+					}
+					syncer.flush()
+					// Gradients are now globally averaged; clipping acts on
+					// the averaged gradients (torch-DDP semantics).
+					if cfg.ClipNorm > 0 {
+						nn.ClipGradNorm(model, cfg.ClipNorm)
+					}
+					var compute time.Duration
+					if cfg.ComputeCost != nil {
+						compute = cfg.ComputeCost(len(idx))
+					} else {
+						// Real elapsed minus the wall time spent blocked in
+						// collective launches (that is comm, not compute).
+						compute = time.Since(start) - syncer.commWall
+						if compute < 0 {
+							compute = 0
+						}
+					}
+					step, exposed := syncer.finish(compute)
+					w.AdvanceTime(step)
+					w.Barrier() // straggler wait, as the synchronous step ends
+					comm += exposed
+					hidden += syncer.totalCost - exposed
+					totalBytes += syncer.stepBytes
 				} else {
-					w.AdvanceTime(time.Since(start))
+					// Flatten baseline: one monolithic AllReduce after
+					// backward, communication fully exposed.
+					if err := autograd.Backward(loss); err != nil {
+						return fmt.Errorf("ddp: rank %d backward: %w", rank, err)
+					}
+					if cfg.ClipNorm > 0 {
+						nn.ClipGradNorm(model, cfg.ClipNorm)
+					}
+					if cfg.ComputeCost != nil {
+						w.AdvanceTime(cfg.ComputeCost(len(idx)))
+					} else {
+						w.AdvanceTime(time.Since(start))
+					}
+					gradBuf = FlattenGrads(params, gradBuf)
+					w.RingAllReduceMean(gradBuf)
+					// Attribute the modeled collective cost (the clock delta
+					// additionally contains straggler wait, which is compute
+					// imbalance, not communication).
+					if cfg.Workers > 1 {
+						comm += net.RingAllReduceTime(int64(len(gradBuf))*8, cfg.Workers)
+					}
+					totalBytes += int64(len(gradBuf)) * 8
+					UnflattenGrads(params, gradBuf)
 				}
-				gradBuf = FlattenGrads(params, gradBuf)
-				w.RingAllReduceMean(gradBuf)
-				// Attribute the modeled collective cost (the clock delta
-				// additionally contains straggler wait, which is compute
-				// imbalance, not communication).
-				if cfg.Workers > 1 {
-					comm += net.RingAllReduceTime(int64(len(gradBuf))*8, cfg.Workers)
-				}
-				totalBytes += int64(len(gradBuf)) * 8
-				UnflattenGrads(params, gradBuf)
 				opt.Step()
 				steps++
 				// Report in the signal's original units, like validation.
@@ -260,7 +518,7 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			checksum += p.Tensor().SumAll()
 		}
 		w.Barrier()
-		outs[rank] = workerOut{curve: curve, vt: w.VirtualTime(), comm: comm, bytes: totalBytes, steps: steps, checksum: checksum}
+		outs[rank] = workerOut{curve: curve, vt: w.VirtualTime(), comm: comm, hidden: hidden, bytes: totalBytes, steps: steps, buckets: buckets, checksum: checksum}
 		return nil
 	})
 	if runErr != nil {
@@ -274,12 +532,14 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		}
 	}
 	return &Result{
-		Curve:         outs[0].curve,
-		VirtualTime:   outs[0].vt,
-		CommTime:      outs[0].comm,
-		GradSyncBytes: outs[0].bytes,
-		Steps:         outs[0].steps,
-		GlobalBatch:   cfg.BatchSize * cfg.Workers,
+		Curve:          outs[0].curve,
+		VirtualTime:    outs[0].vt,
+		CommTime:       outs[0].comm,
+		CommHiddenTime: outs[0].hidden,
+		GradSyncBytes:  outs[0].bytes,
+		Steps:          outs[0].steps,
+		GradBuckets:    outs[0].buckets,
+		GlobalBatch:    cfg.BatchSize * cfg.Workers,
 	}, nil
 }
 

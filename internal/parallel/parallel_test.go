@@ -1,0 +1,200 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversRangeDisjointly verifies every index is visited exactly once
+// whatever the pool width.
+func TestForCoversRangeDisjointly(t *testing.T) {
+	for _, width := range []int{1, 2, 4, 8} {
+		prev := SetWorkers(width)
+		n := 10_000
+		hits := make([]int32, n)
+		For(n, 7, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		SetWorkers(prev)
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("width %d: index %d visited %d times", width, i, h)
+			}
+		}
+	}
+}
+
+// TestGrainSizing verifies chunk bounds respect the grain: every chunk except
+// the last spans at least grain indices, and boundaries are deterministic.
+func TestGrainSizing(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+
+	type span struct{ lo, hi int }
+	collect := func(n, grain int) []span {
+		var mu sync.Mutex
+		var spans []span
+		For(n, grain, func(lo, hi int) {
+			mu.Lock()
+			spans = append(spans, span{lo, hi})
+			mu.Unlock()
+		})
+		return spans
+	}
+
+	for _, tc := range []struct{ n, grain int }{
+		{1000, 1}, {1000, 100}, {1000, 999}, {1000, 5000}, {17, 4}, {1, 1},
+	} {
+		spans := collect(tc.n, tc.grain)
+		if len(spans) != NumChunks(tc.n, tc.grain) {
+			t.Fatalf("n=%d grain=%d: %d spans, NumChunks says %d", tc.n, tc.grain, len(spans), NumChunks(tc.n, tc.grain))
+		}
+		covered := 0
+		for _, s := range spans {
+			size := s.hi - s.lo
+			covered += size
+			if size < tc.grain && s.hi != tc.n {
+				t.Fatalf("n=%d grain=%d: interior chunk [%d,%d) smaller than grain", tc.n, tc.grain, s.lo, s.hi)
+			}
+		}
+		if covered != tc.n {
+			t.Fatalf("n=%d grain=%d: covered %d indices", tc.n, tc.grain, covered)
+		}
+	}
+	// A grain larger than n must collapse to one serial chunk.
+	if NumChunks(10, 100) != 1 {
+		t.Fatalf("oversized grain should give 1 chunk, got %d", NumChunks(10, 100))
+	}
+}
+
+// TestNestedForDoesNotDeadlock exercises For inside For: the inner calls
+// must shed to their callers (no token available) and complete correctly.
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+
+	const outer, inner = 64, 512
+	sums := make([]int64, outer)
+	For(outer, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s int64
+			For(inner, 16, func(ilo, ihi int) {
+				var local int64
+				for j := ilo; j < ihi; j++ {
+					local += int64(j)
+				}
+				atomic.AddInt64(&s, local)
+			})
+			sums[i] = s
+		}
+	})
+	want := int64(inner * (inner - 1) / 2)
+	for i, s := range sums {
+		if s != want {
+			t.Fatalf("outer %d: inner sum %d want %d", i, s, want)
+		}
+	}
+}
+
+// TestPanicPropagation verifies a panic in any chunk reaches the caller with
+// the original value and aborts the loop rather than hanging.
+func TestPanicPropagation(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate out of For")
+		}
+		if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("recovered %v, want original panic value", r)
+		}
+	}()
+	For(100_000, 1, func(lo, hi int) {
+		if lo >= 40_000 {
+			panic("boom")
+		}
+	})
+}
+
+// TestSumDeterministicAndCorrect verifies the ordered-partials reduction.
+func TestSumDeterministicAndCorrect(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+
+	vals := make([]float64, 100_001)
+	for i := range vals {
+		vals[i] = 1e-3 * float64(i%97)
+	}
+	body := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	first := Sum(len(vals), 1024, body)
+	for r := 0; r < 10; r++ {
+		if got := Sum(len(vals), 1024, body); got != first {
+			t.Fatalf("run %d: sum %v != first run %v (nondeterministic reduction)", r, got, first)
+		}
+	}
+	// The chunk layout is width-independent, so the reduction is
+	// bit-identical at any pool width — including the serial width-1 path.
+	for _, width := range []int{1, 2, 8} {
+		SetWorkers(width)
+		if got := Sum(len(vals), 1024, body); got != first {
+			t.Fatalf("width %d: sum %v != width-4 result %v (layout depends on pool width)", width, got, first)
+		}
+	}
+	SetWorkers(4)
+	var serial float64
+	for _, v := range vals {
+		serial += v
+	}
+	if diff := first - serial; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("parallel sum %v too far from serial %v", first, serial)
+	}
+}
+
+// TestSetWorkers verifies resizing and the serial width-1 path.
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(1)", Workers())
+	}
+	// Width 1 runs serially in the caller — same chunk layout, no helpers,
+	// so unsynchronized writes from fn are safe.
+	ran := 0
+	For(100, 1, func(lo, hi int) { ran++ })
+	if want := NumChunks(100, 1); ran != want {
+		t.Fatalf("width 1 ran %d chunks, want %d", ran, want)
+	}
+	if SetWorkers(6) != 1 {
+		t.Fatal("SetWorkers must return the previous width")
+	}
+	if Workers() != 6 {
+		t.Fatalf("Workers() = %d after SetWorkers(6)", Workers())
+	}
+	if SetWorkers(0) != 6 || Workers() != 1 {
+		t.Fatal("SetWorkers clamps to >= 1")
+	}
+}
+
+// TestForZeroAndNegative verifies degenerate loops are no-ops.
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 1, func(lo, hi int) { called = true })
+	For(-5, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("For must not invoke fn for n <= 0")
+	}
+	if Sum(0, 1, func(lo, hi int) float64 { return 1 }) != 0 {
+		t.Fatal("Sum over empty range must be 0")
+	}
+}

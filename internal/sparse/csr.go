@@ -6,10 +6,9 @@ package sparse
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
+	"pgti/internal/parallel"
 	"pgti/internal/tensor"
 )
 
@@ -209,13 +208,24 @@ func (m *CSR) Scale(s float64) *CSR {
 	return out
 }
 
-// spmmParallelThreshold is the minimum work (nnz * feature columns) before
-// SpMM fans out across goroutines.
+// spmmParallelThreshold is the minimum work (nonzeros times feature columns)
+// one parallel chunk of a sparse kernel carries; smaller products collapse
+// to a single serial chunk.
 const spmmParallelThreshold = 32 * 1024
 
+// rowGrain returns the SpMM/SpMV row grain so one chunk carries roughly
+// spmmParallelThreshold multiply-adds at the matrix's average row density.
+func (m *CSR) rowGrain(f int) int {
+	if m.RowsN == 0 {
+		return 1
+	}
+	perRow := (m.NNZ()/m.RowsN + 1) * f
+	return parallel.GrainFor(perRow, spmmParallelThreshold)
+}
+
 // SpMM computes the sparse-dense product m @ x for x of shape [ColsN, F],
-// returning a dense [RowsN, F] tensor. Rows are processed in parallel for
-// large products.
+// returning a dense [RowsN, F] tensor. Row blocks fan out over the process
+// worker pool for large products.
 func (m *CSR) SpMM(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(0) != m.ColsN {
 		panic(fmt.Sprintf("sparse: SpMM shape mismatch: %dx%d @ %v", m.RowsN, m.ColsN, x.Shape()))
@@ -226,7 +236,7 @@ func (m *CSR) SpMM(x *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(m.RowsN, f)
 	od := out.Data()
 
-	rowRange := func(lo, hi int) {
+	parallel.For(m.RowsN, m.rowGrain(f), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			orow := od[i*f : (i+1)*f]
 			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
@@ -237,49 +247,25 @@ func (m *CSR) SpMM(x *tensor.Tensor) *tensor.Tensor {
 				}
 			}
 		}
-	}
-
-	workers := runtime.GOMAXPROCS(0)
-	if m.NNZ()*f < spmmParallelThreshold || workers < 2 || m.RowsN < 2 {
-		rowRange(0, m.RowsN)
-		return out
-	}
-	if workers > m.RowsN {
-		workers = m.RowsN
-	}
-	var wg sync.WaitGroup
-	chunk := (m.RowsN + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m.RowsN {
-			hi = m.RowsN
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			rowRange(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }
 
-// MulVec computes the sparse matrix-vector product m @ v.
+// MulVec computes the sparse matrix-vector product m @ v (SpMV), with row
+// blocks fanned out over the worker pool for large matrices.
 func (m *CSR) MulVec(v []float64) []float64 {
 	if len(v) != m.ColsN {
 		panic(fmt.Sprintf("sparse: MulVec length %d != cols %d", len(v), m.ColsN))
 	}
 	out := make([]float64, m.RowsN)
-	for i := 0; i < m.RowsN; i++ {
-		var s float64
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * v[m.ColIdx[k]]
+	parallel.For(m.RowsN, m.rowGrain(1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				s += m.Val[k] * v[m.ColIdx[k]]
+			}
+			out[i] = s
 		}
-		out[i] = s
-	}
+	})
 	return out
 }

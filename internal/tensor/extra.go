@@ -3,8 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"pgti/internal/parallel"
 )
 
 // Max reduces along axis by maximum, returning a tensor with that axis
@@ -77,6 +77,17 @@ func (t *Tensor) Log() *Tensor { return t.Apply(math.Log) }
 
 // Norm returns the L2 norm of all elements.
 func (t *Tensor) Norm() float64 {
+	if t.IsContiguous() {
+		d := t.Data()
+		sq := parallel.Sum(len(d), elemGrain, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += d[i] * d[i]
+			}
+			return s
+		})
+		return math.Sqrt(sq)
+	}
 	var sq float64
 	it := newIterator(t)
 	for it.next() {
@@ -104,27 +115,11 @@ func BMM(a, b *Tensor) *Tensor {
 	out := New(bs, m, n)
 	ad, bd, od := ac.Data(), bc.Data(), out.Data()
 
-	one := func(i int) {
-		matmulRows(ad[i*m*k:(i+1)*m*k], bd[i*k*n:(i+1)*k*n], od[i*m*n:(i+1)*m*n], 0, m, k, n)
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if bs*m*n < parallelThreshold || workers < 2 || bs < 2 {
-		for i := 0; i < bs; i++ {
-			one(i)
+	grain := parallel.GrainFor(m*k*n, parallelThreshold)
+	parallel.For(bs, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			matmulRows(ad[i*m*k:(i+1)*m*k], bd[i*k*n:(i+1)*k*n], od[i*m*n:(i+1)*m*n], 0, m, k, n)
 		}
-		return out
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < bs; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			one(i)
-			<-sem
-		}(i)
-	}
-	wg.Wait()
+	})
 	return out
 }

@@ -2,17 +2,18 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"pgti/internal/parallel"
 )
 
-// parallelThreshold is the minimum number of output elements before MatMul
-// fans work out across goroutines. Small multiplies are faster serial.
+// parallelThreshold is the minimum amount of work (output elements times
+// inner dimension, roughly flops/2) one parallel chunk of a matrix kernel
+// carries. Small multiplies collapse to a single serial chunk.
 const parallelThreshold = 16 * 1024
 
 // MatMul returns the matrix product a @ b for rank-2 tensors
-// ([m,k] x [k,n] -> [m,n]). Large products are parallelized across
-// GOMAXPROCS goroutines by row blocks.
+// ([m,k] x [k,n] -> [m,n]). Large products fan out over the process worker
+// pool by row blocks.
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
@@ -29,32 +30,10 @@ func MatMul(a, b *Tensor) *Tensor {
 	bd := bc.Data()
 	od := out.Data()
 
-	workers := runtime.GOMAXPROCS(0)
-	if m*n < parallelThreshold || workers < 2 || m < 2 {
-		matmulRows(ad, bd, od, 0, m, k, n)
-		return out
-	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRows(ad, bd, od, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
+	grain := parallel.GrainFor(k*n, parallelThreshold)
+	parallel.For(m, grain, func(lo, hi int) {
+		matmulRows(ad, bd, od, lo, hi, k, n)
+	})
 	return out
 }
 
@@ -102,9 +81,11 @@ func Dot(a, b *Tensor) float64 {
 	}
 	ad := a.Contiguous().Data()
 	bd := b.Contiguous().Data()
-	var s float64
-	for i := range ad {
-		s += ad[i] * bd[i]
-	}
-	return s
+	return parallel.Sum(len(ad), elemGrain, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += ad[i] * bd[i]
+		}
+		return s
+	})
 }

@@ -3,7 +3,14 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"pgti/internal/parallel"
 )
+
+// elemGrain is the minimum number of elements one parallel chunk of an
+// element-wise kernel processes; smaller regions run serially in the caller
+// (the per-element closure call still dominates goroutine handoff below it).
+const elemGrain = 2048
 
 // BroadcastShapes returns the NumPy-style broadcast shape of a and b, or an
 // error if they are incompatible.
@@ -77,9 +84,11 @@ func binary(a, b *Tensor, op func(x, y float64) float64) *Tensor {
 	// Fast path: both operands contiguous with identical layout.
 	if av.IsContiguous() && bv.IsContiguous() {
 		ad, bd, od := av.Data(), bv.Data(), out.Data()
-		for i := range od {
-			od[i] = op(ad[i], bd[i])
-		}
+		parallel.For(len(od), elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od[i] = op(ad[i], bd[i])
+			}
+		})
 		return out
 	}
 	ai := newIterator(av)
@@ -154,9 +163,11 @@ func (t *Tensor) Apply(f func(float64) float64) *Tensor {
 	out := New(t.shape...)
 	if t.IsContiguous() {
 		td, od := t.Data(), out.Data()
-		for i := range od {
-			od[i] = f(td[i])
-		}
+		parallel.For(len(od), elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od[i] = f(td[i])
+			}
+		})
 		return out
 	}
 	it := newIterator(t)
@@ -171,9 +182,11 @@ func (t *Tensor) Apply(f func(float64) float64) *Tensor {
 func (t *Tensor) ApplyInPlace(f func(float64) float64) {
 	if t.IsContiguous() {
 		d := t.Data()
-		for i := range d {
-			d[i] = f(d[i])
-		}
+		parallel.For(len(d), elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				d[i] = f(d[i])
+			}
+		})
 		return
 	}
 	it := newIterator(t)
@@ -187,9 +200,11 @@ func (t *Tensor) AddInPlace(o *Tensor) {
 	ov := o.broadcastTo(t.shape)
 	if t.IsContiguous() && ov.IsContiguous() {
 		td, od := t.Data(), ov.Data()
-		for i := range td {
-			td[i] += od[i]
-		}
+		parallel.For(len(td), elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				td[i] += od[i]
+			}
+		})
 		return
 	}
 	ti := newIterator(t)
@@ -232,9 +247,11 @@ func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) {
 	}
 	if t.IsContiguous() && o.IsContiguous() {
 		td, od := t.Data(), o.Data()
-		for i := range td {
-			td[i] += alpha * od[i]
-		}
+		parallel.For(len(td), elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				td[i] += alpha * od[i]
+			}
+		})
 		return
 	}
 	ti := newIterator(t)

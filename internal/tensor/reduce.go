@@ -3,17 +3,24 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"pgti/internal/parallel"
 )
 
-// SumAll returns the sum of all elements.
+// SumAll returns the sum of all elements. Contiguous tensors reduce in
+// parallel with deterministic (chunk-ordered) partial summation.
 func (t *Tensor) SumAll() float64 {
-	var s float64
 	if t.IsContiguous() {
-		for _, v := range t.Data() {
-			s += v
-		}
-		return s
+		d := t.Data()
+		return parallel.Sum(len(d), elemGrain, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += d[i]
+			}
+			return s
+		})
 	}
+	var s float64
 	it := newIterator(t)
 	for it.next() {
 		s += t.data[it.pos]

@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: ci build vet fmt-check test race bench bench-smoke bench-json
+# The gradient-sync benchmark family gated by the CI perf regression check.
+BENCH_DDP = $(GO) test -run '^$$' -bench 'BenchmarkDDP' -benchtime=1x .
+
+.PHONY: ci build vet fmt-check test race bench bench-smoke bench-json bench-baseline bench-check bench-ci
 
 ## ci runs the exact tier-1 gate the CI workflow enforces.
 ci: build vet fmt-check test race bench-smoke
@@ -36,3 +39,27 @@ bench-json:
 	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
 	$(GO) test -run '^$$' -bench . -benchtime=1x . > "$$tmp" || { cat "$$tmp"; exit 1; }; \
 	$(GO) run ./cmd/pgti-benchjson < "$$tmp"
+
+## bench-baseline regenerates the committed perf baseline for the gated
+## gradient-sync benchmark family (run after a deliberate perf change).
+bench-baseline:
+	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(BENCH_DDP) > "$$tmp" || { cat "$$tmp"; exit 1; }; \
+	$(GO) run ./cmd/pgti-benchjson < "$$tmp" > bench/baseline.json; \
+	echo "wrote bench/baseline.json"
+
+## bench-check fails when the gated family's modeled metrics regress >20%
+## against bench/baseline.json (the CI perf gate).
+bench-check:
+	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(BENCH_DDP) > "$$tmp" || { cat "$$tmp"; exit 1; }; \
+	$(GO) run ./cmd/pgti-benchjson -check bench/baseline.json < "$$tmp"
+
+## bench-ci runs the full benchmark suite ONCE, writing the perf snapshot to
+## bench-snapshot.json and gating that same run against the baseline — the
+## uploaded artifact and the gate verdict always describe one execution.
+bench-ci:
+	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -run '^$$' -bench . -benchtime=1x . > "$$tmp" || { cat "$$tmp"; exit 1; }; \
+	$(GO) run ./cmd/pgti-benchjson < "$$tmp" > bench-snapshot.json; \
+	$(GO) run ./cmd/pgti-benchjson -check bench/baseline.json < "$$tmp"

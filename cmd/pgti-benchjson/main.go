@@ -8,12 +8,26 @@
 //
 // becomes one entry with the name, iteration count, and every reported
 // metric keyed by its unit.
+//
+// With -check BASELINE.json the command instead compares the snapshot parsed
+// from stdin against the committed baseline and exits non-zero when any
+// gated benchmark regressed: for every benchmark whose name matches -family
+// and that exists in both snapshots, each metric listed in -metrics (modeled
+// virtual-time metrics by default — wall-clock ns/op is machine-dependent
+// and never gated) must satisfy
+//
+//	current <= baseline*(1+threshold) + slack
+//
+// This is the CI bench-regression gate (`make bench-check`); regenerate the
+// baseline with `make bench-baseline` when a deliberate perf change lands.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -36,8 +50,50 @@ type Snapshot struct {
 }
 
 func main() {
+	check := flag.String("check", "", "baseline snapshot JSON to compare against (regression gate mode)")
+	family := flag.String("family", "BenchmarkDDP", "benchmark name prefix the gate covers")
+	metrics := flag.String("metrics", "virt-µs/epoch,exposed-comm-µs", "comma-separated metrics to gate (lower is better)")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated relative regression")
+	// The gated metrics are deterministic modeled values (virtual-clock
+	// microseconds), so no noise allowance is needed by default — slack
+	// exists only for opting wall-clock metrics into the gate.
+	slack := flag.Float64("slack", 0, "absolute slack added to the allowance, in metric units")
+	flag.Parse()
+
+	snap, err := parseSnapshot(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgti-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *check == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintf(os.Stderr, "pgti-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	raw, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgti-benchjson: reading baseline: %v\n", err)
+		os.Exit(1)
+	}
+	var base Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "pgti-benchjson: parsing baseline: %v\n", err)
+		os.Exit(1)
+	}
+	if !runCheck(os.Stdout, snap, base, *family, strings.Split(*metrics, ","), *threshold, *slack) {
+		os.Exit(1)
+	}
+}
+
+// parseSnapshot parses `go test -bench` output into a Snapshot.
+func parseSnapshot(r io.Reader) (Snapshot, error) {
 	snap := Snapshot{Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -56,16 +112,75 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "pgti-benchjson: %v\n", err)
-		os.Exit(1)
+	return snap, sc.Err()
+}
+
+// runCheck compares the gated family's metrics against the baseline,
+// printing a verdict per (benchmark, metric). It returns false when any
+// metric regressed beyond baseline*(1+threshold)+slack. A benchmark present
+// only in the current run is reported (NEW) but does not fail the gate, so
+// adding one does not break CI before the baseline is regenerated; a gated
+// baseline entry with no current counterpart (deleted or renamed benchmark)
+// fails the gate — silently dropping coverage is itself a regression.
+func runCheck(w io.Writer, cur, base Snapshot, family string, metrics []string, threshold, slack float64) bool {
+	baseline := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
-		fmt.Fprintf(os.Stderr, "pgti-benchjson: %v\n", err)
-		os.Exit(1)
+	current := map[string]bool{}
+	for _, b := range cur.Benchmarks {
+		current[b.Name] = true
 	}
+	ok := true
+	checked := 0
+	for _, b := range base.Benchmarks {
+		if strings.HasPrefix(b.Name, family) && !current[b.Name] {
+			ok = false
+			fmt.Fprintf(w, "MISSING %s (in baseline but not in this run; run `make bench-baseline` if removal is deliberate)\n", b.Name)
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		if !strings.HasPrefix(b.Name, family) {
+			continue
+		}
+		ref, found := baseline[b.Name]
+		if !found {
+			fmt.Fprintf(w, "NEW    %s (no baseline entry; run `make bench-baseline`)\n", b.Name)
+			continue
+		}
+		for _, m := range metrics {
+			got, gok := b.Metrics[m]
+			want, wok := ref.Metrics[m]
+			if !gok || !wok {
+				fmt.Fprintf(w, "SKIP   %s %s (metric missing)\n", b.Name, m)
+				continue
+			}
+			allow := want*(1+threshold) + slack
+			checked++
+			// A zero baseline has no meaningful relative change; report the
+			// absolute delta instead of a division-by-zero percentage.
+			delta := fmt.Sprintf("%+.1f%%", 100*(got-want)/want)
+			if want == 0 {
+				delta = fmt.Sprintf("%+.0f abs", got-want)
+			}
+			if got > allow {
+				ok = false
+				fmt.Fprintf(w, "FAIL   %s %s: %.0f vs baseline %.0f (allowed %.0f, %s)\n",
+					b.Name, m, got, want, allow, delta)
+			} else {
+				fmt.Fprintf(w, "OK     %s %s: %.0f vs baseline %.0f (%s)\n",
+					b.Name, m, got, want, delta)
+			}
+		}
+	}
+	if checked == 0 {
+		fmt.Fprintf(w, "FAIL   no gated benchmarks matched family %q — gate would be vacuous\n", family)
+		return false
+	}
+	if ok {
+		fmt.Fprintf(w, "bench-check: %d metrics within %.0f%% of baseline\n", checked, threshold*100)
+	}
+	return ok
 }
 
 // parseBenchLine parses "BenchmarkX-N  iters  v1 unit1  v2 unit2 ...".

@@ -8,6 +8,7 @@ package autograd
 
 import (
 	"fmt"
+	"time"
 
 	"pgti/internal/tensor"
 )
@@ -103,6 +104,30 @@ func BackwardHooked(v *Variable, hook GradHook) error {
 		return fmt.Errorf("autograd: Backward requires a scalar output, got shape %v", v.Value.Shape())
 	}
 	return BackwardWithHook(v, tensor.Ones(v.Value.Shape()...), hook)
+}
+
+// TimedGradHook observes a leaf gradient becoming final during a backward
+// pass together with the wall-clock time elapsed since the pass began. The
+// per-parameter timings let distributed training place each gradient
+// bucket's AllReduce launch on the measured backward timeline instead of a
+// modeled split.
+type TimedGradHook func(leaf *Variable, elapsed time.Duration)
+
+// BackwardTimed is Backward (scalar output, unit seed) with a timed
+// gradient-ready hook; it returns the total wall-clock duration of the
+// backward pass. Elapsed values are non-decreasing in hook-firing order and
+// never exceed the returned total.
+func BackwardTimed(v *Variable, hook TimedGradHook) (time.Duration, error) {
+	if v.Value.NumElements() != 1 {
+		return 0, fmt.Errorf("autograd: Backward requires a scalar output, got shape %v", v.Value.Shape())
+	}
+	start := time.Now()
+	var wrapped GradHook
+	if hook != nil {
+		wrapped = func(leaf *Variable) { hook(leaf, time.Since(start)) }
+	}
+	err := BackwardWithHook(v, tensor.Ones(v.Value.Shape()...), wrapped)
+	return time.Since(start), err
 }
 
 // BackwardWithHook is BackwardWithGrad with a gradient-ready hook: as the

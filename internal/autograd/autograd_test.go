@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
@@ -406,5 +407,50 @@ func TestBackwardHookNilAndConstantLeaves(t *testing.T) {
 	}
 	if !a.Grad.Equal(want) {
 		t.Fatal("hooked backward changed the gradients")
+	}
+}
+
+// TestBackwardTimedReportsMonotonicElapsed verifies the timing contract of
+// the timed gradient-ready hook: one firing per leaf, elapsed values
+// non-decreasing in firing order, bounded by the returned backward total,
+// and gradients identical to plain Backward.
+func TestBackwardTimedReportsMonotonicElapsed(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	early := leaf(rng, 8, 8)
+	late := leaf(rng, 8, 8)
+	build := func() *Variable { return MeanAll(MatMul(Tanh(MatMul(early, early)), late)) }
+
+	if err := Backward(build()); err != nil {
+		t.Fatal(err)
+	}
+	wantEarly, wantLate := early.Grad.Clone(), late.Grad.Clone()
+	early.ZeroGrad()
+	late.ZeroGrad()
+
+	var elapsed []time.Duration
+	total, err := BackwardTimed(build(), func(v *Variable, d time.Duration) {
+		elapsed = append(elapsed, d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elapsed) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(elapsed))
+	}
+	for i, d := range elapsed {
+		if d < 0 || d > total {
+			t.Fatalf("elapsed[%d] = %v outside [0, total=%v]", i, d, total)
+		}
+		if i > 0 && d < elapsed[i-1] {
+			t.Fatalf("elapsed not monotonic: %v after %v", d, elapsed[i-1])
+		}
+	}
+	if !early.Grad.AllClose(wantEarly, 1e-12) || !late.Grad.AllClose(wantLate, 1e-12) {
+		t.Fatal("timed backward changed the gradients")
+	}
+
+	// Non-scalar roots are rejected, like Backward.
+	if _, err := BackwardTimed(Add(early, late), nil); err == nil {
+		t.Fatal("expected scalar-output error")
 	}
 }

@@ -436,3 +436,113 @@ func TestPropertySamplersArePermutations(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAssembleBatchReallocatesOnShapeMismatch is the regression test for the
+// buffer-reuse corruption: a BatchBuffer filled by a dataset with one
+// (horizon, N, F) layout must not be silently reused by a dataset with a
+// different layout — the views would collate garbage. The shape check must
+// reallocate instead.
+func TestAssembleBatchReallocatesOnShapeMismatch(t *testing.T) {
+	a, err := NewIndexDataset(signal(11, 40, 3, 2), 4, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIndexDataset(signal(12, 40, 5, 1), 3, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf BatchBuffer
+	a.AssembleBatch([]int{0, 1, 2}, &buf)
+
+	// Same buffer, different horizon/N/F — and a smaller batch, so the old
+	// capacity check alone would have reused the stale layout.
+	batch := []int{4, 7}
+	x, y := b.AssembleBatch(batch, &buf)
+	wantShape := []int{2, 3, 5, 1}
+	for d, w := range wantShape {
+		if x.Dim(d) != w || y.Dim(d) != w {
+			t.Fatalf("batch shape x=%v y=%v, want %v", x.Shape(), y.Shape(), wantShape)
+		}
+	}
+	for bi, si := range batch {
+		sx, sy := b.Snapshot(si)
+		if !x.Index(0, bi).Equal(sx) || !y.Index(0, bi).Equal(sy) {
+			t.Fatalf("batch element %d corrupted by stale buffer", bi)
+		}
+	}
+
+	// Matching layout still reuses storage.
+	x2, _ := b.AssembleBatch([]int{1}, &buf)
+	if !x2.SharesStorage(buf.x) {
+		t.Fatal("matching-shape AssembleBatch must reuse the buffer")
+	}
+}
+
+// naiveTrainStats materializes every training window like Algorithm 1 and
+// returns the mean and population std over the materialized x_train — the
+// reference weightedTrainStats must match exactly.
+func naiveTrainStats(data *tensor.Tensor, horizon, trainS int) (mean, std float64) {
+	var sum, sumSq, count float64
+	for s := 0; s < trainS; s++ {
+		for tIdx := s; tIdx < s+horizon; tIdx++ {
+			row := data.Index(0, tIdx).Contiguous().Data()
+			for _, v := range row {
+				sum += v
+				sumSq += v * v
+				count++
+			}
+		}
+	}
+	mean = sum / count
+	variance := sumSq/count - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
+}
+
+// TestPropertyWeightedTrainStats cross-checks the O(entries) weighted
+// statistics against the naive materialize-all-windows computation on small
+// random tensors, including the constant-signal (std == 0) edge case.
+func TestPropertyWeightedTrainStats(t *testing.T) {
+	f := func(seed uint64, entriesRaw, nodesRaw, hRaw uint8) bool {
+		entries := int(entriesRaw%57) + 8 // 8..64
+		nodes := int(nodesRaw%4) + 1
+		horizon := int(hRaw)%3 + 1
+		s := entries - (2*horizon - 1)
+		if s <= 0 {
+			return true
+		}
+		trainS := s * 7 / 10
+		if trainS < 1 {
+			trainS = 1
+		}
+		data := signal(seed, entries, nodes, 2)
+		mean, std := weightedTrainStats(data, horizon, trainS)
+		wantMean, wantStd := naiveTrainStats(data, horizon, trainS)
+		return math.Abs(mean-wantMean) < 1e-9 && math.Abs(std-wantStd) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Constant signal: zero variance, and NewIndexDataset guards the
+	// divide-by-zero by standardizing with std 1.
+	data := tensor.Ones(20, 3, 2)
+	data.ApplyInPlace(func(float64) float64 { return 4.25 })
+	mean, std := weightedTrainStats(data, 3, 10)
+	if mean != 4.25 || std != 0 {
+		t.Fatalf("constant signal stats (%v, %v), want (4.25, 0)", mean, std)
+	}
+	idx, err := NewIndexDataset(data, 3, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Std != 1 {
+		t.Fatalf("constant-signal dataset must fall back to std 1, got %v", idx.Std)
+	}
+	x, _ := idx.Snapshot(0)
+	if x.At(0, 0, 0) != 0 {
+		t.Fatalf("constant signal must standardize to zero, got %v", x.At(0, 0, 0))
+	}
+}

@@ -146,10 +146,14 @@ type BatchBuffer struct {
 
 // AssembleBatch collates the given snapshot indices into batched tensors of
 // shape [B, horizon, N, F], reusing buf's storage when it is large enough.
+// A buffer previously filled by a dataset with a different horizon or graph
+// shape is reallocated rather than silently reused (the per-snapshot layout
+// would not line up and the batch would be corrupt).
 func (d *IndexDataset) AssembleBatch(indices []int, buf *BatchBuffer) (x, y *tensor.Tensor) {
 	b := len(indices)
 	n, f := d.Data.Dim(1), d.Data.Dim(2)
-	if buf.x == nil || buf.x.Dim(0) < b {
+	if buf.x == nil || buf.x.Dim(0) < b ||
+		buf.x.Dim(1) != d.Horizon || buf.x.Dim(2) != n || buf.x.Dim(3) != f {
 		buf.x = tensor.New(b, d.Horizon, n, f)
 		buf.y = tensor.New(b, d.Horizon, n, f)
 	}

@@ -84,6 +84,10 @@ func (n NetworkModel) NaiveAllReduceTime(bytes int64, p int) time.Duration {
 type Config struct {
 	Workers int
 	Net     NetworkModel
+	// IntraNet is the intra-node interconnect used by hierarchical
+	// collectives (default NVLink-class, see NVLinkModel). Net remains the
+	// inter-node fabric.
+	IntraNet NetworkModel
 }
 
 // Cluster coordinates a fixed set of workers.
@@ -109,6 +113,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Net.Bandwidth <= 0 {
 		cfg.Net = SlingshotModel()
 	}
+	if cfg.IntraNet.Bandwidth <= 0 {
+		cfg.IntraNet = NVLinkModel()
+	}
 	c := &Cluster{
 		cfg:     cfg,
 		ringIn:  make([]chan []float64, cfg.Workers),
@@ -123,8 +130,12 @@ func New(cfg Config) (*Cluster, error) {
 // Size returns the worker count.
 func (c *Cluster) Size() int { return c.cfg.Workers }
 
-// Net returns the network model.
+// Net returns the inter-node network model.
 func (c *Cluster) Net() NetworkModel { return c.cfg.Net }
+
+// IntraNet returns the intra-node network model used by hierarchical
+// collectives.
+func (c *Cluster) IntraNet() NetworkModel { return c.cfg.IntraNet }
 
 // Run executes fn concurrently on every worker and waits for completion,
 // returning the first error. Virtual clocks start at zero.
@@ -153,6 +164,8 @@ type Worker struct {
 	cluster *Cluster
 	rank    int
 	vt      time.Duration // virtual clock
+	hierSeq int           // per-worker hierarchical collective sequence
+	pending []message     // received but not yet consumed p2p messages
 }
 
 // Rank returns this worker's 0-based rank.
@@ -195,8 +208,15 @@ func (w *Worker) synchronized(cost time.Duration) {
 // chunk exchange over channels. All workers must call it with equal-length
 // vectors. Virtual clocks advance by the modeled ring cost and synchronize.
 func (w *Worker) RingAllReduceMean(vec []float64) {
+	w.RingAllReduceMeanSized(vec, int64(len(vec))*8)
+}
+
+// RingAllReduceMeanSized is RingAllReduceMean with an explicit modeled wire
+// size, for payloads that ship compressed (fp16) while the in-memory
+// exchange stays float64.
+func (w *Worker) RingAllReduceMeanSized(vec []float64, wireBytes int64) {
 	w.ringExchange(vec)
-	w.synchronized(w.cluster.cfg.Net.RingAllReduceTime(int64(len(vec))*8, w.Size()))
+	w.synchronized(w.cluster.cfg.Net.RingAllReduceTime(wireBytes, w.Size()))
 }
 
 // AsyncRingAllReduceMean performs the same in-place ring averaging as
@@ -206,8 +226,15 @@ func (w *Worker) RingAllReduceMean(vec []float64) {
 // pass and charge the overlapped timeline afterwards via OverlapFinish.
 // All workers must issue matching calls in the same order.
 func (w *Worker) AsyncRingAllReduceMean(vec []float64) time.Duration {
+	return w.AsyncRingAllReduceMeanSized(vec, int64(len(vec))*8)
+}
+
+// AsyncRingAllReduceMeanSized is AsyncRingAllReduceMean with an explicit
+// modeled wire size, for buckets that ship compressed (fp16) while the
+// in-memory exchange stays float64.
+func (w *Worker) AsyncRingAllReduceMeanSized(vec []float64, wireBytes int64) time.Duration {
 	w.ringExchange(vec)
-	return w.cluster.cfg.Net.RingAllReduceTime(int64(len(vec))*8, w.Size())
+	return w.cluster.cfg.Net.RingAllReduceTime(wireBytes, w.Size())
 }
 
 // NaiveAllReduceMean averages vec across workers via gather-at-root and

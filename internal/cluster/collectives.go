@@ -47,20 +47,32 @@ func (w *Worker) Send(to, tag int, payload []float64) {
 }
 
 // Recv blocks for the next message with the given tag from the given
-// sender (from = -1 accepts any sender). Messages that do not match are
-// stashed and requeued. Returns the payload and the actual sender.
+// sender (from = -1 accepts any sender). Messages that do not match are held
+// in a worker-local pending list. Returns the payload and the actual sender.
 func (w *Worker) Recv(from, tag int) ([]float64, int) {
+	m := w.recvMatch(from, tag)
+	return m.payload, m.from
+}
+
+// recvMatch blocks for the first message matching (from, tag), from = -1
+// accepting any sender. Non-matching messages are parked in a worker-local
+// pending list that is consulted (in arrival order) before the inbox, so
+// same-(sender, tag) messages are always consumed in send order — requeueing
+// into the shared channel could reorder them around concurrent arrivals.
+func (w *Worker) recvMatch(from, tag int) message {
+	for i, m := range w.pending {
+		if (from < 0 || m.from == from) && m.tag == tag {
+			w.pending = append(w.pending[:i], w.pending[i+1:]...)
+			return m
+		}
+	}
 	inbox := w.cluster.p2p()[w.rank]
-	var stash []message
 	for {
 		m := <-inbox
 		if (from < 0 || m.from == from) && m.tag == tag {
-			for _, s := range stash {
-				inbox <- s
-			}
-			return m.payload, m.from
+			return m
 		}
-		stash = append(stash, m)
+		w.pending = append(w.pending, m)
 	}
 }
 
@@ -85,19 +97,7 @@ func (w *Worker) Broadcast(vec []float64, root int) {
 			}
 		}
 	} else {
-		inbox := c.p2p()[w.rank]
-		var stash []message
-		for {
-			m := <-inbox
-			if m.tag == broadcastTag && m.from == root {
-				copy(vec, m.payload)
-				for _, s := range stash {
-					inbox <- s
-				}
-				break
-			}
-			stash = append(stash, m)
-		}
+		copy(vec, w.recvMatch(root, broadcastTag).payload)
 	}
 	cost := time.Duration(log2Ceil(p)) * c.cfg.Net.TransferTime(int64(len(vec))*8)
 	w.synchronized(cost)

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"pgti/internal/tensor"
+)
+
+func TestFloat16RoundTripErrorBound(t *testing.T) {
+	// Relative error of round-to-nearest half conversion is at most 2^-11
+	// for values in the normal half range [2^-14, 65504].
+	rng := tensor.NewRNG(1)
+	for i := 0; i < 20000; i++ {
+		mag := math.Ldexp(1+math.Abs(rng.NormFloat64()), int(rng.Uint64()%28)-14) // spans ~[2^-14, 2^13)
+		if mag > 65504 {
+			continue
+		}
+		for _, x := range []float64{mag, -mag} {
+			got := Float16ToFloat64(Float16FromFloat64(x))
+			rel := math.Abs(got-x) / math.Abs(x)
+			if rel > 0x1p-11 {
+				t.Fatalf("x=%v: round trip %v, relative error %v > 2^-11", x, got, rel)
+			}
+		}
+	}
+}
+
+func TestFloat16ExactAndEdgeCases(t *testing.T) {
+	// Values exactly representable in half must survive untouched.
+	for _, x := range []float64{0, 1, -1, 0.5, 2, 1024, 65504, -65504, 0x1p-14, 0x1p-24, -0x1p-24, 1.5, 0.0999755859375} {
+		if got := Float16ToFloat64(Float16FromFloat64(x)); got != x {
+			t.Fatalf("exact half %v round-tripped to %v", x, got)
+		}
+	}
+	// Signed zero.
+	if Float16FromFloat64(math.Copysign(0, -1)) != 0x8000 {
+		t.Fatal("negative zero lost its sign")
+	}
+	// Overflow and Inf saturate to the largest finite half.
+	for _, x := range []float64{1e6, 70000, math.Inf(1)} {
+		if got := Float16ToFloat64(Float16FromFloat64(x)); got != 65504 {
+			t.Fatalf("%v must saturate to 65504, got %v", x, got)
+		}
+		if got := Float16ToFloat64(Float16FromFloat64(-x)); got != -65504 {
+			t.Fatalf("%v must saturate to -65504, got %v", -x, got)
+		}
+	}
+	// NaN is preserved.
+	if !math.IsNaN(Float16ToFloat64(Float16FromFloat64(math.NaN()))) {
+		t.Fatal("NaN must survive")
+	}
+	// Subnormal halves round-trip within an absolute half-ulp of 2^-25.
+	rng := tensor.NewRNG(2)
+	for i := 0; i < 2000; i++ {
+		x := rng.NormFloat64() * 0x1p-15
+		got := Float16ToFloat64(Float16FromFloat64(x))
+		if math.Abs(got-x) > 0x1p-25 {
+			t.Fatalf("subnormal %v round-tripped to %v", x, got)
+		}
+	}
+	// Deep underflow rounds to zero.
+	if Float16ToFloat64(Float16FromFloat64(1e-12)) != 0 {
+		t.Fatal("underflow must round to zero")
+	}
+}
+
+func TestFP16CodecEncodeDecodeMatchesApply(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	vec := make([]float64, 257)
+	for i := range vec {
+		vec[i] = rng.NormFloat64()
+	}
+	applied := append([]float64(nil), vec...)
+	var a, b FP16Codec
+	a.ApplyInPlace(applied)
+	dec := make([]float64, len(vec))
+	DecodeFP16(b.Encode(vec), dec)
+	for i := range dec {
+		if dec[i] != applied[i] {
+			t.Fatalf("elem %d: Encode/Decode %v != ApplyInPlace %v", i, dec[i], applied[i])
+		}
+	}
+	// Residuals agree too.
+	for i := range a.Residual() {
+		if a.Residual()[i] != b.Residual()[i] {
+			t.Fatal("residuals diverge between Encode and ApplyInPlace")
+		}
+	}
+}
+
+// TestFP16ErrorFeedbackZeroDrift is the error-feedback contract: over many
+// steps, the cumulative shipped gradient differs from the cumulative true
+// gradient by exactly the final residual, which stays bounded by one
+// quantization step — the drift does not grow with the step count.
+func TestFP16ErrorFeedbackZeroDrift(t *testing.T) {
+	const steps = 100
+	const n = 64
+	rng := tensor.NewRNG(4)
+	var codec FP16Codec
+	trueSum := make([]float64, n)
+	sentSum := make([]float64, n)
+	vec := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		for i := range vec {
+			vec[i] = rng.NormFloat64() * 0.1 // gradient-scale values
+			trueSum[i] += vec[i]
+		}
+		codec.ApplyInPlace(vec)
+		for i := range vec {
+			sentSum[i] += vec[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		drift := trueSum[i] - sentSum[i]
+		// Error feedback telescopes: drift == final residual.
+		if math.Abs(drift-codec.Residual()[i]) > 1e-12 {
+			t.Fatalf("elem %d: drift %v != residual %v (telescoping broken)", i, drift, codec.Residual()[i])
+		}
+		// And the residual is one quantization step, not steps-many.
+		if math.Abs(drift) > 0x1p-10 {
+			t.Fatalf("elem %d: drift %v exceeds one quantization step after %d steps", i, drift, steps)
+		}
+	}
+
+	// Without error feedback the same sequence drifts measurably more in
+	// aggregate — the residual is what keeps the sum honest.
+	rng = tensor.NewRNG(4)
+	var naiveDrift, efDrift float64
+	naiveSum := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		for i := range vec {
+			v := rng.NormFloat64() * 0.1
+			naiveSum[i] += Float16ToFloat64(Float16FromFloat64(v)) - v
+		}
+	}
+	for i := 0; i < n; i++ {
+		naiveDrift += math.Abs(naiveSum[i])
+		efDrift += math.Abs(trueSum[i] - sentSum[i])
+	}
+	if efDrift >= naiveDrift {
+		t.Fatalf("error feedback drift %v must beat naive quantization drift %v", efDrift, naiveDrift)
+	}
+}
+
+// TestFP16CodecRecoversFromNonFinite is the regression test for residual
+// poisoning: one Inf (or NaN) gradient element must not pin the element's
+// shipped value — the very next finite gradient ships at its true value.
+func TestFP16CodecRecoversFromNonFinite(t *testing.T) {
+	var codec FP16Codec
+	vec := []float64{math.Inf(1), math.Inf(-1), math.NaN(), 1.0}
+	codec.ApplyInPlace(vec)
+	if vec[0] != 65504 || vec[1] != -65504 {
+		t.Fatalf("Inf must ship saturated, got %v %v", vec[0], vec[1])
+	}
+	if !math.IsNaN(vec[2]) {
+		t.Fatalf("NaN must ship as NaN, got %v", vec[2])
+	}
+	for i, r := range codec.Residual() {
+		if math.IsInf(r, 0) || math.IsNaN(r) {
+			t.Fatalf("residual %d is non-finite (%v): future steps poisoned", i, r)
+		}
+	}
+	// The next step's ordinary gradients round-trip cleanly.
+	vec = []float64{0.5, -0.25, 2, 1}
+	codec.ApplyInPlace(vec)
+	for i, want := range []float64{0.5, -0.25, 2, 1} {
+		if vec[i] != want {
+			t.Fatalf("element %d ships %v after non-finite step, want %v", i, vec[i], want)
+		}
+	}
+}
+
+func TestFP16WireBytesHalvesTraffic(t *testing.T) {
+	if FP16WireBytes(1000) != 2000 {
+		t.Fatal("fp16 wire bytes must be 2 per element")
+	}
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pgti/internal/tensor"
+)
+
+// --- collective-equivalence suite --------------------------------------------
+//
+// The hierarchical AllReduce must be numerically interchangeable with the
+// flat ring AllReduce: same mean, bitwise-identical replicas, for every
+// topology shape, odd world sizes, and any bucketing of the gradient vector.
+
+// runAllReduce executes one collective per bucket on every worker and
+// returns each worker's final concatenated vector.
+func runAllReduce(t *testing.T, world int, inputs [][]float64, bucketBounds []int, reduce func(w *Worker, bucket []float64)) [][]float64 {
+	t.Helper()
+	c, err := New(Config{Workers: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]float64, world)
+	err = c.Run(func(w *Worker) error {
+		vec := append([]float64(nil), inputs[w.Rank()]...)
+		for b := 0; b+1 < len(bucketBounds); b++ {
+			reduce(w, vec[bucketBounds[b]:bucketBounds[b+1]])
+		}
+		out[w.Rank()] = vec
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// bucketBoundsFor splits n elements into k roughly equal buckets.
+func bucketBoundsFor(n, k int) []int {
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * n / k
+	}
+	return bounds
+}
+
+func TestHierarchicalEquivalenceSuite(t *testing.T) {
+	type shape struct {
+		world int
+		topo  Topology
+	}
+	var shapes []shape
+	// The full {1,2,4} x {1,2,4} topology grid at exactly-filled world sizes.
+	for _, nodes := range []int{1, 2, 4} {
+		for _, g := range []int{1, 2, 4} {
+			shapes = append(shapes, shape{world: nodes * g, topo: Topology{Nodes: nodes, GPUsPerNode: g}})
+		}
+	}
+	// Odd world sizes: the last node is partially filled.
+	for _, world := range []int{3, 5, 7} {
+		for _, g := range []int{2, 3, 4} {
+			shapes = append(shapes, shape{world: world, topo: Topology{GPUsPerNode: g}})
+		}
+	}
+
+	const n = 41 // deliberately not divisible by any world size in play
+	for _, sh := range shapes {
+		for buckets := 1; buckets <= 5; buckets++ {
+			rng := tensor.NewRNG(uint64(sh.world*100 + sh.topo.GPUsPerNode*10 + buckets))
+			inputs := make([][]float64, sh.world)
+			want := make([]float64, n)
+			for r := 0; r < sh.world; r++ {
+				inputs[r] = make([]float64, n)
+				for i := range inputs[r] {
+					inputs[r][i] = rng.NormFloat64()
+					want[i] += inputs[r][i] / float64(sh.world)
+				}
+			}
+			bounds := bucketBoundsFor(n, buckets)
+
+			ring := runAllReduce(t, sh.world, inputs, bounds, func(w *Worker, b []float64) {
+				w.RingAllReduceMean(b)
+			})
+			hier := runAllReduce(t, sh.world, inputs, bounds, func(w *Worker, b []float64) {
+				w.HierarchicalAllReduceMean(b, sh.topo)
+			})
+
+			for r := 0; r < sh.world; r++ {
+				for i := 0; i < n; i++ {
+					// Hierarchical == flat ring to fp64 tolerance: the two
+					// differ only in floating-point summation order.
+					if d := math.Abs(hier[r][i] - ring[r][i]); d > 1e-12 {
+						t.Fatalf("world=%d topo=%+v buckets=%d rank=%d elem=%d: hier %v vs ring %v (Δ %v)",
+							sh.world, sh.topo, buckets, r, i, hier[r][i], ring[r][i], d)
+					}
+					if d := math.Abs(hier[r][i] - want[i]); d > 1e-9 {
+						t.Fatalf("world=%d topo=%+v buckets=%d rank=%d elem=%d: hier %v vs analytic mean %v",
+							sh.world, sh.topo, buckets, r, i, hier[r][i], want[i])
+					}
+				}
+				// Replicas must be bitwise identical — the DDP invariant.
+				for i := range hier[0] {
+					if hier[r][i] != hier[0][i] {
+						t.Fatalf("world=%d topo=%+v buckets=%d: replicas diverge at rank %d elem %d",
+							sh.world, sh.topo, buckets, r, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Back-to-back hierarchical collectives must not cross-talk (the sequence
+// tag keeps successive collectives' messages apart even when workers skew).
+func TestHierarchicalBackToBackNoCorruption(t *testing.T) {
+	const world, rounds = 6, 25
+	topo := Topology{GPUsPerNode: 2}
+	c, _ := New(Config{Workers: world})
+	err := c.Run(func(w *Worker) error {
+		for k := 0; k < rounds; k++ {
+			vec := []float64{float64(w.Rank() + k), float64(2 * k)}
+			cost := w.AsyncHierarchicalAllReduceMean(vec, topo)
+			if cost <= 0 {
+				t.Errorf("round %d: non-positive modeled cost %v", k, cost)
+			}
+			want0 := float64(world-1)/2 + float64(k)
+			if math.Abs(vec[0]-want0) > 1e-12 || math.Abs(vec[1]-float64(2*k)) > 1e-12 {
+				t.Errorf("round %d rank %d: got %v want [%v %v]", k, w.Rank(), vec, want0, float64(2*k))
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncHierarchicalLeavesClocksUntouched(t *testing.T) {
+	c, _ := New(Config{Workers: 4})
+	err := c.Run(func(w *Worker) error {
+		w.AdvanceTime(time.Duration(w.Rank()) * time.Millisecond)
+		vec := make([]float64, 9)
+		w.AsyncHierarchicalAllReduceMean(vec, Topology{GPUsPerNode: 2})
+		if got, want := w.VirtualTime(), time.Duration(w.Rank())*time.Millisecond; got != want {
+			t.Errorf("rank %d: clock moved to %v (want %v)", w.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchicalAllReduceAdvancesClocksEqually(t *testing.T) {
+	topo := Topology{Nodes: 2, GPUsPerNode: 2}
+	c, _ := New(Config{Workers: 4})
+	clocks := make([]time.Duration, 4)
+	err := c.Run(func(w *Worker) error {
+		vec := make([]float64, 1000)
+		w.HierarchicalAllReduceMean(vec, topo)
+		clocks[w.Rank()] = w.VirtualTime()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := HierarchicalAllReduceTime(8000, 4, topo, c.IntraNet(), c.Net())
+	if want <= 0 {
+		t.Fatal("modeled cost must be positive")
+	}
+	for r, vt := range clocks {
+		if vt != want {
+			t.Fatalf("rank %d clock %v want %v", r, vt, want)
+		}
+	}
+}
+
+// --- cost model ---------------------------------------------------------------
+
+func TestHierarchicalCostModel(t *testing.T) {
+	inter := NetworkModel{Bandwidth: 1e8, Latency: 2 * time.Microsecond, DispatchOverhead: time.Millisecond}
+	intra := NVLinkModel()
+	const bytes = 1 << 20
+
+	// The acceptance shape: 8 workers as 2 nodes x 4 GPUs must beat the flat
+	// ring, which pays every hop at fabric bandwidth.
+	hier := HierarchicalAllReduceTime(bytes, 8, Topology{Nodes: 2, GPUsPerNode: 4}, intra, inter)
+	ring := inter.RingAllReduceTime(bytes, 8)
+	if hier >= ring {
+		t.Fatalf("hierarchical %v must beat flat ring %v at Topology{2,4}", hier, ring)
+	}
+
+	// A flat topology degenerates to exactly the inter-node ring cost.
+	if got := HierarchicalAllReduceTime(bytes, 8, Topology{}, intra, inter); got != ring {
+		t.Fatalf("flat topology cost %v want ring cost %v", got, ring)
+	}
+	// One node pays only intra-node traffic: cheaper than any fabric plan.
+	oneNode := HierarchicalAllReduceTime(bytes, 8, Topology{Nodes: 1, GPUsPerNode: 8}, intra, inter)
+	if oneNode >= hier {
+		t.Fatalf("single-node cost %v must beat cross-node %v", oneNode, hier)
+	}
+	// Degenerate worlds are free.
+	if HierarchicalAllReduceTime(bytes, 1, Topology{GPUsPerNode: 4}, intra, inter) != 0 {
+		t.Fatal("single worker collectives are free")
+	}
+}
+
+func TestTopologyShape(t *testing.T) {
+	topo := Topology{GPUsPerNode: 4}
+	if topo.NumNodes(8) != 2 || topo.NumNodes(9) != 3 || topo.NumNodes(3) != 1 {
+		t.Fatal("NumNodes wrong")
+	}
+	if !(Topology{}).Flat() || (Topology{GPUsPerNode: 2}).Flat() {
+		t.Fatal("Flat wrong")
+	}
+	if (Topology{GPUsPerNode: 16}).groupSize(4) != 4 {
+		t.Fatal("groupSize must clamp to world")
+	}
+}

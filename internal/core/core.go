@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"pgti/internal/batching"
+	"pgti/internal/cluster"
 	"pgti/internal/dataset"
 	"pgti/internal/ddp"
 	"pgti/internal/memsim"
@@ -128,6 +129,17 @@ type Config struct {
 	// (0 = ddp.DefaultBucketBytes).
 	GradSync        ddp.SyncMode
 	GradBucketBytes int64
+	// GradAlgo selects the collective algorithm (ring | flat |
+	// hierarchical); it supersedes GradSync when set.
+	GradAlgo ddp.GradAlgo
+	// Topology describes the simulated node layout for the hierarchical
+	// AllReduce (intra-node traffic priced at NVLink-class bandwidth).
+	Topology cluster.Topology
+	// GradFP16 ships gradient buckets fp16-quantized with error feedback.
+	GradFP16 bool
+	// GradAutoTune sweeps bucket sizes over the first epoch and locks in
+	// the winner (see ddp.AutotuneCandidates).
+	GradAutoTune bool
 
 	// MissingFrac injects sensor dropouts: each (entry, node) observation
 	// is zeroed with this probability before preprocessing, and training
@@ -195,6 +207,12 @@ type Report struct {
 	CommHiddenTime time.Duration
 	// GradBuckets is the per-step gradient bucket count of the DDP run.
 	GradBuckets int
+	// GradBucketBytes is the effective bucket size cap: the autotuned
+	// winner when GradAutoTune is set, the configured/default cap
+	// otherwise (0 for unbucketed runs).
+	GradBucketBytes int64
+	// CommBytesSaved is the gradient traffic avoided by fp16 compression.
+	CommBytesSaved int64
 
 	PeakSystemBytes int64
 	PeakGPUBytes    int64
@@ -394,17 +412,21 @@ func runDistributed(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory d
 	sys.Record(0.10)
 
 	ddpCfg := ddp.Config{
-		Workers:      cfg.Workers,
-		BatchSize:    cfg.BatchSize,
-		Epochs:       cfg.Epochs,
-		LR:           cfg.LR,
-		UseLRScaling: cfg.UseLRScaling,
-		ClipNorm:     cfg.ClipNorm,
-		Sampler:      cfg.Sampler,
-		Seed:         cfg.Seed,
-		RemoteFetch:  cfg.Strategy == BaselineDDP,
-		Sync:         cfg.GradSync,
-		BucketBytes:  cfg.GradBucketBytes,
+		Workers:         cfg.Workers,
+		BatchSize:       cfg.BatchSize,
+		Epochs:          cfg.Epochs,
+		LR:              cfg.LR,
+		UseLRScaling:    cfg.UseLRScaling,
+		ClipNorm:        cfg.ClipNorm,
+		Sampler:         cfg.Sampler,
+		Seed:            cfg.Seed,
+		RemoteFetch:     cfg.Strategy == BaselineDDP,
+		Sync:            cfg.GradSync,
+		BucketBytes:     cfg.GradBucketBytes,
+		Algo:            cfg.GradAlgo,
+		Topology:        cfg.Topology,
+		FP16:            cfg.GradFP16,
+		AutoTuneBuckets: cfg.GradAutoTune,
 	}
 	if cfg.Strategy == GenDistIndex && cfg.Workers > 1 {
 		// The larger-than-memory layout: rows partitioned across workers;
@@ -425,6 +447,8 @@ func runDistributed(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory d
 	report.CommTime = res.CommTime
 	report.CommHiddenTime = res.CommHiddenTime
 	report.GradBuckets = res.GradBuckets
+	report.GradBucketBytes = res.BucketBytes
+	report.CommBytesSaved = res.CommBytesSaved
 	report.Steps = res.Steps
 	report.GradSyncBytes = res.GradSyncBytes
 	return nil

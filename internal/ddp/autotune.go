@@ -1,0 +1,81 @@
+// Bucket-size autotuning: the right GradBucketBytes sits at the fabric's
+// latency/bandwidth knee. Too-small buckets pay a per-collective latency
+// tax; too-large buckets launch late in backward and leave an exposed
+// communication tail. Rather than hardcoding the trade-off, the tuner
+// sweeps a candidate ladder across the first epoch's steps — one candidate
+// per optimizer step, scored on the modeled overlapped step time — and
+// locks in the winner for the rest of the run.
+package ddp
+
+import (
+	"math"
+	"time"
+
+	"pgti/internal/cluster"
+)
+
+// AutotuneCandidates returns the bucket-size ladder the autotuner sweeps:
+// powers of two starting at the network's latency/bandwidth knee (the
+// payload size whose serialization time equals the wire latency, i.e.
+// Bandwidth*Latency bytes, floored to a power of two and never below 4 KiB)
+// and doubling up to the full gradient size, at most eight candidates. A
+// gradient smaller than the knee gets the single candidate totalBytes.
+func AutotuneCandidates(net cluster.NetworkModel, totalBytes int64) []int64 {
+	if totalBytes < 1 {
+		totalBytes = 1
+	}
+	knee := int64(net.Bandwidth * net.Latency.Seconds())
+	const floor = 4 << 10
+	if knee < floor {
+		knee = floor
+	}
+	// Floor to a power of two so ladders are stable across close models.
+	knee = 1 << uint(math.Ilogb(float64(knee)))
+	if knee >= totalBytes {
+		return []int64{totalBytes}
+	}
+	var out []int64
+	for c := knee; c < totalBytes && len(out) < 7; c *= 2 {
+		out = append(out, c)
+	}
+	return append(out, totalBytes)
+}
+
+// bucketTuner drives one worker's sweep. Every worker runs an identical
+// tuner and scores candidates through an OpMax scalar AllReduce, so all
+// replicas lock in the same winner at the same step — the collective
+// schedule never diverges.
+type bucketTuner struct {
+	candidates []int64
+	times      []time.Duration
+	next       int // candidate to try on the upcoming step
+}
+
+func newBucketTuner(candidates []int64) *bucketTuner {
+	return &bucketTuner{candidates: candidates, times: make([]time.Duration, 0, len(candidates))}
+}
+
+// active reports whether the sweep still has candidates to score.
+func (t *bucketTuner) active() bool { return t.next < len(t.candidates) }
+
+// current returns the bucket size the upcoming step should use.
+func (t *bucketTuner) current() int64 { return t.candidates[t.next] }
+
+// record scores the just-finished step (whose buckets used current()) with
+// the globally agreed modeled step time and advances the sweep.
+func (t *bucketTuner) record(stepTime time.Duration) {
+	t.times = append(t.times, stepTime)
+	t.next++
+}
+
+// winner returns the best-scoring candidate among those tried (the first
+// candidate when the sweep never ran — e.g. a one-step epoch).
+func (t *bucketTuner) winner() int64 {
+	best := 0
+	for i := 1; i < len(t.times); i++ {
+		if t.times[i] < t.times[best] {
+			best = i
+		}
+	}
+	return t.candidates[best]
+}

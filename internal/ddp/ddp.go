@@ -74,15 +74,46 @@ func (m SyncMode) String() string {
 	return "bucketed-overlap"
 }
 
+// GradAlgo selects the gradient AllReduce algorithm of the collective stack.
+type GradAlgo int
+
+// The three gradient-exchange algorithms.
+const (
+	// GradAlgoRing (default) is the bucketed overlapping flat ring
+	// AllReduce: every hop crosses the fabric.
+	GradAlgoRing GradAlgo = iota
+	// GradAlgoFlat is the pre-bucketing baseline: one monolithic flattened
+	// AllReduce after backward, fully exposed. Equivalent to SyncFlatten.
+	GradAlgoFlat
+	// GradAlgoHierarchical is the topology-aware bucketed overlap: buckets
+	// reduce within each node over the NVLink-class intra link, ring across
+	// node leaders over the fabric, and broadcast back down.
+	GradAlgoHierarchical
+)
+
+// String implements fmt.Stringer.
+func (a GradAlgo) String() string {
+	switch a {
+	case GradAlgoFlat:
+		return "flat"
+	case GradAlgoHierarchical:
+		return "hierarchical"
+	default:
+		return "ring"
+	}
+}
+
 // DefaultBucketBytes caps one gradient bucket at 256 KiB (32Ki float64
 // elements), a few buckets for the paper's model sizes — small enough to
 // start communicating early in backward, large enough to stay
 // bandwidth-bound rather than latency-bound.
 const DefaultBucketBytes int64 = 256 << 10
 
-// backwardShare is the fraction of one step's compute spent in the backward
-// pass in the overlap model: forward occupies the first third, backward the
-// remaining two (the usual 1:2 fwd:bwd cost ratio).
+// backwardShare is the fallback fraction of one step's compute attributed to
+// the backward pass (the usual 1:2 fwd:bwd cost ratio) when the measured
+// wall-clock split is unavailable (timers too coarse to observe anything).
+// The overlap model normally uses the per-step measured forward/backward
+// timings captured via autograd's timed gradient hooks.
 const backwardShare = 2.0 / 3.0
 
 // Config parameterizes a distributed training run.
@@ -119,11 +150,29 @@ type Config struct {
 	// is charged.
 	ComputeCost func(batchItems int) time.Duration
 	// Sync selects the gradient-exchange schedule (default bucketed
-	// overlapping AllReduce).
+	// overlapping AllReduce). Superseded by Algo; SyncFlatten maps to
+	// GradAlgoFlat when Algo is unset.
 	Sync SyncMode
-	// BucketBytes caps one gradient bucket for SyncBucketedOverlap
+	// Algo selects the AllReduce algorithm of the collective stack:
+	// ring (default), flat, or hierarchical.
+	Algo GradAlgo
+	// Topology describes the simulated node layout for GradAlgoHierarchical
+	// (ignored by the other algorithms).
+	Topology cluster.Topology
+	// IntraNet overrides the intra-node interconnect model used by
+	// hierarchical collectives (default NVLink-class).
+	IntraNet cluster.NetworkModel
+	// FP16 ships gradient buckets quantized to half precision with
+	// error-feedback residual accumulation: 2 wire bytes per element
+	// instead of fp64's 8.
+	FP16 bool
+	// BucketBytes caps one gradient bucket for the bucketed algorithms
 	// (default DefaultBucketBytes).
 	BucketBytes int64
+	// AutoTuneBuckets sweeps candidate bucket sizes across the first
+	// epoch's steps and locks in the one minimizing the modeled step time
+	// (see AutotuneCandidates). Ignored by GradAlgoFlat.
+	AutoTuneBuckets bool
 }
 
 // Result summarizes a distributed run.
@@ -139,11 +188,21 @@ type Result struct {
 	// CommHiddenTime is the modeled communication cost that bucketed
 	// overlap hid under backward compute (zero for SyncFlatten).
 	CommHiddenTime time.Duration
-	// GradSyncBytes is the total gradient traffic per worker.
+	// GradSyncBytes is the total gradient wire traffic per worker (fp16
+	// buckets count at their compressed size).
 	GradSyncBytes int64
+	// CommBytesSaved is the gradient traffic avoided by fp16 compression
+	// (zero when FP16 is off).
+	CommBytesSaved int64
 	// GradBuckets is the number of gradient buckets per step (1 for
-	// SyncFlatten).
+	// GradAlgoFlat).
 	GradBuckets int
+	// Algo is the gradient AllReduce algorithm the run used.
+	Algo GradAlgo
+	// BucketBytes is the effective gradient bucket size cap: the autotuned
+	// winner when AutoTuneBuckets is set, the configured/default cap
+	// otherwise.
+	BucketBytes int64
 	// Steps is the number of optimizer steps taken.
 	Steps int
 	// GlobalBatch is BatchSize * Workers.
@@ -227,12 +286,16 @@ func BucketGrads(params []*nn.Parameter, bucketBytes int64) []GradBucket {
 }
 
 // bucketSyncer drives one worker's overlapped gradient exchange for one
-// step: the autograd gradient-ready hook counts down each bucket and
-// launches its (clock-deferred) ring AllReduce mid-backward; after backward
-// the syncer scatters the averaged buckets back and converts the launch
-// timeline into the overlapped virtual-time charge.
+// step: the autograd timed gradient-ready hook counts down each bucket and
+// launches its (clock-deferred) AllReduce mid-backward, recording the
+// measured backward offset of the launch; after backward the syncer scatters
+// the averaged buckets back and converts the measured launch timeline into
+// the overlapped virtual-time charge.
 type bucketSyncer struct {
 	w       *cluster.Worker
+	algo    GradAlgo
+	topo    cluster.Topology
+	fp16    bool
 	buckets []GradBucket
 	// bucketOf maps a parameter's leaf variable to its bucket index.
 	bucketOf   map[*autograd.Variable]int
@@ -241,28 +304,42 @@ type bucketSyncer struct {
 	remaining []int       // per bucket: params whose gradients are not yet final
 	launched  []bool      // per bucket: AllReduce already issued this step
 	flat      [][]float64 // per bucket: flatten/exchange scratch
+	// codecOf holds each parameter's fp16 error-feedback state. It is owned
+	// by the caller and shared across syncer rebuilds, so the residuals
+	// survive autotuner re-bucketing (keyed per parameter, the residual is
+	// layout-independent).
+	codecOf map[*autograd.Variable]*cluster.FP16Codec
 
-	order     []int               // bucket indices in launch order
-	events    []cluster.CommEvent // per launch: modeled cost (ReadyAt filled by finish)
-	readyFrac []float64           // per launch: backward progress when the bucket was ready
-	cumElems  int
-	commWall  time.Duration // real time spent blocked inside collective launches
-	totalCost time.Duration // sum of modeled bucket costs this step
-	stepBytes int64
+	order        []int               // bucket indices in launch order
+	events       []cluster.CommEvent // per launch: modeled cost (ReadyAt filled by finish)
+	readyFrac    []float64           // per launch: cumulative-elements share (modeled fallback)
+	readyElapsed []time.Duration     // per launch: measured backward offset
+	cumElems     int
+	commWall     time.Duration // real time spent blocked inside collective launches
+	totalCost    time.Duration // sum of modeled bucket costs this step
+	stepBytes    int64         // wire bytes shipped this step
+	stepSaved    int64         // wire bytes saved by fp16 this step
 }
 
-func newBucketSyncer(w *cluster.Worker, buckets []GradBucket) *bucketSyncer {
+func newBucketSyncer(w *cluster.Worker, buckets []GradBucket, algo GradAlgo, topo cluster.Topology, codecOf map[*autograd.Variable]*cluster.FP16Codec) *bucketSyncer {
 	s := &bucketSyncer{
 		w:         w,
+		algo:      algo,
+		topo:      topo,
+		fp16:      codecOf != nil,
 		buckets:   buckets,
 		bucketOf:  make(map[*autograd.Variable]int),
 		remaining: make([]int, len(buckets)),
 		launched:  make([]bool, len(buckets)),
 		flat:      make([][]float64, len(buckets)),
+		codecOf:   codecOf,
 	}
 	for bi, b := range buckets {
 		for _, p := range b.Params {
 			s.bucketOf[p.V] = bi
+			if codecOf != nil && codecOf[p.V] == nil {
+				codecOf[p.V] = &cluster.FP16Codec{}
+			}
 		}
 		s.totalElems += b.Elems
 	}
@@ -278,50 +355,85 @@ func (s *bucketSyncer) reset() {
 	s.order = s.order[:0]
 	s.events = s.events[:0]
 	s.readyFrac = s.readyFrac[:0]
+	s.readyElapsed = s.readyElapsed[:0]
 	s.cumElems = 0
 	s.commWall = 0
 	s.totalCost = 0
 	s.stepBytes = 0
+	s.stepSaved = 0
 }
 
-// onGradReady is the autograd.GradHook: count down the leaf's bucket and
-// launch it once every member gradient is final. Launch order is a
-// deterministic function of the (identical) replica graphs, so all workers
-// issue matching collectives.
-func (s *bucketSyncer) onGradReady(leaf *autograd.Variable) {
+// onGradReady is the autograd.TimedGradHook: count down the leaf's bucket
+// and launch it once every member gradient is final, stamping the launch
+// with the measured backward offset. The raw elapsed includes wall time
+// spent blocked inside earlier buckets' exchanges (waiting for peers);
+// subtracting the commWall accumulated so far leaves the pure backward-
+// compute offset, which is what the modeled timeline rescales. Launch order
+// is a deterministic function of the (identical) replica graphs, so all
+// workers issue matching collectives.
+func (s *bucketSyncer) onGradReady(leaf *autograd.Variable, elapsed time.Duration) {
 	bi, ok := s.bucketOf[leaf]
 	if !ok {
 		return
 	}
 	s.remaining[bi]--
 	if s.remaining[bi] == 0 {
-		s.launch(bi)
+		elapsed -= s.commWall
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		s.launch(bi, elapsed)
 	}
 }
 
-// launch flattens bucket bi and issues its clock-deferred ring AllReduce.
-func (s *bucketSyncer) launch(bi int) {
+// launch flattens bucket bi (quantizing it to the fp16 wire values first
+// when compression is on) and issues its clock-deferred AllReduce via the
+// configured algorithm. elapsed is the measured backward offset of the
+// launch.
+func (s *bucketSyncer) launch(bi int, elapsed time.Duration) {
 	b := s.buckets[bi]
 	s.flat[bi] = FlattenGrads(b.Params, s.flat[bi])
+	vec := s.flat[bi]
+	wire := int64(len(vec)) * 8
+	if s.fp16 {
+		// Quantize per parameter, each through its own persistent codec, so
+		// error-feedback residuals survive re-bucketing.
+		pos := 0
+		for _, p := range b.Params {
+			n := p.Tensor().NumElements()
+			s.codecOf[p.V].ApplyInPlace(vec[pos : pos+n])
+			pos += n
+		}
+		compressed := cluster.FP16WireBytes(len(vec))
+		s.stepSaved += wire - compressed
+		wire = compressed
+	}
 	t0 := time.Now()
-	cost := s.w.AsyncRingAllReduceMean(s.flat[bi])
+	var cost time.Duration
+	if s.algo == GradAlgoHierarchical {
+		cost = s.w.AsyncHierarchicalAllReduceMeanSized(vec, s.topo, wire)
+	} else {
+		cost = s.w.AsyncRingAllReduceMeanSized(vec, wire)
+	}
 	s.commWall += time.Since(t0)
 	s.launched[bi] = true
 	s.cumElems += b.Elems
 	s.order = append(s.order, bi)
 	s.events = append(s.events, cluster.CommEvent{Cost: cost})
 	s.readyFrac = append(s.readyFrac, float64(s.cumElems)/float64(s.totalElems))
+	s.readyElapsed = append(s.readyElapsed, elapsed)
 	s.totalCost += cost
-	s.stepBytes += int64(len(s.flat[bi])) * 8
+	s.stepBytes += wire
 }
 
 // flush launches every bucket the backward pass never completed (parameters
-// outside the step's graph contribute zero gradients), in bucket order, and
-// scatters all averaged buckets back into the parameter gradients.
-func (s *bucketSyncer) flush() {
+// outside the step's graph contribute zero gradients) with a ready offset of
+// bwdWall (the end of backward), in bucket order, and scatters all averaged
+// buckets back into the parameter gradients.
+func (s *bucketSyncer) flush(bwdWall time.Duration) {
 	for bi := range s.buckets {
 		if !s.launched[bi] {
-			s.launch(bi)
+			s.launch(bi, bwdWall)
 		}
 	}
 	for bi, b := range s.buckets {
@@ -329,20 +441,59 @@ func (s *bucketSyncer) flush() {
 	}
 }
 
+// splitCompute divides the step's modeled compute into forward and backward
+// spans using the measured wall-clock split, falling back to the 1:2 model
+// when the timers saw nothing.
+func splitCompute(compute, fwdWall, bwdWall time.Duration) (fwd, bwd time.Duration) {
+	frac := 1 - backwardShare
+	if fwdWall > 0 && bwdWall > 0 {
+		frac = float64(fwdWall) / float64(fwdWall+bwdWall)
+	}
+	fwd = time.Duration(frac * float64(compute))
+	return fwd, compute - fwd
+}
+
 // finish converts the step's launch timeline into the overlapped virtual
-// duration: bucket i's collective becomes ready readyFrac[i] of the way
-// through backward (backward spans the last backwardShare of compute), the
+// duration: the step's compute is split into forward and backward spans by
+// the measured wall-clock ratio, bucket i's collective becomes ready at its
+// measured backward offset (rescaled onto the modeled backward span), the
 // collectives serialize on one communication channel, and the step ends at
 // max(compute, last comm finish). Returns the total step duration and the
 // exposed (non-hidden) communication tail.
-func (s *bucketSyncer) finish(compute time.Duration) (step, exposed time.Duration) {
-	fwd := time.Duration((1 - backwardShare) * float64(compute))
-	bwd := compute - fwd
+//
+// Passing fwdWall == bwdWall == 0 selects the structural timeline
+// (cumulative-elements ready fractions, 1:2 split): fully-modeled runs use
+// it so their virtual clocks are machine-independent and reproducible.
+func (s *bucketSyncer) finish(compute, fwdWall, bwdWall time.Duration) (step, exposed time.Duration) {
+	fwd, bwd := splitCompute(compute, fwdWall, bwdWall)
 	for i := range s.events {
-		s.events[i].ReadyAt = fwd + time.Duration(s.readyFrac[i]*float64(bwd))
+		frac := s.readyFrac[i]
+		if bwdWall > 0 {
+			frac = float64(s.readyElapsed[i]) / float64(bwdWall)
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		s.events[i].ReadyAt = fwd + time.Duration(frac*float64(bwd))
 	}
 	step = cluster.OverlapFinish(compute, s.events)
 	return step, step - compute
+}
+
+// modeledFinish is finish on the structural timeline (cumulative-elements
+// ready fractions, 1:2 forward/backward split): a measurement-free figure of
+// merit the bucket autotuner can score reproducibly.
+func (s *bucketSyncer) modeledFinish(compute time.Duration) time.Duration {
+	fwd := time.Duration((1 - backwardShare) * float64(compute))
+	bwd := compute - fwd
+	events := make([]cluster.CommEvent, len(s.events))
+	for i := range events {
+		events[i] = cluster.CommEvent{
+			ReadyAt: fwd + time.Duration(s.readyFrac[i]*float64(bwd)),
+			Cost:    s.events[i].Cost,
+		}
+	}
+	return cluster.OverlapFinish(compute, events)
 }
 
 // Train runs distributed data-parallel training of factory-built replicas
@@ -367,9 +518,16 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 	if len(split.Train) < cfg.Workers {
 		return nil, fmt.Errorf("ddp: %d training snapshots cannot feed %d workers", len(split.Train), cfg.Workers)
 	}
-	clu, err := cluster.New(cluster.Config{Workers: cfg.Workers, Net: cfg.Net})
+	clu, err := cluster.New(cluster.Config{Workers: cfg.Workers, Net: cfg.Net, IntraNet: cfg.IntraNet})
 	if err != nil {
 		return nil, err
+	}
+
+	// Resolve the collective algorithm: the legacy Sync knob maps onto the
+	// flat algorithm when Algo is unset.
+	algo := cfg.Algo
+	if algo == GradAlgoRing && cfg.Sync == SyncFlatten {
+		algo = GradAlgoFlat
 	}
 
 	lr := cfg.LR
@@ -381,14 +539,16 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 	}
 
 	type workerOut struct {
-		curve    metrics.Curve
-		vt       time.Duration
-		comm     time.Duration
-		hidden   time.Duration
-		bytes    int64
-		steps    int
-		buckets  int
-		checksum float64
+		curve       metrics.Curve
+		vt          time.Duration
+		comm        time.Duration
+		hidden      time.Duration
+		bytes       int64
+		saved       int64
+		steps       int
+		buckets     int
+		bucketBytes int64
+		checksum    float64
 	}
 	outs := make([]workerOut, cfg.Workers)
 
@@ -401,19 +561,49 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		sampler := newSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Workers, rank, cfg.Seed)
 		var buf batching.BatchBuffer
 		var gradBuf []float64
+		var flatCodec cluster.FP16Codec
 		var comm, hidden time.Duration
 		var curve metrics.Curve
-		var totalBytes int64
+		var totalBytes, savedBytes int64
 		steps := 0
 
 		// Bucketed overlap only pays off with real peers; a single worker
 		// has nothing to exchange and keeps the plain path.
-		overlap := cfg.Sync == SyncBucketedOverlap && cfg.Workers > 1
+		overlap := algo != GradAlgoFlat && cfg.Workers > 1
+		bucketBytes := cfg.BucketBytes
+		if bucketBytes <= 0 {
+			bucketBytes = DefaultBucketBytes
+		}
 		var syncer *bucketSyncer
-		buckets := 1
+		var tuner *bucketTuner
+		var tuneRefCompute time.Duration
+		var tuneRefSet bool
+		// The per-parameter fp16 codecs outlive any individual syncer, so
+		// error-feedback residuals persist across autotuner re-bucketing.
+		var codecOf map[*autograd.Variable]*cluster.FP16Codec
+		if overlap && cfg.FP16 {
+			codecOf = make(map[*autograd.Variable]*cluster.FP16Codec)
+		}
 		if overlap {
-			syncer = newBucketSyncer(w, BucketGrads(params, cfg.BucketBytes))
-			buckets = len(syncer.buckets)
+			if cfg.AutoTuneBuckets {
+				var totalElems int
+				for _, p := range params {
+					totalElems += p.Tensor().NumElements()
+				}
+				tuner = newBucketTuner(AutotuneCandidates(clu.Net(), int64(totalElems)*8))
+				bucketBytes = tuner.current()
+			}
+			syncer = newBucketSyncer(w, BucketGrads(params, bucketBytes), algo, cfg.Topology, codecOf)
+		}
+		// lockTuner ends the sweep: every worker rebuilds its syncer around
+		// the globally agreed winner (identical tuner state on every rank).
+		lockTuner := func() {
+			if tuner == nil {
+				return
+			}
+			bucketBytes = tuner.winner()
+			syncer = newBucketSyncer(w, BucketGrads(params, bucketBytes), algo, cfg.Topology, codecOf)
+			tuner = nil
 		}
 
 		// Per-batch byte volume for the baseline-DDP fetch path: x and y.
@@ -448,13 +638,22 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 				loss := autograd.MAELoss(pred, target)
 				if overlap {
 					// Bucketed overlapping sync: bucket AllReduces launch
-					// from the gradient-ready hook while backward still
-					// runs; the clock charges max(compute, pipelined comm).
+					// from the timed gradient-ready hook while backward still
+					// runs; the clock charges max(compute, pipelined comm)
+					// on the measured forward/backward timeline.
 					syncer.reset()
-					if err := autograd.BackwardHooked(loss, syncer.onGradReady); err != nil {
+					fwdWall := time.Since(start)
+					bwdWall, err := autograd.BackwardTimed(loss, syncer.onGradReady)
+					if err != nil {
 						return fmt.Errorf("ddp: rank %d backward: %w", rank, err)
 					}
-					syncer.flush()
+					// Like the ReadyAt stamps, the backward span excludes
+					// time blocked inside collective launches.
+					bwdWall -= syncer.commWall
+					if bwdWall < 0 {
+						bwdWall = 0
+					}
+					syncer.flush(bwdWall)
 					// Gradients are now globally averaged; clipping acts on
 					// the averaged gradients (torch-DDP semantics).
 					if cfg.ClipNorm > 0 {
@@ -462,7 +661,12 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 					}
 					var compute time.Duration
 					if cfg.ComputeCost != nil {
+						// Fully-modeled run (paper-scale estimates, bench
+						// regression gate): keep the timeline structural so
+						// the virtual clock is machine-independent — never
+						// mix measured wall fractions into modeled time.
 						compute = cfg.ComputeCost(len(idx))
+						fwdWall, bwdWall = 0, 0
 					} else {
 						// Real elapsed minus the wall time spent blocked in
 						// collective launches (that is comm, not compute).
@@ -471,12 +675,34 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 							compute = 0
 						}
 					}
-					step, exposed := syncer.finish(compute)
+					step, exposed := syncer.finish(compute, fwdWall, bwdWall)
 					w.AdvanceTime(step)
 					w.Barrier() // straggler wait, as the synchronous step ends
 					comm += exposed
 					hidden += syncer.totalCost - exposed
 					totalBytes += syncer.stepBytes
+					savedBytes += syncer.stepSaved
+					if tuner != nil {
+						// Score the candidate this step ran with on the
+						// measurement-free modeled step time, agreed across
+						// workers (OpMax), then rebucket for the next
+						// candidate — or lock the winner when the ladder is
+						// exhausted. Every candidate is scored against the
+						// sweep's first compute span, so a candidate landing
+						// on a short tail batch (or a noisy measured step)
+						// is not mis-ranked by its step's own compute.
+						if !tuneRefSet {
+							tuneRefCompute, tuneRefSet = compute, true
+						}
+						agreed := time.Duration(w.AllReduceScalar(float64(syncer.modeledFinish(tuneRefCompute)), cluster.OpMax))
+						tuner.record(agreed)
+						if tuner.active() {
+							bucketBytes = tuner.current()
+							syncer = newBucketSyncer(w, BucketGrads(params, bucketBytes), algo, cfg.Topology, codecOf)
+						} else {
+							lockTuner()
+						}
+					}
 				} else {
 					// Flatten baseline: one monolithic AllReduce after
 					// backward, communication fully exposed.
@@ -492,20 +718,35 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 						w.AdvanceTime(time.Since(start))
 					}
 					gradBuf = FlattenGrads(params, gradBuf)
-					w.RingAllReduceMean(gradBuf)
+					wire := int64(len(gradBuf)) * 8
+					// Quantize only when there are peers: a single worker
+					// ships nothing, so rounding its gradients to fp16
+					// would be pure accuracy loss for zero wire benefit.
+					if cfg.FP16 && cfg.Workers > 1 {
+						flatCodec.ApplyInPlace(gradBuf)
+						compressed := cluster.FP16WireBytes(len(gradBuf))
+						savedBytes += wire - compressed
+						wire = compressed
+					}
+					w.RingAllReduceMeanSized(gradBuf, wire)
 					// Attribute the modeled collective cost (the clock delta
 					// additionally contains straggler wait, which is compute
 					// imbalance, not communication).
 					if cfg.Workers > 1 {
-						comm += net.RingAllReduceTime(int64(len(gradBuf))*8, cfg.Workers)
+						comm += net.RingAllReduceTime(wire, cfg.Workers)
 					}
-					totalBytes += int64(len(gradBuf)) * 8
+					totalBytes += wire
 					UnflattenGrads(params, gradBuf)
 				}
 				opt.Step()
 				steps++
 				// Report in the signal's original units, like validation.
 				trainAcc.Add(loss.Value.Item()*data.Std, len(idx))
+			}
+			// The sweep is confined to the first epoch: a short epoch locks
+			// in the best candidate tried so far.
+			if tuner != nil {
+				lockTuner()
 			}
 			// Epoch metrics: weighted AllReduce of train loss and val MAE
 			// (the validation AllReduce the paper lists as DDP overhead).
@@ -518,7 +759,17 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			checksum += p.Tensor().SumAll()
 		}
 		w.Barrier()
-		outs[rank] = workerOut{curve: curve, vt: w.VirtualTime(), comm: comm, hidden: hidden, bytes: totalBytes, steps: steps, buckets: buckets, checksum: checksum}
+		buckets := 1
+		effectiveBucketBytes := int64(0)
+		if overlap {
+			buckets = len(syncer.buckets)
+			effectiveBucketBytes = bucketBytes
+		}
+		outs[rank] = workerOut{
+			curve: curve, vt: w.VirtualTime(), comm: comm, hidden: hidden,
+			bytes: totalBytes, saved: savedBytes, steps: steps,
+			buckets: buckets, bucketBytes: effectiveBucketBytes, checksum: checksum,
+		}
 		return nil
 	})
 	if runErr != nil {
@@ -537,8 +788,11 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		CommTime:       outs[0].comm,
 		CommHiddenTime: outs[0].hidden,
 		GradSyncBytes:  outs[0].bytes,
+		CommBytesSaved: outs[0].saved,
 		Steps:          outs[0].steps,
 		GradBuckets:    outs[0].buckets,
+		Algo:           algo,
+		BucketBytes:    outs[0].bucketBytes,
 		GlobalBatch:    cfg.BatchSize * cfg.Workers,
 	}, nil
 }

@@ -120,7 +120,10 @@ func TestMultiWorkerReplicasStayIdentical(t *testing.T) {
 	if res.VirtualTime <= 0 {
 		t.Fatal("virtual time must advance")
 	}
-	if res.CommTime <= 0 {
+	// With the measured overlap timeline the exposed tail can legitimately
+	// be zero (all comm hidden under backward), but the run must have
+	// recorded communication somewhere.
+	if res.CommTime+res.CommHiddenTime <= 0 {
 		t.Fatal("multi-worker run must record communication time")
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"time"
 
+	"pgti/internal/cluster"
 	"pgti/internal/core"
 	"pgti/internal/dataset"
 	"pgti/internal/ddp"
@@ -76,6 +77,25 @@ const (
 	ShuffleBatch  = ddp.BatchShuffle
 )
 
+// GradAlgo selects the gradient AllReduce algorithm of the collective stack.
+type GradAlgo = ddp.GradAlgo
+
+// The gradient-exchange algorithms.
+const (
+	// GradAlgoRing (default) is the bucketed overlapping flat ring.
+	GradAlgoRing = ddp.GradAlgoRing
+	// GradAlgoFlat is the monolithic flatten-then-AllReduce baseline.
+	GradAlgoFlat = ddp.GradAlgoFlat
+	// GradAlgoHierarchical reduces within each simulated node over an
+	// NVLink-class link, rings across node leaders over the fabric, and
+	// broadcasts back down.
+	GradAlgoHierarchical = ddp.GradAlgoHierarchical
+)
+
+// Topology describes the simulated node layout for the hierarchical
+// AllReduce.
+type Topology = cluster.Topology
+
 // Config configures a training run.
 type Config struct {
 	// Dataset names one of the paper's datasets: "Chickenpox-Hungary",
@@ -99,6 +119,18 @@ type Config struct {
 	K       int // diffusion hops
 	Seed    uint64
 	Shuffle Shuffle
+
+	// GradAlgo selects the DDP gradient AllReduce algorithm (ring | flat |
+	// hierarchical); Topology lays out the simulated nodes for the
+	// hierarchical algorithm (e.g. Topology{Nodes: 2, GPUsPerNode: 4}).
+	GradAlgo GradAlgo
+	Topology Topology
+	// GradFP16 ships gradient buckets quantized to half precision with
+	// error-feedback residual accumulation.
+	GradFP16 bool
+	// GradAutoTune sweeps gradient bucket sizes across the first epoch and
+	// locks in the size minimizing the modeled step time.
+	GradAutoTune bool
 
 	// SystemMemoryGB / GPUMemoryGB cap the byte-exact memory trackers
 	// (0 = unlimited). A run exceeding the system cap reports OOM, like
@@ -141,9 +173,20 @@ type Report struct {
 
 	// WallTime is the real elapsed time of this (scaled) run; VirtualTime
 	// is the modeled Polaris time including transfer/collective costs.
-	WallTime    time.Duration
-	VirtualTime time.Duration
-	CommTime    time.Duration
+	// CommTime is the exposed communication; CommHiddenTime is the modeled
+	// communication hidden under backward compute by bucketed overlap.
+	WallTime       time.Duration
+	VirtualTime    time.Duration
+	CommTime       time.Duration
+	CommHiddenTime time.Duration
+
+	// GradBuckets and GradBucketBytes describe the gradient bucketing the
+	// run used (bucket count per step, effective size cap — the autotuned
+	// winner under GradAutoTune). CommBytesSaved is the gradient traffic
+	// avoided by fp16 compression.
+	GradBuckets     int
+	GradBucketBytes int64
+	CommBytesSaved  int64
 
 	// PeakSystemBytes/PeakGPUBytes are byte-exact high-water marks;
 	// RetainedDataBytes is eq. (1) or eq. (2) depending on strategy.
@@ -196,6 +239,10 @@ func Run(cfg Config) (*Report, error) {
 		LoadCheckpoint: cfg.LoadCheckpoint,
 		SaveCheckpoint: cfg.SaveCheckpoint,
 		EmitForecasts:  cfg.EmitForecasts,
+		GradAlgo:       cfg.GradAlgo,
+		Topology:       cfg.Topology,
+		GradFP16:       cfg.GradFP16,
+		GradAutoTune:   cfg.GradAutoTune,
 	}
 	rep, err := core.Run(coreCfg)
 	if err != nil {
@@ -213,6 +260,10 @@ func Run(cfg Config) (*Report, error) {
 		WallTime:          rep.WallTime,
 		VirtualTime:       rep.VirtualTime,
 		CommTime:          rep.CommTime,
+		CommHiddenTime:    rep.CommHiddenTime,
+		GradBuckets:       rep.GradBuckets,
+		GradBucketBytes:   rep.GradBucketBytes,
+		CommBytesSaved:    rep.CommBytesSaved,
 		PeakSystemBytes:   rep.PeakSystemBytes,
 		PeakGPUBytes:      rep.PeakGPUBytes,
 		RetainedDataBytes: rep.RetainedDataBytes,

@@ -80,6 +80,42 @@ func TestRunDistributedFacade(t *testing.T) {
 	if rep.Workers != 2 || rep.GlobalBatch != 8 || rep.GradSyncBytes == 0 {
 		t.Fatalf("distributed report malformed: %+v", rep)
 	}
+	if rep.GradBuckets < 1 || rep.GradBucketBytes <= 0 {
+		t.Fatalf("bucket accounting missing: %+v", rep)
+	}
+}
+
+// TestRunCollectiveStackFacade drives the public collective-stack knobs:
+// hierarchical AllReduce over a 2x2 topology with fp16 buckets and the
+// bucket-size autotuner, end to end through pgti.Run.
+func TestRunCollectiveStackFacade(t *testing.T) {
+	rep, err := Run(Config{
+		Dataset:      "PeMS-BAY",
+		Scale:        0.012,
+		Strategy:     StrategyDistIndex,
+		Workers:      4,
+		BatchSize:    2,
+		Epochs:       1,
+		Hidden:       8,
+		K:            1,
+		Seed:         3,
+		GradAlgo:     GradAlgoHierarchical,
+		Topology:     Topology{Nodes: 2, GPUsPerNode: 2},
+		GradFP16:     true,
+		GradAutoTune: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CommBytesSaved == 0 {
+		t.Fatal("fp16 run must report saved communication bytes")
+	}
+	if rep.GradBucketBytes <= 0 || rep.GradBuckets < 1 {
+		t.Fatalf("autotuned bucket accounting missing: buckets=%d bytes=%d", rep.GradBuckets, rep.GradBucketBytes)
+	}
+	if rep.GradSyncBytes == 0 || rep.VirtualTime <= 0 {
+		t.Fatalf("collective-stack report malformed: %+v", rep)
+	}
 }
 
 func TestFormatBytes(t *testing.T) {

@@ -1,9 +1,15 @@
 GO ?= go
 
-# The gradient-sync benchmark family gated by the CI perf regression check.
-BENCH_DDP = $(GO) test -run '^$$' -bench 'BenchmarkDDP' -benchtime=1x .
+# The benchmark families gated by the CI perf regression check: DDP gradient
+# sync, spatial sharding, and the distributed index-batching strategies.
+BENCH_GATED = $(GO) test -run '^$$' -bench 'BenchmarkDDP|BenchmarkShard|BenchmarkIndexBatch' -benchtime=1x .
 
-.PHONY: ci build vet fmt-check test race bench bench-smoke bench-json bench-baseline bench-check bench-ci
+# Per-package statement-coverage floors (pkg:percent), enforced by `make
+# cover` and the CI workflow. Raise a floor when coverage grows; lowering one
+# is a reviewed decision, not a quick fix for a red build.
+COVER_FLOORS = internal/shard:85 internal/cluster:90 internal/graph:90
+
+.PHONY: ci build vet fmt-check test race cover bench bench-smoke bench-json bench-baseline bench-check bench-ci
 
 ## ci runs the exact tier-1 gate the CI workflow enforces.
 ci: build vet fmt-check test race bench-smoke
@@ -24,6 +30,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+## cover fails when any floor package's statement coverage drops below its
+## checked-in COVER_FLOORS threshold.
+cover:
+	@fail=0; \
+	for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		out=$$($(GO) test -cover ./$$pkg | tail -1); \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "FAIL   $$pkg: no coverage reported: $$out"; fail=1; continue; fi; \
+		if awk -v p="$$pct" -v f="$$floor" 'BEGIN{exit !(p >= f)}'; then \
+			echo "OK     $$pkg coverage $$pct% (floor $$floor%)"; \
+		else \
+			echo "FAIL   $$pkg coverage $$pct% below floor $$floor%"; fail=1; \
+		fi; \
+	done; exit $$fail
+
 ## bench runs the full benchmark suite with allocation stats.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -41,18 +63,18 @@ bench-json:
 	$(GO) run ./cmd/pgti-benchjson < "$$tmp"
 
 ## bench-baseline regenerates the committed perf baseline for the gated
-## gradient-sync benchmark family (run after a deliberate perf change).
+## benchmark families (run after a deliberate perf change).
 bench-baseline:
 	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(BENCH_DDP) > "$$tmp" || { cat "$$tmp"; exit 1; }; \
+	$(BENCH_GATED) > "$$tmp" || { cat "$$tmp"; exit 1; }; \
 	$(GO) run ./cmd/pgti-benchjson < "$$tmp" > bench/baseline.json; \
 	echo "wrote bench/baseline.json"
 
-## bench-check fails when the gated family's modeled metrics regress >20%
+## bench-check fails when the gated families' modeled metrics regress >20%
 ## against bench/baseline.json (the CI perf gate).
 bench-check:
 	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(BENCH_DDP) > "$$tmp" || { cat "$$tmp"; exit 1; }; \
+	$(BENCH_GATED) > "$$tmp" || { cat "$$tmp"; exit 1; }; \
 	$(GO) run ./cmd/pgti-benchjson -check bench/baseline.json < "$$tmp"
 
 ## bench-ci runs the full benchmark suite ONCE, writing the perf snapshot to

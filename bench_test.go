@@ -20,6 +20,7 @@ import (
 	"pgti/internal/nn"
 	"pgti/internal/parallel"
 	"pgti/internal/perfmodel"
+	"pgti/internal/shard"
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
 
@@ -428,3 +429,130 @@ func BenchmarkDDPAutotune8(b *testing.B) {
 		c.AutoTuneBuckets = true
 	})
 }
+
+// --- gated: spatial sharding (hybrid spatial x data grids) --------------------
+
+// benchShard trains one epoch on a Shards x Replicas grid over a
+// bandwidth-constrained fabric with modeled compute, reporting the modeled
+// epoch time, the exposed gradient communication, and the halo-exchange
+// traffic/cost — all deterministic virtual-clock metrics, gated by `make
+// bench-check` alongside the DDP family.
+func benchShard(b *testing.B, shards, replicas int) {
+	g, err := graph.RoadNetwork(16, 24, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd, bwd := g.TransitionMatrices()
+	supports := []*sparse.CSR{fwd, bwd}
+	raw := tensor.Randn(tensor.NewRNG(17), 160, 24, 1)
+	data, err := batching.NewIndexDataset(raw, 3, 0.7, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := batching.MakeSplit(data.NumSnapshots(), 0.7, 0.1)
+	factory := func(seed uint64, props []nn.Propagator) nn.SeqModel {
+		return nn.NewPGTDCRNNOn(tensor.NewRNG(seed), props, 1, 1, 16, 3)
+	}
+	cfg := shard.Config{
+		Shards: shards, Replicas: replicas, BatchSize: 2, Epochs: 1, LR: 0.01, Seed: 1,
+		Net:         cluster.NetworkModel{Bandwidth: 1e7, Latency: 2 * time.Microsecond, DispatchOverhead: time.Millisecond},
+		ComputeCost: func(int) time.Duration { return 2 * time.Millisecond },
+	}
+	var res *shard.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = shard.Train(data, split, g, supports, factory, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.VirtualTime.Microseconds()), "virt-µs/epoch")
+	b.ReportMetric(float64(res.CommTime.Microseconds()), "exposed-comm-µs")
+	b.ReportMetric(float64(res.HaloTime.Microseconds()), "halo-µs/epoch")
+	b.ReportMetric(float64(res.HaloBytes)/1024, "halo-KiB/epoch")
+	b.ReportMetric(float64(res.EdgeCut), "edge-cut")
+}
+
+func BenchmarkShardSpatial4(b *testing.B)  { benchShard(b, 4, 1) }
+func BenchmarkShardHybrid2x2(b *testing.B) { benchShard(b, 2, 2) }
+func BenchmarkShardHybrid2x4(b *testing.B) { benchShard(b, 2, 4) }
+
+// --- gated: index-batching DDP strategies -------------------------------------
+
+// benchIndexBatch runs one modeled epoch of a distributed index-batching
+// strategy at 4 workers (mirroring benchDDPSync's fabric), so the
+// strategy-level virtual-time metrics join the regression gate.
+func benchIndexBatch(b *testing.B, store bool) {
+	g, err := graph.RoadNetwork(16, 24, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd, bwd := g.TransitionMatrices()
+	supports := []*sparse.CSR{fwd, bwd}
+	raw := tensor.Randn(tensor.NewRNG(17), 160, 24, 1)
+	data, err := batching.NewIndexDataset(raw, 3, 0.7, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := batching.MakeSplit(data.NumSnapshots(), 0.7, 0.1)
+	factory := func(seed uint64) nn.SeqModel {
+		return nn.NewPGTDCRNN(tensor.NewRNG(seed), supports, 1, 1, 16, 3)
+	}
+	cfg := ddp.Config{
+		Workers: 4, BatchSize: 2, Epochs: 1, LR: 0.01, Seed: 1,
+		Net:         cluster.NetworkModel{Bandwidth: 1e7, Latency: 2 * time.Microsecond, DispatchOverhead: time.Millisecond},
+		ComputeCost: func(int) time.Duration { return 2 * time.Millisecond },
+	}
+	if store {
+		st, err := batching.NewPartitionStore(data, cfg.Workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Store = st
+		cfg.Sampler = ddp.BatchShuffle
+	}
+	var res *ddp.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = ddp.Train(data, split, factory, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.VirtualTime.Microseconds()), "virt-µs/epoch")
+	b.ReportMetric(float64(res.CommTime.Microseconds()), "exposed-comm-µs")
+	b.ReportMetric(float64(res.GradSyncBytes)/1024, "wire-KiB/epoch")
+}
+
+func BenchmarkIndexBatchDistIndex4(b *testing.B)    { benchIndexBatch(b, false) }
+func BenchmarkIndexBatchGenDistIndex4(b *testing.B) { benchIndexBatch(b, true) }
+
+// --- micro: row-wise nn kernels (softmax / layer norm) on the pool ------------
+
+func benchSoftmax(b *testing.B, workers int) {
+	x := tensor.Randn(tensor.NewRNG(18), 512, 64, 64)
+	v := autograd.Constant(x)
+	benchWithWorkers(b, workers, func() { autograd.Softmax(v) })
+}
+
+func BenchmarkSoftmaxSerial(b *testing.B)   { benchSoftmax(b, 1) }
+func BenchmarkSoftmaxParallel(b *testing.B) { benchSoftmax(b, 0) }
+
+func benchLayerNorm(b *testing.B, workers int) {
+	d := 128
+	x := autograd.NewVariable(tensor.Randn(tensor.NewRNG(19), 256, 128, d))
+	gamma := autograd.NewVariable(tensor.Ones(d))
+	beta := autograd.NewVariable(tensor.New(d))
+	benchWithWorkers(b, workers, func() {
+		out := autograd.LayerNorm(x, gamma, beta, 1e-5)
+		if err := autograd.Backward(autograd.SumAll(out)); err != nil {
+			b.Fatal(err)
+		}
+		x.ZeroGrad()
+		gamma.ZeroGrad()
+		beta.ZeroGrad()
+	})
+}
+
+func BenchmarkLayerNormSerial(b *testing.B)   { benchLayerNorm(b, 1) }
+func BenchmarkLayerNormParallel(b *testing.B) { benchLayerNorm(b, 0) }

@@ -51,8 +51,8 @@ type Snapshot struct {
 
 func main() {
 	check := flag.String("check", "", "baseline snapshot JSON to compare against (regression gate mode)")
-	family := flag.String("family", "BenchmarkDDP", "benchmark name prefix the gate covers")
-	metrics := flag.String("metrics", "virt-µs/epoch,exposed-comm-µs", "comma-separated metrics to gate (lower is better)")
+	family := flag.String("family", "BenchmarkDDP,BenchmarkShard,BenchmarkIndexBatch", "comma-separated benchmark name prefixes the gate covers")
+	metrics := flag.String("metrics", "virt-µs/epoch,exposed-comm-µs,halo-µs/epoch", "comma-separated metrics to gate (lower is better; missing metrics are skipped)")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated relative regression")
 	// The gated metrics are deterministic modeled values (virtual-clock
 	// microseconds), so no noise allowance is needed by default — slack
@@ -85,7 +85,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pgti-benchjson: parsing baseline: %v\n", err)
 		os.Exit(1)
 	}
-	if !runCheck(os.Stdout, snap, base, *family, strings.Split(*metrics, ","), *threshold, *slack) {
+	if !runCheck(os.Stdout, snap, base, strings.Split(*family, ","), strings.Split(*metrics, ","), *threshold, *slack) {
 		os.Exit(1)
 	}
 }
@@ -115,14 +115,22 @@ func parseSnapshot(r io.Reader) (Snapshot, error) {
 	return snap, sc.Err()
 }
 
-// runCheck compares the gated family's metrics against the baseline,
+// runCheck compares the gated families' metrics against the baseline,
 // printing a verdict per (benchmark, metric). It returns false when any
 // metric regressed beyond baseline*(1+threshold)+slack. A benchmark present
 // only in the current run is reported (NEW) but does not fail the gate, so
 // adding one does not break CI before the baseline is regenerated; a gated
 // baseline entry with no current counterpart (deleted or renamed benchmark)
 // fails the gate — silently dropping coverage is itself a regression.
-func runCheck(w io.Writer, cur, base Snapshot, family string, metrics []string, threshold, slack float64) bool {
+func runCheck(w io.Writer, cur, base Snapshot, families, metrics []string, threshold, slack float64) bool {
+	gated := func(name string) bool {
+		for _, f := range families {
+			if f != "" && strings.HasPrefix(name, f) {
+				return true
+			}
+		}
+		return false
+	}
 	baseline := map[string]Benchmark{}
 	for _, b := range base.Benchmarks {
 		baseline[b.Name] = b
@@ -134,13 +142,13 @@ func runCheck(w io.Writer, cur, base Snapshot, family string, metrics []string, 
 	ok := true
 	checked := 0
 	for _, b := range base.Benchmarks {
-		if strings.HasPrefix(b.Name, family) && !current[b.Name] {
+		if gated(b.Name) && !current[b.Name] {
 			ok = false
 			fmt.Fprintf(w, "MISSING %s (in baseline but not in this run; run `make bench-baseline` if removal is deliberate)\n", b.Name)
 		}
 	}
 	for _, b := range cur.Benchmarks {
-		if !strings.HasPrefix(b.Name, family) {
+		if !gated(b.Name) {
 			continue
 		}
 		ref, found := baseline[b.Name]
@@ -151,8 +159,17 @@ func runCheck(w io.Writer, cur, base Snapshot, family string, metrics []string, 
 		for _, m := range metrics {
 			got, gok := b.Metrics[m]
 			want, wok := ref.Metrics[m]
-			if !gok || !wok {
-				fmt.Fprintf(w, "SKIP   %s %s (metric missing)\n", b.Name, m)
+			if !wok {
+				// The baseline never gated this metric for this benchmark
+				// (families report different metric sets).
+				fmt.Fprintf(w, "SKIP   %s %s (not in baseline)\n", b.Name, m)
+				continue
+			}
+			if !gok {
+				// The baseline gates it but this run stopped reporting it —
+				// that silently drops coverage, which is itself a regression.
+				ok = false
+				fmt.Fprintf(w, "FAIL   %s %s: gated in baseline but missing from this run\n", b.Name, m)
 				continue
 			}
 			allow := want*(1+threshold) + slack
@@ -174,7 +191,7 @@ func runCheck(w io.Writer, cur, base Snapshot, family string, metrics []string, 
 		}
 	}
 	if checked == 0 {
-		fmt.Fprintf(w, "FAIL   no gated benchmarks matched family %q — gate would be vacuous\n", family)
+		fmt.Fprintf(w, "FAIL   no gated benchmarks matched families %v — gate would be vacuous\n", families)
 		return false
 	}
 	if ok {

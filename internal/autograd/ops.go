@@ -5,9 +5,15 @@ import (
 	"math"
 	"sync"
 
+	"pgti/internal/parallel"
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
 )
+
+// rowKernelThreshold is the minimum per-chunk work (row length in elements,
+// weighted by the transcendental cost) a parallel row-wise kernel (softmax,
+// layer norm) carries; smaller workloads collapse to one serial chunk.
+const rowKernelThreshold = 4 * 1024
 
 // Add returns a + b with broadcasting.
 func Add(a, b *Variable) *Variable {
@@ -231,25 +237,29 @@ func softmaxLastAxis(t *tensor.Tensor) *tensor.Tensor {
 	rows := t.NumElements() / cols
 	src := tc.Data()
 	dst := out.Data()
-	for r := 0; r < rows; r++ {
-		row := src[r*cols : (r+1)*cols]
-		orow := dst[r*cols : (r+1)*cols]
-		maxV := math.Inf(-1)
-		for _, v := range row {
-			if v > maxV {
-				maxV = v
+	// Rows are independent; fan the row loop over the worker pool (exp
+	// dominates, so each element counts as several work units).
+	parallel.For(rows, parallel.GrainFor(4*cols, rowKernelThreshold), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := src[r*cols : (r+1)*cols]
+			orow := dst[r*cols : (r+1)*cols]
+			maxV := math.Inf(-1)
+			for _, v := range row {
+				if v > maxV {
+					maxV = v
+				}
+			}
+			var sum float64
+			for i, v := range row {
+				e := math.Exp(v - maxV)
+				orow[i] = e
+				sum += e
+			}
+			for i := range orow {
+				orow[i] /= sum
 			}
 		}
-		var sum float64
-		for i, v := range row {
-			e := math.Exp(v - maxV)
-			orow[i] = e
-			sum += e
-		}
-		for i := range orow {
-			orow[i] /= sum
-		}
-	}
+	})
 	return out
 }
 
@@ -281,26 +291,29 @@ func LayerNorm(a, gamma, beta *Variable, eps float64) *Variable {
 	norm := tensor.New(a.Value.Shape()...)
 	nd := norm.Data()
 	invStd := make([]float64, rows)
-	for r := 0; r < rows; r++ {
-		row := src[r*cols : (r+1)*cols]
-		var mu float64
-		for _, v := range row {
-			mu += v
+	// Row statistics are independent; fan the row loop over the worker pool.
+	parallel.For(rows, parallel.GrainFor(cols, rowKernelThreshold), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := src[r*cols : (r+1)*cols]
+			var mu float64
+			for _, v := range row {
+				mu += v
+			}
+			mu /= float64(cols)
+			var va float64
+			for _, v := range row {
+				d := v - mu
+				va += d * d
+			}
+			va /= float64(cols)
+			is := 1 / math.Sqrt(va+eps)
+			invStd[r] = is
+			orow := nd[r*cols : (r+1)*cols]
+			for i, v := range row {
+				orow[i] = (v - mu) * is
+			}
 		}
-		mu /= float64(cols)
-		var va float64
-		for _, v := range row {
-			d := v - mu
-			va += d * d
-		}
-		va /= float64(cols)
-		is := 1 / math.Sqrt(va+eps)
-		invStd[r] = is
-		orow := nd[r*cols : (r+1)*cols]
-		for i, v := range row {
-			orow[i] = (v - mu) * is
-		}
-	}
+	})
 	out := tensor.Add(tensor.Mul(norm, gamma.Value), beta.Value)
 	return newOp("layerNorm", out, []*Variable{a, gamma, beta}, func(grad *tensor.Tensor) []*tensor.Tensor {
 		gc := grad.Contiguous()
@@ -312,24 +325,43 @@ func LayerNorm(a, gamma, beta *Variable, eps float64) *Variable {
 		dBeta := tensor.New(cols)
 		dgd := dGamma.Data()
 		dbd := dBeta.Data()
-		for r := 0; r < rows; r++ {
-			grow := gd[r*cols : (r+1)*cols]
-			nrow := nd[r*cols : (r+1)*cols]
-			// dnorm = grad * gamma; classic layer-norm backward.
-			var sumD, sumDN float64
-			for i := 0; i < cols; i++ {
-				dn := grow[i] * gammaD[i]
-				sumD += dn
-				sumDN += dn * nrow[i]
-				dgd[i] += grow[i] * nrow[i]
-				dbd[i] += grow[i]
+		// dx rows are disjoint; the dGamma/dBeta accumulators are shared, so
+		// each chunk sums into its own partial and the partials reduce in
+		// chunk order afterwards — deterministic on any pool width, since
+		// the chunk layout depends only on (rows, grain).
+		grain := parallel.GrainFor(2*cols, rowKernelThreshold)
+		chunks := parallel.NumChunks(rows, grain)
+		partG := make([][]float64, chunks)
+		partB := make([][]float64, chunks)
+		parallel.ForIndexed(rows, grain, func(c, lo, hi int) {
+			pg := make([]float64, cols)
+			pb := make([]float64, cols)
+			partG[c], partB[c] = pg, pb
+			for r := lo; r < hi; r++ {
+				grow := gd[r*cols : (r+1)*cols]
+				nrow := nd[r*cols : (r+1)*cols]
+				// dnorm = grad * gamma; classic layer-norm backward.
+				var sumD, sumDN float64
+				for i := 0; i < cols; i++ {
+					dn := grow[i] * gammaD[i]
+					sumD += dn
+					sumDN += dn * nrow[i]
+					pg[i] += grow[i] * nrow[i]
+					pb[i] += grow[i]
+				}
+				is := invStd[r]
+				inv := 1 / float64(cols)
+				drow := dxd[r*cols : (r+1)*cols]
+				for i := 0; i < cols; i++ {
+					dn := grow[i] * gammaD[i]
+					drow[i] = is * (dn - inv*sumD - inv*nrow[i]*sumDN)
+				}
 			}
-			is := invStd[r]
-			inv := 1 / float64(cols)
-			drow := dxd[r*cols : (r+1)*cols]
+		})
+		for c := 0; c < chunks; c++ {
 			for i := 0; i < cols; i++ {
-				dn := grow[i] * gammaD[i]
-				drow[i] = is * (dn - inv*sumD - inv*nrow[i]*sumDN)
+				dgd[i] += partG[c][i]
+				dbd[i] += partB[c][i]
 			}
 		}
 		return []*tensor.Tensor{dx, dGamma, dBeta}

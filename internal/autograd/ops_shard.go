@@ -1,0 +1,67 @@
+package autograd
+
+import (
+	"fmt"
+
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+)
+
+// HaloExchange is the communication endpoint a spatially-sharded SpMM uses
+// to reach the rest of the graph. Implementations (internal/shard) move rows
+// between the workers of one replica group; the op itself stays
+// communication-agnostic so it can be exercised single-process in tests.
+//
+// Both methods MUST perform their exchange even when this shard needs no
+// halo rows itself — peers may still need rows from this shard, and every
+// member of the replica group issues matching calls in the same order.
+type HaloExchange interface {
+	// NumHalo returns the halo row count this shard gathers.
+	NumHalo() int
+	// Gather exchanges feature rows: it ships the locally-owned rows peers
+	// need and returns the gathered halo rows [NumHalo, F] for local [own, F].
+	Gather(local *tensor.Tensor) *tensor.Tensor
+	// ScatterAdd reverses Gather for gradients: it ships haloGrad
+	// [NumHalo, F] back to the owners and returns the peers' contributions
+	// to this shard's own rows as [own, F] (zero where no peer contributed).
+	ScatterAdd(haloGrad *tensor.Tensor) *tensor.Tensor
+}
+
+// ShardSpMM is the spatially-partitioned sparse-dense product: local is one
+// worker's re-indexed row block (columns [own | halo], see sparse.ShardCSR)
+// and x holds the worker's own feature rows [own, F]. Forward gathers the
+// halo rows from peer shards and multiplies the local block; backward
+// propagates through the transposed block and scatter-adds the halo
+// gradient rows back to their owner shards. The sparse operand is a
+// constant (graph topology carries no gradient), exactly like SpMM.
+func ShardSpMM(local *sparse.CSR, ex HaloExchange, x *Variable) *Variable {
+	nOwn := local.RowsN
+	xs := x.Value.Shape()
+	if len(xs) != 2 || xs[0] != nOwn {
+		panic(fmt.Sprintf("autograd: ShardSpMM expects [%d, F] features, got %v", nOwn, xs))
+	}
+	if local.ColsN != nOwn+ex.NumHalo() {
+		panic(fmt.Sprintf("autograd: ShardSpMM block has %d cols, want %d own + %d halo", local.ColsN, nOwn, ex.NumHalo()))
+	}
+	halo := ex.Gather(x.Value) // [numHalo, F]; always called: peers may need our rows
+	ext := x.Value
+	if ex.NumHalo() > 0 {
+		ext = tensor.Concat(0, x.Value.Contiguous(), halo)
+	}
+	out := local.SpMM(ext)
+	return newOp("shardSpMM", out, []*Variable{x}, func(grad *tensor.Tensor) []*tensor.Tensor {
+		gext := cachedTranspose(local).SpMM(grad) // [own+halo, F]
+		var own, haloGrad *tensor.Tensor
+		if ex.NumHalo() > 0 {
+			own = gext.Slice(0, 0, nOwn).Contiguous()
+			haloGrad = gext.Slice(0, nOwn, local.ColsN).Contiguous()
+		} else {
+			own = gext
+			haloGrad = tensor.New(0, grad.Dim(1))
+		}
+		// Peers' contributions to our own rows arrive in the reverse
+		// exchange; always called, mirroring Gather.
+		remote := ex.ScatterAdd(haloGrad)
+		return []*tensor.Tensor{tensor.Add(own, remote)}
+	})
+}

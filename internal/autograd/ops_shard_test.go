@@ -1,0 +1,67 @@
+package autograd
+
+import (
+	"testing"
+
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+)
+
+// singleShardExchange is the degenerate single-shard HaloExchange: no halo,
+// no peers, zero remote gradient contributions. The op must still invoke
+// both hooks (the interface contract), so it counts its calls.
+type singleShardExchange struct {
+	own               int
+	gathers, scatters int
+}
+
+func (e *singleShardExchange) NumHalo() int { return 0 }
+func (e *singleShardExchange) Gather(local *tensor.Tensor) *tensor.Tensor {
+	e.gathers++
+	return tensor.New(0, local.Dim(1))
+}
+func (e *singleShardExchange) ScatterAdd(haloGrad *tensor.Tensor) *tensor.Tensor {
+	e.scatters++
+	return tensor.New(e.own, haloGrad.Dim(1))
+}
+
+// TestShardSpMMSingleShardMatchesSpMM: with the whole graph on one shard,
+// ShardSpMM must agree with SpMM in both forward values and gradients, and
+// must still drive the exchange hooks once per pass.
+func TestShardSpMMSingleShardMatchesSpMM(t *testing.T) {
+	n, f := 7, 3
+	rng := tensor.NewRNG(2)
+	var entries []sparse.Coord
+	for i := 0; i < n; i++ {
+		entries = append(entries, sparse.Coord{Row: i, Col: (i + 1) % n, Val: rng.Float64()})
+		entries = append(entries, sparse.Coord{Row: i, Col: i, Val: 1})
+	}
+	m, err := sparse.FromCOO(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xv := tensor.Randn(rng, n, f)
+
+	ref := NewVariable(xv.Clone())
+	refOut := SpMM(m, ref)
+	if err := Backward(SumAll(refOut)); err != nil {
+		t.Fatal(err)
+	}
+
+	ex := &singleShardExchange{own: n}
+	x := NewVariable(xv.Clone())
+	out := ShardSpMM(m, ex, x)
+	if err := Backward(SumAll(out)); err != nil {
+		t.Fatal(err)
+	}
+
+	if !out.Value.AllClose(refOut.Value, 1e-12) {
+		t.Fatal("forward mismatch vs SpMM")
+	}
+	if !x.Grad.AllClose(ref.Grad, 1e-12) {
+		t.Fatal("gradient mismatch vs SpMM")
+	}
+	if ex.gathers != 1 || ex.scatters != 1 {
+		t.Fatalf("exchange hooks ran %d/%d times, want 1/1", ex.gathers, ex.scatters)
+	}
+}

@@ -122,6 +122,66 @@ func TestPartitionLocalityOfBatchShuffling(t *testing.T) {
 	}
 }
 
+// epochRemoteFraction drives one epoch of the sampler's batches through the
+// store on behalf of every rank and returns remote/(local+remote).
+func epochRemoteFraction(store *PartitionStore, sampler func(workers, rank int) BatchSampler, workers, epoch int) float64 {
+	var local, remote int64
+	var buf BatchBuffer
+	for rank := 0; rank < workers; rank++ {
+		for _, batch := range sampler(workers, rank).EpochBatches(epoch) {
+			_, _, l, r := store.FetchBatch(rank, batch, &buf)
+			local += l
+			remote += r
+		}
+	}
+	if local+remote == 0 {
+		return 0
+	}
+	return float64(remote) / float64(local+remote)
+}
+
+// Property (§5.4, the generalized-distributed-index-batching rationale):
+// over random seeds, epochs, and worker counts, batch-contiguous shuffling
+// keeps the remote-row fraction near zero — batches stay inside their
+// worker's partition, only boundary spans cross — while snapshot-level
+// (global) shuffling scatters every batch across the partitions and pays a
+// majority-remote fraction.
+func TestPropertyBatchShufflingStaysLocal(t *testing.T) {
+	ds, _ := partitionFixture(t, 240, 3, 4, 2)
+	train := make([]int, ds.NumSnapshots())
+	for i := range train {
+		train[i] = i
+	}
+	f := func(seed uint64, wRaw, eRaw uint8) bool {
+		workers := int(wRaw%3) + 2 // 2..4
+		epoch := int(eRaw % 5)
+		store, err := NewPartitionStore(ds, workers)
+		if err != nil {
+			return false
+		}
+		batchFrac := epochRemoteFraction(store, func(w, r int) BatchSampler {
+			return NewBatchShuffler(train, 8, w, r, seed)
+		}, workers, epoch)
+		globalFrac := epochRemoteFraction(store, func(w, r int) BatchSampler {
+			return NewGlobalShuffler(train, 8, w, r, seed)
+		}, workers, epoch)
+		// Batch-contiguous fetches cross partitions only at shard
+		// boundaries; global shuffling makes most rows remote.
+		if batchFrac > 0.15 {
+			t.Logf("seed %d workers %d epoch %d: batch-shuffle remote fraction %.3f", seed, workers, epoch, batchFrac)
+			return false
+		}
+		if globalFrac < 3*batchFrac || globalFrac < 0.3 {
+			t.Logf("seed %d workers %d epoch %d: global remote fraction %.3f vs batch %.3f", seed, workers, epoch, globalFrac, batchFrac)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: FetchBatch traffic accounting is conserved — local+remote
 // equals rowBytes x covering-span size, and assembly always matches
 // AssembleBatch.

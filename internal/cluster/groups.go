@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Sub-communicator collectives for hybrid (spatial x data) parallelism: a
+// 2D process grid runs halo exchanges within each replica group and gradient
+// AllReduce within each shard group, so the primitives here operate on an
+// explicit ordered member list instead of the whole world. All data movement
+// rides the p2p mailbox fabric; per-(sender, receiver) FIFO delivery (see
+// recvMatch) sequences back-to-back collectives, so the tags are constants.
+//
+// Tags live far below the hierarchical collective tag space so the two
+// families can never alias.
+const (
+	groupClockGatherTag  = -(1 << 30)
+	groupClockReleaseTag = -(1<<30 + 1)
+	groupRingTag         = -(1<<30 + 2)
+	haloTag              = -(1<<30 + 3)
+)
+
+// groupIndex returns w's position in the ordered member list.
+func (w *Worker) groupIndex(group []int) int {
+	for i, r := range group {
+		if r == w.rank {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("cluster: rank %d not in group %v", w.rank, group))
+}
+
+// GroupBarrier synchronizes the virtual clocks of the group's members to the
+// group maximum plus cost. All members must call it with the identical
+// ordered member list. Unlike Barrier it involves only the group: other
+// workers proceed untouched.
+func (w *Worker) GroupBarrier(group []int, cost time.Duration) {
+	if len(group) <= 1 {
+		w.vt += cost
+		return
+	}
+	leader := group[0]
+	if w.rank == leader {
+		maxVT := w.vt
+		for _, r := range group[1:] {
+			in := w.rawRecv(r, groupClockGatherTag)
+			if d := time.Duration(in[0]); d > maxVT {
+				maxVT = d
+			}
+		}
+		w.vt = maxVT + cost
+		out := []float64{float64(w.vt)}
+		for _, r := range group[1:] {
+			w.rawSend(r, groupClockReleaseTag, out)
+		}
+	} else {
+		w.rawSend(leader, groupClockGatherTag, []float64{float64(w.vt)})
+		w.vt = time.Duration(w.rawRecv(leader, groupClockReleaseTag)[0])
+	}
+}
+
+// GroupRingAllReduceSized sums vec element-wise across the group's members,
+// in place, using a bandwidth-optimal ring over the p2p fabric, scaling by
+// 1/len(group) when mean is set. All members must call it together with the
+// identical ordered member list and equal-length vectors. The reduction
+// order is a deterministic function of the group layout, so every member
+// ends with bitwise-identical contents. Clocks synchronize within the group
+// and advance by the modeled ring cost of wireBytes, priced on the link the
+// topology implies (NVLink-class when the whole group shares a node, fabric
+// otherwise); the cost is returned for the caller's comm accounting.
+func (w *Worker) GroupRingAllReduceSized(vec []float64, group []int, wireBytes int64, mean bool, topo Topology) time.Duration {
+	m := len(group)
+	if m > 1 {
+		w.groupRingExchange(vec, group)
+	}
+	if mean {
+		inv := 1 / float64(m)
+		for i := range vec {
+			vec[i] *= inv
+		}
+	}
+	cost := w.groupLink(group, topo).RingAllReduceTime(wireBytes, m)
+	w.GroupBarrier(group, cost)
+	return cost
+}
+
+// groupLink returns the interconnect model a group collective rides: the
+// intra-node link when every member lives on one simulated node, the fabric
+// otherwise.
+func (w *Worker) groupLink(group []int, topo Topology) NetworkModel {
+	if !topo.Flat() && len(group) > 0 {
+		g := topo.groupSize(w.Size())
+		node := group[0] / g
+		same := true
+		for _, r := range group[1:] {
+			if r/g != node {
+				same = false
+				break
+			}
+		}
+		if same {
+			return w.cluster.cfg.IntraNet
+		}
+	}
+	return w.cluster.cfg.Net
+}
+
+// groupRingExchange is the pure data movement: reduce-scatter then
+// all-gather around the ring formed by the group order (no scaling).
+func (w *Worker) groupRingExchange(vec []float64, group []int) {
+	m := len(group)
+	me := w.groupIndex(group)
+	right := group[mod(me+1, m)]
+	left := group[mod(me-1, m)]
+
+	bounds := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		bounds[j] = j * len(vec) / m
+	}
+	chunk := func(j int) []float64 { return vec[bounds[j]:bounds[j+1]] }
+
+	// Reduce-scatter: after m-1 steps, member `me` owns the fully-reduced
+	// chunk (me+1) mod m.
+	for step := 0; step < m-1; step++ {
+		w.rawSend(right, groupRingTag, chunk(mod(me-step, m)))
+		in := w.rawRecv(left, groupRingTag)
+		dst := chunk(mod(me-step-1, m))
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	// All-gather: circulate the reduced chunks.
+	for step := 0; step < m-1; step++ {
+		w.rawSend(right, groupRingTag, chunk(mod(me-step+1, m)))
+		copy(chunk(mod(me-step, m)), w.rawRecv(left, groupRingTag))
+	}
+}
+
+// NeighborSend is one peer-directed payload of a sparse AllToAllV.
+type NeighborSend struct {
+	To      int
+	Payload []float64
+}
+
+// AsyncNeighborAllToAllV is the sparse neighbour exchange under halo
+// gathering: each caller ships a variable-length payload to each peer it
+// has data for and blocks for the expected payloads from recvFrom (ranks
+// with a zero expected length must be omitted). Peers not mentioned on
+// either side are untouched — the collective involves only the caller's
+// neighbourhood, and matching calls must be issued by exactly the workers
+// that appear in each other's lists.
+//
+// The modeled cost prices each message on the link the topology implies
+// (NVLink-class intra-node, fabric inter-node) and charges the NIC-serial
+// sum of each direction, taking the slower of the two; clocks are NOT
+// advanced (clock-deferred, like the Async collectives), so callers can
+// charge the cost synchronously or fold it into an overlap timeline.
+func (w *Worker) AsyncNeighborAllToAllV(sends []NeighborSend, recvFrom []int, recvLens []int, topo Topology) (map[int][]float64, time.Duration) {
+	sorted := make([]NeighborSend, len(sends))
+	copy(sorted, sends)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].To < sorted[j].To })
+	var sendCost, recvCost time.Duration
+	for _, s := range sorted {
+		if s.To == w.rank {
+			panic("cluster: AsyncNeighborAllToAllV self-send")
+		}
+		w.rawSend(s.To, haloTag, s.Payload)
+		sendCost += w.linkTo(s.To, topo).TransferTime(int64(len(s.Payload)) * 8)
+	}
+	recvs := make(map[int][]float64, len(recvFrom))
+	for i, r := range recvFrom {
+		payload := w.rawRecv(r, haloTag)
+		if len(payload) != recvLens[i] {
+			panic(fmt.Sprintf("cluster: AsyncNeighborAllToAllV expected %d values from rank %d, got %d", recvLens[i], r, len(payload)))
+		}
+		recvs[r] = payload
+		recvCost += w.linkTo(r, topo).TransferTime(int64(len(payload)) * 8)
+	}
+	cost := sendCost
+	if recvCost > cost {
+		cost = recvCost
+	}
+	return recvs, cost
+}
+
+// linkTo returns the interconnect model for traffic between this worker and
+// rank r under the topology: the intra-node link when both ranks share a
+// node, the fabric otherwise.
+func (w *Worker) linkTo(r int, topo Topology) NetworkModel {
+	if !topo.Flat() {
+		g := topo.groupSize(w.Size())
+		if w.rank/g == r/g {
+			return w.cluster.cfg.IntraNet
+		}
+	}
+	return w.cluster.cfg.Net
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGroupRingAllReduceSumAndMean: disjoint groups reduce concurrently and
+// independently, sum and mean variants agree with the direct computation,
+// and members end bitwise identical.
+func TestGroupRingAllReduceSumAndMean(t *testing.T) {
+	const world = 6
+	clu, err := New(Config{Workers: world})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := [][]int{{0, 1, 2}, {3, 4, 5}}
+	results := make([][]float64, world)
+	err = clu.Run(func(w *Worker) error {
+		group := groups[w.Rank()/3]
+		vec := []float64{float64(w.Rank()), float64(w.Rank() * 2), 1}
+		w.GroupRingAllReduceSized(vec, group, int64(len(vec))*8, false, Topology{}) // sum
+		w.GroupRingAllReduceSized(vec, group, int64(len(vec))*8, true, Topology{})  // mean of the sums
+		results[w.Rank()] = vec
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group {0,1,2}: sums = {3, 6, 3}; mean over 3 members of identical
+	// sums leaves them unchanged.
+	want := map[int][]float64{0: {3, 6, 3}, 3: {12, 24, 3}}
+	for _, g := range groups {
+		base := results[g[0]]
+		for _, r := range g {
+			for i := range base {
+				if results[r][i] != base[i] {
+					t.Fatalf("rank %d diverged from its group: %v vs %v", r, results[r], base)
+				}
+			}
+		}
+		for i, v := range want[g[0]] {
+			if base[i] != v {
+				t.Fatalf("group %v: got %v want %v", g, base, want[g[0]])
+			}
+		}
+	}
+}
+
+// TestGroupBarrierSyncsOnlyTheGroup: clocks align to the group max plus
+// cost; workers outside the group are untouched.
+func TestGroupBarrierSyncsOnlyTheGroup(t *testing.T) {
+	clu, err := New(Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vts := make([]time.Duration, 3)
+	err = clu.Run(func(w *Worker) error {
+		w.AdvanceTime(time.Duration(w.Rank()+1) * time.Millisecond)
+		if w.Rank() < 2 {
+			w.GroupBarrier([]int{0, 1}, time.Millisecond)
+		}
+		vts[w.Rank()] = w.VirtualTime()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vts[0] != 3*time.Millisecond || vts[1] != 3*time.Millisecond {
+		t.Fatalf("group clocks: %v, want both 3ms", vts[:2])
+	}
+	if vts[2] != 3*time.Millisecond {
+		t.Fatalf("outsider clock %v, want its own 3ms", vts[2])
+	}
+}
+
+// TestNeighborAllToAllV: sparse exchange delivers the right payloads to the
+// right peers and prices each direction on the topology's links.
+func TestNeighborAllToAllV(t *testing.T) {
+	clu, err := New(Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]map[int][]float64, 3)
+	costs := make([]time.Duration, 3)
+	err = clu.Run(func(w *Worker) error {
+		// Ring of payloads: r sends [r, r] to (r+1)%3 and expects from
+		// (r-1+3)%3.
+		r := w.Rank()
+		to := (r + 1) % 3
+		from := (r + 2) % 3
+		recvs, cost := w.AsyncNeighborAllToAllV(
+			[]NeighborSend{{To: to, Payload: []float64{float64(r), float64(r)}}},
+			[]int{from}, []int{2}, Topology{})
+		got[r] = recvs
+		costs[r] = cost
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		from := (r + 2) % 3
+		payload := got[r][from]
+		if len(payload) != 2 || payload[0] != float64(from) {
+			t.Fatalf("rank %d: got %v from %d", r, payload, from)
+		}
+		if costs[r] <= 0 {
+			t.Fatalf("rank %d: non-positive modeled cost %v", r, costs[r])
+		}
+	}
+}
+
+// TestGroupRingTopologyPricing: a group confined to one simulated node
+// rides the NVLink-class intra link; a cross-node group pays the fabric.
+func TestGroupRingTopologyPricing(t *testing.T) {
+	run := func(topo Topology) time.Duration {
+		clu, err := New(Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cost time.Duration
+		err = clu.Run(func(w *Worker) error {
+			vec := make([]float64, 8192)
+			c := w.GroupRingAllReduceSized(vec, []int{0, 1}, 8192*8, true, topo)
+			if w.Rank() == 0 {
+				cost = c
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost
+	}
+	flat := run(Topology{})
+	shared := run(Topology{Nodes: 1, GPUsPerNode: 2})
+	if shared >= flat {
+		t.Fatalf("intra-node group ring %v not cheaper than fabric %v", shared, flat)
+	}
+}
+
+// TestNeighborExchangeTopologyPricing: intra-node halo hops ride the faster
+// NVLink-class link, so the modeled cost drops when the peers share a node.
+func TestNeighborExchangeTopologyPricing(t *testing.T) {
+	run := func(topo Topology) time.Duration {
+		clu, err := New(Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cost time.Duration
+		err = clu.Run(func(w *Worker) error {
+			peer := 1 - w.Rank()
+			payload := make([]float64, 4096)
+			_, c := w.AsyncNeighborAllToAllV(
+				[]NeighborSend{{To: peer, Payload: payload}},
+				[]int{peer}, []int{4096}, topo)
+			if w.Rank() == 0 {
+				cost = c
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost
+	}
+	flat := run(Topology{})                           // both hops on the fabric
+	shared := run(Topology{Nodes: 1, GPUsPerNode: 2}) // same node: NVLink
+	if shared >= flat {
+		t.Fatalf("intra-node exchange %v not cheaper than fabric %v", shared, flat)
+	}
+}

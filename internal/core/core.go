@@ -24,9 +24,12 @@ import (
 	"pgti/internal/cluster"
 	"pgti/internal/dataset"
 	"pgti/internal/ddp"
+	"pgti/internal/graph"
 	"pgti/internal/memsim"
 	"pgti/internal/metrics"
 	"pgti/internal/nn"
+	"pgti/internal/perfmodel"
+	"pgti/internal/shard"
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
 )
@@ -141,6 +144,14 @@ type Config struct {
 	// the winner (see ddp.AutotuneCandidates).
 	GradAutoTune bool
 
+	// Spatial composes spatial graph sharding with the DDP replicas into a
+	// 2D (spatial x data) process grid: the node set splits into
+	// Spatial.Shards blocks, each of the Workers replicas spreads over one
+	// replica group of shard workers, halo rows travel within replica
+	// groups, and gradient AllReduce runs within shard groups. Requires the
+	// DistIndex strategy and a graph-convolutional model (not ST-LLM).
+	Spatial shard.Spatial
+
 	// MissingFrac injects sensor dropouts: each (entry, node) observation
 	// is zeroed with this probability before preprocessing, and training
 	// switches to the masked-MAE loss so missing readings contribute no
@@ -213,6 +224,20 @@ type Report struct {
 	GradBucketBytes int64
 	// CommBytesSaved is the gradient traffic avoided by fp16 compression.
 	CommBytesSaved int64
+
+	// SpatialShards is the spatial shard count of the run (1 = unsharded);
+	// HaloBytes and HaloTime are one worker's halo-exchange wire traffic and
+	// modeled cost (zero when unsharded). EdgeCut counts support entries
+	// crossing shards.
+	SpatialShards int
+	HaloBytes     int64
+	HaloTime      time.Duration
+	EdgeCut       int
+
+	// PerWorkerBytes is one worker's modeled host footprint (replica +
+	// staging + its data share) for distributed strategies — the quantity
+	// the N/P memory claim is about.
+	PerWorkerBytes int64
 
 	PeakSystemBytes int64
 	PeakGPUBytes    int64
@@ -341,7 +366,7 @@ func Run(cfg Config) (*Report, error) {
 	case Index, GPUIndex:
 		err = runIndexSingleGPU(cfg, meta, aug, factory, sys, gpu, report)
 	case BaselineDDP, DistIndex, GenDistIndex:
-		err = runDistributed(cfg, meta, aug, factory, sys, gpu, report)
+		err = runDistributed(cfg, meta, aug, ds.Graph, supports, factory, sys, gpu, report)
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
 	}
@@ -374,14 +399,19 @@ func oomReport(r *Report, sys, gpu *memsim.Tracker, err error) (*Report, error) 
 	return nil, err
 }
 
-// runDistributed drives the three DDP strategies through internal/ddp.
-func runDistributed(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory ddp.ModelFactory, sys, gpu *memsim.Tracker, report *Report) error {
+// runDistributed drives the three DDP strategies through internal/ddp, and
+// the hybrid (spatial x data) grid through internal/shard when spatial
+// sharding is enabled.
+func runDistributed(cfg Config, meta dataset.Meta, aug *tensor.Tensor, g *graph.Graph, supports []*sparse.CSR, factory ddp.ModelFactory, sys, gpu *memsim.Tracker, report *Report) error {
 	idx, err := batching.NewIndexDataset(aug, meta.Horizon, batching.DefaultTrainFrac, sys)
 	if err != nil {
 		return err
 	}
 	report.RetainedDataBytes = idx.RetainedBytes()
 	sys.Record(0.08)
+	if cfg.Spatial.Enabled() {
+		return runHybrid(cfg, meta, idx, g, supports, sys, gpu, report)
+	}
 
 	// Per-worker replica + staging accounting. In-process all workers share
 	// one address space; the tracker reflects what a real deployment holds
@@ -409,6 +439,8 @@ func runDistributed(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory d
 			return err
 		}
 	}
+	report.SpatialShards = 1
+	report.PerWorkerBytes = paramBytes + batchBytes + perWorkerData
 	sys.Record(0.10)
 
 	ddpCfg := ddp.Config{
@@ -452,4 +484,122 @@ func runDistributed(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory d
 	report.Steps = res.Steps
 	report.GradSyncBytes = res.GradSyncBytes
 	return nil
+}
+
+// runHybrid drives the 2D (spatial x data) grid: cfg.Spatial.Shards node
+// blocks times cfg.Workers data replicas. Each worker's tracked footprint is
+// only its ~N/P share of the node features plus a transient halo slab, the
+// memory axis spatial sharding exists to shrink.
+func runHybrid(cfg Config, meta dataset.Meta, idx *batching.IndexDataset, g *graph.Graph, supports []*sparse.CSR, sys, gpu *memsim.Tracker, report *Report) error {
+	if cfg.Strategy != DistIndex {
+		return fmt.Errorf("core: spatial sharding requires the dist-index strategy, got %v", cfg.Strategy)
+	}
+	if cfg.Model == ModelSTLLM {
+		return fmt.Errorf("core: spatial sharding is unsupported for %v (full spatial attention has no node partition)", cfg.Model)
+	}
+	// The hybrid trainer's two-stage sync does not speak the collective
+	// stack's dialects yet (ROADMAP follow-up); reject rather than silently
+	// ignore the knobs. GradSync cannot be policed the same way (its zero
+	// value is SyncBucketedOverlap): under sharding the gradient sync is
+	// always the fully-exposed flat two-stage exchange, whatever GradSync
+	// says, and Report.CommHiddenTime is therefore always zero.
+	if cfg.GradAlgo != ddp.GradAlgoRing || cfg.GradFP16 || cfg.GradAutoTune || cfg.GradBucketBytes != 0 {
+		return fmt.Errorf("core: GradAlgo/GradFP16/GradAutoTune/GradBucketBytes are not yet supported with spatial sharding")
+	}
+	if cfg.Model == ModelA3TGCN {
+		supports = supports[:1] // A3T-GCN diffuses over the forward support only
+	}
+	shards := cfg.Spatial.Shards
+	plan, err := shard.BuildPlan(g, supports, shards)
+	if err != nil {
+		return err
+	}
+	report.SpatialShards = shards
+	report.EdgeCut = plan.EdgeCut
+
+	// Per-worker accounting on the 2D grid: replica parameters, the owned
+	// slice of batch staging, the ~N/P node-feature share, and the halo
+	// staging slab (kept under its own label so the overhead stays visible
+	// next to the N/P claim).
+	in := meta.Features()
+	factory := func(seed uint64, props []nn.Propagator) nn.SeqModel {
+		return buildModelOn(cfg.Model, seed, props, in, cfg.Hidden, cfg.K, meta.Horizon)
+	}
+	model := factory(cfg.Seed, nn.WrapSupports(supports))
+	paramBytes := nn.ParameterBytes(model)
+	maxOwn, maxHalo := plan.MaxOwn(), plan.MaxHalo()
+	batchBytes := 2 * int64(cfg.BatchSize) * int64(meta.Horizon) * int64(maxOwn) * int64(in) * 8
+	dataShare := idx.RetainedBytes() * int64(maxOwn) / int64(meta.Nodes)
+	haloSlab := perfmodel.HaloSlabBytes(maxHalo, cfg.BatchSize, in, cfg.Hidden)
+	// Worker 0's share is the tracked "data" allocation, but under spatial
+	// sharding no worker holds the full node axis: release the non-owned
+	// portion of the single copy so the tracker reflects the ~N/P footprint
+	// the subsystem exists to provide (peers' shares are charged below).
+	if full := sys.LabelBytes("data"); full > 0 {
+		sys.Free("data", full-full*int64(maxOwn)/int64(meta.Nodes))
+	}
+	world := shards * cfg.Workers
+	for w := 0; w < world; w++ {
+		if err := sys.Alloc("worker.replica", paramBytes+batchBytes); err != nil {
+			return err
+		}
+		if err := sys.Alloc("worker.halo", haloSlab); err != nil {
+			return err
+		}
+		if w > 0 { // worker 0's share is the tracked "data" allocation
+			if err := sys.Alloc("worker.data", dataShare); err != nil {
+				return err
+			}
+		}
+		if err := gpu.Alloc("worker.gpu", paramBytes+batchBytes+haloSlab); err != nil {
+			return err
+		}
+	}
+	report.PerWorkerBytes = paramBytes + batchBytes + dataShare + haloSlab
+	sys.Record(0.10)
+
+	res, err := shard.Train(idx, batching.MakeSplit(idx.NumSnapshots(), batching.DefaultTrainFrac, batching.DefaultValFrac), g, supports, factory, shard.Config{
+		Shards:       shards,
+		Replicas:     cfg.Workers,
+		BatchSize:    cfg.BatchSize,
+		Epochs:       cfg.Epochs,
+		LR:           cfg.LR,
+		UseLRScaling: cfg.UseLRScaling,
+		ClipNorm:     cfg.ClipNorm,
+		Sampler:      cfg.Sampler,
+		Seed:         cfg.Seed,
+		Topology:     cfg.Topology,
+		Plan:         plan,
+	})
+	if err != nil {
+		return err
+	}
+	sys.Record(1.0)
+	report.Workers = world
+	report.GlobalBatch = res.GlobalBatch
+	report.Curve = res.Curve
+	report.VirtualTime = res.VirtualTime
+	report.CommTime = res.CommTime
+	report.HaloBytes = res.HaloBytes
+	report.HaloTime = res.HaloTime
+	report.Steps = res.Steps
+	report.GradSyncBytes = res.GradSyncBytes
+	report.GradBuckets = 1
+	return nil
+}
+
+// buildModelOn constructs the configured model over explicit propagators
+// (the spatial-sharding path; ST-LLM has no sharded form).
+func buildModelOn(kind ModelKind, seed uint64, props []nn.Propagator, in, hidden, k, horizon int) nn.SeqModel {
+	rng := tensor.NewRNG(seed)
+	switch kind {
+	case ModelDCRNN:
+		return nn.NewDCRNNOn(rng, props, nn.DCRNNConfig{In: in, Hidden: hidden, Layers: 2, K: k, Horizon: horizon})
+	case ModelA3TGCN:
+		return nn.NewA3TGCNOn(rng, props[0], in, hidden, horizon)
+	case ModelSTLLM:
+		panic("core: spatial sharding is unsupported for st-llm")
+	default:
+		return nn.NewPGTDCRNNOn(rng, props, k, in, hidden, horizon)
+	}
 }

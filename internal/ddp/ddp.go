@@ -558,7 +558,7 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		model := factory(cfg.Seed)
 		params := model.Parameters()
 		opt := nn.NewAdam(model, lr)
-		sampler := newSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Workers, rank, cfg.Seed)
+		sampler := NewSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Workers, rank, cfg.Seed)
 		var buf batching.BatchBuffer
 		var gradBuf []float64
 		var flatCodec cluster.FP16Codec
@@ -750,7 +750,7 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			}
 			// Epoch metrics: weighted AllReduce of train loss and val MAE
 			// (the validation AllReduce the paper lists as DDP overhead).
-			trainMAE := reduceWeighted(w, trainAcc)
+			trainMAE := ReduceWeighted(w, trainAcc)
 			valMAE := evaluateShard(w, model, data, split.Val, cfg.BatchSize, &buf)
 			curve = append(curve, metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE})
 		}
@@ -797,8 +797,10 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 	}, nil
 }
 
-// newSampler builds the worker-local batch sampler for the strategy.
-func newSampler(kind SamplerKind, train []int, batchSize, workers, rank int, seed uint64) batching.BatchSampler {
+// NewSampler builds one worker's deterministic batch sampler for the
+// shuffling strategy (shared with the spatial-sharding trainer, whose
+// replicas sample exactly like DDP workers).
+func NewSampler(kind SamplerKind, train []int, batchSize, workers, rank int, seed uint64) batching.BatchSampler {
 	switch kind {
 	case LocalShuffle:
 		return batching.NewLocalShuffler(train, batchSize, workers, rank, seed)
@@ -809,9 +811,9 @@ func newSampler(kind SamplerKind, train []int, batchSize, workers, rank int, see
 	}
 }
 
-// reduceWeighted AllReduces a weighted Running accumulator into the global
-// weighted mean.
-func reduceWeighted(w *cluster.Worker, acc metrics.Running) float64 {
+// ReduceWeighted AllReduces a weighted Running accumulator into the global
+// weighted mean (shared with the spatial-sharding trainer).
+func ReduceWeighted(w *cluster.Worker, acc metrics.Running) float64 {
 	sum := w.AllReduceScalar(acc.Mean()*float64(acc.Count()), cluster.OpSum)
 	count := w.AllReduceScalar(float64(acc.Count()), cluster.OpSum)
 	if count == 0 {
@@ -832,5 +834,5 @@ func evaluateShard(w *cluster.Worker, model nn.SeqModel, data *batching.IndexDat
 		// Report MAE in the signal's original units.
 		acc.Add(metrics.MAE(pred.Value, target)*data.Std, len(batch))
 	}
-	return reduceWeighted(w, acc)
+	return ReduceWeighted(w, acc)
 }

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func partitionTestGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g, err := RoadNetwork(11, n, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPartitionBalancedAndComplete(t *testing.T) {
+	g := partitionTestGraph(t, 61)
+	for _, parts := range []int{1, 2, 3, 4, 7} {
+		owner, err := Partition(g, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(owner) != g.N {
+			t.Fatalf("parts=%d: owner length %d", parts, len(owner))
+		}
+		sizes := PartSizes(owner, parts)
+		floor, ceil := g.N/parts, (g.N+parts-1)/parts
+		for p, s := range sizes {
+			if s < floor || s > ceil {
+				t.Fatalf("parts=%d: part %d has %d nodes outside [%d, %d]", parts, p, s, floor, ceil)
+			}
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := partitionTestGraph(t, 48)
+	a, err := Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("partition not deterministic")
+	}
+}
+
+func TestPartitionLocalityBeatsStrided(t *testing.T) {
+	g := partitionTestGraph(t, 100)
+	owner, err := Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strided := make([]int, g.N)
+	for i := range strided {
+		strided[i] = i % 4
+	}
+	if got, worst := EdgeCut(g, owner), EdgeCut(g, strided); got >= worst {
+		t.Fatalf("locality-aware cut %d >= strided cut %d", got, worst)
+	}
+}
+
+func TestPartitionSinglePartHasNoCut(t *testing.T) {
+	g := partitionTestGraph(t, 20)
+	owner, err := Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := EdgeCut(g, owner); cut != 0 {
+		t.Fatalf("single part cut %d", cut)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := partitionTestGraph(t, 5)
+	if _, err := Partition(g, 0); err == nil {
+		t.Fatal("expected error for 0 parts")
+	}
+	if _, err := Partition(g, 6); err == nil {
+		t.Fatal("expected error for more parts than nodes")
+	}
+}

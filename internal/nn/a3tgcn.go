@@ -23,6 +23,12 @@ type A3TGCN struct {
 // NewA3TGCN constructs the model. The TGCN graph convolution is realized as
 // a K=1 diffusion convolution over the forward transition matrix only.
 func NewA3TGCN(rng *tensor.RNG, support *sparse.CSR, in, hidden, horizon int) *A3TGCN {
+	return NewA3TGCNOn(rng, CSRPropagator{S: support}, in, hidden, horizon)
+}
+
+// NewA3TGCNOn constructs the model over an explicit Propagator — the
+// spatial-sharding entry point. Identical rng consumption to NewA3TGCN.
+func NewA3TGCNOn(rng *tensor.RNG, prop Propagator, in, hidden, horizon int) *A3TGCN {
 	if hidden == 0 {
 		hidden = 32
 	}
@@ -30,7 +36,7 @@ func NewA3TGCN(rng *tensor.RNG, support *sparse.CSR, in, hidden, horizon int) *A
 		In:       in,
 		Hidden:   hidden,
 		Horizon:  horizon,
-		cell:     NewDCGRUCell(rng, "a3tgcn.cell", []*sparse.CSR{support}, 1, in, hidden),
+		cell:     NewDCGRUCellOn(rng, "a3tgcn.cell", []Propagator{prop}, 1, in, hidden),
 		attScore: NewLinear(rng, "a3tgcn.att", hidden, 1),
 		head:     NewLinear(rng, "a3tgcn.head", hidden, horizon),
 	}

@@ -44,6 +44,12 @@ func (c *DCRNNConfig) fillDefaults() {
 
 // NewDCRNN constructs the encoder-decoder model over the given supports.
 func NewDCRNN(rng *tensor.RNG, supports []*sparse.CSR, cfg DCRNNConfig) *DCRNN {
+	return NewDCRNNOn(rng, WrapSupports(supports), cfg)
+}
+
+// NewDCRNNOn constructs the model over explicit Propagators — the
+// spatial-sharding entry point. Identical rng consumption to NewDCRNN.
+func NewDCRNNOn(rng *tensor.RNG, props []Propagator, cfg DCRNNConfig) *DCRNN {
 	cfg.fillDefaults()
 	if cfg.In <= 0 || cfg.Horizon <= 0 {
 		panic(fmt.Sprintf("nn: DCRNN requires In and Horizon > 0, got %+v", cfg))
@@ -56,8 +62,8 @@ func NewDCRNN(rng *tensor.RNG, supports []*sparse.CSR, cfg DCRNNConfig) *DCRNN {
 			encIn = cfg.Hidden
 			decIn = cfg.Hidden
 		}
-		m.encoder = append(m.encoder, NewDCGRUCell(rng, fmt.Sprintf("dcrnn.enc%d", l), supports, cfg.K, encIn, cfg.Hidden))
-		m.decoder = append(m.decoder, NewDCGRUCell(rng, fmt.Sprintf("dcrnn.dec%d", l), supports, cfg.K, decIn, cfg.Hidden))
+		m.encoder = append(m.encoder, NewDCGRUCellOn(rng, fmt.Sprintf("dcrnn.enc%d", l), props, cfg.K, encIn, cfg.Hidden))
+		m.decoder = append(m.decoder, NewDCGRUCellOn(rng, fmt.Sprintf("dcrnn.dec%d", l), props, cfg.K, decIn, cfg.Hidden))
 	}
 	m.proj = NewLinear(rng, "dcrnn.proj", cfg.Hidden, 1)
 	return m
@@ -152,6 +158,12 @@ type PGTDCRNN struct {
 // NewPGTDCRNN constructs the single-layer stepwise model. steps is the
 // input window length (= prediction length).
 func NewPGTDCRNN(rng *tensor.RNG, supports []*sparse.CSR, k, in, hidden, steps int) *PGTDCRNN {
+	return NewPGTDCRNNOn(rng, WrapSupports(supports), k, in, hidden, steps)
+}
+
+// NewPGTDCRNNOn constructs the model over explicit Propagators — the
+// spatial-sharding entry point. Identical rng consumption to NewPGTDCRNN.
+func NewPGTDCRNNOn(rng *tensor.RNG, props []Propagator, k, in, hidden, steps int) *PGTDCRNN {
 	if hidden == 0 {
 		hidden = 64
 	}
@@ -162,7 +174,7 @@ func NewPGTDCRNN(rng *tensor.RNG, supports []*sparse.CSR, k, in, hidden, steps i
 		In:     in,
 		Hidden: hidden,
 		Steps:  steps,
-		cell:   NewDCGRUCell(rng, "pgtdcrnn.cell", supports, k, in, hidden),
+		cell:   NewDCGRUCellOn(rng, "pgtdcrnn.cell", props, k, in, hidden),
 		proj:   NewLinear(rng, "pgtdcrnn.proj", hidden, 1),
 	}
 }
@@ -197,11 +209,11 @@ func (m *PGTDCRNN) ForwardDynamic(x *autograd.Variable, supportsPerStep [][]*spa
 	h := m.cell.InitState(b, n)
 	outputs := make([]*autograd.Variable, 0, steps)
 	for t := 0; t < steps; t++ {
-		sup := m.cell.gates.Supports
 		if supportsPerStep != nil && supportsPerStep[t] != nil {
-			sup = supportsPerStep[t]
+			h = m.cell.StepOn(supportsPerStep[t], stepInput(x, t), h)
+		} else {
+			h = m.cell.Step(stepInput(x, t), h)
 		}
-		h = m.cell.StepOn(sup, stepInput(x, t), h)
 		outputs = append(outputs, m.proj.Forward(h))
 	}
 	return autograd.Stack(1, outputs...) // [B, T, N, 1]

@@ -148,6 +148,13 @@ func GenDistIndexWorkerBytes(meta dataset.Meta, workers int) int64 {
 	return part + FrameworkOverheadBytes
 }
 
+// HaloSlabBytes returns the peak transient halo staging buffer of one
+// sharded diffusion step: the gathered boundary rows hold batch x
+// (input + hidden) channels per halo node.
+func HaloSlabBytes(haloNodes, batch, features, hidden int) int64 {
+	return int64(haloNodes) * int64(batch) * int64(features+hidden) * 8
+}
+
 // BaselineDDPWorkerBytes returns one DDP worker's host bytes: its partition
 // of the materialized eq. 1 arrays plus batch staging (Fig. 7 anchor:
 // 53.3 GB per node at 32 workers).

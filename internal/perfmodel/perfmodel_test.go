@@ -191,6 +191,17 @@ func TestFig7MemoryAnchors(t *testing.T) {
 		gib(NodeBytes(BaselineDDPWorkerBytes(dataset.PeMS, 32, 32), 32)), 53.30, 0.05)
 }
 
+// --- spatial sharding memory model -------------------------------------------
+
+func TestHaloSlabBytes(t *testing.T) {
+	if got := HaloSlabBytes(10, 4, 2, 16); got != 10*4*18*8 {
+		t.Fatalf("HaloSlabBytes = %d", got)
+	}
+	if HaloSlabBytes(0, 4, 2, 16) != 0 {
+		t.Fatal("zero halo must cost zero bytes")
+	}
+}
+
 // --- Fig. 9 anchors ---------------------------------------------------------
 
 func TestFig9EpochAnchors(t *testing.T) {

@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"time"
+
+	"pgti/internal/autograd"
+	"pgti/internal/cluster"
+	"pgti/internal/nn"
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+)
+
+// Stats accumulates one worker's halo traffic: wire bytes shipped, the
+// modeled exchange time charged to the virtual clock, and the real wall
+// time spent blocked inside exchanges (Wall — that is communication, not
+// compute, so measured-mode step timing subtracts it). Reports surface the
+// modeled figures, keeping the halo overhead separable from gradient
+// communication.
+type Stats struct {
+	Bytes int64
+	Time  time.Duration
+	Wall  time.Duration
+}
+
+// Exchanger moves halo rows between the shards of one replica group over
+// the cluster's neighbour collective. It implements autograd.HaloExchange;
+// one Exchanger serves one (worker, support) pair. The modeled cost is
+// charged to the worker's clock at each exchange (prices via the topology's
+// intra/inter links), and accumulated into the shared Stats.
+type Exchanger struct {
+	w     *cluster.Worker
+	group []int // replica-group global ranks, indexed by shard
+	shard int
+	plan  *ExchangePlan
+	topo  cluster.Topology
+	stats *Stats
+}
+
+// NewExchanger binds an exchange plan to a worker within its replica group.
+func NewExchanger(w *cluster.Worker, group []int, shardIdx int, plan *ExchangePlan, topo cluster.Topology, stats *Stats) *Exchanger {
+	return &Exchanger{w: w, group: group, shard: shardIdx, plan: plan, topo: topo, stats: stats}
+}
+
+// NumHalo implements autograd.HaloExchange.
+func (e *Exchanger) NumHalo() int { return e.plan.NumHalo }
+
+// Gather implements autograd.HaloExchange: ship the owned rows peers need,
+// collect this shard's halo rows [NumHalo, F].
+func (e *Exchanger) Gather(local *tensor.Tensor) *tensor.Tensor {
+	f := local.Dim(1)
+	ld := local.Contiguous().Data()
+	sends, recvFrom, recvLens := e.routes(f, e.plan.SendTo, e.plan.RecvPos, func(rows []int) []float64 {
+		payload := make([]float64, len(rows)*f)
+		for i, r := range rows {
+			copy(payload[i*f:(i+1)*f], ld[r*f:(r+1)*f])
+		}
+		return payload
+	})
+	t0 := time.Now()
+	recvs, cost := e.w.AsyncNeighborAllToAllV(sends, recvFrom, recvLens, e.topo)
+	e.stats.Wall += time.Since(t0)
+	halo := tensor.New(e.plan.NumHalo, f)
+	hd := halo.Data()
+	for q := range e.group {
+		payload := recvs[e.group[q]]
+		for i, pos := range e.plan.RecvPos[q] {
+			copy(hd[pos*f:(pos+1)*f], payload[i*f:(i+1)*f])
+		}
+	}
+	e.charge(sends, cost)
+	return halo
+}
+
+// ScatterAdd implements autograd.HaloExchange: ship halo gradient rows back
+// to their owners, collect (and sum) the peers' contributions to this
+// shard's own rows.
+func (e *Exchanger) ScatterAdd(haloGrad *tensor.Tensor) *tensor.Tensor {
+	f := haloGrad.Dim(1)
+	hd := haloGrad.Contiguous().Data()
+	// Reverse routing: what we received in Gather we now send, and vice
+	// versa.
+	sends, recvFrom, recvLens := e.routes(f, e.plan.RecvPos, e.plan.SendTo, func(pos []int) []float64 {
+		payload := make([]float64, len(pos)*f)
+		for i, p := range pos {
+			copy(payload[i*f:(i+1)*f], hd[p*f:(p+1)*f])
+		}
+		return payload
+	})
+	t0 := time.Now()
+	recvs, cost := e.w.AsyncNeighborAllToAllV(sends, recvFrom, recvLens, e.topo)
+	e.stats.Wall += time.Since(t0)
+	out := tensor.New(e.plan.NumOwn, f)
+	od := out.Data()
+	for q := range e.group {
+		payload := recvs[e.group[q]]
+		for i, r := range e.plan.SendTo[q] {
+			dst := od[r*f : (r+1)*f]
+			src := payload[i*f : (i+1)*f]
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+	}
+	e.charge(sends, cost)
+	return out
+}
+
+// routes assembles the neighbour-exchange call: payloads from outIdx rows
+// (via pack) and the expected receive lengths from inIdx.
+func (e *Exchanger) routes(f int, outIdx, inIdx [][]int, pack func([]int) []float64) (sends []cluster.NeighborSend, recvFrom, recvLens []int) {
+	for q := range e.group {
+		if q == e.shard {
+			continue
+		}
+		if rows := outIdx[q]; len(rows) > 0 {
+			sends = append(sends, cluster.NeighborSend{To: e.group[q], Payload: pack(rows)})
+		}
+		if pos := inIdx[q]; len(pos) > 0 {
+			recvFrom = append(recvFrom, e.group[q])
+			recvLens = append(recvLens, len(pos)*f)
+		}
+	}
+	return sends, recvFrom, recvLens
+}
+
+// charge records the exchange against the stats and the virtual clock.
+func (e *Exchanger) charge(sends []cluster.NeighborSend, cost time.Duration) {
+	for _, s := range sends {
+		e.stats.Bytes += int64(len(s.Payload)) * 8
+	}
+	e.stats.Time += cost
+	e.w.AdvanceTime(cost)
+}
+
+// propagator adapts a sharded support block + exchanger to nn.Propagator.
+type propagator struct {
+	block *sparse.ShardCSR
+	ex    *Exchanger
+}
+
+// Nodes implements nn.Propagator.
+func (p propagator) Nodes() int { return p.block.NumOwn() }
+
+// Propagate implements nn.Propagator.
+func (p propagator) Propagate(x *autograd.Variable) *autograd.Variable {
+	return autograd.ShardSpMM(p.block.Local, p.ex, x)
+}
+
+// Propagators builds the worker-bound nn.Propagators for one shard: one per
+// support, all sharing the worker's halo Stats.
+func Propagators(w *cluster.Worker, group []int, sp *ShardPlan, topo cluster.Topology, stats *Stats) []nn.Propagator {
+	props := make([]nn.Propagator, len(sp.Supports))
+	for si, block := range sp.Supports {
+		props[si] = propagator{
+			block: block,
+			ex:    NewExchanger(w, group, sp.Shard, sp.Exchanges[si], topo, stats),
+		}
+	}
+	return props
+}

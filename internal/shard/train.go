@@ -1,0 +1,291 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"pgti/internal/autograd"
+	"pgti/internal/batching"
+	"pgti/internal/cluster"
+	"pgti/internal/ddp"
+	"pgti/internal/graph"
+	"pgti/internal/metrics"
+	"pgti/internal/nn"
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+)
+
+// ModelFactory builds one model replica over a shard's propagators. It is
+// called once per worker with the shared seed and the worker's shard-local
+// propagators; parameter initialization must not depend on the propagators
+// (the nn constructors guarantee this), so every worker starts identical.
+type ModelFactory func(seed uint64, props []nn.Propagator) nn.SeqModel
+
+// Config parameterizes a hybrid (spatial x data) training run on a
+// Shards x Replicas process grid. Rank layout: rank = replica*Shards +
+// shard, so each replica group is a contiguous rank block (halo neighbours
+// land on the same simulated node under a matching Topology) and each shard
+// group is a stride-Shards comb.
+type Config struct {
+	Shards   int
+	Replicas int
+	// BatchSize is per replica; the global batch is BatchSize * Replicas
+	// (shards within a replica cooperate on the same batch).
+	BatchSize int
+	Epochs    int
+	LR        float64
+	// UseLRScaling applies the linear scaling rule lr*Replicas (shards do
+	// not grow the global batch).
+	UseLRScaling bool
+	// ClipNorm, when > 0, clips the globally-synchronized gradient norm
+	// before the optimizer step (all workers hold the identical gradient at
+	// that point, so the clip is exact).
+	ClipNorm float64
+	Sampler  ddp.SamplerKind
+	Seed     uint64
+	Net      cluster.NetworkModel
+	// IntraNet prices intra-node halo hops (default NVLink-class).
+	IntraNet cluster.NetworkModel
+	// Topology lays the 2D grid onto simulated nodes; halo messages between
+	// ranks on one node ride IntraNet.
+	Topology cluster.Topology
+	// ComputeCost, when set, supplies the modeled full-graph per-batch
+	// compute time; each shard is charged its owned-node share. When nil,
+	// real elapsed time is charged.
+	ComputeCost func(batchItems int) time.Duration
+	// Plan, when set, supplies a prebuilt partition (callers that need the
+	// shard sizes up front, e.g. for memory accounting, build it once and
+	// pass it in). When nil, Train builds it from the graph.
+	Plan *Plan
+}
+
+// Result summarizes a hybrid run.
+type Result struct {
+	Curve metrics.Curve
+	// VirtualTime is worker 0's synchronized virtual clock at completion.
+	VirtualTime time.Duration
+	// CommTime is the modeled gradient-synchronization cost (both stages)
+	// from worker 0's perspective; halo traffic is reported separately.
+	CommTime time.Duration
+	// HaloTime / HaloBytes are worker 0's modeled halo-exchange cost and
+	// wire traffic across forward and backward passes.
+	HaloTime  time.Duration
+	HaloBytes int64
+	// GradSyncBytes is worker 0's gradient wire traffic.
+	GradSyncBytes int64
+	Steps         int
+	GlobalBatch   int
+	Shards        int
+	Replicas      int
+	// EdgeCut, MaxOwn and MaxHalo describe the partition (halo-traffic and
+	// memory-balance proxies; MaxOwn ~ ceil(N/Shards)).
+	EdgeCut, MaxOwn, MaxHalo int
+}
+
+// Train runs hybrid spatial x data parallel training: the graph is
+// partitioned into cfg.Shards node blocks, each of cfg.Replicas data
+// replicas is spread over one replica group of shard workers, halo rows
+// travel within replica groups during forward/backward, and gradients are
+// summed across each replica group then averaged across shard groups. The
+// result matches the unsharded run within floating-point reassociation.
+func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, supports []*sparse.CSR, factory ModelFactory, cfg Config) (*Result, error) {
+	if cfg.Shards < 1 || cfg.Replicas < 1 {
+		return nil, fmt.Errorf("shard: need >= 1 shard and replica, got %dx%d", cfg.Shards, cfg.Replicas)
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("shard: need batch size >= 1, got %d", cfg.BatchSize)
+	}
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("shard: need >= 1 epoch, got %d", cfg.Epochs)
+	}
+	if len(split.Train) < cfg.Replicas {
+		return nil, fmt.Errorf("shard: %d training snapshots cannot feed %d replicas", len(split.Train), cfg.Replicas)
+	}
+	if data.Data.Dim(1) != g.N {
+		return nil, fmt.Errorf("shard: data has %d nodes, graph %d", data.Data.Dim(1), g.N)
+	}
+	plan := cfg.Plan
+	if plan == nil {
+		var err error
+		plan, err = BuildPlan(g, supports, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+	} else if plan.Shards != cfg.Shards || plan.GlobalN != g.N {
+		return nil, fmt.Errorf("shard: plan is %d shards over %d nodes, config wants %d over %d", plan.Shards, plan.GlobalN, cfg.Shards, g.N)
+	}
+	world := cfg.Shards * cfg.Replicas
+	clu, err := cluster.New(cluster.Config{Workers: world, Net: cfg.Net, IntraNet: cfg.IntraNet})
+	if err != nil {
+		return nil, err
+	}
+	lr := cfg.LR
+	if lr <= 0 {
+		lr = 0.01
+	}
+	if cfg.UseLRScaling {
+		lr = nn.ScaleLR(lr, cfg.Replicas)
+	}
+
+	type workerOut struct {
+		curve     metrics.Curve
+		vt        time.Duration
+		comm      time.Duration
+		halo      Stats
+		gradBytes int64
+		steps     int
+		checksum  float64
+	}
+	outs := make([]workerOut, world)
+	globalN := g.N
+
+	runErr := clu.Run(func(w *cluster.Worker) error {
+		rank := w.Rank()
+		rep, sh := rank/cfg.Shards, rank%cfg.Shards
+		replicaGroup := make([]int, cfg.Shards)
+		for i := range replicaGroup {
+			replicaGroup[i] = rep*cfg.Shards + i
+		}
+		shardGroup := make([]int, cfg.Replicas)
+		for i := range shardGroup {
+			shardGroup[i] = i*cfg.Shards + sh
+		}
+		sp := plan.Parts[sh]
+		ownFrac := float64(len(sp.Own)) / float64(globalN)
+		stats := &Stats{}
+		model := factory(cfg.Seed, Propagators(w, replicaGroup, sp, cfg.Topology, stats))
+		params := model.Parameters()
+		opt := nn.NewAdam(model, lr)
+		sampler := ddp.NewSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Replicas, rep, cfg.Seed)
+		var buf batching.BatchBuffer
+		var gradBuf []float64
+		var comm time.Duration
+		var gradBytes int64
+		var curve metrics.Curve
+		steps := 0
+
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			batches := sampler.EpochBatches(epoch)
+			stepsThisEpoch := int(w.AllReduceScalar(float64(len(batches)), cluster.OpMin))
+			var trainAcc metrics.Running
+			for s := 0; s < stepsThisEpoch; s++ {
+				idx := batches[s]
+				start := time.Now()
+				haloWall := stats.Wall
+				x, y := data.AssembleBatch(idx, &buf)
+				xOwn := gatherNodeAxis(x, sp.Own)
+				target := gatherNodeAxis(y.Slice(3, 0, 1).Contiguous(), sp.Own)
+				pred := model.Forward(autograd.Constant(xOwn))
+				lossLocal := autograd.MAELoss(pred, target)
+				// The sum of the shard losses equals the global-mean loss, so
+				// summing the backward gradients across the replica group
+				// reproduces the unsharded gradient exactly.
+				loss := autograd.ScalarMul(lossLocal, ownFrac)
+				if err := autograd.Backward(loss); err != nil {
+					return fmt.Errorf("shard: rank %d backward: %w", rank, err)
+				}
+				// Charge compute before the gradient sync so the blocking
+				// collectives below are not also counted as compute. The
+				// halo exchanges inside forward/backward already advanced
+				// the clock by their modeled cost, so the measured span
+				// excludes the wall time spent blocked in them.
+				if cfg.ComputeCost != nil {
+					w.AdvanceTime(time.Duration(ownFrac * float64(cfg.ComputeCost(len(idx)))))
+				} else if compute := time.Since(start) - (stats.Wall - haloWall); compute > 0 {
+					w.AdvanceTime(compute)
+				}
+				// Two-stage gradient sync: sum over the replica group (the
+				// spatial reduction), then average over the shard group (the
+				// data-parallel mean). Every worker ends with the bitwise-
+				// identical global gradient.
+				gradBuf = ddp.FlattenGrads(params, gradBuf)
+				wire := int64(len(gradBuf)) * 8
+				if cfg.Shards > 1 {
+					comm += w.GroupRingAllReduceSized(gradBuf, replicaGroup, wire, false, cfg.Topology)
+					gradBytes += wire
+				}
+				if cfg.Replicas > 1 {
+					comm += w.GroupRingAllReduceSized(gradBuf, shardGroup, wire, true, cfg.Topology)
+					gradBytes += wire
+				}
+				ddp.UnflattenGrads(params, gradBuf)
+				if cfg.ClipNorm > 0 {
+					nn.ClipGradNorm(model, cfg.ClipNorm)
+				}
+				opt.Step()
+				steps++
+				w.Barrier() // synchronous step boundary (straggler wait)
+				// Weight by elements seen so the global weighted mean matches
+				// the unsharded per-batch accounting.
+				trainAcc.Add(lossLocal.Value.Item()*data.Std, len(idx)*len(sp.Own))
+			}
+			trainMAE := ddp.ReduceWeighted(w, trainAcc)
+			valMAE := evaluateShard(w, model, data, split.Val, cfg, sp.Own, rep, &buf)
+			curve = append(curve, metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE})
+		}
+		var checksum float64
+		for _, p := range params {
+			checksum += p.Tensor().SumAll()
+		}
+		w.Barrier()
+		outs[rank] = workerOut{
+			curve: curve, vt: w.VirtualTime(), comm: comm, halo: *stats,
+			gradBytes: gradBytes, steps: steps, checksum: checksum,
+		}
+		return nil
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	// Every worker must hold the identical parameters: replicas within shard
+	// groups by DDP's invariant, shards by the deterministic two-stage sync.
+	for r := 1; r < world; r++ {
+		if outs[r].checksum != outs[0].checksum {
+			return nil, fmt.Errorf("shard: divergence: rank %d checksum %v vs rank 0 %v", r, outs[r].checksum, outs[0].checksum)
+		}
+	}
+	return &Result{
+		Curve:         outs[0].curve,
+		VirtualTime:   outs[0].vt,
+		CommTime:      outs[0].comm,
+		HaloTime:      outs[0].halo.Time,
+		HaloBytes:     outs[0].halo.Bytes,
+		GradSyncBytes: outs[0].gradBytes,
+		Steps:         outs[0].steps,
+		GlobalBatch:   cfg.BatchSize * cfg.Replicas,
+		Shards:        cfg.Shards,
+		Replicas:      cfg.Replicas,
+		EdgeCut:       plan.EdgeCut,
+		MaxOwn:        plan.MaxOwn(),
+		MaxHalo:       plan.MaxHalo(),
+	}, nil
+}
+
+// evaluateShard computes this worker's share of the validation MAE — its
+// replica's slice of the validation batches restricted to its own nodes —
+// and reduces the globally weighted mean (original signal units).
+func evaluateShard(w *cluster.Worker, model nn.SeqModel, data *batching.IndexDataset, val []int, cfg Config, own []int, rep int, buf *batching.BatchBuffer) float64 {
+	lo, hi := batching.PartitionRange(len(val), cfg.Replicas, rep)
+	var acc metrics.Running
+	for _, batch := range batching.Batches(val[lo:hi], cfg.BatchSize) {
+		x, y := data.AssembleBatch(batch, buf)
+		xOwn := gatherNodeAxis(x, own)
+		target := gatherNodeAxis(y.Slice(3, 0, 1).Contiguous(), own)
+		pred := model.Forward(autograd.Constant(xOwn))
+		acc.Add(metrics.MAE(pred.Value, target)*data.Std, len(batch)*len(own))
+	}
+	// Weighted-mean over all workers of the 2D grid: each (snapshot, node)
+	// pair is seen by exactly one worker.
+	return ddp.ReduceWeighted(w, acc)
+}
+
+// gatherNodeAxis selects the given nodes along axis 2 of a [B, T, N, F]
+// tensor, producing [B, T, len(nodes), F] — the worker's slice of a batch.
+func gatherNodeAxis(t *tensor.Tensor, nodes []int) *tensor.Tensor {
+	shape := t.Shape()
+	out := tensor.New(shape[0], shape[1], len(nodes), shape[3])
+	for i, n := range nodes {
+		out.Slice(2, i, i+1).CopyFrom(t.Slice(2, n, n+1))
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ShardCSR is one worker's slice of a square operator in a spatial (node)
+// partition: the rows it owns, re-indexed into a compact local CSR whose
+// column space is [own nodes | halo nodes]. Halo columns are the remote
+// nodes referenced by the owned rows; multiplying Local against a feature
+// matrix that stacks the worker's own rows above the gathered halo rows
+// reproduces exactly the owned rows of the global product.
+type ShardCSR struct {
+	// GlobalN is the node count of the original square matrix.
+	GlobalN int
+	// Own lists the global node ids this shard owns, ascending. Row i of
+	// Local corresponds to global row Own[i]; local column j < len(Own)
+	// corresponds to Own[j].
+	Own []int
+	// Halo lists the remote global node ids referenced by the owned rows,
+	// ascending. Local column len(Own)+h corresponds to Halo[h].
+	Halo []int
+	// Local is the re-indexed row block, shape [len(Own), len(Own)+len(Halo)].
+	Local *CSR
+}
+
+// NumOwn returns the owned node count.
+func (s *ShardCSR) NumOwn() int { return len(s.Own) }
+
+// NumHalo returns the halo node count.
+func (s *ShardCSR) NumHalo() int { return len(s.Halo) }
+
+// SplitCSR partitions the square matrix m row-wise by the owner assignment
+// (node -> part in [0, parts)), returning one ShardCSR per part. Each
+// shard's rows are its owned global rows in ascending order; columns are
+// compacted to [own | halo] with halo columns sorted by global id. The
+// shards jointly cover every stored entry exactly once.
+func SplitCSR(m *CSR, owner []int, parts int) ([]*ShardCSR, error) {
+	if m.RowsN != m.ColsN {
+		return nil, fmt.Errorf("sparse: SplitCSR needs a square matrix, got %dx%d", m.RowsN, m.ColsN)
+	}
+	if len(owner) != m.RowsN {
+		return nil, fmt.Errorf("sparse: owner length %d != nodes %d", len(owner), m.RowsN)
+	}
+	if parts < 1 {
+		return nil, fmt.Errorf("sparse: SplitCSR needs parts >= 1, got %d", parts)
+	}
+	own := make([][]int, parts)
+	for node, p := range owner {
+		if p < 0 || p >= parts {
+			return nil, fmt.Errorf("sparse: node %d assigned to part %d of %d", node, p, parts)
+		}
+		own[p] = append(own[p], node) // ascending: nodes visited in id order
+	}
+	shards := make([]*ShardCSR, parts)
+	for p := 0; p < parts; p++ {
+		shards[p] = buildShard(m, owner, p, own[p])
+	}
+	return shards, nil
+}
+
+// buildShard compacts part p's row block.
+func buildShard(m *CSR, owner []int, p int, own []int) *ShardCSR {
+	// Collect the halo: referenced columns owned elsewhere.
+	haloSet := map[int]bool{}
+	for _, r := range own {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			if c := m.ColIdx[k]; owner[c] != p {
+				haloSet[c] = true
+			}
+		}
+	}
+	halo := make([]int, 0, len(haloSet))
+	for c := range haloSet {
+		halo = append(halo, c)
+	}
+	sort.Ints(halo)
+
+	// Global -> local column index: own nodes first, then halo.
+	localOf := make(map[int]int, len(own)+len(halo))
+	for i, n := range own {
+		localOf[n] = i
+	}
+	for h, n := range halo {
+		localOf[n] = len(own) + h
+	}
+
+	local := &CSR{
+		RowsN:  len(own),
+		ColsN:  len(own) + len(halo),
+		RowPtr: make([]int, len(own)+1),
+	}
+	for i, r := range own {
+		// Entries within a local row keep the global CSR's column order
+		// (ascending global id), which maps to ascending local id within
+		// each of the own/halo segments but may interleave the segments;
+		// SpMM never requires sorted columns.
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			local.ColIdx = append(local.ColIdx, localOf[m.ColIdx[k]])
+			local.Val = append(local.Val, m.Val[k])
+		}
+		local.RowPtr[i+1] = len(local.ColIdx)
+	}
+	return &ShardCSR{GlobalN: m.RowsN, Own: own, Halo: halo, Local: local}
+}

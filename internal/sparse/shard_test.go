@@ -1,0 +1,97 @@
+package sparse
+
+import (
+	"testing"
+
+	"pgti/internal/tensor"
+)
+
+// randomSquare builds a deterministic sparse square matrix.
+func randomSquare(n int, seed uint64) *CSR {
+	rng := tensor.NewRNG(seed)
+	var entries []Coord
+	for i := 0; i < n; i++ {
+		entries = append(entries, Coord{Row: i, Col: i, Val: 1})
+		for j := 0; j < 3; j++ {
+			entries = append(entries, Coord{Row: i, Col: int(rng.Uint64() % uint64(n)), Val: rng.Float64()})
+		}
+	}
+	m, err := FromCOO(n, n, entries)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TestSplitCSRReconstructsGlobalProduct: stacking each shard's local block
+// against [own | halo] features reproduces the global SpMM row-for-row, and
+// the shards partition the stored entries exactly.
+func TestSplitCSRReconstructsGlobalProduct(t *testing.T) {
+	n, f := 23, 4
+	m := randomSquare(n, 5)
+	x := tensor.Randn(tensor.NewRNG(6), n, f)
+	want := m.SpMM(x)
+
+	for _, parts := range []int{1, 2, 3, 5} {
+		owner := make([]int, n)
+		for i := range owner {
+			owner[i] = (i * 7) % parts // deliberately non-contiguous blocks
+		}
+		shards, err := SplitCSR(m, owner, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nnz := 0
+		for p, s := range shards {
+			nnz += s.Local.NNZ()
+			if s.GlobalN != n {
+				t.Fatalf("parts=%d shard %d: GlobalN %d", parts, p, s.GlobalN)
+			}
+			if s.Local.RowsN != s.NumOwn() || s.Local.ColsN != s.NumOwn()+s.NumHalo() {
+				t.Fatalf("parts=%d shard %d: local shape %dx%d for %d own, %d halo",
+					parts, p, s.Local.RowsN, s.Local.ColsN, s.NumOwn(), s.NumHalo())
+			}
+			for _, h := range s.Halo {
+				if owner[h] == p {
+					t.Fatalf("parts=%d shard %d: own node %d in halo", parts, p, h)
+				}
+			}
+			// Assemble [own | halo] features and compare against the global
+			// product's owned rows.
+			ext := tensor.New(s.Local.ColsN, f)
+			for i, node := range s.Own {
+				ext.Slice(0, i, i+1).CopyFrom(x.Slice(0, node, node+1))
+			}
+			for i, node := range s.Halo {
+				ext.Slice(0, s.NumOwn()+i, s.NumOwn()+i+1).CopyFrom(x.Slice(0, node, node+1))
+			}
+			got := s.Local.SpMM(ext)
+			for i, node := range s.Own {
+				for j := 0; j < f; j++ {
+					if got.At(i, j) != want.At(node, j) {
+						t.Fatalf("parts=%d shard %d: (%d,%d) = %v, want %v", parts, p, i, j, got.At(i, j), want.At(node, j))
+					}
+				}
+			}
+		}
+		if nnz != m.NNZ() {
+			t.Fatalf("parts=%d: shards hold %d entries, matrix has %d", parts, nnz, m.NNZ())
+		}
+	}
+}
+
+func TestSplitCSRValidation(t *testing.T) {
+	m := randomSquare(8, 1)
+	if _, err := SplitCSR(m, make([]int, 7), 2); err == nil {
+		t.Fatal("expected owner-length error")
+	}
+	bad := make([]int, 8)
+	bad[3] = 5
+	if _, err := SplitCSR(m, bad, 2); err == nil {
+		t.Fatal("expected out-of-range part error")
+	}
+	rect := &CSR{RowsN: 2, ColsN: 3, RowPtr: []int{0, 0, 0}}
+	if _, err := SplitCSR(rect, []int{0, 0}, 1); err == nil {
+		t.Fatal("expected non-square error")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"pgti/internal/ddp"
 	"pgti/internal/memsim"
 	"pgti/internal/metrics"
+	"pgti/internal/shard"
 )
 
 // Strategy selects the training pipeline.
@@ -96,6 +97,15 @@ const (
 // AllReduce.
 type Topology = cluster.Topology
 
+// Spatial is the spatial-parallelism knob: Spatial{Shards: P} partitions the
+// sensor graph into P node blocks, multiplying the worker grid into a 2D
+// (spatial x data) layout — each of Workers data replicas spreads over P
+// shard workers, halo rows travel within replica groups, and gradient
+// AllReduce runs within shard groups. Every worker then holds only its
+// ~N/P share of the node features. Requires StrategyDistIndex and a
+// graph-convolutional model (PGT-DCRNN, DCRNN, or A3T-GCN).
+type Spatial = shard.Spatial
+
 // Config configures a training run.
 type Config struct {
 	// Dataset names one of the paper's datasets: "Chickenpox-Hungary",
@@ -131,6 +141,10 @@ type Config struct {
 	// GradAutoTune sweeps gradient bucket sizes across the first epoch and
 	// locks in the size minimizing the modeled step time.
 	GradAutoTune bool
+
+	// Spatial enables spatial graph sharding (see the Spatial type); the
+	// zero value keeps the graph whole.
+	Spatial Spatial
 
 	// SystemMemoryGB / GPUMemoryGB cap the byte-exact memory trackers
 	// (0 = unlimited). A run exceeding the system cap reports OOM, like
@@ -188,6 +202,17 @@ type Report struct {
 	GradBucketBytes int64
 	CommBytesSaved  int64
 
+	// SpatialShards is the spatial shard count (1 = unsharded); HaloBytes /
+	// HaloTime are one worker's halo-exchange traffic and modeled cost, and
+	// EdgeCut counts support entries crossing shards. PerWorkerBytes is one
+	// worker's modeled host footprint (replica + staging + data share) for
+	// distributed strategies — the N/P memory claim, per worker.
+	SpatialShards  int
+	HaloBytes      int64
+	HaloTime       time.Duration
+	EdgeCut        int
+	PerWorkerBytes int64
+
 	// PeakSystemBytes/PeakGPUBytes are byte-exact high-water marks;
 	// RetainedDataBytes is eq. (1) or eq. (2) depending on strategy.
 	PeakSystemBytes   int64
@@ -243,6 +268,7 @@ func Run(cfg Config) (*Report, error) {
 		Topology:       cfg.Topology,
 		GradFP16:       cfg.GradFP16,
 		GradAutoTune:   cfg.GradAutoTune,
+		Spatial:        cfg.Spatial,
 	}
 	rep, err := core.Run(coreCfg)
 	if err != nil {
@@ -264,6 +290,11 @@ func Run(cfg Config) (*Report, error) {
 		GradBuckets:       rep.GradBuckets,
 		GradBucketBytes:   rep.GradBucketBytes,
 		CommBytesSaved:    rep.CommBytesSaved,
+		SpatialShards:     rep.SpatialShards,
+		HaloBytes:         rep.HaloBytes,
+		HaloTime:          rep.HaloTime,
+		EdgeCut:           rep.EdgeCut,
+		PerWorkerBytes:    rep.PerWorkerBytes,
 		PeakSystemBytes:   rep.PeakSystemBytes,
 		PeakGPUBytes:      rep.PeakGPUBytes,
 		RetainedDataBytes: rep.RetainedDataBytes,

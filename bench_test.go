@@ -17,6 +17,7 @@ import (
 	"pgti/internal/ddp"
 	"pgti/internal/experiments"
 	"pgti/internal/graph"
+	"pgti/internal/metrics"
 	"pgti/internal/nn"
 	"pgti/internal/parallel"
 	"pgti/internal/perfmodel"
@@ -526,6 +527,60 @@ func benchIndexBatch(b *testing.B, store bool) {
 
 func BenchmarkIndexBatchDistIndex4(b *testing.B)    { benchIndexBatch(b, false) }
 func BenchmarkIndexBatchGenDistIndex4(b *testing.B) { benchIndexBatch(b, true) }
+
+// --- gated: event-stream hook overhead ----------------------------------------
+
+// benchEventStream runs one modeled epoch at 4 workers with or without the
+// per-epoch/autotune event hooks attached, reporting the same deterministic
+// virtual-clock metrics as the DDP family. Gating both variants pins the
+// hook path to the hookless loop: events must not perturb the modeled
+// timeline, so a regression in either one (or a gap between them) fails
+// `make bench-check`.
+func benchEventStream(b *testing.B, hook bool) {
+	g, err := graph.RoadNetwork(16, 24, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd, bwd := g.TransitionMatrices()
+	supports := []*sparse.CSR{fwd, bwd}
+	raw := tensor.Randn(tensor.NewRNG(17), 160, 24, 1)
+	data, err := batching.NewIndexDataset(raw, 3, 0.7, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := batching.MakeSplit(data.NumSnapshots(), 0.7, 0.1)
+	factory := func(seed uint64) nn.SeqModel {
+		return nn.NewPGTDCRNN(tensor.NewRNG(seed), supports, 1, 1, 16, 3)
+	}
+	cfg := ddp.Config{
+		Workers: 4, BatchSize: 2, Epochs: 1, LR: 0.01, Seed: 1,
+		Net:         cluster.NetworkModel{Bandwidth: 1e7, Latency: 2 * time.Microsecond, DispatchOverhead: time.Millisecond},
+		ComputeCost: func(int) time.Duration { return 2 * time.Millisecond },
+	}
+	events := 0
+	if hook {
+		cfg.OnEpoch = func(metrics.EpochRecord) { events++ }
+		cfg.OnAutotuneLock = func(int64) { events++ }
+	}
+	var res *ddp.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events = 0
+		res, err = ddp.Train(data, split, factory, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if hook && events == 0 {
+		b.Fatal("epoch hook never fired")
+	}
+	b.ReportMetric(float64(res.VirtualTime.Microseconds()), "virt-µs/epoch")
+	b.ReportMetric(float64(res.CommTime.Microseconds()), "exposed-comm-µs")
+	b.ReportMetric(float64(res.GradSyncBytes)/1024, "wire-KiB/epoch")
+}
+
+func BenchmarkEventStreamHooked4(b *testing.B)   { benchEventStream(b, true) }
+func BenchmarkEventStreamHookless4(b *testing.B) { benchEventStream(b, false) }
 
 // --- micro: row-wise nn kernels (softmax / layer norm) on the pool ------------
 

@@ -27,6 +27,7 @@ func main() {
 	epochs := flag.Int("epochs", 6, "measured-mode training epochs")
 	seed := flag.Uint64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "trim measured runs to smoke-test size")
+	progress := flag.Bool("progress", false, "stream per-epoch progress of the measured runs to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pgti-bench [flags] <experiment>...\navailable: all %s\nflags:\n",
 			strings.Join(experiments.IDs(), " "))
@@ -43,6 +44,11 @@ func main() {
 		Epochs: *epochs,
 		Seed:   *seed,
 		Quick:  *quick,
+	}
+	if *progress {
+		// Live per-epoch lines from the engine's event stream; stderr keeps
+		// the report output on stdout clean.
+		opt.Progress = os.Stderr
 	}
 	for _, id := range flag.Args() {
 		var err error

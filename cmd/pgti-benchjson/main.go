@@ -51,7 +51,7 @@ type Snapshot struct {
 
 func main() {
 	check := flag.String("check", "", "baseline snapshot JSON to compare against (regression gate mode)")
-	family := flag.String("family", "BenchmarkDDP,BenchmarkShard,BenchmarkIndexBatch", "comma-separated benchmark name prefixes the gate covers")
+	family := flag.String("family", "BenchmarkDDP,BenchmarkShard,BenchmarkIndexBatch,BenchmarkEventStream", "comma-separated benchmark name prefixes the gate covers")
 	metrics := flag.String("metrics", "virt-µs/epoch,exposed-comm-µs,halo-µs/epoch", "comma-separated metrics to gate (lower is better; missing metrics are skipped)")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated relative regression")
 	// The gated metrics are deterministic modeled values (virtual-clock

@@ -1,18 +1,26 @@
 // Command pgti-train trains a spatiotemporal model with any of the paper's
 // six strategies on any of its six datasets (synthetic stand-ins at a
-// configurable scale).
+// configurable scale), driving the staged Experiment API: epochs stream
+// live as they complete, Ctrl-C cancels cleanly mid-epoch (printing the
+// partial curve), and -save/-resume persist and restore the full training
+// state.
 //
 // Examples:
 //
 //	pgti-train -dataset Chickenpox-Hungary -epochs 20
 //	pgti-train -dataset PeMS-BAY -scale 0.05 -strategy dist-index -workers 4
 //	pgti-train -dataset PeMS-BAY -scale 0.02 -strategy baseline -sysmem 0.05
+//	pgti-train -dataset PeMS-BAY -scale 0.05 -epochs 8 -save run.pgtc
+//	pgti-train -dataset PeMS-BAY -scale 0.05 -epochs 16 -resume run.pgtc
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"pgti"
@@ -53,10 +61,11 @@ func main() {
 	scale := flag.Float64("scale", 1, "dataset scale factor (0,1]")
 	strategy := flag.String("strategy", "index", "strategy: "+keys(strategies))
 	model := flag.String("model", "pgt-dcrnn", "model: "+keys(models))
-	shuffle := flag.String("shuffle", "global", "distributed shuffling: "+keys(shuffles))
+	shuffle := flag.String("shuffle", "", "distributed shuffling: "+keys(shuffles)+" (empty = strategy default)")
 	workers := flag.Int("workers", 1, "workers for distributed strategies")
+	shards := flag.Int("shards", 0, "spatial graph shards (>1 enables the 2D spatial x data grid)")
 	batch := flag.Int("batch", 32, "per-worker batch size")
-	epochs := flag.Int("epochs", 10, "training epochs")
+	epochs := flag.Int("epochs", 10, "total training epochs (resume counts from epoch 0)")
 	lr := flag.Float64("lr", 0.01, "learning rate")
 	scaleLR := flag.Bool("scale-lr", false, "apply linear LR scaling for large global batches")
 	hidden := flag.Int("hidden", 16, "hidden units")
@@ -65,9 +74,11 @@ func main() {
 	sysMem := flag.Float64("sysmem", 0, "system memory cap in GB (0 = unlimited)")
 	gpuMem := flag.Float64("gpumem", 0, "GPU memory cap in GB (0 = unlimited)")
 	missing := flag.Float64("missing", 0, "fraction of sensor readings to drop (masked training)")
-	load := flag.String("load", "", "checkpoint to resume from")
-	save := flag.String("save", "", "checkpoint to write after training")
+	load := flag.String("load", "", "checkpoint to warm-start parameters from")
+	resume := flag.String("resume", "", "train-state checkpoint to resume deterministically from")
+	save := flag.String("save", "", "train-state checkpoint to write after training")
 	forecast := flag.Int("forecast", 0, "print predictions for the first N test windows")
+	quiet := flag.Bool("quiet", false, "suppress the live per-epoch stream")
 	flag.Parse()
 
 	strat, ok := strategies[*strategy]
@@ -80,36 +91,84 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pgti-train: unknown model %q (options: %s)\n", *model, keys(models))
 		os.Exit(2)
 	}
-	shf, ok := shuffles[*shuffle]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "pgti-train: unknown shuffle %q (options: %s)\n", *shuffle, keys(shuffles))
+
+	opts := []pgti.Option{
+		pgti.WithScale(*scale),
+		pgti.WithStrategy(strat),
+		pgti.WithModel(mdl),
+		pgti.WithWorkers(*workers),
+		pgti.WithBatchSize(*batch),
+		pgti.WithEpochs(*epochs),
+		pgti.WithLR(*lr),
+		pgti.WithHidden(*hidden),
+		pgti.WithDiffusionSteps(*k),
+		pgti.WithSeed(*seed),
+		pgti.WithMemoryCaps(*sysMem, *gpuMem),
+		pgti.WithMissingData(*missing),
+	}
+	if *shuffle != "" {
+		shf, ok := shuffles[*shuffle]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pgti-train: unknown shuffle %q (options: %s)\n", *shuffle, keys(shuffles))
+			os.Exit(2)
+		}
+		opts = append(opts, pgti.WithShuffle(shf))
+	}
+	if *scaleLR {
+		opts = append(opts, pgti.WithLRScaling())
+	}
+	if *shards > 1 {
+		opts = append(opts, pgti.WithSpatial(*shards))
+	}
+	if *load != "" {
+		opts = append(opts, pgti.WithWarmStart(*load))
+	}
+	if *resume != "" {
+		opts = append(opts, pgti.WithResume(*resume))
+	}
+	if *save != "" {
+		opts = append(opts, pgti.WithSaveCheckpoint(*save))
+	}
+	if *forecast > 0 {
+		opts = append(opts, pgti.WithForecasts(*forecast))
+	}
+	if !*quiet {
+		header := false
+		opts = append(opts, pgti.WithEvents(func(ev pgti.Event) {
+			switch e := ev.(type) {
+			case pgti.EpochEvent:
+				if !header {
+					fmt.Printf("%5s %14s %14s\n", "epoch", "train MAE", "val MAE")
+					header = true
+				}
+				fmt.Printf("%5d %14.6f %14.6f\n", e.Epoch, e.TrainMAE, e.ValMAE)
+			case pgti.AutotuneEvent:
+				fmt.Printf("      autotune locked gradient buckets at %s\n", pgti.FormatBytes(e.BucketBytes))
+			}
+		}))
+	}
+
+	exp, err := pgti.NewExperiment(*ds, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgti-train: %v\n", err)
 		os.Exit(2)
 	}
 
-	rep, err := pgti.Run(pgti.Config{
-		Dataset:        *ds,
-		Scale:          *scale,
-		Model:          mdl,
-		Strategy:       strat,
-		Shuffle:        shf,
-		Workers:        *workers,
-		BatchSize:      *batch,
-		Epochs:         *epochs,
-		LR:             *lr,
-		ScaleLR:        *scaleLR,
-		Hidden:         *hidden,
-		K:              *k,
-		Seed:           *seed,
-		SystemMemoryGB: *sysMem,
-		GPUMemoryGB:    *gpuMem,
-		MissingFrac:    *missing,
-		LoadCheckpoint: *load,
-		SaveCheckpoint: *save,
-		EmitForecasts:  *forecast,
-	})
-	if err != nil {
+	// Ctrl-C cancels mid-epoch; the partial curve still prints below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := exp.Fit(ctx)
+	cancelled := errors.Is(err, context.Canceled)
+	if err != nil && !cancelled && !(rep != nil && rep.OOM) {
 		fmt.Fprintf(os.Stderr, "pgti-train: %v\n", err)
 		os.Exit(1)
+	}
+	if err == nil {
+		if rep, err = exp.Eval(); err != nil {
+			fmt.Fprintf(os.Stderr, "pgti-train: eval: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("dataset=%s strategy=%v model=%v workers=%d global-batch=%d\n",
@@ -119,11 +178,20 @@ func main() {
 		fmt.Printf("peak system memory: %s\n", pgti.FormatBytes(rep.PeakSystemBytes))
 		os.Exit(3)
 	}
-	fmt.Printf("%5s %14s %14s\n", "epoch", "train MAE", "val MAE")
-	for _, r := range rep.Curve {
-		fmt.Printf("%5d %14.6f %14.6f\n", r.Epoch, r.TrainMAE, r.ValMAE)
+	if cancelled {
+		fmt.Printf("CANCELLED after %d completed epoch(s), %d steps\n", len(rep.Curve), rep.Steps)
 	}
-	fmt.Printf("best val MAE %.6f | test MSE %.6f | steps %d\n", rep.Curve.BestVal(), rep.TestMSE, rep.Steps)
+	if *quiet {
+		fmt.Printf("%5s %14s %14s\n", "epoch", "train MAE", "val MAE")
+		for _, r := range rep.Curve {
+			fmt.Printf("%5d %14.6f %14.6f\n", r.Epoch, r.TrainMAE, r.ValMAE)
+		}
+	}
+	if len(rep.Curve) > 0 {
+		fmt.Printf("best val MAE %.6f | test MSE %.6f | steps %d\n", rep.Curve.BestVal(), rep.TestMSE, rep.Steps)
+	} else {
+		fmt.Printf("no epochs completed | steps %d\n", rep.Steps)
+	}
 	fmt.Printf("wall %v | virtual (modeled Polaris) %v | comm %v\n",
 		rep.WallTime.Round(1e6), rep.VirtualTime.Round(1e6), rep.CommTime.Round(1e6))
 	fmt.Printf("peak system %s | peak GPU %s | retained data %s\n",

@@ -1,48 +1,58 @@
 // Distributed training demo: distributed-index-batching vs baseline DDP on
-// a scaled PeMS-BAY, with real worker goroutines and a real ring AllReduce.
-// The virtual clock reports modeled Polaris time; the communication column
-// shows why index-batching wins — baseline DDP pays an on-demand data fetch
-// for every batch, distributed-index-batching only synchronizes gradients.
-// The mem/worker column prints the per-worker modeled footprint next to the
-// modeled wall-clock, so the memory claims are verifiable from the output;
-// the final section splits the graph spatially (2D spatial x data grid) and
-// shows that share shrinking ~N/P while halo traffic stays small.
+// a scaled PeMS-BAY, with real worker goroutines and a real ring AllReduce,
+// driven through the staged Experiment API (options in, streamed events
+// out). The virtual clock reports modeled Polaris time; the communication
+// column shows why index-batching wins — baseline DDP pays an on-demand
+// data fetch for every batch, distributed-index-batching only synchronizes
+// gradients. The mem/worker column prints the per-worker modeled footprint
+// next to the modeled wall-clock, so the memory claims are verifiable from
+// the output; the spatial section splits the graph (2D spatial x data grid)
+// and shows that share shrinking ~N/P while halo traffic stays small.
 //
 //	go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"pgti"
 )
 
-func main() {
-	base := pgti.Config{
-		Dataset:   "PeMS-BAY",
-		Scale:     0.03,
-		Model:     pgti.ModelPGTDCRNN,
-		BatchSize: 4,
-		Epochs:    3,
-		Hidden:    12,
-		K:         1,
-		Seed:      11,
-	}
+// base returns the options shared by every run in this demo.
+func base(extra ...pgti.Option) []pgti.Option {
+	return append([]pgti.Option{
+		pgti.WithScale(0.03),
+		pgti.WithModel(pgti.ModelPGTDCRNN),
+		pgti.WithBatchSize(4),
+		pgti.WithEpochs(3),
+		pgti.WithHidden(12),
+		pgti.WithDiffusionSteps(1),
+		pgti.WithSeed(11),
+	}, extra...)
+}
 
+func run(opts ...pgti.Option) *pgti.Report {
+	exp, err := pgti.NewExperiment("PeMS-BAY", base(opts...)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := exp.Fit(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep
+}
+
+func main() {
 	fmt.Println("workers | strategy        | best val MAE | virtual time | comm time | mem/worker | grad traffic")
 	for _, workers := range []int{1, 2, 4} {
 		for _, strat := range []pgti.Strategy{pgti.StrategyDistIndex, pgti.StrategyBaselineDDP} {
 			if workers == 1 && strat == pgti.StrategyBaselineDDP {
 				continue
 			}
-			cfg := base
-			cfg.Strategy = strat
-			cfg.Workers = workers
-			rep, err := pgti.Run(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
+			rep := run(pgti.WithStrategy(strat), pgti.WithWorkers(workers))
 			fmt.Printf("%7d | %-15v | %12.4f | %12v | %9v | %10s | %s\n",
 				workers, rep.Strategy, rep.Curve.BestVal(),
 				rep.VirtualTime.Round(1e6), rep.CommTime.Round(1e6),
@@ -54,16 +64,11 @@ func main() {
 	fmt.Println("\nspatial sharding (hybrid spatial x data grid): same model, node axis split")
 	fmt.Println("  grid SxR | best val MAE | virtual time | mem/worker | halo traffic | halo time | edge cut")
 	for _, grid := range []struct{ shards, replicas int }{{1, 1}, {2, 1}, {4, 1}, {2, 2}} {
-		cfg := base
-		cfg.Strategy = pgti.StrategyDistIndex
-		cfg.Workers = grid.replicas
+		opts := []pgti.Option{pgti.WithStrategy(pgti.StrategyDistIndex), pgti.WithWorkers(grid.replicas)}
 		if grid.shards > 1 {
-			cfg.Spatial = pgti.Spatial{Shards: grid.shards}
+			opts = append(opts, pgti.WithSpatial(grid.shards))
 		}
-		rep, err := pgti.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+		rep := run(opts...)
 		fmt.Printf("  %4dx%-3d | %12.4f | %12v | %10s | %12s | %9v | %8d\n",
 			grid.shards, grid.replicas, rep.Curve.BestVal(),
 			rep.VirtualTime.Round(1e6),
@@ -73,20 +78,9 @@ func main() {
 
 	fmt.Println("\nlarge-global-batch effect (fig. 8): same epochs, growing workers")
 	for _, workers := range []int{1, 4} {
-		cfg := base
-		cfg.Strategy = pgti.StrategyDistIndex
-		cfg.Workers = workers
-		cfg.Epochs = 5
-		plain, err := pgti.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfg.ScaleLR = true
-		scaled, err := pgti.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+		plain := run(pgti.WithStrategy(pgti.StrategyDistIndex), pgti.WithWorkers(workers), pgti.WithEpochs(5))
+		scaled := run(pgti.WithStrategy(pgti.StrategyDistIndex), pgti.WithWorkers(workers), pgti.WithEpochs(5), pgti.WithLRScaling())
 		fmt.Printf("global batch %2d: best val MAE %.4f (plain) vs %.4f (linear LR scaling)\n",
-			cfg.BatchSize*workers, plain.Curve.BestVal(), scaled.Curve.BestVal())
+			plain.GlobalBatch, plain.Curve.BestVal(), scaled.Curve.BestVal())
 	}
 }

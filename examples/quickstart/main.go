@@ -1,11 +1,13 @@
 // Quickstart: train the PGT-DCRNN traffic model on the Chickenpox-Hungary
 // epidemiological benchmark with index-batching — the paper's §4.1 pipeline
-// — using nothing but the public pgti API.
+// — through the staged Experiment API: epochs stream live as they complete,
+// and the trained model stays warm behind a Predictor for serving.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,28 +15,47 @@ import (
 )
 
 func main() {
-	report, err := pgti.Run(pgti.Config{
-		Dataset:   "Chickenpox-Hungary",
-		Strategy:  pgti.StrategyIndex,
-		Model:     pgti.ModelPGTDCRNN,
-		BatchSize: 4, // the paper's Chickenpox batch size
-		Epochs:    10,
-		Hidden:    16,
-		K:         1,
-		Seed:      1,
-	})
+	fmt.Println("PGT-I quickstart: index-batching on Chickenpox-Hungary")
+	fmt.Printf("%5s %12s %12s\n", "epoch", "train MAE", "val MAE")
+	exp, err := pgti.NewExperiment("Chickenpox-Hungary",
+		pgti.WithStrategy(pgti.StrategyIndex),
+		pgti.WithModel(pgti.ModelPGTDCRNN),
+		pgti.WithBatchSize(4), // the paper's Chickenpox batch size
+		pgti.WithEpochs(10),
+		pgti.WithHidden(16),
+		pgti.WithDiffusionSteps(1),
+		pgti.WithSeed(1),
+		pgti.WithEvents(func(ev pgti.Event) {
+			if e, ok := ev.(pgti.EpochEvent); ok {
+				fmt.Printf("%5d %12.4f %12.4f\n", e.Epoch, e.TrainMAE, e.ValMAE)
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := exp.Fit(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("PGT-I quickstart: index-batching on Chickenpox-Hungary")
-	fmt.Printf("%5s %12s %12s\n", "epoch", "train MAE", "val MAE")
-	for _, r := range report.Curve {
-		fmt.Printf("%5d %12.4f %12.4f\n", r.Epoch, r.TrainMAE, r.ValMAE)
-	}
 	fmt.Printf("\nbest validation MAE: %.4f cases\n", report.Curve.BestVal())
 	fmt.Printf("dataset retained in memory: %s (eq. 2 of the paper)\n",
 		pgti.FormatBytes(report.RetainedDataBytes))
 	fmt.Printf("peak memory: %s system, %s GPU\n",
 		pgti.FormatBytes(report.PeakSystemBytes), pgti.FormatBytes(report.PeakGPUBytes))
+
+	// The trained model is still warm: serve a held-out test window from it.
+	pred, err := exp.Predictor()
+	if err != nil {
+		log.Fatal(err)
+	}
+	forecasts, err := pred.PredictTest(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := forecasts[0]
+	fmt.Printf("\nserving test window %d from the warm model (MAE %.2f cases):\n", f.SnapshotIndex, f.MAE())
+	for n := 0; n < 4 && n < f.Nodes; n++ {
+		fmt.Printf("  county %d: predicted %6.1f, actual %6.1f\n", n, f.Pred[n], f.Actual[n])
+	}
 }

@@ -1,5 +1,5 @@
 // Traffic forecasting on PeMS-BAY (scaled), reproducing the paper's core
-// single-GPU claims end to end:
+// single-GPU claims end to end through the staged Experiment API:
 //
 //  1. standard batching and index-batching learn *identically* (same
 //     snapshots, same order, same MAE curve);
@@ -7,40 +7,51 @@
 //  2. index-batching slashes peak memory (eq. 1 vs eq. 2);
 //
 //  3. under a memory cap sized between the two, the standard pipeline OOMs
-//     while index-batching trains — the PeMS-on-512GB story in miniature.
+//     — surfaced as a typed *pgti.OOMError from Fit — while index-batching
+//     trains: the PeMS-on-512GB story in miniature.
 //
 //     go run ./examples/traffic
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
 	"pgti"
 )
 
-func main() {
-	base := pgti.Config{
-		Dataset:   "PeMS-BAY",
-		Scale:     0.03, // ~9 sensors, ~1500 five-minute intervals
-		Model:     pgti.ModelPGTDCRNN,
-		BatchSize: 8,
-		Epochs:    5,
-		Hidden:    12,
-		K:         2,
-		Seed:      7,
+// train runs one experiment to completion and returns its report (OOM is a
+// reported outcome, surfaced as a typed error alongside the partial report).
+func train(strategy pgti.Strategy, capGB float64) (*pgti.Report, error) {
+	opts := []pgti.Option{
+		pgti.WithScale(0.03), // ~9 sensors, ~1500 five-minute intervals
+		pgti.WithStrategy(strategy),
+		pgti.WithModel(pgti.ModelPGTDCRNN),
+		pgti.WithBatchSize(8),
+		pgti.WithEpochs(5),
+		pgti.WithHidden(12),
+		pgti.WithDiffusionSteps(2),
+		pgti.WithSeed(7),
 	}
+	if capGB > 0 {
+		opts = append(opts, pgti.WithMemoryCaps(capGB, 0))
+	}
+	exp, err := pgti.NewExperiment("PeMS-BAY", opts...)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Fit(context.Background())
+}
 
+func main() {
 	fmt.Println("== 1. standard batching vs index-batching ==")
-	cfgStd := base
-	cfgStd.Strategy = pgti.StrategyBaseline
-	std, err := pgti.Run(cfgStd)
+	std, err := train(pgti.StrategyBaseline, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfgIdx := base
-	cfgIdx.Strategy = pgti.StrategyIndex
-	idx, err := pgti.Run(cfgIdx)
+	idx, err := train(pgti.StrategyIndex, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,19 +67,22 @@ func main() {
 
 	fmt.Println("== 2. the OOM experiment: cap memory at eq. 1 ==")
 	capGB := float64(std.RetainedDataBytes) / (1 << 30)
-	cfgStd.SystemMemoryGB = capGB
-	cfgIdx.SystemMemoryGB = capGB
-	stdCapped, err := pgti.Run(cfgStd)
-	if err != nil {
-		log.Fatal(err)
-	}
-	idxCapped, err := pgti.Run(cfgIdx)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("standard batching under cap: OOM=%v\n", stdCapped.OOM)
-	if stdCapped.OOM {
+	stdCapped, err := train(pgti.StrategyBaseline, capGB)
+	var oom *pgti.OOMError
+	switch {
+	case errors.As(err, &oom):
+		// The typed error names the tracker and the allocation that died.
+		fmt.Printf("standard batching under cap: OOM=true (typed: label %q wanted %s)\n",
+			oom.Label, pgti.FormatBytes(oom.Requested))
 		fmt.Printf("  %s\n", stdCapped.OOMError)
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Printf("standard batching under cap: OOM=%v\n", stdCapped.OOM)
+	}
+	idxCapped, err := train(pgti.StrategyIndex, capGB)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("index-batching under cap:    OOM=%v (best val MAE %.4f mph)\n",
 		idxCapped.OOM, idxCapped.Curve.BestVal())

@@ -1,0 +1,340 @@
+package pgti
+
+import (
+	"context"
+	"fmt"
+
+	"pgti/internal/core"
+	"pgti/internal/dataset"
+)
+
+// Event is the typed notification stream of a running experiment (see
+// WithEvents): epoch ends, autotune lock-in, memory high-water marks, and
+// OOM. Events are delivered synchronously from the training goroutine that
+// produced them, so hooks must be fast and must not call back into the
+// experiment.
+type Event = core.Event
+
+// The concrete event types.
+type (
+	// EpochEvent fires after every completed epoch with its curve row.
+	EpochEvent = core.EpochEvent
+	// AutotuneEvent fires when the gradient-bucket autotuner locks in.
+	AutotuneEvent = core.AutotuneEvent
+	// MemoryEvent fires when the system tracker's high-water mark grows.
+	MemoryEvent = core.MemoryEvent
+	// OOMEvent fires when a memory cap is exhausted.
+	OOMEvent = core.OOMEvent
+)
+
+// Predictor is the warm, goroutine-safe inference handle returned by
+// Experiment.Predictor after Fit: Predict forecasts from a raw input
+// Window, PredictTest serves the held-out test windows with ground truth —
+// byte-for-byte the same computation as Config.EmitForecasts.
+type Predictor = core.Predictor
+
+// Window is one raw input window for Predictor.Predict: Horizon time steps
+// of all node features in original signal units, row-major
+// [step][node][feature].
+type Window = core.Window
+
+// Typed errors of the experiment API. Run and Fit wrap them, so callers
+// use errors.Is / errors.As rather than string matching.
+var (
+	// ErrUnknownDataset is wrapped by NewExperiment, Run and
+	// EstimatePolaris when the dataset name matches nothing.
+	ErrUnknownDataset = dataset.ErrUnknownDataset
+	// ErrNotFitted is wrapped by Predictor and Eval before Fit completed.
+	ErrNotFitted = core.ErrNotFitted
+	// ErrFitted is wrapped by Fit when called twice on one experiment.
+	ErrFitted = core.ErrFitted
+)
+
+// InvalidConfigError reports an illegal option combination (e.g. spatial
+// sharding without the dist-index strategy); match with errors.As and
+// inspect Field/Reason.
+type InvalidConfigError = core.InvalidConfigError
+
+// OOMError is the typed out-of-memory error surfaced by Fit when a memory
+// cap set via WithMemoryCaps is exhausted; the partial Report carries the
+// same outcome as Report.OOM.
+type OOMError = core.OOMError
+
+// GradStack groups the collective-stack knobs of the gradient exchange:
+// the AllReduce algorithm, the simulated node topology, fp16 compression,
+// the bucket-size autotuner, and an explicit bucket cap. Zero value =
+// defaults (bucketed overlapping ring, flat topology, fp64, no sweep).
+type GradStack struct {
+	Algo        GradAlgo
+	Topology    Topology
+	FP16        bool
+	AutoTune    bool
+	BucketBytes int64
+}
+
+// expConfig accumulates option state before validation.
+type expConfig struct {
+	core       core.Config
+	shuffleSet bool
+	warmStart  bool
+	resume     bool
+}
+
+// Option configures an Experiment (see the With* constructors).
+type Option func(*expConfig)
+
+// WithModel selects the forecasting architecture (default ModelPGTDCRNN).
+func WithModel(m Model) Option { return func(c *expConfig) { c.core.Model = m } }
+
+// WithStrategy selects the training pipeline (default StrategyBaseline).
+func WithStrategy(s Strategy) Option { return func(c *expConfig) { c.core.Strategy = s } }
+
+// WithWorkers sets the data-parallel worker count for distributed
+// strategies.
+func WithWorkers(n int) Option { return func(c *expConfig) { c.core.Workers = n } }
+
+// WithScale shrinks the dataset to fit the host (0 < scale <= 1).
+func WithScale(scale float64) Option { return func(c *expConfig) { c.core.Scale = scale } }
+
+// WithBatchSize sets the per-worker batch size (default 32).
+func WithBatchSize(n int) Option { return func(c *expConfig) { c.core.BatchSize = n } }
+
+// WithEpochs sets the total epoch budget (default 1). Under WithResume the
+// budget counts from epoch 0: a run resumed at epoch k trains epochs
+// [k, n).
+func WithEpochs(n int) Option { return func(c *expConfig) { c.core.Epochs = n } }
+
+// WithLR sets the learning rate (default 0.01).
+func WithLR(lr float64) Option { return func(c *expConfig) { c.core.LR = lr } }
+
+// WithLRScaling applies the linear learning-rate scaling rule for large
+// global batches.
+func WithLRScaling() Option { return func(c *expConfig) { c.core.UseLRScaling = true } }
+
+// WithHidden sets the hidden width (default 32).
+func WithHidden(n int) Option { return func(c *expConfig) { c.core.Hidden = n } }
+
+// WithDiffusionSteps sets the graph-diffusion hop count K (default 2).
+func WithDiffusionSteps(k int) Option { return func(c *expConfig) { c.core.K = k } }
+
+// WithSeed seeds all randomness (dataset generation, init, shuffling).
+func WithSeed(seed uint64) Option { return func(c *expConfig) { c.core.Seed = seed } }
+
+// WithShuffle explicitly selects the distributed shuffling strategy.
+// Unlike the legacy Config.Shuffle field — whose ShuffleGlobal value is
+// indistinguishable from "unset", so GenDistIndex silently overrides it —
+// this option always wins: WithShuffle(ShuffleGlobal) forces global
+// shuffling on any strategy. Omit it to accept the strategy's default
+// (global; batch for StrategyGenDistIndex).
+func WithShuffle(s Shuffle) Option {
+	return func(c *expConfig) {
+		c.core.Sampler = s
+		c.shuffleSet = true
+	}
+}
+
+// WithGradStack configures the gradient-exchange collective stack.
+func WithGradStack(gs GradStack) Option {
+	return func(c *expConfig) {
+		c.core.GradAlgo = gs.Algo
+		c.core.Topology = gs.Topology
+		c.core.GradFP16 = gs.FP16
+		c.core.GradAutoTune = gs.AutoTune
+		c.core.GradBucketBytes = gs.BucketBytes
+	}
+}
+
+// WithSpatial partitions the sensor graph into shards node blocks,
+// multiplying the worker grid into a 2D (spatial x data) layout. Requires
+// StrategyDistIndex and a graph-convolutional model.
+func WithSpatial(shards int) Option {
+	return func(c *expConfig) { c.core.Spatial = Spatial{Shards: shards} }
+}
+
+// WithMemoryCaps caps the byte-exact memory trackers in GiB (0 =
+// unlimited). A run exceeding the system cap reports OOM.
+func WithMemoryCaps(systemGB, gpuGB float64) Option {
+	return func(c *expConfig) {
+		c.core.SystemMemory = int64(systemGB * float64(gib))
+		c.core.GPUMemory = int64(gpuGB * float64(gib))
+	}
+}
+
+// WithMissingData zeroes each observation with probability frac and trains
+// with the masked-MAE loss.
+func WithMissingData(frac float64) Option {
+	return func(c *expConfig) { c.core.MissingFrac = frac }
+}
+
+// WithWarmStart initializes the model parameters from a checkpoint before
+// training (optimizer state and epoch counter start fresh).
+func WithWarmStart(path string) Option {
+	return func(c *expConfig) {
+		c.core.LoadCheckpoint = path
+		c.warmStart = true
+	}
+}
+
+// WithResume restores the full training state — parameters, Adam moments,
+// and the epoch cursor — from a checkpoint written by WithSaveCheckpoint,
+// and continues deterministically: the resumed curve matches a
+// straight-through run's tail bit for bit.
+func WithResume(path string) Option {
+	return func(c *expConfig) {
+		c.core.LoadCheckpoint = path
+		c.core.Resume = true
+		c.resume = true
+	}
+}
+
+// WithSaveCheckpoint writes the trained parameters plus the resumable
+// optimizer trailer after Fit (rank 0's replica for distributed
+// strategies).
+func WithSaveCheckpoint(path string) Option {
+	return func(c *expConfig) { c.core.SaveCheckpoint = path }
+}
+
+// WithForecasts attaches predictions for the first n test windows to the
+// report at Eval.
+func WithForecasts(n int) Option {
+	return func(c *expConfig) { c.core.EmitForecasts = n }
+}
+
+// WithTestEval forces the post-training test-split MSE evaluation for
+// distributed strategies (single-GPU strategies always evaluate).
+func WithTestEval() Option {
+	return func(c *expConfig) { c.core.EvalTest = true }
+}
+
+// WithEvents streams typed Events (epoch end, autotune lock-in, memory
+// high-water, OOM) to fn while Fit runs.
+func WithEvents(fn func(Event)) Option {
+	return func(c *expConfig) { c.core.Events = core.EventFunc(fn) }
+}
+
+// validate rejects illegal option combinations with typed errors before
+// any work happens. The engine re-checks the core invariants; the checks
+// here are the stricter API-boundary ones (the legacy Config shim stays
+// permissive where it always was).
+func (c *expConfig) validate() error {
+	cc := &c.core
+	dist := cc.Strategy.IsDistributed()
+	spatial := cc.Spatial.Enabled()
+	invalid := func(field, format string, args ...any) error {
+		return &InvalidConfigError{Field: field, Reason: fmt.Sprintf(format, args...)}
+	}
+	if cc.Scale < 0 || cc.Scale > 1 {
+		return invalid("Scale", "scale %v outside (0, 1] (0 selects full size)", cc.Scale)
+	}
+	if cc.MissingFrac < 0 || cc.MissingFrac >= 1 {
+		return invalid("MissingFrac", "missing fraction %v outside [0, 1)", cc.MissingFrac)
+	}
+	if cc.Workers > 1 && !dist {
+		return invalid("Workers", "%d workers need a distributed strategy, got %v", cc.Workers, cc.Strategy)
+	}
+	if spatial {
+		if cc.Strategy != StrategyDistIndex {
+			return invalid("Spatial", "spatial sharding requires StrategyDistIndex, got %v", cc.Strategy)
+		}
+		if cc.Model == ModelSTLLM {
+			return invalid("Spatial", "spatial sharding is unsupported for %v (full spatial attention has no node partition)", cc.Model)
+		}
+		if cc.GradAlgo != GradAlgoRing || cc.GradFP16 || cc.GradAutoTune || cc.GradBucketBytes != 0 {
+			return invalid("Spatial", "the collective stack (WithGradStack) is not yet supported with spatial sharding")
+		}
+	}
+	if cc.GradFP16 && !dist {
+		return invalid("GradStack", "fp16 gradient compression needs a distributed strategy (a single GPU ships no gradients)")
+	}
+	if cc.GradAutoTune && cc.GradAlgo == GradAlgoFlat {
+		return invalid("GradStack", "the flat algorithm has no buckets to autotune")
+	}
+	if cc.Topology.Nodes > 0 && cc.Topology.GPUsPerNode > 0 {
+		world := cc.Workers
+		if world < 1 {
+			world = 1
+		}
+		if spatial {
+			world *= cc.Spatial.Shards
+		}
+		if declared := cc.Topology.Nodes * cc.Topology.GPUsPerNode; world < declared {
+			return invalid("Workers", "topology declares a %dx%d grid (%d slots) but the run has only %d workers",
+				cc.Topology.Nodes, cc.Topology.GPUsPerNode, declared, world)
+		}
+	}
+	if c.warmStart && c.resume {
+		return invalid("Resume", "WithWarmStart and WithResume are mutually exclusive (one checkpoint path)")
+	}
+	return nil
+}
+
+// Experiment is the staged, composable training lifecycle behind Run:
+//
+//	exp, _ := pgti.NewExperiment("PeMS-BAY",
+//		pgti.WithStrategy(pgti.StrategyDistIndex),
+//		pgti.WithWorkers(4), pgti.WithEpochs(20))
+//	report, err := exp.Fit(ctx)      // cancellable, streams Events
+//	pred, _ := exp.Predictor()       // warm inference handle
+//	forecast, _ := pred.Predict(window)
+//
+// Stages auto-advance (Fit runs Open and Build if the caller has not), but
+// can be driven individually to recompose the engine: Open resolves the
+// dataset and pipeline, Build the model and distributed grid, Fit trains,
+// Eval computes test metrics, Predictor serves. The legacy Run(Config) is
+// a thin shim over this exact path and produces bitwise-identical curves.
+type Experiment struct {
+	eng *core.Engine
+}
+
+// NewExperiment configures a staged experiment on the named dataset.
+// Illegal option combinations return typed errors (*InvalidConfigError,
+// ErrUnknownDataset) immediately — nothing runs until Open/Fit.
+func NewExperiment(datasetName string, opts ...Option) (*Experiment, error) {
+	meta, err := dataset.ByName(datasetName)
+	if err != nil {
+		return nil, fmt.Errorf("pgti: %w (available: %v)", err, Datasets())
+	}
+	c := &expConfig{}
+	c.core.Meta = meta
+	for _, opt := range opts {
+		opt(c)
+	}
+	if err := c.validate(); err != nil {
+		return nil, fmt.Errorf("pgti: %w", err)
+	}
+	c.core.SamplerSet = c.shuffleSet
+	return &Experiment{eng: core.NewEngine(c.core)}, nil
+}
+
+// Open resolves the dataset and data pipeline (generation, preprocessing,
+// splits). Idempotent; Fit runs it automatically when skipped.
+func (e *Experiment) Open() error { return e.eng.Open() }
+
+// Build constructs the model, injects checkpoint state, and lays out the
+// distributed grid and per-worker memory accounting. Idempotent.
+func (e *Experiment) Build() error { return e.eng.Build() }
+
+// Fit trains, honoring ctx mid-epoch: on cancellation it returns the
+// partial report (completed epochs' curve) alongside an error wrapping
+// ctx.Err(). An exhausted memory cap returns the OOM-marked report
+// alongside a typed *OOMError. The report is also retained on the
+// experiment (see Report).
+func (e *Experiment) Fit(ctx context.Context) (*Report, error) {
+	err := e.eng.Fit(ctx)
+	return reportFromCore(e.eng.Report()), err
+}
+
+// Eval computes post-training test metrics (test MSE; forecasts when
+// WithForecasts was given) and returns the updated report.
+func (e *Experiment) Eval() (*Report, error) {
+	err := e.eng.Eval()
+	return reportFromCore(e.eng.Report()), err
+}
+
+// Predictor returns the warm, goroutine-safe inference handle over the
+// trained parameters and normalization statistics. Requires a completed
+// Fit (wraps ErrNotFitted otherwise).
+func (e *Experiment) Predictor() (*Predictor, error) { return e.eng.Predictor() }
+
+// Report returns the run's (possibly partial) report, or nil before Open.
+func (e *Experiment) Report() *Report { return reportFromCore(e.eng.Report()) }

@@ -351,6 +351,21 @@ func (w *Worker) AllReduceScalar(v float64, op ReduceOp) float64 {
 	return out
 }
 
+// AllReduceScalarFree reduces one value across workers WITHOUT charging the
+// virtual clock — the control-plane variant for out-of-band agreement (e.g.
+// per-step cancellation polling), where an 8-byte flag must not perturb the
+// modeled timeline. Clocks still synchronize to the generation's max, which
+// every synchronous training step does anyway at its barrier.
+func (w *Worker) AllReduceScalarFree(v float64, op ReduceOp) float64 {
+	p := w.Size()
+	if p == 1 {
+		return v
+	}
+	var out float64
+	w.vt, out = w.cluster.barrier.wait(w.rank, w.vt, 0, v, op)
+	return out
+}
+
 func mod(a, p int) int {
 	return ((a % p) + p) % p
 }

@@ -16,19 +16,16 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
-	"pgti/internal/batching"
 	"pgti/internal/cluster"
 	"pgti/internal/dataset"
 	"pgti/internal/ddp"
-	"pgti/internal/graph"
 	"pgti/internal/memsim"
 	"pgti/internal/metrics"
 	"pgti/internal/nn"
-	"pgti/internal/perfmodel"
 	"pgti/internal/shard"
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
@@ -159,15 +156,36 @@ type Config struct {
 	MissingFrac float64
 
 	// LoadCheckpoint initializes the model from a checkpoint file before
-	// training; SaveCheckpoint writes the trained parameters afterwards.
-	// Single-GPU strategies only.
+	// training (distributed strategies load it into every replica, which
+	// stays bitwise identical); SaveCheckpoint writes the trained
+	// parameters plus the optimizer trailer afterwards (rank 0's replica
+	// for distributed strategies — replicas are identical, so rank 0 is the
+	// run). Resume additionally restores the optimizer moments and the
+	// epoch cursor from LoadCheckpoint, so training continues exactly where
+	// the saved run stopped: Epochs then means the TOTAL epoch budget, and
+	// the resumed curve matches a straight-through run's tail bit for bit.
+	// A cancelled Fit also writes SaveCheckpoint (completed epochs survive
+	// Ctrl-C); resuming such a checkpoint redoes the interrupted epoch as a
+	// warm continuation rather than a bitwise replay.
 	LoadCheckpoint string
 	SaveCheckpoint string
+	Resume         bool
 
 	// EmitForecasts, when > 0, runs inference on the first N test snapshots
 	// after training and attaches the predictions (in original signal
-	// units) to the report. Single-GPU strategies only.
+	// units) to the report. Distributed strategies evaluate rank 0's
+	// replica.
 	EmitForecasts int
+
+	// EvalTest forces the post-training test-split evaluation for
+	// distributed strategies (single-GPU strategies always evaluate, the
+	// legacy behavior).
+	EvalTest bool
+
+	// Events, when set, receives the engine's typed event stream during
+	// Fit: epoch ends, autotune lock-in, memory high-water marks, OOM. See
+	// the Event type for the delivery contract.
+	Events EventFunc
 }
 
 func (c *Config) fillDefaults() {
@@ -303,289 +321,14 @@ func buildModel(kind ModelKind, seed uint64, supports []*sparse.CSR, in, hidden,
 	}
 }
 
-// Run executes the configured strategy in measured mode. Out-of-memory is a
-// result (Report.OOM), not an error — the experiments observe it, exactly
-// as the paper's Figs. 2 and 6 plot crashed runs.
+// Run executes the configured strategy in measured mode, composing the
+// staged Engine exactly as the legacy monolith did (Open → Build → Fit →
+// Eval); it is the compatibility shim over the staged lifecycle and is
+// pinned bitwise-identical to it by construction. Out-of-memory is a result
+// (Report.OOM), not an error — the experiments observe it, exactly as the
+// paper's Figs. 2 and 6 plot crashed runs.
 func Run(cfg Config) (*Report, error) {
-	cfg.fillDefaults()
-	meta := cfg.Meta
-	if cfg.Scale < 1 {
-		meta = meta.Scaled(cfg.Scale)
-	}
-	ds, err := dataset.Generate(meta, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.MissingFrac > 0 {
-		dataset.InjectMissing(ds.Data, cfg.MissingFrac, cfg.Seed^0xd20b)
-	}
-	sys := memsim.NewTracker("system", cfg.SystemMemory)
-	gpu := memsim.NewTracker("gpu", cfg.GPUMemory)
-
-	report := &Report{
-		Strategy:    cfg.Strategy,
-		Model:       cfg.Model,
-		DatasetName: meta.Name,
-		Workers:     cfg.Workers,
-		GlobalBatch: cfg.BatchSize * cfg.Workers,
-	}
-
-	// Stage 0/1: raw signal, then time-of-day augmentation (Fig. 3 stage 1).
-	if err := sys.Alloc("raw", ds.Data.NumBytes()); err != nil {
-		return oomReport(report, sys, gpu, err)
-	}
-	sys.Record(0.01)
-	aug := ds.Augmented()
-	if meta.TimeOfDay {
-		if err := sys.Alloc("data", aug.NumBytes()); err != nil {
-			return oomReport(report, sys, gpu, err)
-		}
-		sys.Free("raw", ds.Data.NumBytes())
-	} else {
-		// No augmentation: relabel the raw allocation as the data copy.
-		sys.Free("raw", ds.Data.NumBytes())
-		if err := sys.Alloc("data", aug.NumBytes()); err != nil {
-			return oomReport(report, sys, gpu, err)
-		}
-		aug = aug.Clone() // decouple from the generator's buffer
-	}
-	sys.Record(0.03)
-
-	fwd, bwd := ds.Graph.TransitionMatrices()
-	supports := []*sparse.CSR{fwd, bwd}
-	in := meta.Features()
-
-	factory := func(seed uint64) nn.SeqModel {
-		return buildModel(cfg.Model, seed, supports, in, cfg.Hidden, cfg.K, meta.Horizon, meta.Nodes)
-	}
-
-	start := time.Now()
-	switch cfg.Strategy {
-	case Baseline:
-		err = runBaselineSingleGPU(cfg, meta, aug, factory, sys, gpu, report)
-	case Index, GPUIndex:
-		err = runIndexSingleGPU(cfg, meta, aug, factory, sys, gpu, report)
-	case BaselineDDP, DistIndex, GenDistIndex:
-		err = runDistributed(cfg, meta, aug, ds.Graph, supports, factory, sys, gpu, report)
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
-	}
-	report.WallTime = time.Since(start)
-	report.PeakSystemBytes = sys.Peak()
-	report.PeakGPUBytes = gpu.Peak()
-	report.SystemSeries = sys.Series()
-	if err != nil {
-		var oom *memsim.OOMError
-		if errors.As(err, &oom) {
-			report.OOM = true
-			report.OOMError = err.Error()
-			return report, nil
-		}
-		return nil, err
-	}
-	return report, nil
-}
-
-func oomReport(r *Report, sys, gpu *memsim.Tracker, err error) (*Report, error) {
-	var oom *memsim.OOMError
-	if errors.As(err, &oom) {
-		r.OOM = true
-		r.OOMError = err.Error()
-		r.PeakSystemBytes = sys.Peak()
-		r.PeakGPUBytes = gpu.Peak()
-		r.SystemSeries = sys.Series()
-		return r, nil
-	}
-	return nil, err
-}
-
-// runDistributed drives the three DDP strategies through internal/ddp, and
-// the hybrid (spatial x data) grid through internal/shard when spatial
-// sharding is enabled.
-func runDistributed(cfg Config, meta dataset.Meta, aug *tensor.Tensor, g *graph.Graph, supports []*sparse.CSR, factory ddp.ModelFactory, sys, gpu *memsim.Tracker, report *Report) error {
-	idx, err := batching.NewIndexDataset(aug, meta.Horizon, batching.DefaultTrainFrac, sys)
-	if err != nil {
-		return err
-	}
-	report.RetainedDataBytes = idx.RetainedBytes()
-	sys.Record(0.08)
-	if cfg.Spatial.Enabled() {
-		return runHybrid(cfg, meta, idx, g, supports, sys, gpu, report)
-	}
-
-	// Per-worker replica + staging accounting. In-process all workers share
-	// one address space; the tracker reflects what a real deployment holds
-	// per strategy: DistIndex replicates the dataset per worker, the
-	// partitioned strategies hold one share each.
-	model := factory(cfg.Seed)
-	paramBytes := nn.ParameterBytes(model)
-	batchBytes := 2 * int64(cfg.BatchSize) * int64(meta.Horizon) * int64(meta.Nodes) * int64(meta.Features()) * 8
-	perWorkerData := int64(0)
-	if cfg.Strategy == DistIndex {
-		perWorkerData = idx.RetainedBytes() // full local copy per worker
-	} else {
-		perWorkerData = idx.RetainedBytes() / int64(cfg.Workers)
-	}
-	for w := 0; w < cfg.Workers; w++ {
-		if err := sys.Alloc("worker.replica", paramBytes+batchBytes); err != nil {
-			return err
-		}
-		if w > 0 { // worker 0's share is the tracked "data" allocation
-			if err := sys.Alloc("worker.data", perWorkerData); err != nil {
-				return err
-			}
-		}
-		if err := gpu.Alloc("worker.gpu", paramBytes+batchBytes); err != nil {
-			return err
-		}
-	}
-	report.SpatialShards = 1
-	report.PerWorkerBytes = paramBytes + batchBytes + perWorkerData
-	sys.Record(0.10)
-
-	ddpCfg := ddp.Config{
-		Workers:         cfg.Workers,
-		BatchSize:       cfg.BatchSize,
-		Epochs:          cfg.Epochs,
-		LR:              cfg.LR,
-		UseLRScaling:    cfg.UseLRScaling,
-		ClipNorm:        cfg.ClipNorm,
-		Sampler:         cfg.Sampler,
-		Seed:            cfg.Seed,
-		RemoteFetch:     cfg.Strategy == BaselineDDP,
-		Sync:            cfg.GradSync,
-		BucketBytes:     cfg.GradBucketBytes,
-		Algo:            cfg.GradAlgo,
-		Topology:        cfg.Topology,
-		FP16:            cfg.GradFP16,
-		AutoTuneBuckets: cfg.GradAutoTune,
-	}
-	if cfg.Strategy == GenDistIndex && cfg.Workers > 1 {
-		// The larger-than-memory layout: rows partitioned across workers;
-		// only boundary rows travel.
-		store, err := batching.NewPartitionStore(idx, cfg.Workers)
-		if err != nil {
-			return err
-		}
-		ddpCfg.Store = store
-	}
-	res, err := ddp.Train(idx, batching.MakeSplit(idx.NumSnapshots(), batching.DefaultTrainFrac, batching.DefaultValFrac), factory, ddpCfg)
-	if err != nil {
-		return err
-	}
-	sys.Record(1.0)
-	report.Curve = res.Curve
-	report.VirtualTime = res.VirtualTime
-	report.CommTime = res.CommTime
-	report.CommHiddenTime = res.CommHiddenTime
-	report.GradBuckets = res.GradBuckets
-	report.GradBucketBytes = res.BucketBytes
-	report.CommBytesSaved = res.CommBytesSaved
-	report.Steps = res.Steps
-	report.GradSyncBytes = res.GradSyncBytes
-	return nil
-}
-
-// runHybrid drives the 2D (spatial x data) grid: cfg.Spatial.Shards node
-// blocks times cfg.Workers data replicas. Each worker's tracked footprint is
-// only its ~N/P share of the node features plus a transient halo slab, the
-// memory axis spatial sharding exists to shrink.
-func runHybrid(cfg Config, meta dataset.Meta, idx *batching.IndexDataset, g *graph.Graph, supports []*sparse.CSR, sys, gpu *memsim.Tracker, report *Report) error {
-	if cfg.Strategy != DistIndex {
-		return fmt.Errorf("core: spatial sharding requires the dist-index strategy, got %v", cfg.Strategy)
-	}
-	if cfg.Model == ModelSTLLM {
-		return fmt.Errorf("core: spatial sharding is unsupported for %v (full spatial attention has no node partition)", cfg.Model)
-	}
-	// The hybrid trainer's two-stage sync does not speak the collective
-	// stack's dialects yet (ROADMAP follow-up); reject rather than silently
-	// ignore the knobs. GradSync cannot be policed the same way (its zero
-	// value is SyncBucketedOverlap): under sharding the gradient sync is
-	// always the fully-exposed flat two-stage exchange, whatever GradSync
-	// says, and Report.CommHiddenTime is therefore always zero.
-	if cfg.GradAlgo != ddp.GradAlgoRing || cfg.GradFP16 || cfg.GradAutoTune || cfg.GradBucketBytes != 0 {
-		return fmt.Errorf("core: GradAlgo/GradFP16/GradAutoTune/GradBucketBytes are not yet supported with spatial sharding")
-	}
-	if cfg.Model == ModelA3TGCN {
-		supports = supports[:1] // A3T-GCN diffuses over the forward support only
-	}
-	shards := cfg.Spatial.Shards
-	plan, err := shard.BuildPlan(g, supports, shards)
-	if err != nil {
-		return err
-	}
-	report.SpatialShards = shards
-	report.EdgeCut = plan.EdgeCut
-
-	// Per-worker accounting on the 2D grid: replica parameters, the owned
-	// slice of batch staging, the ~N/P node-feature share, and the halo
-	// staging slab (kept under its own label so the overhead stays visible
-	// next to the N/P claim).
-	in := meta.Features()
-	factory := func(seed uint64, props []nn.Propagator) nn.SeqModel {
-		return buildModelOn(cfg.Model, seed, props, in, cfg.Hidden, cfg.K, meta.Horizon)
-	}
-	model := factory(cfg.Seed, nn.WrapSupports(supports))
-	paramBytes := nn.ParameterBytes(model)
-	maxOwn, maxHalo := plan.MaxOwn(), plan.MaxHalo()
-	batchBytes := 2 * int64(cfg.BatchSize) * int64(meta.Horizon) * int64(maxOwn) * int64(in) * 8
-	dataShare := idx.RetainedBytes() * int64(maxOwn) / int64(meta.Nodes)
-	haloSlab := perfmodel.HaloSlabBytes(maxHalo, cfg.BatchSize, in, cfg.Hidden)
-	// Worker 0's share is the tracked "data" allocation, but under spatial
-	// sharding no worker holds the full node axis: release the non-owned
-	// portion of the single copy so the tracker reflects the ~N/P footprint
-	// the subsystem exists to provide (peers' shares are charged below).
-	if full := sys.LabelBytes("data"); full > 0 {
-		sys.Free("data", full-full*int64(maxOwn)/int64(meta.Nodes))
-	}
-	world := shards * cfg.Workers
-	for w := 0; w < world; w++ {
-		if err := sys.Alloc("worker.replica", paramBytes+batchBytes); err != nil {
-			return err
-		}
-		if err := sys.Alloc("worker.halo", haloSlab); err != nil {
-			return err
-		}
-		if w > 0 { // worker 0's share is the tracked "data" allocation
-			if err := sys.Alloc("worker.data", dataShare); err != nil {
-				return err
-			}
-		}
-		if err := gpu.Alloc("worker.gpu", paramBytes+batchBytes+haloSlab); err != nil {
-			return err
-		}
-	}
-	report.PerWorkerBytes = paramBytes + batchBytes + dataShare + haloSlab
-	sys.Record(0.10)
-
-	res, err := shard.Train(idx, batching.MakeSplit(idx.NumSnapshots(), batching.DefaultTrainFrac, batching.DefaultValFrac), g, supports, factory, shard.Config{
-		Shards:       shards,
-		Replicas:     cfg.Workers,
-		BatchSize:    cfg.BatchSize,
-		Epochs:       cfg.Epochs,
-		LR:           cfg.LR,
-		UseLRScaling: cfg.UseLRScaling,
-		ClipNorm:     cfg.ClipNorm,
-		Sampler:      cfg.Sampler,
-		Seed:         cfg.Seed,
-		Topology:     cfg.Topology,
-		Plan:         plan,
-	})
-	if err != nil {
-		return err
-	}
-	sys.Record(1.0)
-	report.Workers = world
-	report.GlobalBatch = res.GlobalBatch
-	report.Curve = res.Curve
-	report.VirtualTime = res.VirtualTime
-	report.CommTime = res.CommTime
-	report.HaloBytes = res.HaloBytes
-	report.HaloTime = res.HaloTime
-	report.Steps = res.Steps
-	report.GradSyncBytes = res.GradSyncBytes
-	report.GradBuckets = 1
-	return nil
+	return NewEngine(cfg).runAll(context.Background())
 }
 
 // buildModelOn constructs the configured model over explicit propagators

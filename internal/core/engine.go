@@ -1,0 +1,876 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pgti/internal/autograd"
+	"pgti/internal/batching"
+	"pgti/internal/dataset"
+	"pgti/internal/ddp"
+	"pgti/internal/device"
+	"pgti/internal/graph"
+	"pgti/internal/memsim"
+	"pgti/internal/metrics"
+	"pgti/internal/nn"
+	"pgti/internal/perfmodel"
+	"pgti/internal/shard"
+	"pgti/internal/sparse"
+	"pgti/internal/tensor"
+)
+
+// engineStage tracks lifecycle progress.
+type engineStage int
+
+const (
+	stageNew engineStage = iota
+	stageOpened
+	stageBuilt
+	stageFitted
+)
+
+// Engine is the staged training lifecycle behind Run:
+//
+//	Open  — dataset generation, memory trackers, pipeline (preprocessing)
+//	        and strategy resolution;
+//	Build — model construction, checkpoint injection, distributed grid and
+//	        per-worker memory accounting;
+//	Fit   — the training loop, cancellable via context and observable via
+//	        the Config.Events stream;
+//	Eval  — post-training test metrics and forecast emission;
+//	Predictor — a warm, goroutine-safe inference handle over the trained
+//	        parameters and normalization statistics.
+//
+// Stages auto-advance (Fit runs Open and Build if the caller has not), so
+// Run is literally Open→Build→Fit→Eval — the compatibility shim and the
+// staged path share every instruction and produce bitwise-identical curves.
+// Any stage may return a typed *OOMError; Run converts it into a reported
+// outcome (Report.OOM), stage callers receive it as an error alongside the
+// partially-filled Report.
+type Engine struct {
+	cfg   Config
+	stage engineStage
+
+	meta     dataset.Meta
+	sys, gpu *memsim.Tracker
+	report   *Report
+
+	aug      *tensor.Tensor
+	g        *graph.Graph
+	supports []*sparse.CSR
+	in       int
+
+	// Single-GPU pipeline.
+	src         batchSource
+	gpuResident bool
+
+	// Distributed pipeline.
+	idx           *batching.IndexDataset
+	factory       ddp.ModelFactory
+	ddpCfg        ddp.Config
+	shardCfg      shard.Config
+	hybrid        bool
+	shardFactory  shard.ModelFactory
+	shardSupports []*sparse.CSR // supports trimmed for the sharded model
+
+	// Built state. After Fit, model/opt hold the trained parameters and
+	// optimizer — rank 0's replica for distributed strategies, a rebuilt
+	// full-graph model for spatially sharded ones.
+	model        nn.SeqModel
+	opt          *nn.Adam
+	split        batching.Split
+	startEpoch   int
+	batchBytes   int64
+	fitAttempted bool
+
+	peakEmitted int64
+}
+
+// NewEngine constructs an engine over cfg. No work happens until Open.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{cfg: cfg}
+}
+
+// Report returns the run's (possibly partial) report. It is valid after
+// Open and grows as stages complete; after a cancelled Fit it holds the
+// partial curve.
+func (e *Engine) Report() *Report { return e.report }
+
+// Config returns the engine's configuration after defaulting.
+func (e *Engine) Config() Config { return e.cfg }
+
+func (e *Engine) emit(ev Event) {
+	if e.cfg.Events != nil {
+		e.cfg.Events(ev)
+	}
+}
+
+// emitPeak reports system-tracker high-water growth since the last check.
+func (e *Engine) emitPeak() {
+	if e.cfg.Events == nil || e.sys == nil {
+		return
+	}
+	if peak := e.sys.Peak(); peak > e.peakEmitted {
+		e.peakEmitted = peak
+		e.emit(MemoryEvent{Tracker: "system", PeakBytes: peak})
+	}
+}
+
+// syncMem mirrors the trackers into the report so partial reports (OOM,
+// cancellation) carry coherent accounting.
+func (e *Engine) syncMem() {
+	if e.report == nil {
+		return
+	}
+	e.report.PeakSystemBytes = e.sys.Peak()
+	e.report.PeakGPUBytes = e.gpu.Peak()
+	e.report.SystemSeries = e.sys.Series()
+}
+
+// seal wraps a stage body: accumulates wall time, mirrors memory
+// accounting, and marks the report on OOM (emitting OOMEvent) while still
+// returning the typed error to the caller.
+func (e *Engine) seal(start time.Time, err error) error {
+	if e.report != nil {
+		e.report.WallTime += time.Since(start)
+	}
+	e.syncMem()
+	if err != nil {
+		var oom *memsim.OOMError
+		if errors.As(err, &oom) {
+			e.report.OOM = true
+			e.report.OOMError = err.Error()
+			e.emit(OOMEvent{Err: err})
+		}
+	}
+	return err
+}
+
+// validate rejects illegal configurations with typed errors. It runs after
+// fillDefaults, so zero values have already been resolved.
+func (e *Engine) validate() error {
+	cfg := &e.cfg
+	switch cfg.Strategy {
+	case Baseline, Index, GPUIndex, BaselineDDP, DistIndex, GenDistIndex:
+	default:
+		return invalidf("Strategy", "unknown strategy %v", cfg.Strategy)
+	}
+	if cfg.Spatial.Enabled() {
+		if cfg.Strategy != DistIndex {
+			return invalidf("Spatial", "spatial sharding requires the dist-index strategy, got %v", cfg.Strategy)
+		}
+		if cfg.Model == ModelSTLLM {
+			return invalidf("Spatial", "spatial sharding is unsupported for %v (full spatial attention has no node partition)", cfg.Model)
+		}
+		// The hybrid trainer's two-stage sync does not speak the collective
+		// stack's dialects yet (ROADMAP follow-up); reject rather than
+		// silently ignore the knobs. GradSync cannot be policed the same way
+		// (its zero value is SyncBucketedOverlap): under sharding the
+		// gradient sync is always the fully-exposed flat two-stage exchange.
+		if cfg.GradAlgo != ddp.GradAlgoRing || cfg.GradFP16 || cfg.GradAutoTune || cfg.GradBucketBytes != 0 {
+			return invalidf("Spatial", "GradAlgo/GradFP16/GradAutoTune/GradBucketBytes are not yet supported with spatial sharding")
+		}
+	}
+	if cfg.Resume && cfg.LoadCheckpoint == "" {
+		return invalidf("Resume", "Resume requires LoadCheckpoint to name the train-state file")
+	}
+	return nil
+}
+
+// Open resolves the dataset and the data pipeline: generation, optional
+// failure injection, memory trackers, augmentation, preprocessing
+// (standard or index-batched), and the train/val/test split. Idempotent.
+func (e *Engine) Open() error {
+	if e.stage >= stageOpened {
+		return nil
+	}
+	start := time.Now()
+	err := e.open()
+	if e.report == nil {
+		// Validation failed before the report skeleton existed.
+		e.report = &Report{Strategy: e.cfg.Strategy, Model: e.cfg.Model}
+		e.sys = memsim.NewTracker("system", 0)
+		e.gpu = memsim.NewTracker("gpu", 0)
+	}
+	if err = e.seal(start, err); err != nil {
+		return err
+	}
+	e.stage = stageOpened
+	e.emitPeak()
+	return nil
+}
+
+func (e *Engine) open() error {
+	cfg := &e.cfg
+	cfg.fillDefaults()
+	if err := e.validate(); err != nil {
+		return err
+	}
+	meta := cfg.Meta
+	if cfg.Scale < 1 {
+		meta = meta.Scaled(cfg.Scale)
+	}
+	e.meta = meta
+	ds, err := dataset.Generate(meta, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if cfg.MissingFrac > 0 {
+		dataset.InjectMissing(ds.Data, cfg.MissingFrac, cfg.Seed^0xd20b)
+	}
+	e.sys = memsim.NewTracker("system", cfg.SystemMemory)
+	e.gpu = memsim.NewTracker("gpu", cfg.GPUMemory)
+	sys, gpu := e.sys, e.gpu
+
+	e.report = &Report{
+		Strategy:    cfg.Strategy,
+		Model:       cfg.Model,
+		DatasetName: meta.Name,
+		Workers:     cfg.Workers,
+		GlobalBatch: cfg.BatchSize * cfg.Workers,
+	}
+
+	// Stage 0/1: raw signal, then time-of-day augmentation (Fig. 3 stage 1).
+	if err := sys.Alloc("raw", ds.Data.NumBytes()); err != nil {
+		return err
+	}
+	sys.Record(0.01)
+	aug := ds.Augmented()
+	if meta.TimeOfDay {
+		if err := sys.Alloc("data", aug.NumBytes()); err != nil {
+			return err
+		}
+		sys.Free("raw", ds.Data.NumBytes())
+	} else {
+		// No augmentation: relabel the raw allocation as the data copy.
+		sys.Free("raw", ds.Data.NumBytes())
+		if err := sys.Alloc("data", aug.NumBytes()); err != nil {
+			return err
+		}
+		aug = aug.Clone() // decouple from the generator's buffer
+	}
+	sys.Record(0.03)
+	e.aug = aug
+	e.g = ds.Graph
+
+	fwd, bwd := ds.Graph.TransitionMatrices()
+	e.supports = []*sparse.CSR{fwd, bwd}
+	e.in = meta.Features()
+
+	// Pipeline resolution per strategy.
+	switch cfg.Strategy {
+	case Baseline:
+		res, err := batching.StandardPreprocess(aug, meta.Horizon, batching.DefaultTrainFrac, sys)
+		if err != nil {
+			return err
+		}
+		// The augmented source array is released once the materialized x/y
+		// arrays exist (the reference keeps only the preprocessed data).
+		sys.FreeAll("data")
+		e.report.RetainedDataBytes = res.StandardRetainedBytes()
+		sys.Record(0.10)
+		e.src = standardSource{res}
+	case Index, GPUIndex:
+		idx, err := batching.NewIndexDataset(aug, meta.Horizon, batching.DefaultTrainFrac, sys)
+		if err != nil {
+			return err
+		}
+		e.report.RetainedDataBytes = idx.RetainedBytes()
+		sys.Record(0.10)
+		e.gpuResident = cfg.Strategy == GPUIndex
+		if e.gpuResident {
+			// One consolidated staging copy: the dataset moves to the device
+			// and the host copy is released (§4.1, GPU-index-batching).
+			if err := gpu.Alloc("data", idx.Data.NumBytes()); err != nil {
+				return err
+			}
+			e.report.VirtualTime += device.NewGPU("stage", 0).TransferTime(idx.Data.NumBytes())
+			sys.FreeAll("data")
+			sys.Record(0.12)
+		}
+		e.idx = idx
+		e.src = &indexSource{ds: idx}
+	default: // distributed strategies
+		idx, err := batching.NewIndexDataset(aug, meta.Horizon, batching.DefaultTrainFrac, sys)
+		if err != nil {
+			return err
+		}
+		e.idx = idx
+		e.report.RetainedDataBytes = idx.RetainedBytes()
+		sys.Record(0.08)
+	}
+
+	n := e.numSnapshots()
+	e.split = batching.MakeSplit(n, batching.DefaultTrainFrac, batching.DefaultValFrac)
+	return nil
+}
+
+func (e *Engine) numSnapshots() int {
+	if e.src != nil {
+		return e.src.NumSnapshots()
+	}
+	return e.idx.NumSnapshots()
+}
+
+// Build constructs the model (and, for distributed strategies, the process
+// grid and per-worker memory accounting), injects checkpoint state, and
+// prepares the optimizer. Runs Open first if needed. Idempotent.
+func (e *Engine) Build() error {
+	if e.stage >= stageBuilt {
+		return nil
+	}
+	if err := e.Open(); err != nil {
+		return err
+	}
+	start := time.Now()
+	var err error
+	switch {
+	case !e.cfg.Strategy.IsDistributed():
+		err = e.buildSingle()
+	case e.cfg.Spatial.Enabled():
+		err = e.buildHybrid()
+	default:
+		err = e.buildDistributed()
+	}
+	if err = e.seal(start, err); err != nil {
+		return err
+	}
+	e.stage = stageBuilt
+	e.emitPeak()
+	return nil
+}
+
+// loadInto loads the configured checkpoint into model, returning the resume
+// state when Config.Resume asked for it (nil otherwise).
+func (e *Engine) loadInto(model nn.SeqModel) (*nn.TrainState, error) {
+	if e.cfg.LoadCheckpoint == "" {
+		return nil, nil
+	}
+	if e.cfg.Resume {
+		st, err := nn.LoadTrainStateFile(e.cfg.LoadCheckpoint, model)
+		if err != nil {
+			return nil, err
+		}
+		if st == nil {
+			return nil, fmt.Errorf("core: %s is a params-only checkpoint; Resume needs the optimizer trailer (written by SaveCheckpoint)", e.cfg.LoadCheckpoint)
+		}
+		return st, nil
+	}
+	return nil, nn.LoadCheckpointFile(e.cfg.LoadCheckpoint, model)
+}
+
+func (e *Engine) buildSingle() error {
+	cfg := &e.cfg
+	factory := e.singleFactory()
+	model := factory(cfg.Seed)
+	state, err := e.loadInto(model)
+	if err != nil {
+		return err
+	}
+	if err := e.gpu.Alloc("model.params", nn.ParameterBytes(model)); err != nil {
+		return err
+	}
+	e.model = model
+	e.opt = nn.NewAdam(model, cfg.LR)
+	if state != nil {
+		if err := e.opt.RestoreMoments(state.M, state.V, state.Step); err != nil {
+			return err
+		}
+		e.startEpoch = state.NextEpoch
+	}
+	e.batchBytes = 2 * int64(cfg.BatchSize) * int64(e.meta.Horizon) * int64(e.meta.Nodes) * int64(e.meta.Features()) * 8
+	if e.gpuResident {
+		// The batch staging buffer lives on the device permanently.
+		if err := e.gpu.Alloc("batch.buffer", e.batchBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) singleFactory() ddp.ModelFactory {
+	cfg := &e.cfg
+	meta := e.meta
+	supports := e.supports
+	return func(seed uint64) nn.SeqModel {
+		return buildModel(cfg.Model, seed, supports, e.in, cfg.Hidden, cfg.K, meta.Horizon, meta.Nodes)
+	}
+}
+
+// checkpointInit loads the configured checkpoint once into probe and
+// returns (a) the per-worker injection hook replaying the snapshot
+// deterministically on every rank, and (b) the resume epoch.
+func (e *Engine) checkpointInit(probe nn.SeqModel) (func(nn.SeqModel, *nn.Adam) error, int, error) {
+	if e.cfg.LoadCheckpoint == "" {
+		return nil, 0, nil
+	}
+	state, err := e.loadInto(probe)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap := snapshotParams(probe)
+	startEpoch := 0
+	if state != nil {
+		startEpoch = state.NextEpoch
+	}
+	init := func(m nn.SeqModel, opt *nn.Adam) error {
+		if err := restoreParams(m, snap); err != nil {
+			return err
+		}
+		if state != nil {
+			return opt.RestoreMoments(state.M, state.V, state.Step)
+		}
+		return nil
+	}
+	return init, startEpoch, nil
+}
+
+// snapshotParams deep-copies a model's parameters in declaration order.
+func snapshotParams(m nn.SeqModel) [][]float64 {
+	params := m.Parameters()
+	snap := make([][]float64, len(params))
+	for i, p := range params {
+		snap[i] = append([]float64(nil), p.Tensor().Contiguous().Data()...)
+	}
+	return snap
+}
+
+// restoreParams copies a snapshot into a model of identical architecture.
+func restoreParams(m nn.SeqModel, snap [][]float64) error {
+	params := m.Parameters()
+	if len(params) != len(snap) {
+		return fmt.Errorf("core: snapshot has %d parameters, model has %d", len(snap), len(params))
+	}
+	for i, p := range params {
+		dst := p.Tensor().Data()
+		if len(dst) != len(snap[i]) {
+			return fmt.Errorf("core: parameter %q has %d elements, snapshot %d", p.Name, len(dst), len(snap[i]))
+		}
+		copy(dst, snap[i])
+	}
+	return nil
+}
+
+func (e *Engine) buildDistributed() error {
+	cfg := &e.cfg
+	meta := e.meta
+	sys, gpu := e.sys, e.gpu
+	e.factory = e.singleFactory()
+
+	// Per-worker replica + staging accounting. In-process all workers share
+	// one address space; the tracker reflects what a real deployment holds
+	// per strategy: DistIndex replicates the dataset per worker, the
+	// partitioned strategies hold one share each.
+	model := e.factory(cfg.Seed)
+	init, startEpoch, err := e.checkpointInit(model)
+	if err != nil {
+		return err
+	}
+	e.startEpoch = startEpoch
+	paramBytes := nn.ParameterBytes(model)
+	batchBytes := 2 * int64(cfg.BatchSize) * int64(meta.Horizon) * int64(meta.Nodes) * int64(meta.Features()) * 8
+	perWorkerData := int64(0)
+	if cfg.Strategy == DistIndex {
+		perWorkerData = e.idx.RetainedBytes() // full local copy per worker
+	} else {
+		perWorkerData = e.idx.RetainedBytes() / int64(cfg.Workers)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		if err := sys.Alloc("worker.replica", paramBytes+batchBytes); err != nil {
+			return err
+		}
+		if w > 0 { // worker 0's share is the tracked "data" allocation
+			if err := sys.Alloc("worker.data", perWorkerData); err != nil {
+				return err
+			}
+		}
+		if err := gpu.Alloc("worker.gpu", paramBytes+batchBytes); err != nil {
+			return err
+		}
+	}
+	e.report.SpatialShards = 1
+	e.report.PerWorkerBytes = paramBytes + batchBytes + perWorkerData
+	sys.Record(0.10)
+
+	e.ddpCfg = ddp.Config{
+		Workers:         cfg.Workers,
+		BatchSize:       cfg.BatchSize,
+		Epochs:          cfg.Epochs,
+		StartEpoch:      e.startEpoch,
+		LR:              cfg.LR,
+		UseLRScaling:    cfg.UseLRScaling,
+		ClipNorm:        cfg.ClipNorm,
+		Sampler:         cfg.Sampler,
+		Seed:            cfg.Seed,
+		RemoteFetch:     cfg.Strategy == BaselineDDP,
+		Sync:            cfg.GradSync,
+		BucketBytes:     cfg.GradBucketBytes,
+		Algo:            cfg.GradAlgo,
+		Topology:        cfg.Topology,
+		FP16:            cfg.GradFP16,
+		AutoTuneBuckets: cfg.GradAutoTune,
+		Init:            init,
+	}
+	if cfg.Strategy == GenDistIndex && cfg.Workers > 1 {
+		// The larger-than-memory layout: rows partitioned across workers;
+		// only boundary rows travel.
+		store, err := batching.NewPartitionStore(e.idx, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		e.ddpCfg.Store = store
+	}
+	return nil
+}
+
+func (e *Engine) buildHybrid() error {
+	cfg := &e.cfg
+	meta := e.meta
+	sys, gpu := e.sys, e.gpu
+	e.hybrid = true
+	supports := e.supports
+	if cfg.Model == ModelA3TGCN {
+		supports = supports[:1] // A3T-GCN diffuses over the forward support only
+	}
+	shards := cfg.Spatial.Shards
+	plan, err := shard.BuildPlan(e.g, supports, shards)
+	if err != nil {
+		return err
+	}
+	e.report.SpatialShards = shards
+	e.report.EdgeCut = plan.EdgeCut
+
+	// Per-worker accounting on the 2D grid: replica parameters, the owned
+	// slice of batch staging, the ~N/P node-feature share, and the halo
+	// staging slab (kept under its own label so the overhead stays visible
+	// next to the N/P claim).
+	in := meta.Features()
+	e.shardSupports = supports
+	e.shardFactory = func(seed uint64, props []nn.Propagator) nn.SeqModel {
+		return buildModelOn(cfg.Model, seed, props, in, cfg.Hidden, cfg.K, meta.Horizon)
+	}
+	model := e.shardFactory(cfg.Seed, nn.WrapSupports(supports))
+	init, startEpoch, err := e.checkpointInit(model)
+	if err != nil {
+		return err
+	}
+	e.startEpoch = startEpoch
+	paramBytes := nn.ParameterBytes(model)
+	maxOwn, maxHalo := plan.MaxOwn(), plan.MaxHalo()
+	batchBytes := 2 * int64(cfg.BatchSize) * int64(meta.Horizon) * int64(maxOwn) * int64(in) * 8
+	dataShare := e.idx.RetainedBytes() * int64(maxOwn) / int64(meta.Nodes)
+	haloSlab := perfmodel.HaloSlabBytes(maxHalo, cfg.BatchSize, in, cfg.Hidden)
+	// Worker 0's share is the tracked "data" allocation, but under spatial
+	// sharding no worker holds the full node axis: release the non-owned
+	// portion of the single copy so the tracker reflects the ~N/P footprint
+	// the subsystem exists to provide (peers' shares are charged below).
+	if full := sys.LabelBytes("data"); full > 0 {
+		sys.Free("data", full-full*int64(maxOwn)/int64(meta.Nodes))
+	}
+	world := shards * cfg.Workers
+	for w := 0; w < world; w++ {
+		if err := sys.Alloc("worker.replica", paramBytes+batchBytes); err != nil {
+			return err
+		}
+		if err := sys.Alloc("worker.halo", haloSlab); err != nil {
+			return err
+		}
+		if w > 0 { // worker 0's share is the tracked "data" allocation
+			if err := sys.Alloc("worker.data", dataShare); err != nil {
+				return err
+			}
+		}
+		if err := gpu.Alloc("worker.gpu", paramBytes+batchBytes+haloSlab); err != nil {
+			return err
+		}
+	}
+	e.report.PerWorkerBytes = paramBytes + batchBytes + dataShare + haloSlab
+	sys.Record(0.10)
+
+	e.shardCfg = shard.Config{
+		Shards:       shards,
+		Replicas:     cfg.Workers,
+		BatchSize:    cfg.BatchSize,
+		Epochs:       cfg.Epochs,
+		StartEpoch:   e.startEpoch,
+		LR:           cfg.LR,
+		UseLRScaling: cfg.UseLRScaling,
+		ClipNorm:     cfg.ClipNorm,
+		Sampler:      cfg.Sampler,
+		Seed:         cfg.Seed,
+		Topology:     cfg.Topology,
+		Plan:         plan,
+		Init:         init,
+	}
+	return nil
+}
+
+// Fit trains. The context is honored mid-epoch: single-GPU runs poll it per
+// batch, distributed runs agree on it per step through a scalar collective
+// (only when the context is cancellable, so plain runs keep the legacy
+// virtual timeline). On cancellation Fit returns an error wrapping
+// ctx.Err() and the Report holds the completed epochs' curve ("partial
+// curve"). Events (epoch end, autotune lock-in, memory high-water, OOM)
+// stream through Config.Events. Runs Open and Build first if needed.
+func (e *Engine) Fit(ctx context.Context) error {
+	if e.stage >= stageFitted || e.fitAttempted {
+		// One Fit per engine, even after a cancelled or failed attempt:
+		// the model and optimizer are already mutated, so rerunning would
+		// silently retrain on dirty state. Build a new engine to retrain.
+		return ErrFitted
+	}
+	if err := e.Build(); err != nil {
+		return err
+	}
+	e.fitAttempted = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	var err error
+	switch {
+	case !e.cfg.Strategy.IsDistributed():
+		err = e.fitSingle(ctx)
+	case e.hybrid:
+		err = e.fitHybrid(ctx)
+	default:
+		err = e.fitDistributed(ctx)
+	}
+	if err = e.seal(start, err); err != nil {
+		return err
+	}
+	e.stage = stageFitted
+	e.emitPeak()
+	return nil
+}
+
+// saveState writes the resumable checkpoint (parameters + optimizer
+// trailer). nextEpoch is the first epoch a resumed run should execute: the
+// epoch budget for completed runs, the interrupted epoch for cancelled
+// ones. A checkpoint from a completed run resumes bitwise-equal to a
+// straight-through run; one from a cancelled run redoes the interrupted
+// epoch on state that already absorbed part of it (a warm continuation,
+// not a bitwise replay).
+func (e *Engine) saveState(nextEpoch int) error {
+	if e.cfg.SaveCheckpoint == "" {
+		return nil
+	}
+	if nextEpoch < e.startEpoch {
+		// A resume whose budget was already spent must not rewind the
+		// loaded cursor.
+		nextEpoch = e.startEpoch
+	}
+	return nn.SaveTrainStateFile(e.cfg.SaveCheckpoint, e.model, e.opt, nextEpoch)
+}
+
+// fitSingle is the single-GPU epoch loop with byte-exact GPU accounting and
+// a transfer-cost virtual clock.
+func (e *Engine) fitSingle(ctx context.Context) error {
+	cfg := &e.cfg
+	src, model, opt, report := e.src, e.model, e.opt, e.report
+	sys, gpu := e.sys, e.gpu
+	sampler := batching.NewGlobalShuffler(e.split.Train, cfg.BatchSize, 1, 0, cfg.Seed)
+	xfer := device.NewGPU("train", 0)
+
+	totalBatches := 0
+	for epoch := e.startEpoch; epoch < cfg.Epochs; epoch++ {
+		batches := sampler.EpochBatches(epoch)
+		var trainAcc metrics.Running
+		for bi, idx := range batches {
+			if ctx.Err() != nil {
+				report.Steps = totalBatches
+				// Persist the interrupted run's state so the completed
+				// epochs survive Ctrl-C: the resumed run redoes the
+				// interrupted epoch (see saveState's contract).
+				if err := e.saveState(epoch); err != nil {
+					return err
+				}
+				return fmt.Errorf("core: fit cancelled in epoch %d: %w", epoch, ctx.Err())
+			}
+			x, y := src.Assemble(idx)
+			if !e.gpuResident {
+				// Per-batch pageable H2D transfer: the cost GPU-index
+				// eliminates.
+				thisBatch := 2 * x.NumBytes()
+				if err := gpu.Alloc("batch.transient", thisBatch); err != nil {
+					return err
+				}
+				report.VirtualTime += xfer.TransferTime(thisBatch)
+			}
+			target := y.Slice(3, 0, 1).Contiguous()
+			start := time.Now()
+			var loss *autograd.Variable
+			if cfg.MissingFrac > 0 {
+				loss = autograd.MaskedMAELoss(model.Forward(autograd.Constant(x)), target, maskValueFor(src))
+			} else {
+				loss = autograd.MAELoss(model.Forward(autograd.Constant(x)), target)
+			}
+			if err := autograd.Backward(loss); err != nil {
+				return err
+			}
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(model, cfg.ClipNorm)
+			}
+			opt.Step()
+			report.VirtualTime += time.Since(start)
+			trainAcc.Add(loss.Value.Item()*src.Std(), len(idx))
+			if !e.gpuResident {
+				gpu.Free("batch.transient", 2*x.NumBytes())
+			}
+			totalBatches++
+			if bi%8 == 0 {
+				progress := 0.15 + 0.85*float64(epoch*len(batches)+bi)/float64(cfg.Epochs*len(batches))
+				sys.Record(progress)
+			}
+		}
+		valMAE := evaluateSingle(model, src, e.split.Val, cfg.BatchSize, cfg.MissingFrac > 0)
+		rec := metrics.EpochRecord{
+			Epoch:    epoch,
+			TrainMAE: trainAcc.Mean(),
+			ValMAE:   valMAE,
+		}
+		report.Curve = append(report.Curve, rec)
+		e.emit(EpochEvent{Epoch: rec.Epoch, TrainMAE: rec.TrainMAE, ValMAE: rec.ValMAE})
+		e.emitPeak()
+	}
+	sys.Record(1.0)
+	report.Steps = totalBatches
+	return e.saveState(cfg.Epochs)
+}
+
+// fitDistributed drives the three DDP strategies through internal/ddp.
+func (e *Engine) fitDistributed(ctx context.Context) error {
+	cfg := &e.cfg
+	report := e.report
+	ddpCfg := e.ddpCfg
+	ddpCfg.Ctx = ctx
+	if e.cfg.Events != nil {
+		ddpCfg.OnEpoch = func(rec metrics.EpochRecord) {
+			e.emit(EpochEvent{Epoch: rec.Epoch, TrainMAE: rec.TrainMAE, ValMAE: rec.ValMAE})
+		}
+		ddpCfg.OnAutotuneLock = func(bucketBytes int64) {
+			e.emit(AutotuneEvent{BucketBytes: bucketBytes})
+		}
+	}
+	res, err := ddp.Train(e.idx, e.split, e.factory, ddpCfg)
+	if err != nil {
+		return err
+	}
+	e.sys.Record(1.0)
+	report.Curve = res.Curve
+	report.VirtualTime = res.VirtualTime
+	report.CommTime = res.CommTime
+	report.CommHiddenTime = res.CommHiddenTime
+	report.GradBuckets = res.GradBuckets
+	report.GradBucketBytes = res.BucketBytes
+	report.CommBytesSaved = res.CommBytesSaved
+	report.Steps = res.Steps
+	report.GradSyncBytes = res.GradSyncBytes
+	e.model, e.opt = res.Model, res.Opt
+	if res.Cancelled {
+		if err := e.saveState(e.startEpoch + len(res.Curve)); err != nil {
+			return err
+		}
+		return fmt.Errorf("core: fit cancelled after %d epochs: %w", len(res.Curve), ctx.Err())
+	}
+	return e.saveState(cfg.Epochs)
+}
+
+// fitHybrid drives the 2D (spatial x data) grid: cfg.Spatial.Shards node
+// blocks times cfg.Workers data replicas. Each worker's tracked footprint is
+// only its ~N/P share of the node features plus a transient halo slab, the
+// memory axis spatial sharding exists to shrink.
+func (e *Engine) fitHybrid(ctx context.Context) error {
+	cfg := &e.cfg
+	meta := e.meta
+	report := e.report
+	shardCfg := e.shardCfg
+	shardCfg.Ctx = ctx
+	if e.cfg.Events != nil {
+		shardCfg.OnEpoch = func(rec metrics.EpochRecord) {
+			e.emit(EpochEvent{Epoch: rec.Epoch, TrainMAE: rec.TrainMAE, ValMAE: rec.ValMAE})
+		}
+	}
+	res, err := shard.Train(e.idx, e.split, e.g, e.shardSupports, e.shardFactory, shardCfg)
+	if err != nil {
+		return err
+	}
+	e.sys.Record(1.0)
+	report.Workers = shardCfg.Shards * cfg.Workers
+	report.GlobalBatch = res.GlobalBatch
+	report.Curve = res.Curve
+	report.VirtualTime = res.VirtualTime
+	report.CommTime = res.CommTime
+	report.HaloBytes = res.HaloBytes
+	report.HaloTime = res.HaloTime
+	report.Steps = res.Steps
+	report.GradSyncBytes = res.GradSyncBytes
+	report.GradBuckets = 1
+
+	// The trained parameters are identical on every worker and independent
+	// of the propagators, so they load straight into a full-graph model —
+	// the servable artifact checkpoints and the Predictor hold.
+	full := buildModel(cfg.Model, cfg.Seed, e.supports, e.in, cfg.Hidden, cfg.K, meta.Horizon, meta.Nodes)
+	if err := restoreParams(full, snapshotParams(res.Model)); err != nil {
+		return err
+	}
+	e.model = full
+	e.opt = res.Opt
+	if res.Cancelled {
+		if err := e.saveState(e.startEpoch + len(res.Curve)); err != nil {
+			return err
+		}
+		return fmt.Errorf("core: fit cancelled after %d epochs: %w", len(res.Curve), ctx.Err())
+	}
+	return e.saveState(cfg.Epochs)
+}
+
+// evalSource returns the batch source evaluation and prediction read from
+// (the single-GPU pipeline's source, or an index view for distributed
+// strategies).
+func (e *Engine) evalSource() batchSource {
+	if e.src == nil {
+		e.src = &indexSource{ds: e.idx}
+	}
+	return e.src
+}
+
+// Eval computes post-training test metrics: the test-split MSE and, when
+// Config.EmitForecasts > 0, per-window predictions in original units.
+// Single-GPU runs always evaluate (legacy behavior); distributed runs
+// evaluate on rank 0's replica when Config.EvalTest or EmitForecasts asks
+// for it. Requires a completed Fit.
+func (e *Engine) Eval() error {
+	if e.stage < stageFitted {
+		return fmt.Errorf("core: eval before fit: %w", ErrNotFitted)
+	}
+	if e.cfg.Strategy.IsDistributed() && !e.cfg.EvalTest && e.cfg.EmitForecasts <= 0 {
+		return nil
+	}
+	start := time.Now()
+	src := e.evalSource()
+	e.report.TestMSE = evaluateTestMSE(e.model, src, e.split.Test, e.cfg.BatchSize)
+	if e.cfg.EmitForecasts > 0 {
+		e.report.Forecasts = emitForecasts(e.model, src, e.split.Test, e.cfg.EmitForecasts, e.meta.Nodes)
+	}
+	return e.seal(start, nil)
+}
+
+// runAll composes the stages exactly as the legacy Run did, converting an
+// OOM anywhere into a reported outcome rather than an error.
+func (e *Engine) runAll(ctx context.Context) (*Report, error) {
+	err := e.Fit(ctx) // auto-runs Open and Build
+	if err == nil {
+		err = e.Eval()
+	}
+	if err != nil {
+		var oom *memsim.OOMError
+		if errors.As(err, &oom) {
+			return e.report, nil
+		}
+		return nil, err
+	}
+	return e.report, nil
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pgti/internal/memsim"
+)
+
+// InvalidConfigError reports an illegal configuration or an illegal
+// combination of knobs (e.g. spatial sharding without the dist-index
+// strategy). Callers match it with errors.As and inspect Field/Reason.
+type InvalidConfigError struct {
+	// Field names the offending configuration knob.
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+// Error implements error.
+func (e *InvalidConfigError) Error() string {
+	return fmt.Sprintf("core: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+// invalidf builds an *InvalidConfigError with a formatted reason.
+func invalidf(field, format string, args ...any) error {
+	return &InvalidConfigError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// OOMError is the typed out-of-memory error surfaced by engine stages when
+// a tracker's cap is exceeded (re-exported so API consumers have an
+// errors.As target without importing memsim).
+type OOMError = memsim.OOMError
+
+// Engine-lifecycle sentinels: stages called out of order wrap these, so
+// callers can distinguish misuse from run failures with errors.Is.
+var (
+	// ErrNotFitted is returned by Predictor and Eval before Fit has
+	// completed.
+	ErrNotFitted = errors.New("core: engine has not been fitted")
+	// ErrFitted is returned by stages that cannot run twice.
+	ErrFitted = errors.New("core: engine has already been fitted")
+)

@@ -1,0 +1,47 @@
+package core
+
+// Event is a typed notification streamed from the engine while Fit runs,
+// through the Config.Events hook. Events let callers observe training live
+// (progress bars, early stopping, memory dashboards) without parsing a
+// final Report. Events are delivered synchronously from the training
+// goroutine that produced them — for distributed strategies that is rank
+// 0's worker goroutine, concurrent with the other workers — so hooks must
+// be fast and must not call back into the engine.
+type Event interface{ event() }
+
+// EventFunc receives the engine's event stream.
+type EventFunc func(Event)
+
+// EpochEvent fires after each completed epoch, carrying the epoch's row of
+// the training curve (MAE in original signal units).
+type EpochEvent struct {
+	Epoch    int
+	TrainMAE float64
+	ValMAE   float64
+}
+
+// AutotuneEvent fires when the gradient-bucket autotuner ends its
+// first-epoch sweep and locks in the winning bucket size.
+type AutotuneEvent struct {
+	BucketBytes int64
+}
+
+// MemoryEvent fires when a tracker's high-water mark grows past the last
+// reported mark (checked at stage and epoch boundaries, not per
+// allocation).
+type MemoryEvent struct {
+	Tracker   string
+	PeakBytes int64
+}
+
+// OOMEvent fires when a stage exhausts a memory cap; Err is the underlying
+// *memsim.OOMError. The run ends with Report.OOM set, exactly like the
+// paper's crashed configurations.
+type OOMEvent struct {
+	Err error
+}
+
+func (EpochEvent) event()    {}
+func (AutotuneEvent) event() {}
+func (MemoryEvent) event()   {}
+func (OOMEvent) event()      {}

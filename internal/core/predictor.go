@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"pgti/internal/autograd"
+	"pgti/internal/nn"
+	"pgti/internal/tensor"
+)
+
+// Window is one raw input window for inference: Horizon time steps of all
+// node features in original signal units (un-standardized), laid out
+// row-major as [step][node][feature]. The feature axis must match the
+// dataset's augmented layout (e.g. traffic datasets carry the reading at
+// feature 0 and the time-of-day fraction at feature 1).
+type Window struct {
+	Values []float64
+}
+
+// Predictor is a warm, goroutine-safe inference handle over a trained run:
+// it reuses the trained parameters and the training split's normalization
+// statistics, standardizing inputs and un-z-scoring predictions exactly as
+// the training pipeline did. Obtain one from Engine.Predictor after Fit.
+//
+// Calls serialize on an internal mutex (the model's forward pass shares
+// scratch state), so a single Predictor is safe to share across goroutines;
+// it never mutates the trained parameters.
+type Predictor struct {
+	mu                       sync.Mutex
+	model                    nn.SeqModel
+	mean, std                float64
+	horizon, nodes, features int
+	src                      batchSource
+	test                     []int
+}
+
+// Horizon returns the forecast length in time steps (the input window must
+// be the same length).
+func (p *Predictor) Horizon() int { return p.horizon }
+
+// Nodes returns the sensor count.
+func (p *Predictor) Nodes() int { return p.nodes }
+
+// Features returns the per-node feature count of an input window.
+func (p *Predictor) Features() int { return p.features }
+
+// TestWindows returns how many held-out test windows PredictTest can serve.
+func (p *Predictor) TestWindows() int { return len(p.test) }
+
+// Predict forecasts the next Horizon steps from a raw input window. The
+// returned Forecast carries predictions in original signal units; Actual is
+// empty (live inference has no ground truth).
+func (p *Predictor) Predict(w Window) (Forecast, error) {
+	want := p.horizon * p.nodes * p.features
+	if len(w.Values) != want {
+		return Forecast{}, fmt.Errorf("core: window has %d values, want horizon*nodes*features = %d*%d*%d = %d",
+			len(w.Values), p.horizon, p.nodes, p.features, want)
+	}
+	x := tensor.New(1, p.horizon, p.nodes, p.features)
+	d := x.Data()
+	for i, v := range w.Values {
+		d[i] = (v - p.mean) / p.std
+	}
+	pred := p.forward(x)
+	f := Forecast{
+		SnapshotIndex: -1,
+		Horizon:       pred.Dim(1),
+		Nodes:         p.nodes,
+		Pred:          make([]float64, 0, pred.Dim(1)*p.nodes),
+	}
+	for t := 0; t < f.Horizon; t++ {
+		for nd := 0; nd < p.nodes; nd++ {
+			f.Pred = append(f.Pred, pred.At(0, t, nd, 0)*p.std+p.mean)
+		}
+	}
+	return f, nil
+}
+
+// PredictTest runs inference on the first n held-out test windows with
+// ground truth attached — byte-for-byte the same computation as
+// Config.EmitForecasts, so serving and evaluation cannot drift apart.
+func (p *Predictor) PredictTest(n int) ([]Forecast, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: PredictTest needs n >= 1, got %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return emitForecasts(p.model, p.src, p.test, n, p.nodes), nil
+}
+
+func (p *Predictor) forward(x *tensor.Tensor) *tensor.Tensor {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.model.Forward(autograd.Constant(x)).Value
+}
+
+// Predictor returns the warm inference handle over the fitted model.
+func (e *Engine) Predictor() (*Predictor, error) {
+	if e.stage < stageFitted {
+		return nil, fmt.Errorf("core: predictor before fit: %w", ErrNotFitted)
+	}
+	src := e.evalSource()
+	return &Predictor{
+		model:    e.model,
+		mean:     src.Mean(),
+		std:      src.Std(),
+		horizon:  e.meta.Horizon,
+		nodes:    e.meta.Nodes,
+		features: e.in,
+		src:      src,
+		test:     e.split.Test,
+	}, nil
+}

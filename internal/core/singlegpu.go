@@ -1,14 +1,8 @@
 package core
 
 import (
-	"time"
-
 	"pgti/internal/autograd"
 	"pgti/internal/batching"
-	"pgti/internal/dataset"
-	"pgti/internal/ddp"
-	"pgti/internal/device"
-	"pgti/internal/memsim"
 	"pgti/internal/metrics"
 	"pgti/internal/nn"
 	"pgti/internal/tensor"
@@ -50,129 +44,6 @@ func (s *indexSource) Assemble(indices []int) (x, y *tensor.Tensor) {
 // standardize with the identical expression, so the comparison is exact.
 func maskValueFor(src batchSource) float64 {
 	return (0 - src.Mean()) / src.Std()
-}
-
-// runBaselineSingleGPU runs Algorithm-1 preprocessing + single-GPU training.
-func runBaselineSingleGPU(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory ddp.ModelFactory, sys, gpu *memsim.Tracker, report *Report) error {
-	res, err := batching.StandardPreprocess(aug, meta.Horizon, batching.DefaultTrainFrac, sys)
-	if err != nil {
-		return err
-	}
-	// The augmented source array is released once the materialized x/y
-	// arrays exist (the reference keeps only the preprocessed data).
-	sys.FreeAll("data")
-	report.RetainedDataBytes = res.StandardRetainedBytes()
-	sys.Record(0.10)
-	return trainSingleGPU(cfg, meta, standardSource{res}, factory, sys, gpu, report, false)
-}
-
-// runIndexSingleGPU runs index-batching (CPU or GPU-resident).
-func runIndexSingleGPU(cfg Config, meta dataset.Meta, aug *tensor.Tensor, factory ddp.ModelFactory, sys, gpu *memsim.Tracker, report *Report) error {
-	idx, err := batching.NewIndexDataset(aug, meta.Horizon, batching.DefaultTrainFrac, sys)
-	if err != nil {
-		return err
-	}
-	report.RetainedDataBytes = idx.RetainedBytes()
-	sys.Record(0.10)
-	gpuResident := cfg.Strategy == GPUIndex
-	if gpuResident {
-		// One consolidated staging copy: the dataset moves to the device
-		// and the host copy is released (§4.1, GPU-index-batching).
-		if err := gpu.Alloc("data", idx.Data.NumBytes()); err != nil {
-			return err
-		}
-		report.VirtualTime += device.NewGPU("stage", 0).TransferTime(idx.Data.NumBytes())
-		sys.FreeAll("data")
-		sys.Record(0.12)
-	}
-	return trainSingleGPU(cfg, meta, &indexSource{ds: idx}, factory, sys, gpu, report, gpuResident)
-}
-
-// trainSingleGPU is the shared single-GPU epoch loop with byte-exact GPU
-// accounting and a transfer-cost virtual clock.
-func trainSingleGPU(cfg Config, meta dataset.Meta, src batchSource, factory ddp.ModelFactory, sys, gpu *memsim.Tracker, report *Report, gpuResident bool) error {
-	model := factory(cfg.Seed)
-	if cfg.LoadCheckpoint != "" {
-		if err := nn.LoadCheckpointFile(cfg.LoadCheckpoint, model); err != nil {
-			return err
-		}
-	}
-	if err := gpu.Alloc("model.params", nn.ParameterBytes(model)); err != nil {
-		return err
-	}
-	opt := nn.NewAdam(model, cfg.LR)
-	split := batching.MakeSplit(src.NumSnapshots(), batching.DefaultTrainFrac, batching.DefaultValFrac)
-	sampler := batching.NewGlobalShuffler(split.Train, cfg.BatchSize, 1, 0, cfg.Seed)
-	xfer := device.NewGPU("train", 0)
-
-	batchBytes := 2 * int64(cfg.BatchSize) * int64(meta.Horizon) * int64(meta.Nodes) * int64(meta.Features()) * 8
-	if gpuResident {
-		// The batch staging buffer lives on the device permanently.
-		if err := gpu.Alloc("batch.buffer", batchBytes); err != nil {
-			return err
-		}
-	}
-
-	totalBatches := 0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		batches := sampler.EpochBatches(epoch)
-		var trainAcc metrics.Running
-		for bi, idx := range batches {
-			x, y := src.Assemble(idx)
-			if !gpuResident {
-				// Per-batch pageable H2D transfer: the cost GPU-index
-				// eliminates.
-				thisBatch := 2 * x.NumBytes()
-				if err := gpu.Alloc("batch.transient", thisBatch); err != nil {
-					return err
-				}
-				report.VirtualTime += xfer.TransferTime(thisBatch)
-			}
-			target := y.Slice(3, 0, 1).Contiguous()
-			start := time.Now()
-			var loss *autograd.Variable
-			if cfg.MissingFrac > 0 {
-				loss = autograd.MaskedMAELoss(model.Forward(autograd.Constant(x)), target, maskValueFor(src))
-			} else {
-				loss = autograd.MAELoss(model.Forward(autograd.Constant(x)), target)
-			}
-			if err := autograd.Backward(loss); err != nil {
-				return err
-			}
-			if cfg.ClipNorm > 0 {
-				nn.ClipGradNorm(model, cfg.ClipNorm)
-			}
-			opt.Step()
-			report.VirtualTime += time.Since(start)
-			trainAcc.Add(loss.Value.Item()*src.Std(), len(idx))
-			if !gpuResident {
-				gpu.Free("batch.transient", 2*x.NumBytes())
-			}
-			totalBatches++
-			if bi%8 == 0 {
-				progress := 0.15 + 0.85*float64(epoch*len(batches)+bi)/float64(cfg.Epochs*len(batches))
-				sys.Record(progress)
-			}
-		}
-		valMAE := evaluateSingle(model, src, split.Val, cfg.BatchSize, cfg.MissingFrac > 0)
-		report.Curve = append(report.Curve, metrics.EpochRecord{
-			Epoch:    epoch,
-			TrainMAE: trainAcc.Mean(),
-			ValMAE:   valMAE,
-		})
-	}
-	sys.Record(1.0)
-	report.Steps = totalBatches
-	report.TestMSE = evaluateTestMSE(model, src, split.Test, cfg.BatchSize)
-	if cfg.EmitForecasts > 0 {
-		report.Forecasts = emitForecasts(model, src, split.Test, cfg.EmitForecasts, meta.Nodes)
-	}
-	if cfg.SaveCheckpoint != "" {
-		if err := nn.SaveCheckpointFile(cfg.SaveCheckpoint, model); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // emitForecasts runs inference on the first n test snapshots, un-z-scoring

@@ -9,8 +9,13 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 )
+
+// ErrUnknownDataset is the sentinel wrapped by ByName when no dataset has
+// the requested name; callers match it with errors.Is.
+var ErrUnknownDataset = errors.New("unknown dataset")
 
 // Domain classifies a dataset by application area.
 type Domain string
@@ -176,5 +181,5 @@ func ByName(name string) (Meta, error) {
 			return m, nil
 		}
 	}
-	return Meta{}, fmt.Errorf("dataset: unknown dataset %q", name)
+	return Meta{}, fmt.Errorf("dataset: %w %q", ErrUnknownDataset, name)
 }

@@ -7,6 +7,7 @@
 package ddp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -173,6 +174,29 @@ type Config struct {
 	// epoch's steps and locks in the one minimizing the modeled step time
 	// (see AutotuneCandidates). Ignored by GradAlgoFlat.
 	AutoTuneBuckets bool
+
+	// Ctx, when cancellable (Ctx.Done() != nil), is polled once per step
+	// through an agreed scalar collective so every worker stops at the same
+	// step: training returns cleanly mid-epoch with Result.Cancelled set and
+	// the curve of completed epochs. A nil or non-cancellable context (e.g.
+	// context.Background) adds no per-step collective, keeping the legacy
+	// path's virtual timeline untouched.
+	Ctx context.Context
+	// StartEpoch is the absolute index of the first epoch to run (resume);
+	// the loop covers epochs [StartEpoch, Epochs). Zero for fresh runs, in
+	// which case Epochs keeps its legacy meaning as the epoch count.
+	StartEpoch int
+	// Init, when set, is invoked on every worker right after its replica and
+	// optimizer are constructed — the deterministic state-injection hook for
+	// checkpoint warm starts and resumes. It must apply the identical state
+	// on every rank (replicas must stay bitwise identical).
+	Init func(model nn.SeqModel, opt *nn.Adam) error
+	// OnEpoch streams each completed epoch's record from rank 0 (called on
+	// the training goroutine, after the epoch's metric reduction).
+	OnEpoch func(rec metrics.EpochRecord)
+	// OnAutotuneLock fires on rank 0 when the bucket autotuner locks in its
+	// winning bucket size.
+	OnAutotuneLock func(bucketBytes int64)
 }
 
 // Result summarizes a distributed run.
@@ -207,6 +231,14 @@ type Result struct {
 	Steps int
 	// GlobalBatch is BatchSize * Workers.
 	GlobalBatch int
+	// Model and Opt are rank 0's trained replica and optimizer. Replicas are
+	// bitwise identical, so this pair is the run's checkpointable state and
+	// the warm handle inference serves from.
+	Model nn.SeqModel
+	Opt   *nn.Adam
+	// Cancelled reports that Config.Ctx was cancelled and the run stopped at
+	// an agreed step; Curve holds the epochs completed before the stop.
+	Cancelled bool
 }
 
 // FlattenGrads packs every parameter gradient into one contiguous vector
@@ -549,8 +581,15 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		buckets     int
 		bucketBytes int64
 		checksum    float64
+		cancelled   bool
+		model       nn.SeqModel
+		opt         *nn.Adam
 	}
 	outs := make([]workerOut, cfg.Workers)
+	// A cancellable context is polled through an agreed per-step collective;
+	// plain contexts add nothing to the step so legacy timelines are
+	// untouched.
+	cancellable := cfg.Ctx != nil && cfg.Ctx.Done() != nil
 
 	net := clu.Net()
 	runErr := clu.Run(func(w *cluster.Worker) error {
@@ -558,6 +597,11 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		model := factory(cfg.Seed)
 		params := model.Parameters()
 		opt := nn.NewAdam(model, lr)
+		if cfg.Init != nil {
+			if err := cfg.Init(model, opt); err != nil {
+				return fmt.Errorf("ddp: rank %d init: %w", rank, err)
+			}
+		}
 		sampler := NewSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Workers, rank, cfg.Seed)
 		var buf batching.BatchBuffer
 		var gradBuf []float64
@@ -604,18 +648,37 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			bucketBytes = tuner.winner()
 			syncer = newBucketSyncer(w, BucketGrads(params, bucketBytes), algo, cfg.Topology, codecOf)
 			tuner = nil
+			if rank == 0 && cfg.OnAutotuneLock != nil {
+				cfg.OnAutotuneLock(bucketBytes)
+			}
 		}
 
 		// Per-batch byte volume for the baseline-DDP fetch path: x and y.
 		n, f := data.Data.Dim(1), data.Data.Dim(2)
 		batchBytes := int64(cfg.BatchSize) * int64(2*data.Horizon) * int64(n) * int64(f) * 8
 
-		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		cancelled := false
+		for epoch := cfg.StartEpoch; epoch < cfg.Epochs; epoch++ {
 			batches := sampler.EpochBatches(epoch)
 			// Equalize step counts across workers so collectives line up.
 			stepsThisEpoch := int(w.AllReduceScalar(float64(len(batches)), cluster.OpMin))
 			var trainAcc metrics.Running
 			for s := 0; s < stepsThisEpoch; s++ {
+				if cancellable {
+					// Agree on cancellation before the step starts: every
+					// worker stops at the same step, so no collective is
+					// left half-issued. The poll is clock-free, so a
+					// cancellable run keeps the exact modeled timeline of a
+					// plain one.
+					flag := 0.0
+					if cfg.Ctx.Err() != nil {
+						flag = 1
+					}
+					if w.AllReduceScalarFree(flag, cluster.OpMax) > 0 {
+						cancelled = true
+						break
+					}
+				}
 				idx := batches[s]
 				var x, y *tensor.Tensor
 				if cfg.Store != nil {
@@ -743,6 +806,11 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 				// Report in the signal's original units, like validation.
 				trainAcc.Add(loss.Value.Item()*data.Std, len(idx))
 			}
+			if cancelled {
+				// Mid-epoch stop (agreed above): drop the partial epoch's
+				// metrics — the curve holds completed epochs only.
+				break
+			}
 			// The sweep is confined to the first epoch: a short epoch locks
 			// in the best candidate tried so far.
 			if tuner != nil {
@@ -752,7 +820,11 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			// (the validation AllReduce the paper lists as DDP overhead).
 			trainMAE := ReduceWeighted(w, trainAcc)
 			valMAE := evaluateShard(w, model, data, split.Val, cfg.BatchSize, &buf)
-			curve = append(curve, metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE})
+			rec := metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE}
+			curve = append(curve, rec)
+			if rank == 0 && cfg.OnEpoch != nil {
+				cfg.OnEpoch(rec)
+			}
 		}
 		var checksum float64
 		for _, p := range params {
@@ -769,6 +841,10 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			curve: curve, vt: w.VirtualTime(), comm: comm, hidden: hidden,
 			bytes: totalBytes, saved: savedBytes, steps: steps,
 			buckets: buckets, bucketBytes: effectiveBucketBytes, checksum: checksum,
+			cancelled: cancelled,
+		}
+		if rank == 0 {
+			outs[rank].model, outs[rank].opt = model, opt
 		}
 		return nil
 	})
@@ -794,6 +870,9 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		Algo:           algo,
 		BucketBytes:    outs[0].bucketBytes,
 		GlobalBatch:    cfg.BatchSize * cfg.Workers,
+		Model:          outs[0].model,
+		Opt:            outs[0].opt,
+		Cancelled:      outs[0].cancelled,
 	}, nil
 }
 

@@ -15,6 +15,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"pgti/internal/core"
 	"sort"
 	"strings"
 
@@ -34,6 +35,10 @@ type Options struct {
 	// Quick trims measured work to a smoke-test level (used by benches and
 	// CI).
 	Quick bool
+	// Progress, when set, receives live per-epoch progress lines from the
+	// measured runs (wired through the engine's typed event stream;
+	// pgti-bench's -progress flag). Nil keeps runs silent.
+	Progress io.Writer
 }
 
 func (o Options) filled() Options {
@@ -62,6 +67,22 @@ func (o Options) filled() Options {
 
 // Func runs one experiment.
 type Func func(Options) error
+
+// runMeasured executes one measured run through the staged engine,
+// streaming epoch events to opt.Progress when set — live visibility into
+// the long experiments without touching their report-shaped output.
+func runMeasured(cfg core.Config, opt Options) (*core.Report, error) {
+	if opt.Progress != nil {
+		out := opt.Progress
+		cfg.Events = func(ev core.Event) {
+			if e, ok := ev.(core.EpochEvent); ok {
+				fmt.Fprintf(out, "    %s/%v epoch %d: train MAE %.4f, val MAE %.4f\n",
+					cfg.Meta.Name, cfg.Strategy, e.Epoch, e.TrainMAE, e.ValMAE)
+			}
+		}
+	}
+	return core.Run(cfg)
+}
 
 // registry maps experiment ids to implementations.
 var registry = map[string]Func{

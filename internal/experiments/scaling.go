@@ -55,12 +55,12 @@ func Fig7(opt Options) error {
 			Meta: dataset.PeMSBay, Scale: opt.Scale, Strategy: core.DistIndex,
 			Workers: p, BatchSize: 4, Epochs: 2, Hidden: 8, K: 1, Seed: opt.Seed,
 		}
-		di, err := core.Run(cfg)
+		di, err := runMeasured(cfg, opt)
 		if err != nil {
 			return err
 		}
 		cfg.Strategy = core.BaselineDDP
-		bd, err := core.Run(cfg)
+		bd, err := runMeasured(cfg, opt)
 		if err != nil {
 			return err
 		}
@@ -103,13 +103,13 @@ func Fig8(opt Options) error {
 			Meta: dataset.PeMSBay, Scale: scale, Strategy: core.DistIndex,
 			Workers: p, BatchSize: 4, Epochs: epochs, Hidden: 8, K: 1, Seed: opt.Seed, LR: 0.01,
 		}
-		rep, err := core.Run(cfg)
+		rep, err := runMeasured(cfg, opt)
 		if err != nil {
 			return err
 		}
 		cfgLR := cfg
 		cfgLR.UseLRScaling = true
-		repLR, err := core.Run(cfgLR)
+		repLR, err := runMeasured(cfgLR, opt)
 		if err != nil {
 			return err
 		}
@@ -152,14 +152,14 @@ func Table5(opt Options) error {
 			Meta: dataset.PeMSBay, Scale: scale, Strategy: core.DistIndex,
 			Workers: p, BatchSize: 4, Epochs: opt.Epochs, Hidden: 8, K: 1, Seed: opt.Seed,
 		}
-		repG, err := core.Run(cfg)
+		repG, err := runMeasured(cfg, opt)
 		if err != nil {
 			return err
 		}
 		cfgB := cfg
 		cfgB.Sampler = ddp.BatchShuffle
 		cfgB.SamplerSet = true
-		repB, err := core.Run(cfgB)
+		repB, err := runMeasured(cfgB, opt)
 		if err != nil {
 			return err
 		}
@@ -206,7 +206,7 @@ func Fig9(opt Options) error {
 		Meta: dataset.PeMSBay, Scale: opt.Scale, Strategy: core.GenDistIndex,
 		Workers: 2, BatchSize: 4, Epochs: 1, Hidden: 8, K: 1, Seed: opt.Seed,
 	}
-	gi, err := core.Run(cfg)
+	gi, err := runMeasured(cfg, opt)
 	if err != nil {
 		return err
 	}
@@ -214,7 +214,7 @@ func Fig9(opt Options) error {
 	cfgB.Strategy = core.BaselineDDP
 	cfgB.Sampler = ddp.BatchShuffle
 	cfgB.SamplerSet = true
-	bb, err := core.Run(cfgB)
+	bb, err := runMeasured(cfgB, opt)
 	if err != nil {
 		return err
 	}
@@ -256,7 +256,7 @@ func Fig10(opt Options) error {
 		Meta: dataset.PeMSBay, Scale: opt.Scale, Model: core.ModelSTLLM, Strategy: core.DistIndex,
 		Workers: 2, BatchSize: 4, Epochs: 1, Hidden: 16, Seed: opt.Seed,
 	}
-	rep, err := core.Run(cfg)
+	rep, err := runMeasured(cfg, opt)
 	if err != nil {
 		return err
 	}

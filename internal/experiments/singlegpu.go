@@ -44,13 +44,13 @@ func Table2(opt Options) error {
 	}
 	cfgP := base
 	cfgP.Model = core.ModelPGTDCRNN
-	repP, err := core.Run(cfgP)
+	repP, err := runMeasured(cfgP, opt)
 	if err != nil {
 		return err
 	}
 	cfgD := base
 	cfgD.Model = core.ModelDCRNN
-	repD, err := core.Run(cfgD)
+	repD, err := runMeasured(cfgD, opt)
 	if err != nil {
 		return err
 	}
@@ -83,18 +83,18 @@ func table3Cases(opt Options) []table3Case {
 
 // runPair executes the baseline and index strategies with identical
 // settings and returns the two reports.
-func runPair(meta dataset.Meta, scale float64, batch, epochs int, model core.ModelKind, seed uint64) (*core.Report, *core.Report, error) {
+func runPair(meta dataset.Meta, scale float64, batch, epochs int, model core.ModelKind, seed uint64, opt Options) (*core.Report, *core.Report, error) {
 	base := core.Config{
 		Meta: meta, Scale: scale, Model: model, Strategy: core.Baseline,
 		BatchSize: batch, Epochs: epochs, Hidden: 8, K: 1, Seed: seed,
 	}
 	idxCfg := base
 	idxCfg.Strategy = core.Index
-	repB, err := core.Run(base)
+	repB, err := runMeasured(base, opt)
 	if err != nil {
 		return nil, nil, err
 	}
-	repI, err := core.Run(idxCfg)
+	repI, err := runMeasured(idxCfg, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -113,7 +113,7 @@ func Table3(opt Options) error {
 		if opt.Quick && c.meta.Name != dataset.ChickenpoxHungary.Name {
 			continue
 		}
-		repB, repI, err := runPair(c.meta, c.scale, c.batch, opt.Epochs, core.ModelPGTDCRNN, opt.Seed)
+		repB, repI, err := runPair(c.meta, c.scale, c.batch, opt.Epochs, core.ModelPGTDCRNN, opt.Seed, opt)
 		if err != nil {
 			return err
 		}
@@ -141,7 +141,7 @@ func Fig5(opt Options) error {
 	opt = opt.filled()
 	w := opt.Out
 	header(w, "Fig. 5: validation MAE per epoch, base vs index (measured)")
-	repB, repI, err := runPair(dataset.ChickenpoxHungary, 1, 4, opt.Epochs, core.ModelPGTDCRNN, opt.Seed)
+	repB, repI, err := runPair(dataset.ChickenpoxHungary, 1, 4, opt.Epochs, core.ModelPGTDCRNN, opt.Seed, opt)
 	if err != nil {
 		return err
 	}
@@ -196,12 +196,12 @@ func Table4(opt Options) error {
 		Meta: dataset.PeMSBay, Scale: opt.Scale, Strategy: core.Index,
 		BatchSize: 8, Epochs: 2, Hidden: 8, K: 1, Seed: opt.Seed,
 	}
-	repI, err := core.Run(cfg)
+	repI, err := runMeasured(cfg, opt)
 	if err != nil {
 		return err
 	}
 	cfg.Strategy = core.GPUIndex
-	repG, err := core.Run(cfg)
+	repG, err := runMeasured(cfg, opt)
 	if err != nil {
 		return err
 	}
@@ -228,7 +228,7 @@ func Table6(opt Options) error {
 	opt = opt.filled()
 	w := opt.Out
 	header(w, "Table 6: A3T-GCN on METR-LA, base vs index (measured at reduced scale)")
-	repB, repI, err := runPair(dataset.MetrLA, opt.Scale, 16, opt.Epochs, core.ModelA3TGCN, opt.Seed)
+	repB, repI, err := runPair(dataset.MetrLA, opt.Scale, 16, opt.Epochs, core.ModelA3TGCN, opt.Seed, opt)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"pgti/internal/tensor"
@@ -114,6 +115,37 @@ func (a *Adam) Step() {
 		}
 		p.V.ZeroGrad()
 	}
+}
+
+// StepCount returns the number of optimizer steps taken (Adam's bias-
+// correction time index t).
+func (a *Adam) StepCount() int { return a.t }
+
+// Moments returns the optimizer's first and second moment tensors, in
+// parameter order. The slices alias the optimizer's live state; callers that
+// serialize them must copy.
+func (a *Adam) Moments() (m, v []*tensor.Tensor) { return a.m, a.v }
+
+// RestoreMoments replaces the optimizer's moment estimates and step count —
+// the deterministic-resume path: together with the parameters (checkpointed
+// separately) this is Adam's entire state.
+func (a *Adam) RestoreMoments(m, v [][]float64, step int) error {
+	if len(m) != len(a.params) || len(v) != len(a.params) {
+		return fmt.Errorf("nn: optimizer state has %d/%d moment vectors, module has %d parameters", len(m), len(v), len(a.params))
+	}
+	for i, p := range a.params {
+		n := p.Tensor().NumElements()
+		if len(m[i]) != n || len(v[i]) != n {
+			return fmt.Errorf("nn: optimizer state for %q has %d/%d elements, parameter has %d", p.Name, len(m[i]), len(v[i]), n)
+		}
+		copy(a.m[i].Data(), m[i])
+		copy(a.v[i].Data(), v[i])
+	}
+	if step < 0 {
+		return fmt.Errorf("nn: negative optimizer step count %d", step)
+	}
+	a.t = step
+	return nil
 }
 
 // ClipGradNorm rescales the module's gradients so their global L2 norm does

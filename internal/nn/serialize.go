@@ -57,7 +57,13 @@ func SaveCheckpoint(w io.Writer, m Module) error {
 // have the same architecture (parameter names, order, and shapes) as the
 // one that was saved.
 func LoadCheckpoint(r io.Reader, m Module) error {
-	br := bufio.NewReader(r)
+	return loadCheckpointReader(bufio.NewReader(r), m)
+}
+
+// loadCheckpointReader reads the parameter section from an existing buffered
+// reader, leaving it positioned after the section (so a trailing optimizer
+// state can be read from the same buffer — see LoadTrainState).
+func loadCheckpointReader(br *bufio.Reader, m Module) error {
 	var magic, count uint32
 	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
 		return fmt.Errorf("nn: reading checkpoint header: %w", err)

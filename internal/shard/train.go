@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -57,6 +58,20 @@ type Config struct {
 	// shard sizes up front, e.g. for memory accounting, build it once and
 	// pass it in). When nil, Train builds it from the graph.
 	Plan *Plan
+
+	// Ctx, when cancellable (Ctx.Done() != nil), is polled once per step
+	// through an agreed scalar collective so every worker of the 2D grid
+	// stops at the same step (see ddp.Config.Ctx for the contract).
+	Ctx context.Context
+	// StartEpoch is the absolute index of the first epoch to run (resume);
+	// the loop covers epochs [StartEpoch, Epochs).
+	StartEpoch int
+	// Init, when set, runs on every worker after its replica and optimizer
+	// are built — the deterministic checkpoint-injection hook. It must apply
+	// identical state on every rank.
+	Init func(model nn.SeqModel, opt *nn.Adam) error
+	// OnEpoch streams each completed epoch's record from rank 0.
+	OnEpoch func(rec metrics.EpochRecord)
 }
 
 // Result summarizes a hybrid run.
@@ -80,6 +95,15 @@ type Result struct {
 	// EdgeCut, MaxOwn and MaxHalo describe the partition (halo-traffic and
 	// memory-balance proxies; MaxOwn ~ ceil(N/Shards)).
 	EdgeCut, MaxOwn, MaxHalo int
+	// Model and Opt are rank 0's trained replica (over shard 0's
+	// propagators) and optimizer. Parameters are identical on every worker
+	// and propagator-independent, so they load into a full-graph model of
+	// the same architecture.
+	Model nn.SeqModel
+	Opt   *nn.Adam
+	// Cancelled reports that Config.Ctx was cancelled and the grid stopped
+	// at an agreed step.
+	Cancelled bool
 }
 
 // Train runs hybrid spatial x data parallel training: the graph is
@@ -135,9 +159,13 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		gradBytes int64
 		steps     int
 		checksum  float64
+		cancelled bool
+		model     nn.SeqModel
+		opt       *nn.Adam
 	}
 	outs := make([]workerOut, world)
 	globalN := g.N
+	cancellable := cfg.Ctx != nil && cfg.Ctx.Done() != nil
 
 	runErr := clu.Run(func(w *cluster.Worker) error {
 		rank := w.Rank()
@@ -156,6 +184,11 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		model := factory(cfg.Seed, Propagators(w, replicaGroup, sp, cfg.Topology, stats))
 		params := model.Parameters()
 		opt := nn.NewAdam(model, lr)
+		if cfg.Init != nil {
+			if err := cfg.Init(model, opt); err != nil {
+				return fmt.Errorf("shard: rank %d init: %w", rank, err)
+			}
+		}
 		sampler := ddp.NewSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Replicas, rep, cfg.Seed)
 		var buf batching.BatchBuffer
 		var gradBuf []float64
@@ -164,11 +197,24 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		var curve metrics.Curve
 		steps := 0
 
-		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		cancelled := false
+		for epoch := cfg.StartEpoch; epoch < cfg.Epochs; epoch++ {
 			batches := sampler.EpochBatches(epoch)
 			stepsThisEpoch := int(w.AllReduceScalar(float64(len(batches)), cluster.OpMin))
 			var trainAcc metrics.Running
 			for s := 0; s < stepsThisEpoch; s++ {
+				if cancellable {
+					// Clock-free agreed stop (see ddp.Train): cancellable
+					// runs keep the plain runs' modeled timeline.
+					flag := 0.0
+					if cfg.Ctx.Err() != nil {
+						flag = 1
+					}
+					if w.AllReduceScalarFree(flag, cluster.OpMax) > 0 {
+						cancelled = true
+						break
+					}
+				}
 				idx := batches[s]
 				start := time.Now()
 				haloWall := stats.Wall
@@ -219,9 +265,16 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				// the unsharded per-batch accounting.
 				trainAcc.Add(lossLocal.Value.Item()*data.Std, len(idx)*len(sp.Own))
 			}
+			if cancelled {
+				break
+			}
 			trainMAE := ddp.ReduceWeighted(w, trainAcc)
 			valMAE := evaluateShard(w, model, data, split.Val, cfg, sp.Own, rep, &buf)
-			curve = append(curve, metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE})
+			rec := metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE}
+			curve = append(curve, rec)
+			if rank == 0 && cfg.OnEpoch != nil {
+				cfg.OnEpoch(rec)
+			}
 		}
 		var checksum float64
 		for _, p := range params {
@@ -231,6 +284,10 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		outs[rank] = workerOut{
 			curve: curve, vt: w.VirtualTime(), comm: comm, halo: *stats,
 			gradBytes: gradBytes, steps: steps, checksum: checksum,
+			cancelled: cancelled,
+		}
+		if rank == 0 {
+			outs[rank].model, outs[rank].opt = model, opt
 		}
 		return nil
 	})
@@ -258,6 +315,9 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		EdgeCut:       plan.EdgeCut,
 		MaxOwn:        plan.MaxOwn(),
 		MaxHalo:       plan.MaxHalo(),
+		Model:         outs[0].model,
+		Opt:           outs[0].opt,
+		Cancelled:     outs[0].cancelled,
 	}, nil
 }
 

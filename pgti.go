@@ -7,17 +7,41 @@
 //   - the ST-GNN model zoo of the paper's evaluation — DCRNN, PGT-DCRNN,
 //     A3T-GCN and an ST-LLM-lite — on a from-scratch tensor/autograd stack;
 //   - a distributed data-parallel trainer with real ring AllReduce over a
-//     simulated Dask-like cluster, plus a calibrated Polaris performance
-//     model that regenerates the paper's 128-GPU results.
+//     simulated Dask-like cluster, hybrid (spatial x data) parallelism, and
+//     a calibrated Polaris performance model that regenerates the paper's
+//     128-GPU results.
 //
-// Quick start:
+// # The experiment lifecycle
 //
-//	cfg := pgti.Config{
-//		Dataset:  "Chickenpox-Hungary",
-//		Strategy: pgti.StrategyIndex,
-//		Epochs:   20,
-//	}
-//	report, err := pgti.Run(cfg)
+// The primary API is the staged Experiment: configure with functional
+// options, train with a cancellable Fit that streams typed Events, then
+// hold onto the trained model through a warm Predictor:
+//
+//	exp, err := pgti.NewExperiment("Chickenpox-Hungary",
+//		pgti.WithStrategy(pgti.StrategyIndex),
+//		pgti.WithEpochs(20),
+//		pgti.WithEvents(func(ev pgti.Event) {
+//			if e, ok := ev.(pgti.EpochEvent); ok {
+//				fmt.Printf("epoch %d: val MAE %.4f\n", e.Epoch, e.ValMAE)
+//			}
+//		}))
+//	report, err := exp.Fit(ctx)    // honors ctx mid-epoch
+//	pred, err := exp.Predictor()   // goroutine-safe inference handle
+//	forecast, err := pred.Predict(window)
+//
+// The stages — Open (dataset + pipeline), Build (model + grid), Fit, Eval,
+// Predictor — auto-advance but can be driven individually. Illegal option
+// combinations fail fast with typed errors (*InvalidConfigError,
+// ErrUnknownDataset), and Fit wraps *OOMError and context errors for
+// errors.Is / errors.As.
+//
+// # The compatibility shim
+//
+// Run(Config) is the original one-shot entry point, kept as a thin shim
+// that maps Config onto the exact staged path above — it composes the same
+// engine stages and is pinned bitwise-identical to NewExperiment(...).Fit
+// by the compatibility test suite. New code should prefer NewExperiment;
+// Run remains stable for existing callers.
 //
 // The six strategies, four models, and six datasets mirror the paper; see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for paper-vs-
@@ -128,6 +152,12 @@ type Config struct {
 	Hidden  int
 	K       int // diffusion hops
 	Seed    uint64
+	// Shuffle selects the distributed epoch-shuffling strategy. Shim
+	// caveat, kept for compatibility: ShuffleGlobal is the zero value, so
+	// an explicit ShuffleGlobal is indistinguishable from "unset" and
+	// StrategyGenDistIndex overrides it with its batch-shuffling default.
+	// The options API has the unambiguous story: WithShuffle(ShuffleGlobal)
+	// on a NewExperiment always forces global shuffling.
 	Shuffle Shuffle
 
 	// GradAlgo selects the DDP gradient AllReduce algorithm (ring | flat |
@@ -156,13 +186,19 @@ type Config struct {
 	// this probability and training uses the masked-MAE loss.
 	MissingFrac float64
 
-	// LoadCheckpoint / SaveCheckpoint resume from and persist model
-	// parameters (single-GPU strategies).
+	// LoadCheckpoint warm-starts the model parameters from a checkpoint
+	// (every replica for distributed strategies); SaveCheckpoint persists
+	// the trained parameters plus the resumable optimizer trailer (rank 0's
+	// replica — replicas are bitwise identical). Resume additionally
+	// restores the optimizer moments and epoch cursor from LoadCheckpoint
+	// so training continues exactly where the saved run stopped (Epochs
+	// then counts from epoch 0 — the total budget).
 	LoadCheckpoint string
 	SaveCheckpoint string
+	Resume         bool
 
 	// EmitForecasts attaches predictions for the first N test snapshots to
-	// the report (single-GPU strategies).
+	// the report (rank 0's replica for distributed strategies).
 	EmitForecasts int
 }
 
@@ -237,13 +273,14 @@ func Datasets() []string {
 	return names
 }
 
-// Run executes a training run per cfg.
-func Run(cfg Config) (*Report, error) {
-	meta, err := dataset.ByName(cfg.Dataset)
-	if err != nil {
-		return nil, fmt.Errorf("pgti: %w (available: %v)", err, Datasets())
-	}
-	coreCfg := core.Config{
+// gib is the byte count of one GiB (shared by Config and WithMemoryCaps).
+const gib = memsim.GiB
+
+// coreConfig maps the legacy Config onto the engine configuration. Note
+// the documented Shuffle caveat: SamplerSet can only be inferred from a
+// non-zero value, so an explicit ShuffleGlobal reads as unset.
+func coreConfig(cfg Config, meta dataset.Meta) core.Config {
+	return core.Config{
 		Meta:           meta,
 		Scale:          cfg.Scale,
 		Model:          cfg.Model,
@@ -258,11 +295,12 @@ func Run(cfg Config) (*Report, error) {
 		Seed:           cfg.Seed,
 		Sampler:        cfg.Shuffle,
 		SamplerSet:     cfg.Shuffle != ddp.GlobalShuffle,
-		SystemMemory:   int64(cfg.SystemMemoryGB * float64(memsim.GiB)),
-		GPUMemory:      int64(cfg.GPUMemoryGB * float64(memsim.GiB)),
+		SystemMemory:   int64(cfg.SystemMemoryGB * float64(gib)),
+		GPUMemory:      int64(cfg.GPUMemoryGB * float64(gib)),
 		MissingFrac:    cfg.MissingFrac,
 		LoadCheckpoint: cfg.LoadCheckpoint,
 		SaveCheckpoint: cfg.SaveCheckpoint,
+		Resume:         cfg.Resume,
 		EmitForecasts:  cfg.EmitForecasts,
 		GradAlgo:       cfg.GradAlgo,
 		Topology:       cfg.Topology,
@@ -270,9 +308,13 @@ func Run(cfg Config) (*Report, error) {
 		GradAutoTune:   cfg.GradAutoTune,
 		Spatial:        cfg.Spatial,
 	}
-	rep, err := core.Run(coreCfg)
-	if err != nil {
-		return nil, err
+}
+
+// reportFromCore converts the engine's report to the public one (nil-safe,
+// so partial-failure paths can hand back whatever exists).
+func reportFromCore(rep *core.Report) *Report {
+	if rep == nil {
+		return nil
 	}
 	return &Report{
 		Dataset:           rep.DatasetName,
@@ -303,7 +345,26 @@ func Run(cfg Config) (*Report, error) {
 		OOMError:          rep.OOMError,
 		Steps:             rep.Steps,
 		GradSyncBytes:     rep.GradSyncBytes,
-	}, nil
+	}
+}
+
+// Run executes a training run per cfg. It is the compatibility shim over
+// the staged Experiment lifecycle: the Config maps onto the identical
+// engine path NewExperiment drives, so Run's training curves are pinned
+// bitwise-identical to NewExperiment(...).Fit's (asserted by the compat
+// test suite). Out-of-memory is a reported outcome (Report.OOM), not an
+// error. New code should prefer NewExperiment, which adds cancellation,
+// event streaming, typed validation, and the Predictor.
+func Run(cfg Config) (*Report, error) {
+	meta, err := dataset.ByName(cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("pgti: %w (available: %v)", err, Datasets())
+	}
+	rep, err := core.Run(coreConfig(cfg, meta))
+	if err != nil {
+		return nil, err
+	}
+	return reportFromCore(rep), nil
 }
 
 // FormatBytes renders a byte count with binary prefixes (convenience

@@ -8,7 +8,7 @@ BENCH_GATED = $(GO) test -run '^$$' -bench 'BenchmarkDDP|BenchmarkShard|Benchmar
 # Per-package statement-coverage floors (pkg:percent), enforced by `make
 # cover` and the CI workflow. Raise a floor when coverage grows; lowering one
 # is a reviewed decision, not a quick fix for a red build.
-COVER_FLOORS = internal/shard:85 internal/cluster:90 internal/graph:90 internal/core:85 .:75
+COVER_FLOORS = internal/shard:85 internal/cluster:90 internal/graph:90 internal/core:85 internal/sparse:85 internal/autograd:80 .:75
 
 .PHONY: ci build vet fmt-check test race cover bench bench-smoke bench-json bench-baseline bench-check bench-ci
 
@@ -28,8 +28,10 @@ fmt-check:
 test:
 	$(GO) test ./...
 
+## race needs an explicit per-package timeout: the instrumented core suite
+## exceeds go test's 10m default on single-core machines (no race, just slow).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 ## cover fails when any floor package's statement coverage drops below its
 ## checked-in COVER_FLOORS threshold.

@@ -214,6 +214,22 @@ func BenchmarkMatMul128(b *testing.B) {
 	}
 }
 
+// Cache-blocked vs naive MatMul at a size whose b matrix (1024x1024, 8 MiB)
+// overflows L2: the tiled kernel reuses each [64,256] panel of b across the
+// whole row block instead of streaming all of b per output row. The win is
+// modest — the scalar Go kernel is FMA-bound, not bandwidth-bound — but the
+// blocking keeps large products from thrashing once k*n outgrows the cache.
+// Serial width isolates the cache effect from the pool.
+func benchMatMul1024(b *testing.B, mul func(a, b *tensor.Tensor) *tensor.Tensor) {
+	rng := tensor.NewRNG(2)
+	x := tensor.Randn(rng, 1024, 1024)
+	y := tensor.Randn(rng, 1024, 1024)
+	benchWithWorkers(b, 1, func() { mul(x, y) })
+}
+
+func BenchmarkMatMulNaiveSerial1024(b *testing.B) { benchMatMul1024(b, tensor.MatMulNaive) }
+func BenchmarkMatMulTiledSerial1024(b *testing.B) { benchMatMul1024(b, tensor.MatMul) }
+
 func BenchmarkSpMM(b *testing.B) {
 	g, err := graph.RoadNetwork(1, 500, 8)
 	if err != nil {
@@ -477,6 +493,77 @@ func benchShard(b *testing.B, shards, replicas int) {
 func BenchmarkShardSpatial4(b *testing.B)  { benchShard(b, 4, 1) }
 func BenchmarkShardHybrid2x2(b *testing.B) { benchShard(b, 2, 2) }
 func BenchmarkShardHybrid2x4(b *testing.B) { benchShard(b, 2, 4) }
+
+// --- gated: communication-overlap ablations on the sharded hot path ----------
+
+// benchShardOverlap isolates the two overlap mechanisms on the hybrid grid:
+// interior-first halo exchange vs the blocking gather, and the bucketed
+// two-stage gradient sync vs the flatten baseline — same fabric, modeled
+// compute and bucket cap throughout, so the virt-µs deltas are purely the
+// schedule. The halo-hidden / comm-hidden metrics expose how much of the
+// identical communication volume each schedule moved under compute.
+func benchShardOverlap(b *testing.B, shards, replicas int, halo shard.HaloSyncMode, sync ddp.SyncMode) {
+	g, err := graph.RoadNetwork(16, 24, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd, bwd := g.TransitionMatrices()
+	supports := []*sparse.CSR{fwd, bwd}
+	raw := tensor.Randn(tensor.NewRNG(17), 160, 24, 1)
+	data, err := batching.NewIndexDataset(raw, 3, 0.7, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := batching.MakeSplit(data.NumSnapshots(), 0.7, 0.1)
+	factory := func(seed uint64, props []nn.Propagator) nn.SeqModel {
+		return nn.NewPGTDCRNNOn(tensor.NewRNG(seed), props, 1, 1, 16, 3)
+	}
+	paramBytes := nn.ParameterBytes(factory(1, nn.WrapSupports(supports)))
+	cfg := shard.Config{
+		Shards: shards, Replicas: replicas, BatchSize: 2, Epochs: 1, LR: 0.01, Seed: 1,
+		HaloSync: halo, Sync: sync, BucketBytes: paramBytes / 4,
+		Net:         cluster.NetworkModel{Bandwidth: 1e7, Latency: 2 * time.Microsecond, DispatchOverhead: time.Millisecond},
+		ComputeCost: func(int) time.Duration { return 2 * time.Millisecond },
+	}
+	var res *shard.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = shard.Train(data, split, g, supports, factory, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.VirtualTime.Microseconds()), "virt-µs/epoch")
+	b.ReportMetric(float64(res.CommTime.Microseconds()), "exposed-comm-µs")
+	b.ReportMetric(float64(res.HaloTime.Microseconds()), "halo-µs/epoch")
+	b.ReportMetric(float64(res.HaloHiddenTime.Microseconds()), "halo-hidden-µs")
+	b.ReportMetric(float64(res.CommHiddenTime.Microseconds()), "comm-hidden-µs")
+}
+
+func BenchmarkShardOverlapBlocking2x2(b *testing.B) {
+	benchShardOverlap(b, 2, 2, shard.HaloSyncBlocking, ddp.SyncFlatten)
+}
+func BenchmarkShardOverlapHalo2x2(b *testing.B) {
+	benchShardOverlap(b, 2, 2, shard.HaloSyncOverlap, ddp.SyncFlatten)
+}
+func BenchmarkShardOverlapBucketed2x2(b *testing.B) {
+	benchShardOverlap(b, 2, 2, shard.HaloSyncBlocking, ddp.SyncBucketedOverlap)
+}
+func BenchmarkShardOverlapFull2x2(b *testing.B) {
+	benchShardOverlap(b, 2, 2, shard.HaloSyncOverlap, ddp.SyncBucketedOverlap)
+}
+func BenchmarkShardOverlapBlocking2x4(b *testing.B) {
+	benchShardOverlap(b, 2, 4, shard.HaloSyncBlocking, ddp.SyncFlatten)
+}
+func BenchmarkShardOverlapHalo2x4(b *testing.B) {
+	benchShardOverlap(b, 2, 4, shard.HaloSyncOverlap, ddp.SyncFlatten)
+}
+func BenchmarkShardOverlapBucketed2x4(b *testing.B) {
+	benchShardOverlap(b, 2, 4, shard.HaloSyncBlocking, ddp.SyncBucketedOverlap)
+}
+func BenchmarkShardOverlapFull2x4(b *testing.B) {
+	benchShardOverlap(b, 2, 4, shard.HaloSyncOverlap, ddp.SyncBucketedOverlap)
+}
 
 // --- gated: index-batching DDP strategies -------------------------------------
 

@@ -239,8 +239,12 @@ func (c *expConfig) validate() error {
 		if cc.Model == ModelSTLLM {
 			return invalid("Spatial", "spatial sharding is unsupported for %v (full spatial attention has no node partition)", cc.Model)
 		}
-		if cc.GradAlgo != GradAlgoRing || cc.GradFP16 || cc.GradAutoTune || cc.GradBucketBytes != 0 {
-			return invalid("Spatial", "the collective stack (WithGradStack) is not yet supported with spatial sharding")
+		// The hybrid grid's bucketed two-stage sync composes with fp16,
+		// bucket caps and the autotuner; only an explicit algorithm choice
+		// has nothing to select (the grouped replica-sum -> shard-mean
+		// collective is fixed).
+		if cc.GradAlgo != GradAlgoRing {
+			return invalid("Spatial", "WithGradStack Algo is not supported with spatial sharding (the two-stage grouped collective is fixed)")
 		}
 	}
 	if cc.GradFP16 && !dist {

@@ -80,9 +80,9 @@ func TestOptionValidationTable(t *testing.T) {
 		{"spatial+st-llm", []Option{
 			WithStrategy(StrategyDistIndex), WithWorkers(2), WithSpatial(2), WithModel(ModelSTLLM),
 		}},
-		{"spatial+gradstack", []Option{
+		{"spatial+gradstack-algo", []Option{
 			WithStrategy(StrategyDistIndex), WithWorkers(2), WithSpatial(2),
-			WithGradStack(GradStack{FP16: true}),
+			WithGradStack(GradStack{Algo: GradAlgoHierarchical, Topology: Topology{Nodes: 2, GPUsPerNode: 2}}),
 		}},
 		{"autotune+flat", []Option{
 			WithStrategy(StrategyDistIndex), WithWorkers(2),
@@ -119,6 +119,10 @@ func TestOptionValidationTable(t *testing.T) {
 		{WithStrategy(StrategyDistIndex), WithWorkers(4),
 			WithGradStack(GradStack{Algo: GradAlgoHierarchical, Topology: Topology{Nodes: 2, GPUsPerNode: 2}})},
 		{WithStrategy(StrategyDistIndex), WithWorkers(2), WithGradStack(GradStack{FP16: true})},
+		// The hybrid grid's bucketed two-stage sync composes with the
+		// collective stack's fp16/bucket-cap/autotune knobs.
+		{WithStrategy(StrategyDistIndex), WithWorkers(2), WithSpatial(2),
+			WithGradStack(GradStack{FP16: true, AutoTune: true, BucketBytes: 64 << 10})},
 	}
 	for i, opts := range legal {
 		if _, err := NewExperiment("PeMS-BAY", opts...); err != nil {

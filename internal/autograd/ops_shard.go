@@ -2,6 +2,7 @@ package autograd
 
 import (
 	"fmt"
+	"sync"
 
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
@@ -27,6 +28,63 @@ type HaloExchange interface {
 	ScatterAdd(haloGrad *tensor.Tensor) *tensor.Tensor
 }
 
+// AsyncHaloExchange is the split-phase extension of HaloExchange that
+// interior-first overlapped SpMM drives: the Start half ships the rows peers
+// need without blocking, the Finish half collects this shard's expected
+// payloads. Between the two calls the op multiplies every row that does not
+// depend on halo data, so the wall time the blocking exchange would spend
+// waiting for peers is spent computing instead. Start/Finish pairs must not
+// nest or interleave on one worker, and every member of the replica group
+// issues matching pairs in the same order (the model graphs are identical,
+// so this holds structurally).
+type AsyncHaloExchange interface {
+	HaloExchange
+	// Overlap reports whether the split-phase path should be used; false
+	// keeps the blocking Gather/ScatterAdd schedule (the ablation baseline).
+	Overlap() bool
+	// GatherStart ships the owned rows peers need (non-blocking).
+	GatherStart(local *tensor.Tensor)
+	// GatherFinish blocks for and returns the halo rows [NumHalo, F].
+	GatherFinish() *tensor.Tensor
+	// ScatterAddStart ships the halo gradient rows back to their owners
+	// (non-blocking).
+	ScatterAddStart(haloGrad *tensor.Tensor)
+	// ScatterAddFinish blocks for and returns the peers' summed
+	// contributions to this shard's own rows as [own, F].
+	ScatterAddFinish() *tensor.Tensor
+}
+
+// shardSplit caches the row partitions one sharded block needs for the
+// interior-first schedule: the forward interior/frontier split of the block
+// rows and the transposed block (whose backward mirror computes the halo
+// row range [nOwn, ColsN) first so the reverse exchange can launch, then
+// the own range [0, nOwn) while it flies).
+type shardSplit struct {
+	t                  *sparse.CSR
+	interior, frontier []int
+}
+
+var shardSplitCache sync.Map // *sparse.CSR -> *shardSplit
+
+// cachedShardSplit resolves the block's split, preferring the Interior/
+// Frontier partition a sparse.ShardCSR already carries (block != nil) over
+// re-deriving it from the sparsity pattern. Like the transpose cache it is
+// keyed per *CSR for the block's lifetime.
+func cachedShardSplit(m *sparse.CSR, nOwn int, block *sparse.ShardCSR) *shardSplit {
+	if s, ok := shardSplitCache.Load(m); ok {
+		return s.(*shardSplit)
+	}
+	var interior, frontier []int
+	if block != nil {
+		interior, frontier = block.Interior, block.Frontier
+	} else {
+		interior, frontier = sparse.InteriorFrontier(m, nOwn)
+	}
+	sp := &shardSplit{t: cachedTranspose(m), interior: interior, frontier: frontier}
+	shardSplitCache.Store(m, sp)
+	return sp
+}
+
 // ShardSpMM is the spatially-partitioned sparse-dense product: local is one
 // worker's re-indexed row block (columns [own | halo], see sparse.ShardCSR)
 // and x holds the worker's own feature rows [own, F]. Forward gathers the
@@ -34,7 +92,27 @@ type HaloExchange interface {
 // propagates through the transposed block and scatter-adds the halo
 // gradient rows back to their owner shards. The sparse operand is a
 // constant (graph topology carries no gradient), exactly like SpMM.
+//
+// When ex implements AsyncHaloExchange with Overlap() true, both passes run
+// the interior-first overlapped schedule: forward launches the halo exchange,
+// multiplies the interior rows (all columns in [own]) while the bytes are in
+// flight, and finishes the frontier rows once the halo lands; backward
+// computes the transposed block's halo rows first, launches the reverse
+// exchange, and multiplies the own rows under it. Because SpMM rows are
+// independent and each row's accumulation order is unchanged, the overlapped
+// results are bitwise identical to the blocking schedule.
 func ShardSpMM(local *sparse.CSR, ex HaloExchange, x *Variable) *Variable {
+	return shardSpMM(local, nil, ex, x)
+}
+
+// ShardSpMMBlock is ShardSpMM over a pre-split sparse.ShardCSR row block:
+// the overlapped schedule reuses the block's Interior/Frontier partition
+// instead of re-deriving it.
+func ShardSpMMBlock(block *sparse.ShardCSR, ex HaloExchange, x *Variable) *Variable {
+	return shardSpMM(block.Local, block, ex, x)
+}
+
+func shardSpMM(local *sparse.CSR, block *sparse.ShardCSR, ex HaloExchange, x *Variable) *Variable {
 	nOwn := local.RowsN
 	xs := x.Value.Shape()
 	if len(xs) != 2 || xs[0] != nOwn {
@@ -43,6 +121,50 @@ func ShardSpMM(local *sparse.CSR, ex HaloExchange, x *Variable) *Variable {
 	if local.ColsN != nOwn+ex.NumHalo() {
 		panic(fmt.Sprintf("autograd: ShardSpMM block has %d cols, want %d own + %d halo", local.ColsN, nOwn, ex.NumHalo()))
 	}
+	ax, overlap := ex.(AsyncHaloExchange)
+	if overlap {
+		overlap = ax.Overlap()
+	}
+	if !overlap {
+		return shardSpMMBlocking(local, ex, x)
+	}
+
+	sp := cachedShardSplit(local, nOwn, block)
+	f := x.Value.Dim(1)
+	xc := x.Value.Contiguous()
+	ax.GatherStart(xc) // always started: peers may need our rows
+	out := tensor.New(nOwn, f)
+	local.SpMMRowsInto(sp.interior, xc, out) // interior columns all fall in [own]
+	halo := ax.GatherFinish()
+	ext := xc
+	if ex.NumHalo() > 0 {
+		ext = tensor.Concat(0, xc, halo)
+	}
+	local.SpMMRowsInto(sp.frontier, ext, out)
+
+	return newOp("shardSpMM", out, []*Variable{x}, func(grad *tensor.Tensor) []*tensor.Tensor {
+		// Mirrored overlap: the transposed block's halo rows yield the halo
+		// gradient, which ships while the own rows are multiplied.
+		gc := grad.Contiguous()
+		gext := tensor.New(local.ColsN, f)
+		sp.t.SpMMRowRangeInto(nOwn, local.ColsN, gc, gext)
+		var haloGrad *tensor.Tensor
+		if ex.NumHalo() > 0 {
+			haloGrad = gext.Slice(0, nOwn, local.ColsN).Contiguous()
+		} else {
+			haloGrad = tensor.New(0, f)
+		}
+		ax.ScatterAddStart(haloGrad)
+		sp.t.SpMMRowRangeInto(0, nOwn, gc, gext)
+		own := gext.Slice(0, 0, nOwn).Contiguous()
+		remote := ax.ScatterAddFinish()
+		return []*tensor.Tensor{tensor.Add(own, remote)}
+	})
+}
+
+// shardSpMMBlocking is the gather-then-multiply baseline schedule.
+func shardSpMMBlocking(local *sparse.CSR, ex HaloExchange, x *Variable) *Variable {
+	nOwn := local.RowsN
 	halo := ex.Gather(x.Value) // [numHalo, F]; always called: peers may need our rows
 	ext := x.Value
 	if ex.NumHalo() > 0 {

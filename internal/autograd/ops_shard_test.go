@@ -65,3 +65,113 @@ func TestShardSpMMSingleShardMatchesSpMM(t *testing.T) {
 		t.Fatalf("exchange hooks ran %d/%d times, want 1/1", ex.gathers, ex.scatters)
 	}
 }
+
+// fakeAsyncExchange is a deterministic in-process AsyncHaloExchange: it
+// serves fixed halo rows and records peers' contributions as zeros, with a
+// switch between the blocking and split-phase schedules, so the two
+// ShardSpMM paths can be compared bitwise without a cluster.
+type fakeAsyncExchange struct {
+	own, halo int
+	haloRows  *tensor.Tensor // [halo, F] served by Gather
+	overlap   bool
+	scatterF  int // F seen by ScatterAddStart, echoed by Finish
+	inFlight  int // Start/Finish pairing check
+	calls     []string
+}
+
+func (e *fakeAsyncExchange) NumHalo() int  { return e.halo }
+func (e *fakeAsyncExchange) Overlap() bool { return e.overlap }
+func (e *fakeAsyncExchange) Gather(local *tensor.Tensor) *tensor.Tensor {
+	e.calls = append(e.calls, "gather")
+	return e.haloRows.Clone()
+}
+func (e *fakeAsyncExchange) ScatterAdd(haloGrad *tensor.Tensor) *tensor.Tensor {
+	e.calls = append(e.calls, "scatter")
+	return tensor.New(e.own, haloGrad.Dim(1))
+}
+func (e *fakeAsyncExchange) GatherStart(local *tensor.Tensor) {
+	e.calls = append(e.calls, "gatherStart")
+	e.inFlight++
+}
+func (e *fakeAsyncExchange) GatherFinish() *tensor.Tensor {
+	e.calls = append(e.calls, "gatherFinish")
+	e.inFlight--
+	return e.haloRows.Clone()
+}
+func (e *fakeAsyncExchange) ScatterAddStart(haloGrad *tensor.Tensor) {
+	e.calls = append(e.calls, "scatterStart")
+	e.scatterF = haloGrad.Dim(1)
+	e.inFlight++
+}
+func (e *fakeAsyncExchange) ScatterAddFinish() *tensor.Tensor {
+	e.calls = append(e.calls, "scatterFinish")
+	e.inFlight--
+	return tensor.New(e.own, e.scatterF)
+}
+
+// TestShardSpMMOverlapBitwise: the interior-first split-phase schedule must
+// reproduce the blocking schedule's forward values and input gradients
+// bit-for-bit, for blocks with and without halo columns.
+func TestShardSpMMOverlapBitwise(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	for _, halo := range []int{0, 5} {
+		nOwn, f := 11, 4
+		cols := nOwn + halo
+		var entries []sparse.Coord
+		for i := 0; i < nOwn; i++ {
+			entries = append(entries, sparse.Coord{Row: i, Col: i, Val: 1})
+			entries = append(entries, sparse.Coord{Row: i, Col: (i * 3) % cols, Val: rng.Float64()})
+			if halo > 0 && i%3 == 0 {
+				entries = append(entries, sparse.Coord{Row: i, Col: nOwn + i%halo, Val: rng.Float64()})
+			}
+		}
+		block, err := sparse.FromCOO(nOwn, cols, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xv := tensor.Randn(rng, nOwn, f)
+		haloRows := tensor.Randn(rng, halo, f)
+
+		run := func(overlap bool) (*tensor.Tensor, *tensor.Tensor, *fakeAsyncExchange) {
+			ex := &fakeAsyncExchange{own: nOwn, halo: halo, haloRows: haloRows, overlap: overlap}
+			x := NewVariable(xv.Clone())
+			out := ShardSpMM(block, ex, x)
+			if err := Backward(SumAll(out)); err != nil {
+				t.Fatal(err)
+			}
+			return out.Value, x.Grad, ex
+		}
+		blockOut, blockGrad, bex := run(false)
+		overOut, overGrad, oex := run(true)
+
+		bo, oo := blockOut.Contiguous().Data(), overOut.Contiguous().Data()
+		for i := range bo {
+			if bo[i] != oo[i] {
+				t.Fatalf("halo=%d: forward element %d differs bitwise: %v vs %v", halo, i, oo[i], bo[i])
+			}
+		}
+		bg, og := blockGrad.Contiguous().Data(), overGrad.Contiguous().Data()
+		for i := range bg {
+			if bg[i] != og[i] {
+				t.Fatalf("halo=%d: gradient element %d differs bitwise: %v vs %v", halo, i, og[i], bg[i])
+			}
+		}
+		// Schedules: blocking never touches the split-phase hooks and vice
+		// versa; every Start is matched by its Finish.
+		if got := len(bex.calls); got != 2 || bex.calls[0] != "gather" || bex.calls[1] != "scatter" {
+			t.Fatalf("halo=%d: blocking calls %v", halo, bex.calls)
+		}
+		want := []string{"gatherStart", "gatherFinish", "scatterStart", "scatterFinish"}
+		if len(oex.calls) != len(want) {
+			t.Fatalf("halo=%d: overlapped calls %v", halo, oex.calls)
+		}
+		for i := range want {
+			if oex.calls[i] != want[i] {
+				t.Fatalf("halo=%d: overlapped calls %v", halo, oex.calls)
+			}
+		}
+		if oex.inFlight != 0 {
+			t.Fatalf("halo=%d: unbalanced Start/Finish: %d", halo, oex.inFlight)
+		}
+	}
+}

@@ -110,32 +110,85 @@ func (w *Worker) groupLink(group []int, topo Topology) NetworkModel {
 // groupRingExchange is the pure data movement: reduce-scatter then
 // all-gather around the ring formed by the group order (no scaling).
 func (w *Worker) groupRingExchange(vec []float64, group []int) {
+	w.groupReduceScatter(vec, group)
+	w.groupAllGather(vec, group)
+}
+
+// groupChunk returns chunk j's slice of vec split into len(group) parts.
+func groupChunk(vec []float64, m, j int) []float64 {
+	return vec[j*len(vec)/m : (j+1)*len(vec)/m]
+}
+
+// groupReduceScatter runs the reduce-scatter half of the ring: after m-1
+// steps, member `me` holds the fully-reduced chunk (me+1) mod m (the other
+// chunks hold partial sums).
+func (w *Worker) groupReduceScatter(vec []float64, group []int) {
 	m := len(group)
 	me := w.groupIndex(group)
 	right := group[mod(me+1, m)]
 	left := group[mod(me-1, m)]
-
-	bounds := make([]int, m+1)
-	for j := 0; j <= m; j++ {
-		bounds[j] = j * len(vec) / m
-	}
-	chunk := func(j int) []float64 { return vec[bounds[j]:bounds[j+1]] }
-
-	// Reduce-scatter: after m-1 steps, member `me` owns the fully-reduced
-	// chunk (me+1) mod m.
 	for step := 0; step < m-1; step++ {
-		w.rawSend(right, groupRingTag, chunk(mod(me-step, m)))
+		w.rawSend(right, groupRingTag, groupChunk(vec, m, mod(me-step, m)))
 		in := w.rawRecv(left, groupRingTag)
-		dst := chunk(mod(me-step-1, m))
+		dst := groupChunk(vec, m, mod(me-step-1, m))
 		for i := range dst {
 			dst[i] += in[i]
 		}
 	}
-	// All-gather: circulate the reduced chunks.
+}
+
+// groupAllGather runs the all-gather half of the ring: every member's owned
+// chunk ((me+1) mod m) circulates until all members hold all final chunks.
+func (w *Worker) groupAllGather(vec []float64, group []int) {
+	m := len(group)
+	me := w.groupIndex(group)
+	right := group[mod(me+1, m)]
+	left := group[mod(me-1, m)]
 	for step := 0; step < m-1; step++ {
-		w.rawSend(right, groupRingTag, chunk(mod(me-step+1, m)))
-		copy(chunk(mod(me-step, m)), w.rawRecv(left, groupRingTag))
+		w.rawSend(right, groupRingTag, groupChunk(vec, m, mod(me-step+1, m)))
+		copy(groupChunk(vec, m, mod(me-step, m)), w.rawRecv(left, groupRingTag))
 	}
+}
+
+// AsyncTwoStageAllReduce is the hybrid grid's gradient collective: vec is
+// summed element-wise across the replica group (the spatial reduction) and
+// averaged across the shard group (the data-parallel mean), in place, with
+// every member of the 2D grid ending bitwise identical. The caller's rank
+// must sit at the same index in both lists' intersection (rank layout
+// rep*S+sh guarantees it). Unlike the blocking two-ring schedule, the data
+// movement is chunked: reduce-scatter within the replica group, allreduce of
+// just the owned 1/S chunk across the shard group, then allgather within the
+// replica group — the inter-group stage moves S times fewer bytes. Clocks
+// are NOT advanced (clock-deferred, like the Async collectives): the modeled
+// cost is returned, priced per stage on the link its group implies, so
+// bucketed overlap can fold it into the step timeline.
+func (w *Worker) AsyncTwoStageAllReduce(vec []float64, replicaGroup, shardGroup []int, wireBytes int64, topo Topology) time.Duration {
+	s, r := len(replicaGroup), len(shardGroup)
+	var cost time.Duration
+	if s > 1 {
+		w.groupReduceScatter(vec, replicaGroup)
+		cost += time.Duration(s-1) * w.groupLink(replicaGroup, topo).TransferTime(wireBytes/int64(s))
+	}
+	// The fully-reduced chunk this member owns after the reduce-scatter.
+	// Every member of the shard group shares the same replica-group index
+	// (its shard), so they hold the same chunk of the same logical vector.
+	chunk := vec
+	if s > 1 {
+		chunk = groupChunk(vec, s, mod(w.groupIndex(replicaGroup)+1, s))
+	}
+	if r > 1 {
+		w.groupRingExchange(chunk, shardGroup)
+		inv := 1 / float64(r)
+		for i := range chunk {
+			chunk[i] *= inv
+		}
+		cost += w.groupLink(shardGroup, topo).RingAllReduceTime(wireBytes/int64(s), r)
+	}
+	if s > 1 {
+		w.groupAllGather(vec, replicaGroup)
+		cost += time.Duration(s-1) * w.groupLink(replicaGroup, topo).TransferTime(wireBytes/int64(s))
+	}
+	return cost
 }
 
 // NeighborSend is one peer-directed payload of a sparse AllToAllV.
@@ -158,27 +211,56 @@ type NeighborSend struct {
 // advanced (clock-deferred, like the Async collectives), so callers can
 // charge the cost synchronously or fold it into an overlap timeline.
 func (w *Worker) AsyncNeighborAllToAllV(sends []NeighborSend, recvFrom []int, recvLens []int, topo Topology) (map[int][]float64, time.Duration) {
+	return w.NeighborAllToAllVStart(sends, recvFrom, recvLens, topo).Finish()
+}
+
+// NeighborHandle is an in-flight sparse neighbour exchange: the sends have
+// been issued (non-blocking, into the peers' mailboxes), the receives have
+// not yet been collected. Interior-first overlapped SpMM computes its
+// halo-independent rows between Start and Finish, so the wall time the
+// worker would spend blocked waiting for peers is spent computing instead.
+type NeighborHandle struct {
+	w        *Worker
+	recvFrom []int
+	recvLens []int
+	topo     Topology
+	sendCost time.Duration
+}
+
+// NeighborAllToAllVStart issues the send half of AsyncNeighborAllToAllV and
+// returns a handle whose Finish collects the receives. Exactly one Finish
+// must follow each Start before the worker issues another halo exchange.
+func (w *Worker) NeighborAllToAllVStart(sends []NeighborSend, recvFrom []int, recvLens []int, topo Topology) *NeighborHandle {
 	sorted := make([]NeighborSend, len(sends))
 	copy(sorted, sends)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].To < sorted[j].To })
-	var sendCost, recvCost time.Duration
+	h := &NeighborHandle{w: w, recvFrom: recvFrom, recvLens: recvLens, topo: topo}
 	for _, s := range sorted {
 		if s.To == w.rank {
 			panic("cluster: AsyncNeighborAllToAllV self-send")
 		}
 		w.rawSend(s.To, haloTag, s.Payload)
-		sendCost += w.linkTo(s.To, topo).TransferTime(int64(len(s.Payload)) * 8)
+		h.sendCost += w.linkTo(s.To, topo).TransferTime(int64(len(s.Payload)) * 8)
 	}
-	recvs := make(map[int][]float64, len(recvFrom))
-	for i, r := range recvFrom {
+	return h
+}
+
+// Finish blocks for the expected payloads and returns them with the modeled
+// exchange cost (the slower of the two NIC-serial directions). Clocks are
+// not touched.
+func (h *NeighborHandle) Finish() (map[int][]float64, time.Duration) {
+	w := h.w
+	recvs := make(map[int][]float64, len(h.recvFrom))
+	var recvCost time.Duration
+	for i, r := range h.recvFrom {
 		payload := w.rawRecv(r, haloTag)
-		if len(payload) != recvLens[i] {
-			panic(fmt.Sprintf("cluster: AsyncNeighborAllToAllV expected %d values from rank %d, got %d", recvLens[i], r, len(payload)))
+		if len(payload) != h.recvLens[i] {
+			panic(fmt.Sprintf("cluster: AsyncNeighborAllToAllV expected %d values from rank %d, got %d", h.recvLens[i], r, len(payload)))
 		}
 		recvs[r] = payload
-		recvCost += w.linkTo(r, topo).TransferTime(int64(len(payload)) * 8)
+		recvCost += w.linkTo(r, h.topo).TransferTime(int64(len(payload)) * 8)
 	}
-	cost := sendCost
+	cost := h.sendCost
 	if recvCost > cost {
 		cost = recvCost
 	}

@@ -171,3 +171,138 @@ func TestNeighborExchangeTopologyPricing(t *testing.T) {
 		t.Fatalf("intra-node exchange %v not cheaper than fabric %v", shared, flat)
 	}
 }
+
+// TestAsyncTwoStageAllReduce: on a Shards x Replicas grid the chunked
+// two-stage collective (replica-group reduce-scatter, shard-group chunk
+// allreduce-mean, replica-group allgather) must leave every worker with the
+// bitwise-identical vector (sum over the replica group, mean over the shard
+// group), at a modeled cost cheaper than the blocking two-ring schedule, and
+// without touching any virtual clock.
+func TestAsyncTwoStageAllReduce(t *testing.T) {
+	grids := []struct{ shards, replicas int }{{2, 2}, {3, 2}, {2, 4}, {4, 1}, {1, 3}, {1, 1}}
+	for _, grid := range grids {
+		world := grid.shards * grid.replicas
+		clu, err := New(Config{Workers: world})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 13 // deliberately not divisible by the group sizes
+		results := make([][]float64, world)
+		costs := make([]time.Duration, world)
+		vts := make([]time.Duration, world)
+		err = clu.Run(func(w *Worker) error {
+			rank := w.Rank()
+			rep, sh := rank/grid.shards, rank%grid.shards
+			replicaGroup := make([]int, grid.shards)
+			for i := range replicaGroup {
+				replicaGroup[i] = rep*grid.shards + i
+			}
+			shardGroup := make([]int, grid.replicas)
+			for i := range shardGroup {
+				shardGroup[i] = i*grid.shards + sh
+			}
+			vec := make([]float64, n)
+			for i := range vec {
+				vec[i] = float64((rank + 1) * (i + 1)) // integer-exact contributions
+			}
+			costs[rank] = w.AsyncTwoStageAllReduce(vec, replicaGroup, shardGroup, int64(n)*8, Topology{})
+			results[rank] = vec
+			vts[rank] = w.VirtualTime()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Expected: (sum over all ranks of a replica group, summed over
+		// replica groups) / replicas — i.e. sum over shards of the per-rank
+		// contributions averaged over replicas. All contributions are small
+		// integers scaled by (i+1), so the float math is exact whenever the
+		// replica count is a power of two; compare against rank 0 bitwise
+		// and against the direct computation at 1e-12.
+		for i := 0; i < n; i++ {
+			var total float64
+			for r := 0; r < world; r++ {
+				total += float64((r + 1) * (i + 1))
+			}
+			want := total / float64(grid.replicas)
+			got := results[0][i]
+			if d := got - want; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("%dx%d: element %d = %v, want %v", grid.shards, grid.replicas, i, got, want)
+			}
+		}
+		for r := 1; r < world; r++ {
+			for i := range results[r] {
+				if results[r][i] != results[0][i] {
+					t.Fatalf("%dx%d: rank %d diverged at %d: %v vs %v", grid.shards, grid.replicas, r, i, results[r][i], results[0][i])
+				}
+			}
+			if vts[r] != 0 {
+				t.Fatalf("%dx%d: rank %d clock advanced to %v by an async collective", grid.shards, grid.replicas, r, vts[r])
+			}
+		}
+		// Cost model: cheaper than (or equal to, for degenerate groups) the
+		// blocking two-ring schedule's stage costs.
+		net := clu.Net()
+		wire := int64(n) * 8
+		blocking := net.RingAllReduceTime(wire, grid.shards) + net.RingAllReduceTime(wire, grid.replicas)
+		if world > 1 {
+			if costs[0] <= 0 {
+				t.Fatalf("%dx%d: zero modeled cost", grid.shards, grid.replicas)
+			}
+			if costs[0] > blocking {
+				t.Fatalf("%dx%d: two-stage cost %v exceeds blocking two-ring %v", grid.shards, grid.replicas, costs[0], blocking)
+			}
+		} else if costs[0] != 0 {
+			t.Fatalf("1x1: nonzero cost %v", costs[0])
+		}
+	}
+}
+
+// TestNeighborStartFinishMatchesCombined: the split-phase exchange delivers
+// the same payloads and models the same cost as the one-shot
+// AsyncNeighborAllToAllV.
+func TestNeighborStartFinishMatchesCombined(t *testing.T) {
+	run := func(split bool) ([]map[int][]float64, []time.Duration) {
+		clu, err := New(Config{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]map[int][]float64, 3)
+		costs := make([]time.Duration, 3)
+		err = clu.Run(func(w *Worker) error {
+			r := w.Rank()
+			to := (r + 1) % 3
+			from := (r + 2) % 3
+			sends := []NeighborSend{{To: to, Payload: []float64{float64(r), float64(r * 10)}}}
+			if split {
+				h := w.NeighborAllToAllVStart(sends, []int{from}, []int{2}, Topology{})
+				got[r], costs[r] = h.Finish()
+			} else {
+				got[r], costs[r] = w.AsyncNeighborAllToAllV(sends, []int{from}, []int{2}, Topology{})
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, costs
+	}
+	combined, ccosts := run(false)
+	phased, pcosts := run(true)
+	for r := 0; r < 3; r++ {
+		if pcosts[r] != ccosts[r] {
+			t.Fatalf("rank %d: split cost %v != combined %v", r, pcosts[r], ccosts[r])
+		}
+		for from, payload := range combined[r] {
+			pp := phased[r][from]
+			if len(pp) != len(payload) {
+				t.Fatalf("rank %d: payload length %d vs %d", r, len(pp), len(payload))
+			}
+			for i := range payload {
+				if pp[i] != payload[i] {
+					t.Fatalf("rank %d: payload mismatch at %d", r, i)
+				}
+			}
+		}
+	}
+}

@@ -245,12 +245,14 @@ type Report struct {
 
 	// SpatialShards is the spatial shard count of the run (1 = unsharded);
 	// HaloBytes and HaloTime are one worker's halo-exchange wire traffic and
-	// modeled cost (zero when unsharded). EdgeCut counts support entries
-	// crossing shards.
-	SpatialShards int
-	HaloBytes     int64
-	HaloTime      time.Duration
-	EdgeCut       int
+	// modeled cost (zero when unsharded), and HaloHiddenTime is the portion
+	// of HaloTime the interior-first overlapped exchange hid under step
+	// compute. EdgeCut counts support entries crossing shards.
+	SpatialShards  int
+	HaloBytes      int64
+	HaloTime       time.Duration
+	HaloHiddenTime time.Duration
+	EdgeCut        int
 
 	// PerWorkerBytes is one worker's modeled host footprint (replica +
 	// staging + its data share) for distributed strategies — the quantity

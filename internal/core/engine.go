@@ -164,13 +164,13 @@ func (e *Engine) validate() error {
 		if cfg.Model == ModelSTLLM {
 			return invalidf("Spatial", "spatial sharding is unsupported for %v (full spatial attention has no node partition)", cfg.Model)
 		}
-		// The hybrid trainer's two-stage sync does not speak the collective
-		// stack's dialects yet (ROADMAP follow-up); reject rather than
-		// silently ignore the knobs. GradSync cannot be policed the same way
-		// (its zero value is SyncBucketedOverlap): under sharding the
-		// gradient sync is always the fully-exposed flat two-stage exchange.
-		if cfg.GradAlgo != ddp.GradAlgoRing || cfg.GradFP16 || cfg.GradAutoTune || cfg.GradBucketBytes != 0 {
-			return invalidf("Spatial", "GradAlgo/GradFP16/GradAutoTune/GradBucketBytes are not yet supported with spatial sharding")
+		// The hybrid trainer's bucketed two-stage sync composes with fp16
+		// compression, bucket-size caps and the first-epoch autotuner, but
+		// its collective algorithm is fixed (grouped replica-sum →
+		// shard-mean, topology-priced): an explicit GradAlgo has nothing to
+		// select and is rejected rather than silently ignored.
+		if cfg.GradAlgo != ddp.GradAlgoRing {
+			return invalidf("Spatial", "GradAlgo is not supported with spatial sharding (the two-stage grouped collective is fixed); use GradSync to pick the flatten baseline")
 		}
 	}
 	if cfg.Resume && cfg.LoadCheckpoint == "" {
@@ -590,19 +590,23 @@ func (e *Engine) buildHybrid() error {
 	sys.Record(0.10)
 
 	e.shardCfg = shard.Config{
-		Shards:       shards,
-		Replicas:     cfg.Workers,
-		BatchSize:    cfg.BatchSize,
-		Epochs:       cfg.Epochs,
-		StartEpoch:   e.startEpoch,
-		LR:           cfg.LR,
-		UseLRScaling: cfg.UseLRScaling,
-		ClipNorm:     cfg.ClipNorm,
-		Sampler:      cfg.Sampler,
-		Seed:         cfg.Seed,
-		Topology:     cfg.Topology,
-		Plan:         plan,
-		Init:         init,
+		Shards:          shards,
+		Replicas:        cfg.Workers,
+		BatchSize:       cfg.BatchSize,
+		Epochs:          cfg.Epochs,
+		StartEpoch:      e.startEpoch,
+		LR:              cfg.LR,
+		UseLRScaling:    cfg.UseLRScaling,
+		ClipNorm:        cfg.ClipNorm,
+		Sampler:         cfg.Sampler,
+		Seed:            cfg.Seed,
+		Topology:        cfg.Topology,
+		Sync:            cfg.GradSync,
+		FP16:            cfg.GradFP16,
+		BucketBytes:     cfg.GradBucketBytes,
+		AutoTuneBuckets: cfg.GradAutoTune,
+		Plan:            plan,
+		Init:            init,
 	}
 	return nil
 }
@@ -792,6 +796,9 @@ func (e *Engine) fitHybrid(ctx context.Context) error {
 		shardCfg.OnEpoch = func(rec metrics.EpochRecord) {
 			e.emit(EpochEvent{Epoch: rec.Epoch, TrainMAE: rec.TrainMAE, ValMAE: rec.ValMAE})
 		}
+		shardCfg.OnAutotuneLock = func(bucketBytes int64) {
+			e.emit(AutotuneEvent{BucketBytes: bucketBytes})
+		}
 	}
 	res, err := shard.Train(e.idx, e.split, e.g, e.shardSupports, e.shardFactory, shardCfg)
 	if err != nil {
@@ -803,11 +810,15 @@ func (e *Engine) fitHybrid(ctx context.Context) error {
 	report.Curve = res.Curve
 	report.VirtualTime = res.VirtualTime
 	report.CommTime = res.CommTime
+	report.CommHiddenTime = res.CommHiddenTime
 	report.HaloBytes = res.HaloBytes
 	report.HaloTime = res.HaloTime
+	report.HaloHiddenTime = res.HaloHiddenTime
 	report.Steps = res.Steps
 	report.GradSyncBytes = res.GradSyncBytes
-	report.GradBuckets = 1
+	report.CommBytesSaved = res.CommBytesSaved
+	report.GradBuckets = res.GradBuckets
+	report.GradBucketBytes = res.BucketBytes
 
 	// The trained parameters are identical on every worker and independent
 	// of the propagators, so they load straight into a full-graph model —

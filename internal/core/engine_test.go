@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"pgti/internal/cluster"
+	"pgti/internal/ddp"
 	"pgti/internal/memsim"
 )
 
@@ -85,10 +87,11 @@ func TestEngineTypedValidationErrors(t *testing.T) {
 			c.Model = ModelSTLLM
 			c.Spatial.Shards = 2
 		}},
-		{"spatial+fp16", func(c *Config) {
+		{"spatial+algo", func(c *Config) {
 			c.Strategy = DistIndex
 			c.Spatial.Shards = 2
-			c.GradFP16 = true
+			c.GradAlgo = ddp.GradAlgoHierarchical
+			c.Topology = cluster.Topology{Nodes: 2, GPUsPerNode: 2}
 		}},
 		{"unknown strategy", func(c *Config) { c.Strategy = Strategy(99) }},
 		{"resume without checkpoint", func(c *Config) { c.Resume = true }},

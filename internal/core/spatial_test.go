@@ -4,7 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"pgti/internal/cluster"
 	"pgti/internal/dataset"
+	"pgti/internal/ddp"
 	"pgti/internal/shard"
 )
 
@@ -137,16 +139,34 @@ func TestSpatialShardingRejectsUnsupported(t *testing.T) {
 	if _, err := Run(cfg); err == nil {
 		t.Fatal("expected error for sharded baseline DDP")
 	}
-	// Collective-stack knobs the hybrid sync cannot honor yet must be
-	// rejected, not silently ignored.
+	// An explicit collective algorithm has nothing to select under the
+	// fixed two-stage grouped sync and must be rejected, not silently
+	// ignored.
 	cfg = spatialCfg(1, 2)
-	cfg.GradFP16 = true
+	cfg.GradAlgo = ddp.GradAlgoHierarchical
+	cfg.Topology = cluster.Topology{Nodes: 1, GPUsPerNode: 2}
 	if _, err := Run(cfg); err == nil {
-		t.Fatal("expected error for sharded GradFP16")
+		t.Fatal("expected error for sharded explicit GradAlgo")
 	}
-	cfg = spatialCfg(1, 2)
+}
+
+// TestSpatialGradStackComposes: fp16 compression, bucket caps and the
+// first-epoch autotuner now ride the hybrid grid's bucketed two-stage sync.
+func TestSpatialGradStackComposes(t *testing.T) {
+	cfg := spatialCfg(2, 2)
+	cfg.GradFP16 = true
 	cfg.GradAutoTune = true
-	if _, err := Run(cfg); err == nil {
-		t.Fatal("expected error for sharded GradAutoTune")
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CommBytesSaved <= 0 {
+		t.Fatalf("fp16 hybrid run saved no gradient traffic: %d", rep.CommBytesSaved)
+	}
+	if rep.GradBucketBytes <= 0 {
+		t.Fatalf("autotuned hybrid run reported no bucket size: %d", rep.GradBucketBytes)
+	}
+	if rep.GradBuckets < 1 {
+		t.Fatalf("hybrid run reported %d gradient buckets", rep.GradBuckets)
 	}
 }

@@ -41,36 +41,38 @@ func AutotuneCandidates(net cluster.NetworkModel, totalBytes int64) []int64 {
 	return append(out, totalBytes)
 }
 
-// bucketTuner drives one worker's sweep. Every worker runs an identical
-// tuner and scores candidates through an OpMax scalar AllReduce, so all
-// replicas lock in the same winner at the same step — the collective
-// schedule never diverges.
-type bucketTuner struct {
+// BucketTuner drives one worker's first-epoch bucket-size sweep. Every
+// worker runs an identical tuner and scores candidates through an OpMax
+// scalar AllReduce, so all replicas lock in the same winner at the same
+// step — the collective schedule never diverges. Shared with the hybrid
+// (spatial x data) trainer, whose two-stage bucketed sync tunes the same
+// ladder.
+type BucketTuner struct {
 	candidates []int64
 	times      []time.Duration
 	next       int // candidate to try on the upcoming step
 }
 
-func newBucketTuner(candidates []int64) *bucketTuner {
-	return &bucketTuner{candidates: candidates, times: make([]time.Duration, 0, len(candidates))}
+func NewBucketTuner(candidates []int64) *BucketTuner {
+	return &BucketTuner{candidates: candidates, times: make([]time.Duration, 0, len(candidates))}
 }
 
-// active reports whether the sweep still has candidates to score.
-func (t *bucketTuner) active() bool { return t.next < len(t.candidates) }
+// Active reports whether the sweep still has candidates to score.
+func (t *BucketTuner) Active() bool { return t.next < len(t.candidates) }
 
-// current returns the bucket size the upcoming step should use.
-func (t *bucketTuner) current() int64 { return t.candidates[t.next] }
+// Current returns the bucket size the upcoming step should use.
+func (t *BucketTuner) Current() int64 { return t.candidates[t.next] }
 
-// record scores the just-finished step (whose buckets used current()) with
+// Record scores the just-finished step (whose buckets used Current()) with
 // the globally agreed modeled step time and advances the sweep.
-func (t *bucketTuner) record(stepTime time.Duration) {
+func (t *BucketTuner) Record(stepTime time.Duration) {
 	t.times = append(t.times, stepTime)
 	t.next++
 }
 
-// winner returns the best-scoring candidate among those tried (the first
+// Winner returns the best-scoring candidate among those tried (the first
 // candidate when the sweep never ran — e.g. a one-step epoch).
-func (t *bucketTuner) winner() int64 {
+func (t *BucketTuner) Winner() int64 {
 	best := 0
 	for i := 1; i < len(t.times); i++ {
 		if t.times[i] < t.times[best] {
@@ -78,4 +80,83 @@ func (t *bucketTuner) winner() int64 {
 		}
 	}
 	return t.candidates[best]
+}
+
+// BucketSweep is the per-worker sweep driver shared by ddp.Train and
+// shard.Train: it owns the tuner, the reference compute span every candidate
+// is scored against, and the syncer rebuilds — one candidate per optimizer
+// step, scored on the measurement-free modeled step time agreed across
+// workers (OpMax), so a noisy measured step cannot mis-rank a candidate and
+// every rank locks the same winner at the same step.
+type BucketSweep struct {
+	w       *cluster.Worker
+	tuner   *BucketTuner
+	rebuild func(bucketBytes int64) *OverlapSyncer
+	onLock  func(bucketBytes int64)
+
+	bucketBytes int64
+	refCompute  time.Duration
+	refSet      bool
+}
+
+// NewBucketSweep builds the sweep over the AutotuneCandidates ladder for a
+// gradient of totalBytes. rebuild constructs a syncer for a candidate bucket
+// cap; onLock (optional) fires once when the winner locks — callers gate it
+// to rank 0 themselves. The initial syncer is rebuild(first candidate).
+func NewBucketSweep(w *cluster.Worker, net cluster.NetworkModel, totalBytes int64, rebuild func(bucketBytes int64) *OverlapSyncer, onLock func(bucketBytes int64)) (*BucketSweep, *OverlapSyncer) {
+	s := &BucketSweep{
+		w:       w,
+		tuner:   NewBucketTuner(AutotuneCandidates(net, totalBytes)),
+		rebuild: rebuild,
+		onLock:  onLock,
+	}
+	s.bucketBytes = s.tuner.Current()
+	return s, rebuild(s.bucketBytes)
+}
+
+// Active reports whether the sweep is still scoring candidates (nil-safe, so
+// trainers without autotuning skip the per-step call unconditionally).
+func (s *BucketSweep) Active() bool { return s != nil && s.tuner != nil }
+
+// BucketBytes returns the cap of the candidate in flight, or the locked
+// winner once the sweep ends.
+func (s *BucketSweep) BucketBytes() int64 { return s.bucketBytes }
+
+// Step scores the just-finished step (whose buckets the given syncer ran)
+// and returns the syncer for the next step: rebuilt around the next ladder
+// candidate, or around the locked winner when the ladder is exhausted. Must
+// be called at the synchronous step boundary — it issues a scalar
+// collective.
+func (s *BucketSweep) Step(syncer *OverlapSyncer, compute time.Duration) *OverlapSyncer {
+	if !s.refSet {
+		s.refCompute, s.refSet = compute, true
+	}
+	agreed := time.Duration(s.w.AllReduceScalar(float64(syncer.ModeledFinish(s.refCompute)), cluster.OpMax))
+	s.tuner.Record(agreed)
+	if s.tuner.Active() {
+		s.bucketBytes = s.tuner.Current()
+		return s.rebuild(s.bucketBytes)
+	}
+	return s.lock()
+}
+
+// EndEpoch confines the sweep to the first epoch: a short epoch locks in the
+// best candidate tried so far. Returns the syncer to continue with.
+func (s *BucketSweep) EndEpoch(syncer *OverlapSyncer) *OverlapSyncer {
+	if !s.Active() {
+		return syncer
+	}
+	return s.lock()
+}
+
+// lock ends the sweep: every worker rebuilds its syncer around the globally
+// agreed winner (identical tuner state on every rank).
+func (s *BucketSweep) lock() *OverlapSyncer {
+	s.bucketBytes = s.tuner.Winner()
+	syncer := s.rebuild(s.bucketBytes)
+	s.tuner = nil
+	if s.onLock != nil {
+		s.onLock(s.bucketBytes)
+	}
+	return syncer
 }

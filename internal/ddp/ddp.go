@@ -282,6 +282,49 @@ func UnflattenGrads(params []*nn.Parameter, vec []float64) {
 	}
 }
 
+// ParameterGradBytes returns the total fp64 gradient byte volume of params —
+// the upper bound of the AutotuneCandidates ladder.
+func ParameterGradBytes(params []*nn.Parameter) int64 {
+	var n int64
+	for _, p := range params {
+		n += int64(p.Tensor().NumElements()) * 8
+	}
+	return n
+}
+
+// NewGradSync assembles one worker's bucketed-overlap gradient machinery —
+// the glue shared by ddp.Train and shard.Train: the per-parameter fp16
+// codec map (nil without compression), the initial OverlapSyncer over the
+// given collective, and, when autotune is set, the first-epoch BucketSweep.
+// bucketBytes <= 0 selects DefaultBucketBytes; the returned cap is the one
+// the initial syncer runs with (the sweep's first candidate under
+// autotune). onLock fires once, on rank 0 only, when the sweep locks its
+// winner.
+func NewGradSync(w *cluster.Worker, net cluster.NetworkModel, params []*nn.Parameter, launch LaunchFunc, fp16, autotune bool, bucketBytes int64, onLock func(bucketBytes int64)) (*BucketSweep, *OverlapSyncer, int64) {
+	if bucketBytes <= 0 {
+		bucketBytes = DefaultBucketBytes
+	}
+	var codecOf CodecMap
+	if fp16 {
+		codecOf = NewCodecMap()
+	}
+	// The codec map outlives any individual syncer, so error-feedback
+	// residuals persist across autotuner re-bucketing.
+	rebuild := func(bb int64) *OverlapSyncer {
+		return NewOverlapSyncer(BucketGrads(params, bb), launch, codecOf)
+	}
+	if autotune {
+		gated := func(bb int64) {
+			if w.Rank() == 0 && onLock != nil {
+				onLock(bb)
+			}
+		}
+		sweep, syncer := NewBucketSweep(w, net, ParameterGradBytes(params), rebuild, gated)
+		return sweep, syncer, sweep.BucketBytes()
+	}
+	return nil, rebuild(bucketBytes), bucketBytes
+}
+
 // GradBucket groups parameters whose gradients travel as one AllReduce.
 type GradBucket struct {
 	Params []*nn.Parameter
@@ -317,16 +360,34 @@ func BucketGrads(params []*nn.Parameter, bucketBytes int64) []GradBucket {
 	return out
 }
 
-// bucketSyncer drives one worker's overlapped gradient exchange for one
+// CodecMap holds per-parameter fp16 error-feedback codecs. It is owned by
+// the trainer and shared across syncer rebuilds, so quantization residuals
+// survive autotuner re-bucketing (keyed per parameter, the residual is
+// layout-independent). A nil map disables compression.
+type CodecMap map[*autograd.Variable]*cluster.FP16Codec
+
+// NewCodecMap returns an empty codec map (enabling fp16 compression on any
+// syncer built over it).
+func NewCodecMap() CodecMap { return make(CodecMap) }
+
+// LaunchFunc issues one bucket's clock-deferred gradient collective over the
+// already-flattened (and, under fp16, wire-quantized) vector, returning the
+// modeled cost. wireBytes is the modeled on-the-wire size (compressed under
+// fp16). Implementations must leave virtual clocks untouched and must issue
+// matching collectives in the same order on every participating worker.
+type LaunchFunc func(vec []float64, wireBytes int64) time.Duration
+
+// OverlapSyncer drives one worker's overlapped gradient exchange for one
 // step: the autograd timed gradient-ready hook counts down each bucket and
-// launches its (clock-deferred) AllReduce mid-backward, recording the
-// measured backward offset of the launch; after backward the syncer scatters
-// the averaged buckets back and converts the measured launch timeline into
-// the overlapped virtual-time charge.
-type bucketSyncer struct {
-	w       *cluster.Worker
-	algo    GradAlgo
-	topo    cluster.Topology
+// launches its (clock-deferred) collective mid-backward through the
+// pluggable LaunchFunc, recording the measured backward offset of the
+// launch; after backward the syncer scatters the reduced buckets back and
+// converts the measured launch timeline into the overlapped virtual-time
+// charge. ddp.Train plugs in the flat-world ring/hierarchical AllReduce;
+// shard.Train plugs in the grouped two-stage (replica-sum then shard-mean)
+// collective of the hybrid grid.
+type OverlapSyncer struct {
+	launch  LaunchFunc
 	fp16    bool
 	buckets []GradBucket
 	// bucketOf maps a parameter's leaf variable to its bucket index.
@@ -334,16 +395,12 @@ type bucketSyncer struct {
 	totalElems int
 
 	remaining []int       // per bucket: params whose gradients are not yet final
-	launched  []bool      // per bucket: AllReduce already issued this step
+	launched  []bool      // per bucket: collective already issued this step
 	flat      [][]float64 // per bucket: flatten/exchange scratch
-	// codecOf holds each parameter's fp16 error-feedback state. It is owned
-	// by the caller and shared across syncer rebuilds, so the residuals
-	// survive autotuner re-bucketing (keyed per parameter, the residual is
-	// layout-independent).
-	codecOf map[*autograd.Variable]*cluster.FP16Codec
+	codecOf   CodecMap    // per-parameter fp16 error-feedback state (see CodecMap)
 
 	order        []int               // bucket indices in launch order
-	events       []cluster.CommEvent // per launch: modeled cost (ReadyAt filled by finish)
+	events       []cluster.CommEvent // per launch: modeled cost (ReadyAt filled by Timeline)
 	readyFrac    []float64           // per launch: cumulative-elements share (modeled fallback)
 	readyElapsed []time.Duration     // per launch: measured backward offset
 	cumElems     int
@@ -353,11 +410,11 @@ type bucketSyncer struct {
 	stepSaved    int64         // wire bytes saved by fp16 this step
 }
 
-func newBucketSyncer(w *cluster.Worker, buckets []GradBucket, algo GradAlgo, topo cluster.Topology, codecOf map[*autograd.Variable]*cluster.FP16Codec) *bucketSyncer {
-	s := &bucketSyncer{
-		w:         w,
-		algo:      algo,
-		topo:      topo,
+// NewOverlapSyncer builds a syncer over the given buckets and collective.
+// codecOf non-nil enables fp16 wire compression with error feedback.
+func NewOverlapSyncer(buckets []GradBucket, launch LaunchFunc, codecOf CodecMap) *OverlapSyncer {
+	s := &OverlapSyncer{
+		launch:    launch,
 		fp16:      codecOf != nil,
 		buckets:   buckets,
 		bucketOf:  make(map[*autograd.Variable]int),
@@ -378,8 +435,8 @@ func newBucketSyncer(w *cluster.Worker, buckets []GradBucket, algo GradAlgo, top
 	return s
 }
 
-// reset prepares the syncer for the next step.
-func (s *bucketSyncer) reset() {
+// Reset prepares the syncer for the next step.
+func (s *OverlapSyncer) Reset() {
 	for bi := range s.buckets {
 		s.remaining[bi] = len(s.buckets[bi].Params)
 		s.launched[bi] = false
@@ -395,7 +452,7 @@ func (s *bucketSyncer) reset() {
 	s.stepSaved = 0
 }
 
-// onGradReady is the autograd.TimedGradHook: count down the leaf's bucket
+// OnGradReady is the autograd.TimedGradHook: count down the leaf's bucket
 // and launch it once every member gradient is final, stamping the launch
 // with the measured backward offset. The raw elapsed includes wall time
 // spent blocked inside earlier buckets' exchanges (waiting for peers);
@@ -403,7 +460,7 @@ func (s *bucketSyncer) reset() {
 // compute offset, which is what the modeled timeline rescales. Launch order
 // is a deterministic function of the (identical) replica graphs, so all
 // workers issue matching collectives.
-func (s *bucketSyncer) onGradReady(leaf *autograd.Variable, elapsed time.Duration) {
+func (s *OverlapSyncer) OnGradReady(leaf *autograd.Variable, elapsed time.Duration) {
 	bi, ok := s.bucketOf[leaf]
 	if !ok {
 		return
@@ -414,15 +471,15 @@ func (s *bucketSyncer) onGradReady(leaf *autograd.Variable, elapsed time.Duratio
 		if elapsed < 0 {
 			elapsed = 0
 		}
-		s.launch(bi, elapsed)
+		s.launchBucket(bi, elapsed)
 	}
 }
 
-// launch flattens bucket bi (quantizing it to the fp16 wire values first
-// when compression is on) and issues its clock-deferred AllReduce via the
-// configured algorithm. elapsed is the measured backward offset of the
+// launchBucket flattens bucket bi (quantizing it to the fp16 wire values
+// first when compression is on) and issues its clock-deferred collective via
+// the launch function. elapsed is the measured backward offset of the
 // launch.
-func (s *bucketSyncer) launch(bi int, elapsed time.Duration) {
+func (s *OverlapSyncer) launchBucket(bi int, elapsed time.Duration) {
 	b := s.buckets[bi]
 	s.flat[bi] = FlattenGrads(b.Params, s.flat[bi])
 	vec := s.flat[bi]
@@ -441,12 +498,7 @@ func (s *bucketSyncer) launch(bi int, elapsed time.Duration) {
 		wire = compressed
 	}
 	t0 := time.Now()
-	var cost time.Duration
-	if s.algo == GradAlgoHierarchical {
-		cost = s.w.AsyncHierarchicalAllReduceMeanSized(vec, s.topo, wire)
-	} else {
-		cost = s.w.AsyncRingAllReduceMeanSized(vec, wire)
-	}
+	cost := s.launch(vec, wire)
 	s.commWall += time.Since(t0)
 	s.launched[bi] = true
 	s.cumElems += b.Elems
@@ -458,14 +510,14 @@ func (s *bucketSyncer) launch(bi int, elapsed time.Duration) {
 	s.stepBytes += wire
 }
 
-// flush launches every bucket the backward pass never completed (parameters
+// Flush launches every bucket the backward pass never completed (parameters
 // outside the step's graph contribute zero gradients) with a ready offset of
-// bwdWall (the end of backward), in bucket order, and scatters all averaged
+// bwdWall (the end of backward), in bucket order, and scatters all reduced
 // buckets back into the parameter gradients.
-func (s *bucketSyncer) flush(bwdWall time.Duration) {
+func (s *OverlapSyncer) Flush(bwdWall time.Duration) {
 	for bi := range s.buckets {
 		if !s.launched[bi] {
-			s.launch(bi, bwdWall)
+			s.launchBucket(bi, bwdWall)
 		}
 	}
 	for bi, b := range s.buckets {
@@ -485,18 +537,16 @@ func splitCompute(compute, fwdWall, bwdWall time.Duration) (fwd, bwd time.Durati
 	return fwd, compute - fwd
 }
 
-// finish converts the step's launch timeline into the overlapped virtual
-// duration: the step's compute is split into forward and backward spans by
-// the measured wall-clock ratio, bucket i's collective becomes ready at its
-// measured backward offset (rescaled onto the modeled backward span), the
-// collectives serialize on one communication channel, and the step ends at
-// max(compute, last comm finish). Returns the total step duration and the
-// exposed (non-hidden) communication tail.
-//
-// Passing fwdWall == bwdWall == 0 selects the structural timeline
+// Timeline stamps each launch's ReadyAt onto the step timeline and returns
+// the comm events in launch order: the step's compute is split into forward
+// and backward spans by the measured wall-clock ratio, and bucket i becomes
+// ready at its measured backward offset rescaled onto the modeled backward
+// span. Passing fwdWall == bwdWall == 0 selects the structural timeline
 // (cumulative-elements ready fractions, 1:2 split): fully-modeled runs use
-// it so their virtual clocks are machine-independent and reproducible.
-func (s *bucketSyncer) finish(compute, fwdWall, bwdWall time.Duration) (step, exposed time.Duration) {
+// it so their virtual clocks are machine-independent and reproducible. The
+// returned slice aliases the syncer's state and is valid until the next
+// Reset.
+func (s *OverlapSyncer) Timeline(compute, fwdWall, bwdWall time.Duration) []cluster.CommEvent {
 	fwd, bwd := splitCompute(compute, fwdWall, bwdWall)
 	for i := range s.events {
 		frac := s.readyFrac[i]
@@ -508,14 +558,23 @@ func (s *bucketSyncer) finish(compute, fwdWall, bwdWall time.Duration) (step, ex
 		}
 		s.events[i].ReadyAt = fwd + time.Duration(frac*float64(bwd))
 	}
-	step = cluster.OverlapFinish(compute, s.events)
+	return s.events
+}
+
+// Finish converts the step's launch timeline into the overlapped virtual
+// duration: the collectives serialize on one communication channel, each
+// starting no earlier than its Timeline ReadyAt, and the step ends at
+// max(compute, last comm finish). Returns the total step duration and the
+// exposed (non-hidden) communication tail.
+func (s *OverlapSyncer) Finish(compute, fwdWall, bwdWall time.Duration) (step, exposed time.Duration) {
+	step = cluster.OverlapFinish(compute, s.Timeline(compute, fwdWall, bwdWall))
 	return step, step - compute
 }
 
-// modeledFinish is finish on the structural timeline (cumulative-elements
+// ModeledFinish is Finish on the structural timeline (cumulative-elements
 // ready fractions, 1:2 forward/backward split): a measurement-free figure of
 // merit the bucket autotuner can score reproducibly.
-func (s *bucketSyncer) modeledFinish(compute time.Duration) time.Duration {
+func (s *OverlapSyncer) ModeledFinish(compute time.Duration) time.Duration {
 	fwd := time.Duration((1 - backwardShare) * float64(compute))
 	bwd := compute - fwd
 	events := make([]cluster.CommEvent, len(s.events))
@@ -527,6 +586,24 @@ func (s *bucketSyncer) modeledFinish(compute time.Duration) time.Duration {
 	}
 	return cluster.OverlapFinish(compute, events)
 }
+
+// CommWall returns the real wall time this step spent blocked inside
+// collective launches (communication, not compute — measured step timing
+// subtracts it).
+func (s *OverlapSyncer) CommWall() time.Duration { return s.commWall }
+
+// TotalCost returns the sum of the step's modeled bucket collective costs.
+func (s *OverlapSyncer) TotalCost() time.Duration { return s.totalCost }
+
+// StepBytes returns the wire bytes shipped this step (compressed sizes under
+// fp16); StepSaved returns the bytes fp16 compression avoided.
+func (s *OverlapSyncer) StepBytes() int64 { return s.stepBytes }
+
+// StepSaved returns the wire bytes fp16 compression saved this step.
+func (s *OverlapSyncer) StepSaved() int64 { return s.stepSaved }
+
+// NumBuckets returns the syncer's bucket count.
+func (s *OverlapSyncer) NumBuckets() int { return len(s.buckets) }
 
 // Train runs distributed data-parallel training of factory-built replicas
 // over the index dataset. All workers see identical initialization and the
@@ -618,39 +695,17 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		if bucketBytes <= 0 {
 			bucketBytes = DefaultBucketBytes
 		}
-		var syncer *bucketSyncer
-		var tuner *bucketTuner
-		var tuneRefCompute time.Duration
-		var tuneRefSet bool
-		// The per-parameter fp16 codecs outlive any individual syncer, so
-		// error-feedback residuals persist across autotuner re-bucketing.
-		var codecOf map[*autograd.Variable]*cluster.FP16Codec
-		if overlap && cfg.FP16 {
-			codecOf = make(map[*autograd.Variable]*cluster.FP16Codec)
-		}
+		var syncer *OverlapSyncer
+		var sweep *BucketSweep
 		if overlap {
-			if cfg.AutoTuneBuckets {
-				var totalElems int
-				for _, p := range params {
-					totalElems += p.Tensor().NumElements()
+			// The flat-world collective stack: ring or hierarchical.
+			launch := func(vec []float64, wireBytes int64) time.Duration {
+				if algo == GradAlgoHierarchical {
+					return w.AsyncHierarchicalAllReduceMeanSized(vec, cfg.Topology, wireBytes)
 				}
-				tuner = newBucketTuner(AutotuneCandidates(clu.Net(), int64(totalElems)*8))
-				bucketBytes = tuner.current()
+				return w.AsyncRingAllReduceMeanSized(vec, wireBytes)
 			}
-			syncer = newBucketSyncer(w, BucketGrads(params, bucketBytes), algo, cfg.Topology, codecOf)
-		}
-		// lockTuner ends the sweep: every worker rebuilds its syncer around
-		// the globally agreed winner (identical tuner state on every rank).
-		lockTuner := func() {
-			if tuner == nil {
-				return
-			}
-			bucketBytes = tuner.winner()
-			syncer = newBucketSyncer(w, BucketGrads(params, bucketBytes), algo, cfg.Topology, codecOf)
-			tuner = nil
-			if rank == 0 && cfg.OnAutotuneLock != nil {
-				cfg.OnAutotuneLock(bucketBytes)
-			}
+			sweep, syncer, bucketBytes = NewGradSync(w, clu.Net(), params, launch, cfg.FP16, cfg.AutoTuneBuckets, cfg.BucketBytes, cfg.OnAutotuneLock)
 		}
 
 		// Per-batch byte volume for the baseline-DDP fetch path: x and y.
@@ -704,19 +759,19 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 					// from the timed gradient-ready hook while backward still
 					// runs; the clock charges max(compute, pipelined comm)
 					// on the measured forward/backward timeline.
-					syncer.reset()
+					syncer.Reset()
 					fwdWall := time.Since(start)
-					bwdWall, err := autograd.BackwardTimed(loss, syncer.onGradReady)
+					bwdWall, err := autograd.BackwardTimed(loss, syncer.OnGradReady)
 					if err != nil {
 						return fmt.Errorf("ddp: rank %d backward: %w", rank, err)
 					}
 					// Like the ReadyAt stamps, the backward span excludes
 					// time blocked inside collective launches.
-					bwdWall -= syncer.commWall
+					bwdWall -= syncer.CommWall()
 					if bwdWall < 0 {
 						bwdWall = 0
 					}
-					syncer.flush(bwdWall)
+					syncer.Flush(bwdWall)
 					// Gradients are now globally averaged; clipping acts on
 					// the averaged gradients (torch-DDP semantics).
 					if cfg.ClipNorm > 0 {
@@ -733,38 +788,21 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 					} else {
 						// Real elapsed minus the wall time spent blocked in
 						// collective launches (that is comm, not compute).
-						compute = time.Since(start) - syncer.commWall
+						compute = time.Since(start) - syncer.CommWall()
 						if compute < 0 {
 							compute = 0
 						}
 					}
-					step, exposed := syncer.finish(compute, fwdWall, bwdWall)
+					step, exposed := syncer.Finish(compute, fwdWall, bwdWall)
 					w.AdvanceTime(step)
 					w.Barrier() // straggler wait, as the synchronous step ends
 					comm += exposed
-					hidden += syncer.totalCost - exposed
-					totalBytes += syncer.stepBytes
-					savedBytes += syncer.stepSaved
-					if tuner != nil {
-						// Score the candidate this step ran with on the
-						// measurement-free modeled step time, agreed across
-						// workers (OpMax), then rebucket for the next
-						// candidate — or lock the winner when the ladder is
-						// exhausted. Every candidate is scored against the
-						// sweep's first compute span, so a candidate landing
-						// on a short tail batch (or a noisy measured step)
-						// is not mis-ranked by its step's own compute.
-						if !tuneRefSet {
-							tuneRefCompute, tuneRefSet = compute, true
-						}
-						agreed := time.Duration(w.AllReduceScalar(float64(syncer.modeledFinish(tuneRefCompute)), cluster.OpMax))
-						tuner.record(agreed)
-						if tuner.active() {
-							bucketBytes = tuner.current()
-							syncer = newBucketSyncer(w, BucketGrads(params, bucketBytes), algo, cfg.Topology, codecOf)
-						} else {
-							lockTuner()
-						}
+					hidden += syncer.TotalCost() - exposed
+					totalBytes += syncer.StepBytes()
+					savedBytes += syncer.StepSaved()
+					if sweep.Active() {
+						syncer = sweep.Step(syncer, compute)
+						bucketBytes = sweep.BucketBytes()
 					}
 				} else {
 					// Flatten baseline: one monolithic AllReduce after
@@ -813,8 +851,9 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			}
 			// The sweep is confined to the first epoch: a short epoch locks
 			// in the best candidate tried so far.
-			if tuner != nil {
-				lockTuner()
+			if sweep.Active() {
+				syncer = sweep.EndEpoch(syncer)
+				bucketBytes = sweep.BucketBytes()
 			}
 			// Epoch metrics: weighted AllReduce of train loss and val MAE
 			// (the validation AllReduce the paper lists as DDP overhead).
@@ -834,7 +873,7 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		buckets := 1
 		effectiveBucketBytes := int64(0)
 		if overlap {
-			buckets = len(syncer.buckets)
+			buckets = syncer.NumBuckets()
 			effectiveBucketBytes = bucketBytes
 		}
 		outs[rank] = workerOut{

@@ -9,6 +9,7 @@ import (
 	"pgti/internal/cluster"
 	"pgti/internal/ddp"
 	"pgti/internal/graph"
+	"pgti/internal/metrics"
 	"pgti/internal/nn"
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
@@ -124,7 +125,7 @@ func TestShardedSpMMMatchesGlobal(t *testing.T) {
 		err = clu.Run(func(w *cluster.Worker) error {
 			sp := plan.Parts[w.Rank()]
 			stats := &Stats{}
-			ex := NewExchanger(w, group, sp.Shard, sp.Exchanges[0], cluster.Topology{}, stats)
+			ex := NewExchanger(w, group, sp.Shard, sp.Exchanges[0], cluster.Topology{}, stats, false)
 			local := gatherRows(x, sp.Own)
 			halo := ex.Gather(local)
 			ext := local
@@ -321,4 +322,138 @@ func relDiff(a, b float64) float64 {
 		return d / m
 	}
 	return d
+}
+
+// TestOverlapMatchesBlockingBitwise: the interior-first halo schedule must
+// leave training curves exactly equal (bitwise) to the blocking schedule —
+// across shard counts with the flatten sync, and including the bucketed
+// two-stage sync on 2-member groups, where the ring chunking coincides and
+// no floating-point reassociation occurs.
+func TestOverlapMatchesBlockingBitwise(t *testing.T) {
+	g, supports := testGraph(t, 24)
+	data, split := testData(t, g.N)
+	model := func(seed uint64, props []nn.Propagator) nn.SeqModel {
+		return nn.NewPGTDCRNNOn(tensor.NewRNG(seed), props, 1, 1, 6, 3)
+	}
+	base := Config{BatchSize: 4, Epochs: 2, LR: 0.02, Seed: 5}
+	run := func(shards, replicas int, halo HaloSyncMode, sync ddp.SyncMode) metrics.Curve {
+		cfg := base
+		cfg.Shards, cfg.Replicas = shards, replicas
+		cfg.HaloSync, cfg.Sync = halo, sync
+		res, err := Train(data, split, g, supports, model, cfg)
+		if err != nil {
+			t.Fatalf("%dx%d halo=%v sync=%v: %v", shards, replicas, halo, sync, err)
+		}
+		return res.Curve
+	}
+	// Halo overlap alone is bitwise-transparent at any shard count.
+	for _, shards := range []int{2, 3, 4} {
+		blocking := run(shards, 1, HaloSyncBlocking, ddp.SyncFlatten)
+		overlapped := run(shards, 1, HaloSyncOverlap, ddp.SyncFlatten)
+		for i := range blocking {
+			if blocking[i] != overlapped[i] {
+				t.Fatalf("shards=%d epoch %d: overlapped curve %+v != blocking %+v", shards, i, overlapped[i], blocking[i])
+			}
+		}
+	}
+	// Fully-overlapped default vs fully-blocking at 2x2: every collective
+	// reduces over 2-member groups, so even the bucketed two-stage sync is
+	// association-free and the curves stay bitwise equal.
+	blocking := run(2, 2, HaloSyncBlocking, ddp.SyncFlatten)
+	overlapped := run(2, 2, HaloSyncOverlap, ddp.SyncBucketedOverlap)
+	for i := range blocking {
+		if blocking[i] != overlapped[i] {
+			t.Fatalf("2x2 epoch %d: overlapped curve %+v != blocking %+v", i, overlapped[i], blocking[i])
+		}
+	}
+}
+
+// TestOverlapHidesCommunication: under a slow fabric with modeled compute,
+// the overlapped schedules must hide communication (halo and gradient) under
+// the step compute — shrinking the modeled epoch time versus the blocking
+// schedules while the total halo cost stays identical.
+func TestOverlapHidesCommunication(t *testing.T) {
+	g, supports := testGraph(t, 24)
+	data, split := testData(t, g.N)
+	model := func(seed uint64, props []nn.Propagator) nn.SeqModel {
+		return nn.NewPGTDCRNNOn(tensor.NewRNG(seed), props, 1, 1, 6, 3)
+	}
+	net := cluster.NetworkModel{Bandwidth: 1e7, Latency: 2 * time.Microsecond, DispatchOverhead: time.Millisecond}
+	run := func(halo HaloSyncMode, sync ddp.SyncMode) *Result {
+		res, err := Train(data, split, g, supports, model, Config{
+			Shards: 2, Replicas: 2, BatchSize: 4, Epochs: 1, LR: 0.02, Seed: 9,
+			Net: net, ComputeCost: func(int) time.Duration { return 2 * time.Millisecond },
+			HaloSync: halo, Sync: sync,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	blocking := run(HaloSyncBlocking, ddp.SyncFlatten)
+	overlapped := run(HaloSyncOverlap, ddp.SyncBucketedOverlap)
+
+	if overlapped.VirtualTime >= blocking.VirtualTime {
+		t.Fatalf("overlap did not shrink the modeled epoch: %v vs blocking %v", overlapped.VirtualTime, blocking.VirtualTime)
+	}
+	if overlapped.HaloTime != blocking.HaloTime {
+		t.Fatalf("total halo cost changed under overlap: %v vs %v", overlapped.HaloTime, blocking.HaloTime)
+	}
+	if overlapped.HaloHiddenTime <= 0 || overlapped.HaloHiddenTime > overlapped.HaloTime {
+		t.Fatalf("halo hidden time %v outside (0, %v]", overlapped.HaloHiddenTime, overlapped.HaloTime)
+	}
+	if blocking.HaloHiddenTime != 0 || blocking.CommHiddenTime != 0 {
+		t.Fatalf("blocking run reported hidden comm: halo %v, grad %v", blocking.HaloHiddenTime, blocking.CommHiddenTime)
+	}
+	if overlapped.CommHiddenTime < 0 {
+		t.Fatalf("negative hidden gradient comm %v", overlapped.CommHiddenTime)
+	}
+	// The chunked two-stage collective is itself cheaper than the blocking
+	// two-ring exchange, so exposed + hidden must stay below the blocking
+	// exposure.
+	if total := overlapped.CommTime + overlapped.CommHiddenTime; total > blocking.CommTime {
+		t.Fatalf("bucketed two-stage total %v exceeds blocking exposure %v", total, blocking.CommTime)
+	}
+	if overlapped.GradBuckets < 1 || overlapped.BucketBytes <= 0 {
+		t.Fatalf("bucketed run reported %d buckets, cap %d", overlapped.GradBuckets, overlapped.BucketBytes)
+	}
+	if blocking.GradBuckets != 1 || blocking.BucketBytes != 0 {
+		t.Fatalf("flatten run reported %d buckets, cap %d", blocking.GradBuckets, blocking.BucketBytes)
+	}
+}
+
+// TestHybridFP16AndAutotune: the collective-stack knobs compose with the
+// bucketed two-stage sync — fp16 saves wire traffic deterministically, the
+// autotuner locks a ladder candidate, and runs stay bit-reproducible.
+func TestHybridFP16AndAutotune(t *testing.T) {
+	g, supports := testGraph(t, 20)
+	data, split := testData(t, g.N)
+	model := func(seed uint64, props []nn.Propagator) nn.SeqModel {
+		return nn.NewPGTDCRNNOn(tensor.NewRNG(seed), props, 1, 1, 4, 3)
+	}
+	cfg := Config{
+		Shards: 2, Replicas: 2, BatchSize: 4, Epochs: 2, LR: 0.02, Seed: 9,
+		FP16: true, AutoTuneBuckets: true, BucketBytes: 8 << 10,
+	}
+	var locked int64
+	cfg.OnAutotuneLock = func(b int64) { locked = b }
+	a, err := Train(data, split, g, supports, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CommBytesSaved <= 0 {
+		t.Fatalf("fp16 saved no wire bytes: %d", a.CommBytesSaved)
+	}
+	if locked <= 0 || a.BucketBytes != locked {
+		t.Fatalf("autotuner lock: hook saw %d, result says %d", locked, a.BucketBytes)
+	}
+	b, err := Train(data, split, g, supports, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Fatalf("fp16+autotune run not reproducible at epoch %d: %+v vs %+v", i, a.Curve[i], b.Curve[i])
+		}
+	}
 }

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"pgti/internal/autograd"
@@ -21,6 +22,33 @@ import (
 // propagators; parameter initialization must not depend on the propagators
 // (the nn constructors guarantee this), so every worker starts identical.
 type ModelFactory func(seed uint64, props []nn.Propagator) nn.SeqModel
+
+// HaloSyncMode selects the halo-exchange schedule.
+type HaloSyncMode int
+
+// The two halo schedules.
+const (
+	// HaloSyncOverlap (default) is the interior-first split-phase schedule:
+	// each ShardSpMM launches its halo exchange, multiplies the rows whose
+	// columns all fall in [own] while the bytes are in flight, and finishes
+	// the frontier rows once the halo lands (mirrored in backward under the
+	// reverse scatter-add exchange). The step's virtual clock charges
+	// max(compute, pipelined comm) via cluster.OverlapFinish; results are
+	// bitwise identical to the blocking schedule.
+	HaloSyncOverlap HaloSyncMode = iota
+	// HaloSyncBlocking is the gather-then-multiply baseline: every exchange
+	// blocks before the local SpMM and its full modeled cost is exposed on
+	// the clock. Kept for ablation benchmarks.
+	HaloSyncBlocking
+)
+
+// String implements fmt.Stringer.
+func (m HaloSyncMode) String() string {
+	if m == HaloSyncBlocking {
+		return "blocking"
+	}
+	return "overlap"
+}
 
 // Config parameterizes a hybrid (spatial x data) training run on a
 // Shards x Replicas process grid. Rank layout: rank = replica*Shards +
@@ -59,6 +87,31 @@ type Config struct {
 	// pass it in). When nil, Train builds it from the graph.
 	Plan *Plan
 
+	// Sync selects the gradient-exchange schedule. SyncBucketedOverlap
+	// (default) partitions the gradients into size-capped buckets and
+	// launches each bucket's two-stage collective — replica-group sum, then
+	// shard-group mean over the reduce-scattered chunk — from the timed
+	// gradient-ready hooks mid-backward, folding the modeled cost into the
+	// step's overlap timeline. SyncFlatten is the blocking baseline: one
+	// flattened two-ring exchange after backward, fully exposed.
+	Sync ddp.SyncMode
+	// HaloSync selects the halo-exchange schedule (default interior-first
+	// overlap; see HaloSyncMode).
+	HaloSync HaloSyncMode
+	// FP16 ships gradient buckets quantized to half precision with
+	// error-feedback residual accumulation (see ddp.Config.FP16).
+	FP16 bool
+	// BucketBytes caps one gradient bucket for the bucketed schedule
+	// (default ddp.DefaultBucketBytes).
+	BucketBytes int64
+	// AutoTuneBuckets sweeps candidate bucket sizes across the first
+	// epoch's steps and locks in the one minimizing the modeled step time
+	// (ddp.AutotuneCandidates ladder). Ignored by SyncFlatten.
+	AutoTuneBuckets bool
+	// OnAutotuneLock fires on rank 0 when the bucket autotuner locks in its
+	// winning bucket size.
+	OnAutotuneLock func(bucketBytes int64)
+
 	// Ctx, when cancellable (Ctx.Done() != nil), is polled once per step
 	// through an agreed scalar collective so every worker of the 2D grid
 	// stops at the same step (see ddp.Config.Ctx for the contract).
@@ -79,19 +132,36 @@ type Result struct {
 	Curve metrics.Curve
 	// VirtualTime is worker 0's synchronized virtual clock at completion.
 	VirtualTime time.Duration
-	// CommTime is the modeled gradient-synchronization cost (both stages)
-	// from worker 0's perspective; halo traffic is reported separately.
+	// CommTime is the *exposed* modeled gradient-synchronization cost (both
+	// stages) from worker 0's perspective — bucketed-overlap cost hidden
+	// under compute does not appear here; halo traffic is reported
+	// separately.
 	CommTime time.Duration
+	// CommHiddenTime is the modeled gradient-sync cost the bucketed overlap
+	// hid under step compute (zero for SyncFlatten).
+	CommHiddenTime time.Duration
 	// HaloTime / HaloBytes are worker 0's modeled halo-exchange cost and
-	// wire traffic across forward and backward passes.
-	HaloTime  time.Duration
-	HaloBytes int64
-	// GradSyncBytes is worker 0's gradient wire traffic.
+	// wire traffic across forward and backward passes; HaloHiddenTime is
+	// the portion of HaloTime the interior-first overlap hid under compute
+	// (zero for HaloSyncBlocking).
+	HaloTime       time.Duration
+	HaloHiddenTime time.Duration
+	HaloBytes      int64
+	// GradSyncBytes is worker 0's gradient wire traffic (per bucketed
+	// collective: the bucket's wire size, compressed under FP16; per
+	// flatten stage: the full vector's wire size).
 	GradSyncBytes int64
-	Steps         int
-	GlobalBatch   int
-	Shards        int
-	Replicas      int
+	// CommBytesSaved is the gradient traffic avoided by fp16 compression.
+	CommBytesSaved int64
+	// GradBuckets is the per-step gradient bucket count (1 for
+	// SyncFlatten); BucketBytes is the effective bucket cap (the autotuned
+	// winner when AutoTuneBuckets is set, 0 for SyncFlatten).
+	GradBuckets int
+	BucketBytes int64
+	Steps       int
+	GlobalBatch int
+	Shards      int
+	Replicas    int
 	// EdgeCut, MaxOwn and MaxHalo describe the partition (halo-traffic and
 	// memory-balance proxies; MaxOwn ~ ceil(N/Shards)).
 	EdgeCut, MaxOwn, MaxHalo int
@@ -112,6 +182,14 @@ type Result struct {
 // travel within replica groups during forward/backward, and gradients are
 // summed across each replica group then averaged across shard groups. The
 // result matches the unsharded run within floating-point reassociation.
+//
+// By default both communication legs overlap with compute: halo exchanges
+// run interior-first (HaloSyncOverlap) and gradient buckets launch
+// mid-backward (SyncBucketedOverlap); the virtual clock charges each step
+// max(compute, pipelined comm) with every launch serialized on one modeled
+// communication channel. The blocking schedules remain selectable for
+// ablation and are bitwise-equivalent in training results where the
+// collective chunking coincides (the halo schedules always are).
 func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, supports []*sparse.CSR, factory ModelFactory, cfg Config) (*Result, error) {
 	if cfg.Shards < 1 || cfg.Replicas < 1 {
 		return nil, fmt.Errorf("shard: need >= 1 shard and replica, got %dx%d", cfg.Shards, cfg.Replicas)
@@ -152,20 +230,28 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 	}
 
 	type workerOut struct {
-		curve     metrics.Curve
-		vt        time.Duration
-		comm      time.Duration
-		halo      Stats
-		gradBytes int64
-		steps     int
-		checksum  float64
-		cancelled bool
-		model     nn.SeqModel
-		opt       *nn.Adam
+		curve       metrics.Curve
+		vt          time.Duration
+		comm        time.Duration
+		commHidden  time.Duration
+		halo        Stats
+		gradBytes   int64
+		savedBytes  int64
+		buckets     int
+		bucketBytes int64
+		steps       int
+		checksum    float64
+		cancelled   bool
+		model       nn.SeqModel
+		opt         *nn.Adam
 	}
 	outs := make([]workerOut, world)
 	globalN := g.N
 	cancellable := cfg.Ctx != nil && cfg.Ctx.Done() != nil
+	haloOverlap := cfg.HaloSync == HaloSyncOverlap
+	// Bucketed overlap only pays off with real peers; a single worker has
+	// nothing to exchange and keeps the plain path.
+	bucketed := cfg.Sync != ddp.SyncFlatten && world > 1
 
 	runErr := clu.Run(func(w *cluster.Worker) error {
 		rank := w.Rank()
@@ -181,7 +267,7 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		sp := plan.Parts[sh]
 		ownFrac := float64(len(sp.Own)) / float64(globalN)
 		stats := &Stats{}
-		model := factory(cfg.Seed, Propagators(w, replicaGroup, sp, cfg.Topology, stats))
+		model := factory(cfg.Seed, Propagators(w, replicaGroup, sp, cfg.Topology, stats, haloOverlap))
 		params := model.Parameters()
 		opt := nn.NewAdam(model, lr)
 		if cfg.Init != nil {
@@ -192,10 +278,30 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		sampler := ddp.NewSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Replicas, rep, cfg.Seed)
 		var buf batching.BatchBuffer
 		var gradBuf []float64
-		var comm time.Duration
-		var gradBytes int64
+		var flatCodec cluster.FP16Codec
+		var comm, commHidden time.Duration
+		var gradBytes, savedBytes int64
 		var curve metrics.Curve
 		steps := 0
+
+		// The grouped two-stage collective the bucketed syncer launches per
+		// bucket: sum across the replica group (reduce-scatter), mean across
+		// the shard group (chunk allreduce), allgather back. The wall time
+		// spent blocked inside it is booked against the step so the halo
+		// launch offsets measure compute only (the syncer's own CommWall
+		// symmetrically keeps bucket offsets clean of halo blocking below).
+		launch := func(vec []float64, wireBytes int64) time.Duration {
+			t0 := time.Now()
+			cost := w.AsyncTwoStageAllReduce(vec, replicaGroup, shardGroup, wireBytes, cfg.Topology)
+			stats.stepBlocked += time.Since(t0)
+			return cost
+		}
+		var bucketBytes int64
+		var syncer *ddp.OverlapSyncer
+		var sweep *ddp.BucketSweep
+		if bucketed {
+			sweep, syncer, bucketBytes = ddp.NewGradSync(w, clu.Net(), params, launch, cfg.FP16, cfg.AutoTuneBuckets, cfg.BucketBytes, cfg.OnAutotuneLock)
+		}
 
 		cancelled := false
 		for epoch := cfg.StartEpoch; epoch < cfg.Epochs; epoch++ {
@@ -217,6 +323,7 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				}
 				idx := batches[s]
 				start := time.Now()
+				stats.BeginStep()
 				haloWall := stats.Wall
 				x, y := data.AssembleBatch(idx, &buf)
 				xOwn := gatherNodeAxis(x, sp.Own)
@@ -227,40 +334,132 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				// summing the backward gradients across the replica group
 				// reproduces the unsharded gradient exactly.
 				loss := autograd.ScalarMul(lossLocal, ownFrac)
-				if err := autograd.Backward(loss); err != nil {
+				var fwdWall, bwdWall time.Duration
+				if bucketed {
+					// Bucketed overlapping two-stage sync: bucket collectives
+					// launch from the timed gradient-ready hook while backward
+					// still runs.
+					syncer.Reset()
+					fwdWall = time.Since(start) - (stats.Wall - haloWall)
+					if fwdWall < 0 {
+						fwdWall = 0
+					}
+					bwdHaloWall := stats.Wall
+					// Bucket ready stamps, like the halo launch offsets, must
+					// measure backward *compute*: strip the halo-exchange
+					// blocking accumulated so far this backward pass (the
+					// syncer already strips its own collective blocking).
+					hook := func(leaf *autograd.Variable, elapsed time.Duration) {
+						syncer.OnGradReady(leaf, elapsed-(stats.Wall-bwdHaloWall))
+					}
+					var err error
+					bwdWall, err = autograd.BackwardTimed(loss, hook)
+					if err != nil {
+						return fmt.Errorf("shard: rank %d backward: %w", rank, err)
+					}
+					// Like the ReadyAt stamps, the backward span excludes
+					// time blocked inside collective launches and halo
+					// exchanges.
+					bwdWall -= syncer.CommWall() + (stats.Wall - bwdHaloWall)
+					if bwdWall < 0 {
+						bwdWall = 0
+					}
+					syncer.Flush(bwdWall)
+					// Gradients are now globally synchronized; the clip point
+					// is unchanged (after the sync).
+					if cfg.ClipNorm > 0 {
+						nn.ClipGradNorm(model, cfg.ClipNorm)
+					}
+				} else if err := autograd.Backward(loss); err != nil {
 					return fmt.Errorf("shard: rank %d backward: %w", rank, err)
 				}
-				// Charge compute before the gradient sync so the blocking
-				// collectives below are not also counted as compute. The
-				// halo exchanges inside forward/backward already advanced
-				// the clock by their modeled cost, so the measured span
-				// excludes the wall time spent blocked in them.
-				if cfg.ComputeCost != nil {
-					w.AdvanceTime(time.Duration(ownFrac * float64(cfg.ComputeCost(len(idx)))))
-				} else if compute := time.Since(start) - (stats.Wall - haloWall); compute > 0 {
-					w.AdvanceTime(compute)
+				// The step's compute span. Modeled runs keep the timeline
+				// structural (machine-independent virtual clocks); measured
+				// runs subtract the wall time spent blocked in exchanges and
+				// collective launches (that is communication, not compute).
+				structural := cfg.ComputeCost != nil
+				var compute time.Duration
+				if structural {
+					compute = time.Duration(ownFrac * float64(cfg.ComputeCost(len(idx))))
+					fwdWall, bwdWall = 0, 0
+				} else {
+					compute = time.Since(start) - (stats.Wall - haloWall)
+					if bucketed {
+						compute -= syncer.CommWall()
+					}
+					if compute < 0 {
+						compute = 0
+					}
 				}
-				// Two-stage gradient sync: sum over the replica group (the
-				// spatial reduction), then average over the shard group (the
-				// data-parallel mean). Every worker ends with the bitwise-
-				// identical global gradient.
-				gradBuf = ddp.FlattenGrads(params, gradBuf)
-				wire := int64(len(gradBuf)) * 8
-				if cfg.Shards > 1 {
-					comm += w.GroupRingAllReduceSized(gradBuf, replicaGroup, wire, false, cfg.Topology)
-					gradBytes += wire
+				// Charge the step: every overlapped launch (halo exchanges
+				// across the whole step, gradient buckets in the backward
+				// span) serializes on one modeled communication channel and
+				// the clock advances by max(compute, last comm finish). With
+				// both schedules blocking the event list is empty and the
+				// charge degenerates to the legacy compute-only advance (the
+				// blocking halo exchanges charged the clock inline and the
+				// flatten sync charges it below).
+				var events []cluster.CommEvent
+				var haloExposed time.Duration
+				haloStepCost := stats.StepCost()
+				if haloOverlap {
+					hev := stats.StepEvents(compute, structural)
+					haloExposed = cluster.OverlapFinish(compute, hev) - compute
+					events = append(events, hev...)
 				}
-				if cfg.Replicas > 1 {
-					comm += w.GroupRingAllReduceSized(gradBuf, shardGroup, wire, true, cfg.Topology)
-					gradBytes += wire
+				if bucketed {
+					events = append(events, syncer.Timeline(compute, fwdWall, bwdWall)...)
+					sort.SliceStable(events, func(i, j int) bool { return events[i].ReadyAt < events[j].ReadyAt })
 				}
-				ddp.UnflattenGrads(params, gradBuf)
-				if cfg.ClipNorm > 0 {
-					nn.ClipGradNorm(model, cfg.ClipNorm)
+				step := cluster.OverlapFinish(compute, events)
+				w.AdvanceTime(step)
+				exposed := step - compute
+				stats.Hidden += haloStepCost - haloExposed
+				if bucketed {
+					gradExposed := exposed - haloExposed
+					comm += gradExposed
+					commHidden += syncer.TotalCost() - gradExposed
+					gradBytes += syncer.StepBytes()
+					savedBytes += syncer.StepSaved()
+				} else {
+					// Flatten baseline: sum over the replica group (the
+					// spatial reduction), then average over the shard group
+					// (the data-parallel mean), both blocking and fully
+					// exposed. Every worker ends with the bitwise-identical
+					// global gradient.
+					gradBuf = ddp.FlattenGrads(params, gradBuf)
+					wire := int64(len(gradBuf)) * 8
+					var saved int64
+					if cfg.FP16 && world > 1 {
+						flatCodec.ApplyInPlace(gradBuf)
+						compressed := cluster.FP16WireBytes(len(gradBuf))
+						saved = wire - compressed
+						wire = compressed
+					}
+					// Saved and shipped bytes stay on the same per-collective
+					// basis: each stage ships (and so each stage saves).
+					if cfg.Shards > 1 {
+						comm += w.GroupRingAllReduceSized(gradBuf, replicaGroup, wire, false, cfg.Topology)
+						gradBytes += wire
+						savedBytes += saved
+					}
+					if cfg.Replicas > 1 {
+						comm += w.GroupRingAllReduceSized(gradBuf, shardGroup, wire, true, cfg.Topology)
+						gradBytes += wire
+						savedBytes += saved
+					}
+					ddp.UnflattenGrads(params, gradBuf)
+					if cfg.ClipNorm > 0 {
+						nn.ClipGradNorm(model, cfg.ClipNorm)
+					}
 				}
 				opt.Step()
 				steps++
 				w.Barrier() // synchronous step boundary (straggler wait)
+				if sweep.Active() {
+					syncer = sweep.Step(syncer, compute)
+					bucketBytes = sweep.BucketBytes()
+				}
 				// Weight by elements seen so the global weighted mean matches
 				// the unsharded per-batch accounting.
 				trainAcc.Add(lossLocal.Value.Item()*data.Std, len(idx)*len(sp.Own))
@@ -268,8 +467,14 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 			if cancelled {
 				break
 			}
+			// The sweep is confined to the first epoch: a short epoch locks
+			// in the best candidate tried so far.
+			if sweep.Active() {
+				syncer = sweep.EndEpoch(syncer)
+				bucketBytes = sweep.BucketBytes()
+			}
 			trainMAE := ddp.ReduceWeighted(w, trainAcc)
-			valMAE := evaluateShard(w, model, data, split.Val, cfg, sp.Own, rep, &buf)
+			valMAE := evaluateShard(w, model, data, split.Val, cfg, sp.Own, rep, &buf, stats)
 			rec := metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE}
 			curve = append(curve, rec)
 			if rank == 0 && cfg.OnEpoch != nil {
@@ -281,10 +486,17 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 			checksum += p.Tensor().SumAll()
 		}
 		w.Barrier()
+		buckets := 1
+		effectiveBucketBytes := int64(0)
+		if bucketed {
+			buckets = syncer.NumBuckets()
+			effectiveBucketBytes = bucketBytes
+		}
 		outs[rank] = workerOut{
-			curve: curve, vt: w.VirtualTime(), comm: comm, halo: *stats,
-			gradBytes: gradBytes, steps: steps, checksum: checksum,
-			cancelled: cancelled,
+			curve: curve, vt: w.VirtualTime(), comm: comm, commHidden: commHidden,
+			halo: *stats, gradBytes: gradBytes, savedBytes: savedBytes,
+			buckets: buckets, bucketBytes: effectiveBucketBytes,
+			steps: steps, checksum: checksum, cancelled: cancelled,
 		}
 		if rank == 0 {
 			outs[rank].model, outs[rank].opt = model, opt
@@ -302,36 +514,47 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		}
 	}
 	return &Result{
-		Curve:         outs[0].curve,
-		VirtualTime:   outs[0].vt,
-		CommTime:      outs[0].comm,
-		HaloTime:      outs[0].halo.Time,
-		HaloBytes:     outs[0].halo.Bytes,
-		GradSyncBytes: outs[0].gradBytes,
-		Steps:         outs[0].steps,
-		GlobalBatch:   cfg.BatchSize * cfg.Replicas,
-		Shards:        cfg.Shards,
-		Replicas:      cfg.Replicas,
-		EdgeCut:       plan.EdgeCut,
-		MaxOwn:        plan.MaxOwn(),
-		MaxHalo:       plan.MaxHalo(),
-		Model:         outs[0].model,
-		Opt:           outs[0].opt,
-		Cancelled:     outs[0].cancelled,
+		Curve:          outs[0].curve,
+		VirtualTime:    outs[0].vt,
+		CommTime:       outs[0].comm,
+		CommHiddenTime: outs[0].commHidden,
+		HaloTime:       outs[0].halo.Time,
+		HaloHiddenTime: outs[0].halo.Hidden,
+		HaloBytes:      outs[0].halo.Bytes,
+		GradSyncBytes:  outs[0].gradBytes,
+		CommBytesSaved: outs[0].savedBytes,
+		GradBuckets:    outs[0].buckets,
+		BucketBytes:    outs[0].bucketBytes,
+		Steps:          outs[0].steps,
+		GlobalBatch:    cfg.BatchSize * cfg.Replicas,
+		Shards:         cfg.Shards,
+		Replicas:       cfg.Replicas,
+		EdgeCut:        plan.EdgeCut,
+		MaxOwn:         plan.MaxOwn(),
+		MaxHalo:        plan.MaxHalo(),
+		Model:          outs[0].model,
+		Opt:            outs[0].opt,
+		Cancelled:      outs[0].cancelled,
 	}, nil
 }
 
 // evaluateShard computes this worker's share of the validation MAE — its
 // replica's slice of the validation batches restricted to its own nodes —
-// and reduces the globally weighted mean (original signal units).
-func evaluateShard(w *cluster.Worker, model nn.SeqModel, data *batching.IndexDataset, val []int, cfg Config, own []int, rep int, buf *batching.BatchBuffer) float64 {
+// and reduces the globally weighted mean (original signal units). Under the
+// overlapped halo schedule the evaluation exchanges record step events
+// nobody overlaps (there is no modeled eval compute to hide under), so
+// their full cost is charged inline per batch — exactly what the blocking
+// schedule charges; with blocking exchanges the settle is a no-op.
+func evaluateShard(w *cluster.Worker, model nn.SeqModel, data *batching.IndexDataset, val []int, cfg Config, own []int, rep int, buf *batching.BatchBuffer, stats *Stats) float64 {
 	lo, hi := batching.PartitionRange(len(val), cfg.Replicas, rep)
 	var acc metrics.Running
 	for _, batch := range batching.Batches(val[lo:hi], cfg.BatchSize) {
+		stats.BeginStep()
 		x, y := data.AssembleBatch(batch, buf)
 		xOwn := gatherNodeAxis(x, own)
 		target := gatherNodeAxis(y.Slice(3, 0, 1).Contiguous(), own)
 		pred := model.Forward(autograd.Constant(xOwn))
+		w.AdvanceTime(stats.StepCost())
 		acc.Add(metrics.MAE(pred.Value, target)*data.Std, len(batch)*len(own))
 	}
 	// Weighted-mean over all workers of the 2D grid: each (snapshot, node)

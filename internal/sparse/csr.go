@@ -7,6 +7,7 @@ package sparse
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"pgti/internal/parallel"
 	"pgti/internal/tensor"
@@ -18,7 +19,19 @@ type CSR struct {
 	RowPtr       []int     // length RowsN+1
 	ColIdx       []int     // length NNZ
 	Val          []float64 // length NNZ
+
+	// boundsCache memoizes the NNZ-balanced workRanges cuts per feature
+	// width: recurrent models run hundreds of SpMMs per step against the
+	// same (immutable, possibly goroutine-shared) support matrix, and the
+	// cuts depend only on RowPtr and f. Mutating a CSR after its first
+	// kernel call invalidates the cache silently — derive modified copies
+	// via Clone/Scale/RowNormalize instead, as the rest of the code does.
+	boundsCache sync.Map // boundsKey -> []int
 }
+
+// boundsKey addresses one memoized set of NNZ-balanced cuts: the row range
+// and the feature width (the full-matrix cuts use lo=0, hi=RowsN).
+type boundsKey struct{ lo, hi, f int }
 
 // Coord is a single (row, col, value) triplet for COO-style construction.
 type Coord struct {
@@ -213,19 +226,61 @@ func (m *CSR) Scale(s float64) *CSR {
 // to a single serial chunk.
 const spmmParallelThreshold = 32 * 1024
 
-// rowGrain returns the SpMM/SpMV row grain so one chunk carries roughly
-// spmmParallelThreshold multiply-adds at the matrix's average row density.
-func (m *CSR) rowGrain(f int) int {
-	if m.RowsN == 0 {
-		return 1
+// workRanges cuts the row space into chunks of roughly equal *nonzero* work
+// (about spmmParallelThreshold multiply-adds per chunk at f feature columns),
+// returning the row boundaries: chunk c covers rows [bounds[c], bounds[c+1]).
+// Unlike a fixed row grain, the cuts follow the cumulative NNZ (RowPtr), so
+// a skewed-degree shard cannot serialize the kernel on one fat row chunk —
+// a dense row simply becomes its own chunk.
+func (m *CSR) workRanges(f int) []int {
+	if f < 1 {
+		f = 1
 	}
-	perRow := (m.NNZ()/m.RowsN + 1) * f
-	return parallel.GrainFor(perRow, spmmParallelThreshold)
+	return m.cachedRangeBounds(0, m.RowsN, f)
+}
+
+// cachedRangeBounds memoizes rangeWorkBounds per (range, f): the cuts
+// depend only on the immutable RowPtr, and the kernels re-enter with the
+// same few (range, f) pairs hundreds of times per training step.
+func (m *CSR) cachedRangeBounds(lo, hi, f int) []int {
+	key := boundsKey{lo, hi, f}
+	if b, ok := m.boundsCache.Load(key); ok {
+		return b.([]int)
+	}
+	bounds := m.rangeWorkBounds(lo, hi, f)
+	m.boundsCache.Store(key, bounds)
+	return bounds
+}
+
+// rangeWorkBounds is workRanges restricted to the rows [lo, hi).
+func (m *CSR) rangeWorkBounds(lo, hi, f int) []int {
+	if f < 1 {
+		f = 1
+	}
+	targetNNZ := spmmParallelThreshold / f
+	if targetNNZ < 1 {
+		targetNNZ = 1
+	}
+	bounds := []int{lo}
+	for r := lo; r < hi; {
+		// Find the first row whose inclusion brings the chunk to the target
+		// work; RowPtr is the cumulative NNZ, so this is a binary search.
+		next := sort.SearchInts(m.RowPtr[r+1:hi+1], m.RowPtr[r]+targetNNZ) + r + 1
+		if next > hi {
+			next = hi
+		}
+		bounds = append(bounds, next)
+		r = next
+	}
+	if len(bounds) == 1 {
+		bounds = append(bounds, lo)
+	}
+	return bounds
 }
 
 // SpMM computes the sparse-dense product m @ x for x of shape [ColsN, F],
-// returning a dense [RowsN, F] tensor. Row blocks fan out over the process
-// worker pool for large products.
+// returning a dense [RowsN, F] tensor. NNZ-balanced row chunks fan out over
+// the process worker pool for large products.
 func (m *CSR) SpMM(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(0) != m.ColsN {
 		panic(fmt.Sprintf("sparse: SpMM shape mismatch: %dx%d @ %v", m.RowsN, m.ColsN, x.Shape()))
@@ -236,8 +291,9 @@ func (m *CSR) SpMM(x *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(m.RowsN, f)
 	od := out.Data()
 
-	parallel.For(m.RowsN, m.rowGrain(f), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	bounds := m.workRanges(f)
+	parallel.For(len(bounds)-1, 1, func(clo, chi int) {
+		for i := bounds[clo]; i < bounds[chi]; i++ {
 			orow := od[i*f : (i+1)*f]
 			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 				v := m.Val[k]
@@ -251,15 +307,106 @@ func (m *CSR) SpMM(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// MulVec computes the sparse matrix-vector product m @ v (SpMV), with row
-// blocks fanned out over the worker pool for large matrices.
+// SpMMRowsInto computes the given rows of m @ x into the [RowsN, F] output
+// tensor out, leaving every other row of out untouched. x must cover every
+// column the selected rows reference (it may be shorter than ColsN when the
+// rows are known to touch only a prefix, e.g. the interior rows of a shard
+// block whose columns all fall in the [own] segment). Each row's accumulation
+// is the exact SpMM inner loop, so a partition of the row space computed via
+// successive SpMMRowsInto calls is bitwise identical to one SpMM. Row chunks
+// are NNZ-balanced over the worker pool.
+func (m *CSR) SpMMRowsInto(rows []int, x *tensor.Tensor, out *tensor.Tensor) {
+	if x.Rank() != 2 || out.Rank() != 2 || out.Dim(0) != m.RowsN || out.Dim(1) != x.Dim(1) {
+		panic(fmt.Sprintf("sparse: SpMMRowsInto shape mismatch: %dx%d rows into %v from %v", m.RowsN, m.ColsN, out.Shape(), x.Shape()))
+	}
+	f := x.Dim(1)
+	xd := x.Contiguous().Data()
+	od := out.Data()
+
+	bounds := m.rowListRanges(rows, f)
+	parallel.For(len(bounds)-1, 1, func(clo, chi int) {
+		for ri := bounds[clo]; ri < bounds[chi]; ri++ {
+			i := rows[ri]
+			orow := od[i*f : (i+1)*f]
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				v := m.Val[k]
+				xrow := xd[m.ColIdx[k]*f : (m.ColIdx[k]+1)*f]
+				for j := range orow {
+					orow[j] += v * xrow[j]
+				}
+			}
+		}
+	})
+}
+
+// SpMMRowRangeInto is SpMMRowsInto over the contiguous row range [lo, hi) —
+// the overlapped ShardSpMM backward uses it for the transposed block's own
+// and halo row segments without materializing index lists.
+func (m *CSR) SpMMRowRangeInto(lo, hi int, x *tensor.Tensor, out *tensor.Tensor) {
+	if lo < 0 || hi < lo || hi > m.RowsN {
+		panic(fmt.Sprintf("sparse: SpMMRowRangeInto rows [%d, %d) out of range for %d rows", lo, hi, m.RowsN))
+	}
+	if x.Rank() != 2 || out.Rank() != 2 || out.Dim(0) != m.RowsN || out.Dim(1) != x.Dim(1) {
+		panic(fmt.Sprintf("sparse: SpMMRowRangeInto shape mismatch: %dx%d rows into %v from %v", m.RowsN, m.ColsN, out.Shape(), x.Shape()))
+	}
+	f := x.Dim(1)
+	xd := x.Contiguous().Data()
+	od := out.Data()
+
+	bounds := m.cachedRangeBounds(lo, hi, f)
+	parallel.For(len(bounds)-1, 1, func(clo, chi int) {
+		for i := bounds[clo]; i < bounds[chi]; i++ {
+			orow := od[i*f : (i+1)*f]
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				v := m.Val[k]
+				xrow := xd[m.ColIdx[k]*f : (m.ColIdx[k]+1)*f]
+				for j := range orow {
+					orow[j] += v * xrow[j]
+				}
+			}
+		}
+	})
+}
+
+// rowListRanges is workRanges over an explicit row list: NNZ-balanced cuts
+// into the list, chunk c covering rows[bounds[c]:bounds[c+1]]. Unlike the
+// range cuts it is not memoized — the O(len(rows)) scan is a few adds per
+// row against the kernel's O(row NNZ * f) work, and the list identity is
+// not a clean cache key.
+func (m *CSR) rowListRanges(rows []int, f int) []int {
+	if f < 1 {
+		f = 1
+	}
+	targetNNZ := spmmParallelThreshold / f
+	if targetNNZ < 1 {
+		targetNNZ = 1
+	}
+	bounds := []int{0}
+	acc := 0
+	for ri, r := range rows {
+		acc += m.RowPtr[r+1] - m.RowPtr[r]
+		if acc >= targetNNZ {
+			bounds = append(bounds, ri+1)
+			acc = 0
+		}
+	}
+	if bounds[len(bounds)-1] != len(rows) {
+		bounds = append(bounds, len(rows))
+	}
+	return bounds
+}
+
+// MulVec computes the sparse matrix-vector product m @ v (SpMV), with
+// NNZ-balanced row chunks fanned out over the worker pool for large
+// matrices.
 func (m *CSR) MulVec(v []float64) []float64 {
 	if len(v) != m.ColsN {
 		panic(fmt.Sprintf("sparse: MulVec length %d != cols %d", len(v), m.ColsN))
 	}
 	out := make([]float64, m.RowsN)
-	parallel.For(m.RowsN, m.rowGrain(1), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	bounds := m.workRanges(1)
+	parallel.For(len(bounds)-1, 1, func(clo, chi int) {
+		for i := bounds[clo]; i < bounds[chi]; i++ {
 			var s float64
 			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 				s += m.Val[k] * v[m.ColIdx[k]]

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pgti/internal/parallel"
 	"pgti/internal/tensor"
 )
 
@@ -218,5 +219,65 @@ func TestPropertyRowNormalizeSums(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWorkRangesSkewedDegrees: the NNZ-aware chunking must isolate a dense
+// row instead of serializing the kernel on one fat row-count chunk, keep
+// every cut aligned with the cumulative-NNZ target, and leave results
+// identical to the serial product.
+func TestWorkRangesSkewedDegrees(t *testing.T) {
+	// One pathological row holding ~all the nonzeros plus a long sparse tail.
+	n := 2000
+	var entries []Coord
+	for j := 0; j < n; j++ {
+		entries = append(entries, Coord{Row: 0, Col: j, Val: 1 + float64(j)})
+	}
+	for i := 1; i < n; i++ {
+		entries = append(entries, Coord{Row: i, Col: (i * 7) % n, Val: float64(i)})
+	}
+	m, err := FromCOO(n, n, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := 64
+	bounds := m.workRanges(f)
+	if len(bounds) < 3 {
+		t.Fatalf("skewed matrix produced %d chunks, want several: %v", len(bounds), bounds)
+	}
+	// The fat row must be cut off on its own: with f=64 the target NNZ per
+	// chunk is 512, and row 0 alone carries 2000.
+	if bounds[1] != 1 {
+		t.Fatalf("fat row not isolated: first cut at %d", bounds[1])
+	}
+	// Chunks tile [0, n) in order.
+	if bounds[0] != 0 || bounds[len(bounds)-1] != n {
+		t.Fatalf("bounds do not tile the row space: %v ... %v", bounds[0], bounds[len(bounds)-1])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, bounds[i])
+		}
+	}
+	// Every interior chunk reaches the work target (the final chunk may be
+	// a remainder), and no chunk exceeds target+1 rows' worth of overshoot.
+	target := spmmParallelThreshold / f
+	for i := 1; i < len(bounds)-1; i++ {
+		nnz := m.RowPtr[bounds[i]] - m.RowPtr[bounds[i-1]]
+		if nnz < target && bounds[i]-bounds[i-1] > 1 {
+			t.Fatalf("interior chunk %d has %d nnz below target %d", i, nnz, target)
+		}
+	}
+	// Parallel result equals serial.
+	x := tensor.Randn(tensor.NewRNG(9), n, f)
+	got := m.SpMM(x)
+	prev := parallel.SetWorkers(1)
+	serial := m.SpMM(x)
+	parallel.SetWorkers(prev)
+	gd, sd := got.Data(), serial.Data()
+	for i := range gd {
+		if gd[i] != sd[i] {
+			t.Fatalf("parallel SpMM differs from serial at %d", i)
+		}
 	}
 }

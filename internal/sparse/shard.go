@@ -23,6 +23,12 @@ type ShardCSR struct {
 	Halo []int
 	// Local is the re-indexed row block, shape [len(Own), len(Own)+len(Halo)].
 	Local *CSR
+	// Interior lists the local rows of Local whose stored columns all fall
+	// in the [own] segment (< len(Own)): their products need no halo data,
+	// so an overlapped SpMM computes them while the halo exchange is in
+	// flight. Frontier lists the remaining rows (touching at least one halo
+	// column). Both ascend; together they tile [0, len(Own)) exactly.
+	Interior, Frontier []int
 }
 
 // NumOwn returns the owned node count.
@@ -102,5 +108,31 @@ func buildShard(m *CSR, owner []int, p int, own []int) *ShardCSR {
 		}
 		local.RowPtr[i+1] = len(local.ColIdx)
 	}
-	return &ShardCSR{GlobalN: m.RowsN, Own: own, Halo: halo, Local: local}
+	interior, frontier := InteriorFrontier(local, len(own))
+	return &ShardCSR{
+		GlobalN: m.RowsN, Own: own, Halo: halo, Local: local,
+		Interior: interior, Frontier: frontier,
+	}
+}
+
+// InteriorFrontier partitions the rows of a compacted [own | halo] row block
+// by halo dependence: interior rows store only columns < nOwn, frontier rows
+// touch at least one halo column. Both lists ascend and jointly tile
+// [0, m.RowsN) exactly.
+func InteriorFrontier(m *CSR, nOwn int) (interior, frontier []int) {
+	for i := 0; i < m.RowsN; i++ {
+		isInterior := true
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.ColIdx[k] >= nOwn {
+				isInterior = false
+				break
+			}
+		}
+		if isInterior {
+			interior = append(interior, i)
+		} else {
+			frontier = append(frontier, i)
+		}
+	}
+	return interior, frontier
 }

@@ -95,3 +95,106 @@ func TestSplitCSRValidation(t *testing.T) {
 		t.Fatal("expected non-square error")
 	}
 }
+
+// TestInteriorFrontierPartition: across shard counts, every interior row
+// references only [own] columns, every frontier row touches at least one
+// halo column, and interior+frontier exactly tile the row block in
+// ascending order.
+func TestInteriorFrontierPartition(t *testing.T) {
+	n := 37
+	m := randomSquare(n, 11)
+	for _, parts := range []int{2, 3, 4} {
+		owner := make([]int, n)
+		for i := range owner {
+			owner[i] = (i * 5) % parts
+		}
+		shards, err := SplitCSR(m, owner, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, s := range shards {
+			nOwn := s.NumOwn()
+			seen := make([]int, nOwn) // how many lists claim each row
+			prev := -1
+			for _, r := range s.Interior {
+				if r <= prev {
+					t.Fatalf("parts=%d shard %d: interior not ascending at %d", parts, p, r)
+				}
+				prev = r
+				seen[r]++
+				for k := s.Local.RowPtr[r]; k < s.Local.RowPtr[r+1]; k++ {
+					if s.Local.ColIdx[k] >= nOwn {
+						t.Fatalf("parts=%d shard %d: interior row %d references halo column %d", parts, p, r, s.Local.ColIdx[k])
+					}
+				}
+			}
+			prev = -1
+			for _, r := range s.Frontier {
+				if r <= prev {
+					t.Fatalf("parts=%d shard %d: frontier not ascending at %d", parts, p, r)
+				}
+				prev = r
+				seen[r]++
+				touches := false
+				for k := s.Local.RowPtr[r]; k < s.Local.RowPtr[r+1]; k++ {
+					if s.Local.ColIdx[k] >= nOwn {
+						touches = true
+						break
+					}
+				}
+				if !touches {
+					t.Fatalf("parts=%d shard %d: frontier row %d touches no halo column", parts, p, r)
+				}
+			}
+			for r, c := range seen {
+				if c != 1 {
+					t.Fatalf("parts=%d shard %d: row %d claimed %d times by interior+frontier", parts, p, r, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSpMMRowsIntoTilesBitwise: computing the interior rows against just the
+// [own] feature block and the frontier rows against the full [own | halo]
+// block reproduces the one-shot SpMM bit-for-bit — the identity the
+// overlapped ShardSpMM forward relies on.
+func TestSpMMRowsIntoTilesBitwise(t *testing.T) {
+	n, f := 29, 6
+	m := randomSquare(n, 13)
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = i % 3
+	}
+	shards, err := SplitCSR(m, owner, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(14)
+	for p, s := range shards {
+		ext := tensor.Randn(rng, s.Local.ColsN, f)
+		want := s.Local.SpMM(ext)
+		got := tensor.New(s.NumOwn(), f)
+		ownBlock := ext.Slice(0, 0, s.NumOwn()).Contiguous()
+		s.Local.SpMMRowsInto(s.Interior, ownBlock, got) // own prefix suffices
+		s.Local.SpMMRowsInto(s.Frontier, ext, got)
+		wd, gd := want.Data(), got.Data()
+		for i := range wd {
+			if wd[i] != gd[i] {
+				t.Fatalf("shard %d: element %d differs bitwise: %v vs %v", p, i, gd[i], wd[i])
+			}
+		}
+		// The contiguous-range variant (the overlapped backward's kernel)
+		// must tile the row space bitwise-identically too.
+		ranged := tensor.New(s.NumOwn(), f)
+		cut := s.NumOwn() / 2
+		s.Local.SpMMRowRangeInto(0, cut, ext, ranged)
+		s.Local.SpMMRowRangeInto(cut, s.NumOwn(), ext, ranged)
+		rd := ranged.Data()
+		for i := range wd {
+			if wd[i] != rd[i] {
+				t.Fatalf("shard %d: range element %d differs bitwise: %v vs %v", p, i, rd[i], wd[i])
+			}
+		}
+	}
+}

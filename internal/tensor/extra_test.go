@@ -131,3 +131,34 @@ func TestPropertyMaxMinDominance(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMatMulTiledBitwiseIdentical: the cache-blocked kernel must produce
+// bit-for-bit the same product as the naive ikj loop order, across shapes
+// that exercise partial tiles, multi-tile k/n, and the small-matrix
+// degenerate path.
+func TestMatMulTiledBitwiseIdentical(t *testing.T) {
+	rng := NewRNG(41)
+	shapes := [][3]int{
+		{3, 5, 7},      // tiny: degenerates to the naive kernel
+		{17, 64, 256},  // exact single tile
+		{33, 65, 257},  // one past a tile boundary in k and n
+		{8, 200, 700},  // multi-tile n, partial edges
+		{130, 300, 90}, // multi-tile k, parallel row blocks
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := Randn(rng, m, k)
+		// Plant exact zeros so the zero-skip path is exercised identically.
+		a.Data()[0] = 0
+		a.Data()[m*k-1] = 0
+		b := Randn(rng, k, n)
+		tiled := MatMul(a, b)
+		naive := MatMulNaive(a, b)
+		td, nd := tiled.Data(), naive.Data()
+		for i := range td {
+			if td[i] != nd[i] {
+				t.Fatalf("[%d,%d]x[%d,%d]: element %d differs bitwise: %v vs %v", m, k, k, n, i, td[i], nd[i])
+			}
+		}
+	}
+}

@@ -11,10 +11,33 @@ import (
 // carries. Small multiplies collapse to a single serial chunk.
 const parallelThreshold = 16 * 1024
 
+// Cache-blocking tile sizes: one [tileK, tileN] panel of b (128 KiB) stays
+// resident while every row of the a block streams against it, so large
+// products touch each b element once per row block instead of once per row.
+// Multiplies whose whole b fits a panel degenerate to the naive loop order.
+const (
+	tileK = 64
+	tileN = 256
+)
+
 // MatMul returns the matrix product a @ b for rank-2 tensors
 // ([m,k] x [k,n] -> [m,n]). Large products fan out over the process worker
-// pool by row blocks.
+// pool by row blocks, each computed with the cache-blocked kernel. The
+// result is bitwise identical to the naive ikj loop order: tiling ascends in
+// both k and n, so every output element accumulates its k products in
+// exactly the naive order.
 func MatMul(a, b *Tensor) *Tensor {
+	return matMul(a, b, matmulRowsTiled)
+}
+
+// MatMulNaive is the pre-tiling kernel (plain ikj loop order), kept as the
+// ablation baseline for the serial-vs-tiled benchmark. Bitwise identical to
+// MatMul.
+func MatMulNaive(a, b *Tensor) *Tensor {
+	return matMul(a, b, matmulRows)
+}
+
+func matMul(a, b *Tensor, rows func(a, b, out []float64, lo, hi, k, n int)) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
 	}
@@ -32,13 +55,13 @@ func MatMul(a, b *Tensor) *Tensor {
 
 	grain := parallel.GrainFor(k*n, parallelThreshold)
 	parallel.For(m, grain, func(lo, hi int) {
-		matmulRows(ad, bd, od, lo, hi, k, n)
+		rows(ad, bd, od, lo, hi, k, n)
 	})
 	return out
 }
 
 // matmulRows computes out[lo:hi] = a[lo:hi] @ b with an ikj loop order that
-// streams b row-wise for cache friendliness.
+// streams b row-wise.
 func matmulRows(a, b, out []float64, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		orow := out[i*n : (i+1)*n]
@@ -51,6 +74,44 @@ func matmulRows(a, b, out []float64, lo, hi, k, n int) {
 			brow := b[p*n : (p+1)*n]
 			for j := range orow {
 				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// matmulRowsTiled computes out[lo:hi] = a[lo:hi] @ b with cache blocking:
+// the (pb, jb) tile of b is reused across every row of the block before the
+// next tile is touched. For each output element the k index still ascends
+// (tiles ascend, p ascends within a tile), so the accumulation order — and
+// therefore the result — is bitwise identical to matmulRows.
+func matmulRowsTiled(a, b, out []float64, lo, hi, k, n int) {
+	if k <= tileK && n <= tileN {
+		matmulRows(a, b, out, lo, hi, k, n)
+		return
+	}
+	for pb := 0; pb < k; pb += tileK {
+		pEnd := pb + tileK
+		if pEnd > k {
+			pEnd = k
+		}
+		for jb := 0; jb < n; jb += tileN {
+			jEnd := jb + tileN
+			if jEnd > n {
+				jEnd = n
+			}
+			for i := lo; i < hi; i++ {
+				orow := out[i*n+jb : i*n+jEnd]
+				arow := a[i*k : (i+1)*k]
+				for p := pb; p < pEnd; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b[p*n+jb : p*n+jEnd]
+					for j := range orow {
+						orow[j] += av * brow[j]
+					}
+				}
 			}
 		}
 	}

@@ -239,13 +239,16 @@ type Report struct {
 	CommBytesSaved  int64
 
 	// SpatialShards is the spatial shard count (1 = unsharded); HaloBytes /
-	// HaloTime are one worker's halo-exchange traffic and modeled cost, and
-	// EdgeCut counts support entries crossing shards. PerWorkerBytes is one
-	// worker's modeled host footprint (replica + staging + data share) for
-	// distributed strategies — the N/P memory claim, per worker.
+	// HaloTime are one worker's halo-exchange traffic and modeled cost,
+	// HaloHiddenTime the portion of HaloTime the interior-first overlapped
+	// exchange hid under step compute, and EdgeCut counts support entries
+	// crossing shards. PerWorkerBytes is one worker's modeled host
+	// footprint (replica + staging + data share) for distributed
+	// strategies — the N/P memory claim, per worker.
 	SpatialShards  int
 	HaloBytes      int64
 	HaloTime       time.Duration
+	HaloHiddenTime time.Duration
 	EdgeCut        int
 	PerWorkerBytes int64
 
@@ -335,6 +338,7 @@ func reportFromCore(rep *core.Report) *Report {
 		SpatialShards:     rep.SpatialShards,
 		HaloBytes:         rep.HaloBytes,
 		HaloTime:          rep.HaloTime,
+		HaloHiddenTime:    rep.HaloHiddenTime,
 		EdgeCut:           rep.EdgeCut,
 		PerWorkerBytes:    rep.PerWorkerBytes,
 		PeakSystemBytes:   rep.PeakSystemBytes,

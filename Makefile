@@ -1,14 +1,15 @@
 GO ?= go
 
 # The benchmark families gated by the CI perf regression check: DDP gradient
-# sync, spatial sharding, the distributed index-batching strategies, and the
-# event-stream hook path (hooked vs hookless must stay indistinguishable).
-BENCH_GATED = $(GO) test -run '^$$' -bench 'BenchmarkDDP|BenchmarkShard|BenchmarkIndexBatch|BenchmarkEventStream' -benchtime=1x .
+# sync, spatial sharding, the distributed index-batching strategies, the
+# event-stream hook path (hooked vs hookless must stay indistinguishable),
+# and the serving tier's modeled latency/throughput under its virtual clock.
+BENCH_GATED = $(GO) test -run '^$$' -bench 'BenchmarkDDP|BenchmarkShard|BenchmarkIndexBatch|BenchmarkEventStream|BenchmarkServe' -benchtime=1x .
 
 # Per-package statement-coverage floors (pkg:percent), enforced by `make
 # cover` and the CI workflow. Raise a floor when coverage grows; lowering one
 # is a reviewed decision, not a quick fix for a red build.
-COVER_FLOORS = internal/shard:85 internal/cluster:90 internal/graph:90 internal/core:85 internal/sparse:85 internal/autograd:80 .:75
+COVER_FLOORS = internal/shard:85 internal/cluster:90 internal/graph:90 internal/core:85 internal/sparse:85 internal/autograd:80 internal/serve:85 .:75
 
 .PHONY: ci build vet fmt-check test race cover bench bench-smoke bench-json bench-baseline bench-check bench-ci
 

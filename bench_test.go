@@ -6,8 +6,10 @@
 package pgti
 
 import (
+	"context"
 	"io"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -698,3 +700,146 @@ func benchLayerNorm(b *testing.B, workers int) {
 
 func BenchmarkLayerNormSerial(b *testing.B)   { benchLayerNorm(b, 1) }
 func BenchmarkLayerNormParallel(b *testing.B) { benchLayerNorm(b, 0) }
+
+// --- gated: serving tier (coalescing queue, replica pool, swap) ---------------
+
+// The serve family drives deterministic serving sessions under an explicit
+// cost model (2ms launch + 250µs/window — the launch is the term coalescing
+// amortizes) and a modeled open-loop arrival process pinned at each
+// configuration's modeled capacity, then reports the server's virtual-clock
+// accounting. Barriered caller waves keep every batch full, and the arrival
+// stamps come from admission order, so the modeled p50/p99/QPS are exact,
+// reproducible numbers on any host: Serial prices one-request dispatch
+// (capacity 444 QPS), Coalesce8 must clear >=2x that (it models ~4.3x),
+// Replicas2x8 doubles Coalesce8 over a two-replica pool, and SwapUnderLoad
+// pins that atomic weight swaps leave the modeled timeline untouched.
+
+var (
+	benchServeOnce sync.Once
+	benchServeExp  *Experiment
+	benchServeWin  Window
+	benchServeErr  error
+)
+
+// benchServeSetup fits the tiny serving experiment once per process.
+func benchServeSetup(b *testing.B) (*Experiment, Window) {
+	b.Helper()
+	benchServeOnce.Do(func() {
+		exp, err := NewExperiment("PeMS-BAY", tinyOpts(StrategyIndex, 1)...)
+		if err != nil {
+			benchServeErr = err
+			return
+		}
+		if _, err := exp.Fit(context.Background()); err != nil {
+			benchServeErr = err
+			return
+		}
+		pred, err := exp.Predictor()
+		if err != nil {
+			benchServeErr = err
+			return
+		}
+		vals := make([]float64, pred.Horizon()*pred.Nodes()*pred.Features())
+		for i := range vals {
+			vals[i] = 55 + float64(i%9)
+		}
+		benchServeExp, benchServeWin = exp, Window{Values: vals}
+	})
+	if benchServeErr != nil {
+		b.Fatal(benchServeErr)
+	}
+	return benchServeExp, benchServeWin
+}
+
+// benchServeCost is the explicit modeled forward cost: a fixed launch
+// (weights streamed once per batch) plus a per-window term.
+func benchServeCost(batch int) time.Duration {
+	return 2*time.Millisecond + time.Duration(batch)*250*time.Microsecond
+}
+
+// runServeSession drives callers goroutines through rounds closed-loop
+// requests each (plus swaps mid-load) and returns the final modeled stats.
+func runServeSession(b *testing.B, replicas, maxBatch, callers, rounds, swaps int, interarrival time.Duration) ServeStats {
+	b.Helper()
+	exp, w := benchServeSetup(b)
+	srv, err := NewServer(exp,
+		WithReplicas(replicas),
+		WithMaxBatch(maxBatch),
+		WithBatchWindow(time.Second),
+		WithQueueDepth(2*callers),
+		WithCostModel(benchServeCost),
+		WithArrivalProcess(interarrival),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Swaps run concurrently with the request waves; they leave the
+	// modeled timeline untouched, so the stats stay deterministic.
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		for i := 0; i < swaps; i++ {
+			if err := srv.Swap(exp); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	// Barriered waves over persistent workers: every round issues exactly
+	// callers requests, so each wave splits into full MaxBatch batches and
+	// the count trigger (never the window timer) dispatches every one.
+	// Workers are spawned once — waking a parked goroutine is orders of
+	// magnitude faster than the real forward, so a whole wave enqueues
+	// before its first batch completes and the modeled arrivals coincide.
+	begin := make(chan struct{})
+	results := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		go func() {
+			for range begin {
+				_, err := srv.Predict(context.Background(), w)
+				results <- err
+			}
+		}()
+	}
+	for r := 0; r < rounds; r++ {
+		for g := 0; g < callers; g++ {
+			begin <- struct{}{}
+		}
+		for g := 0; g < callers; g++ {
+			if err := <-results; err != nil {
+				b.Error(err)
+			}
+		}
+	}
+	close(begin)
+	<-swapDone
+	if err := srv.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return srv.Stats()
+}
+
+func benchServe(b *testing.B, replicas, maxBatch, callers, swaps int, interarrival time.Duration) {
+	const rounds = 16
+	benchServeSetup(b) // fit outside the timer
+	var st ServeStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = runServeSession(b, replicas, maxBatch, callers, rounds, swaps, interarrival)
+	}
+	if want := int64(callers * rounds); st.Completed != want {
+		b.Fatalf("completed %d, want %d", st.Completed, want)
+	}
+	b.ReportMetric(st.QPS, "qps")
+	b.ReportMetric(float64(st.P50.Microseconds()), "p50-µs")
+	b.ReportMetric(float64(st.P99.Microseconds()), "p99-µs")
+	b.ReportMetric(float64(st.Virtual.Microseconds()), "virt-µs")
+}
+
+// Interarrival pins the offered load at each configuration's modeled
+// capacity: Serial serves cost(1)=2.25ms per request, a coalescing replica
+// serves 8 per cost(8)=4ms (500µs), and two replicas serve twice that.
+func BenchmarkServeSerial(b *testing.B)        { benchServe(b, 1, 1, 1, 0, 2250*time.Microsecond) }
+func BenchmarkServeCoalesce8(b *testing.B)     { benchServe(b, 1, 8, 8, 0, 500*time.Microsecond) }
+func BenchmarkServeReplicas2x8(b *testing.B)   { benchServe(b, 2, 8, 16, 0, 250*time.Microsecond) }
+func BenchmarkServeSwapUnderLoad(b *testing.B) { benchServe(b, 1, 8, 8, 6, 500*time.Microsecond) }

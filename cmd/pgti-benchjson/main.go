@@ -51,8 +51,10 @@ type Snapshot struct {
 
 func main() {
 	check := flag.String("check", "", "baseline snapshot JSON to compare against (regression gate mode)")
-	family := flag.String("family", "BenchmarkDDP,BenchmarkShard,BenchmarkIndexBatch,BenchmarkEventStream", "comma-separated benchmark name prefixes the gate covers")
-	metrics := flag.String("metrics", "virt-µs/epoch,exposed-comm-µs,halo-µs/epoch", "comma-separated metrics to gate (lower is better; missing metrics are skipped)")
+	family := flag.String("family", "BenchmarkDDP,BenchmarkShard,BenchmarkIndexBatch,BenchmarkEventStream,BenchmarkServe", "comma-separated benchmark name prefixes the gate covers")
+	// qps is deliberately absent: the gate assumes lower-is-better, and QPS
+	// is the reciprocal of virt-µs anyway for a fixed request count.
+	metrics := flag.String("metrics", "virt-µs/epoch,exposed-comm-µs,halo-µs/epoch,p50-µs,p99-µs,virt-µs", "comma-separated metrics to gate (lower is better; missing metrics are skipped)")
 	threshold := flag.Float64("threshold", 0.20, "maximum tolerated relative regression")
 	// The gated metrics are deterministic modeled values (virtual-clock
 	// microseconds), so no noise allowance is needed by default — slack

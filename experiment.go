@@ -338,6 +338,13 @@ func (e *Experiment) Eval() (*Report, error) {
 // Predictor returns the warm, goroutine-safe inference handle over the
 // trained parameters and normalization statistics. Requires a completed
 // Fit (wraps ErrNotFitted otherwise).
+//
+// Predictor serves one window per call directly off the experiment's own
+// parameters; it stays supported and bitwise-pinned, but for production
+// serving prefer NewServer, which coalesces concurrent callers into batched
+// forwards (bitwise identical to Predictor's results), pools warm replicas,
+// sheds overload with typed errors, and swaps in retrained weights without
+// draining.
 func (e *Experiment) Predictor() (*Predictor, error) { return e.eng.Predictor() }
 
 // Report returns the run's (possibly partial) report, or nil before Open.

@@ -410,13 +410,13 @@ func (e *Engine) checkpointInit(probe nn.SeqModel) (func(nn.SeqModel, *nn.Adam) 
 	if err != nil {
 		return nil, 0, err
 	}
-	snap := snapshotParams(probe)
+	snap := nn.SnapshotParams(probe)
 	startEpoch := 0
 	if state != nil {
 		startEpoch = state.NextEpoch
 	}
 	init := func(m nn.SeqModel, opt *nn.Adam) error {
-		if err := restoreParams(m, snap); err != nil {
+		if err := nn.RestoreParams(m, snap); err != nil {
 			return err
 		}
 		if state != nil {
@@ -425,32 +425,6 @@ func (e *Engine) checkpointInit(probe nn.SeqModel) (func(nn.SeqModel, *nn.Adam) 
 		return nil
 	}
 	return init, startEpoch, nil
-}
-
-// snapshotParams deep-copies a model's parameters in declaration order.
-func snapshotParams(m nn.SeqModel) [][]float64 {
-	params := m.Parameters()
-	snap := make([][]float64, len(params))
-	for i, p := range params {
-		snap[i] = append([]float64(nil), p.Tensor().Contiguous().Data()...)
-	}
-	return snap
-}
-
-// restoreParams copies a snapshot into a model of identical architecture.
-func restoreParams(m nn.SeqModel, snap [][]float64) error {
-	params := m.Parameters()
-	if len(params) != len(snap) {
-		return fmt.Errorf("core: snapshot has %d parameters, model has %d", len(snap), len(params))
-	}
-	for i, p := range params {
-		dst := p.Tensor().Data()
-		if len(dst) != len(snap[i]) {
-			return fmt.Errorf("core: parameter %q has %d elements, snapshot %d", p.Name, len(dst), len(snap[i]))
-		}
-		copy(dst, snap[i])
-	}
-	return nil
 }
 
 func (e *Engine) buildDistributed() error {
@@ -824,7 +798,7 @@ func (e *Engine) fitHybrid(ctx context.Context) error {
 	// of the propagators, so they load straight into a full-graph model —
 	// the servable artifact checkpoints and the Predictor hold.
 	full := buildModel(cfg.Model, cfg.Seed, e.supports, e.in, cfg.Hidden, cfg.K, meta.Horizon, meta.Nodes)
-	if err := restoreParams(full, snapshotParams(res.Model)); err != nil {
+	if err := nn.RestoreParams(full, nn.SnapshotParams(res.Model)); err != nil {
 		return err
 	}
 	e.model = full

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"pgti/internal/nn"
+)
+
+// fittedEngine trains a tiny run and returns the engine plus a set of
+// distinct plausible raw windows.
+func fittedEngine(t *testing.T) (*Engine, []Window) {
+	t.Helper()
+	cfg := tinyCfg(Index)
+	e := NewEngine(cfg)
+	if err := e.Fit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	n := e.meta.Horizon * e.meta.Nodes * e.in
+	ws := make([]Window, 8)
+	for i := range ws {
+		vals := make([]float64, n)
+		for j := range vals {
+			vals[j] = 40 + float64(i) + float64(j%7)
+		}
+		ws[i] = Window{Values: vals}
+	}
+	return e, ws
+}
+
+// TestForwardBatchBitwiseEqualsSingle pins the coalescing contract: sample
+// i of a batched forward is bit-for-bit the forecast of forwarding window i
+// alone. Every forward-path kernel accumulates per output element
+// independently of sibling batch rows, so batching may change throughput
+// but never bits.
+func TestForwardBatchBitwiseEqualsSingle(t *testing.T) {
+	e, ws := fittedEngine(t)
+	c, err := e.NewInferCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := c.ForwardBatch(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range ws {
+		single, err := c.ForwardBatch([]Window{w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(single[0].Pred) != len(batched[i].Pred) {
+			t.Fatalf("window %d: %d vs %d values", i, len(single[0].Pred), len(batched[i].Pred))
+		}
+		for j := range single[0].Pred {
+			if math.Float64bits(single[0].Pred[j]) != math.Float64bits(batched[i].Pred[j]) {
+				t.Fatalf("window %d value %d: batched %v != single %v",
+					i, j, batched[i].Pred[j], single[0].Pred[j])
+			}
+		}
+	}
+}
+
+// TestInferCoreCloneMatchesPredictor: a cloned core and the engine-shared
+// Predictor must forecast bitwise identically — the clone is the same bits
+// in a private architecture.
+func TestInferCoreCloneMatchesPredictor(t *testing.T) {
+	e, ws := fittedEngine(t)
+	c, err := e.NewInferCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Predictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws[:3] {
+		ref, err := p.Predict(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.ForwardBatch([]Window{w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref.Pred {
+			if math.Float64bits(ref.Pred[j]) != math.Float64bits(got[0].Pred[j]) {
+				t.Fatalf("clone drifted at value %d: %v vs %v", j, got[0].Pred[j], ref.Pred[j])
+			}
+		}
+	}
+}
+
+// TestInferCoreCloneIsIsolated: mutating the engine's parameters must not
+// change a previously built core's forecasts (serve-while-retrain), and
+// SwapParams must carry the new weights over atomically.
+func TestInferCoreCloneIsIsolated(t *testing.T) {
+	e, ws := fittedEngine(t)
+	c, err := e.NewInferCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.ForwardBatch(ws[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a retrain: perturb the engine's parameters in place.
+	for _, p := range e.model.Parameters() {
+		d := p.Tensor().Data()
+		for i := range d {
+			d[i] += 0.125
+		}
+	}
+	after, err := c.ForwardBatch(ws[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range before[0].Pred {
+		if math.Float64bits(before[0].Pred[j]) != math.Float64bits(after[0].Pred[j]) {
+			t.Fatal("engine mutation leaked into the cloned core")
+		}
+	}
+
+	// Swap installs the perturbed weights; the clone must now match a fresh
+	// clone of the perturbed engine exactly.
+	snap, err := e.ParamSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SwapParams(snap); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := e.NewInferCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.ForwardBatch(ws[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ForwardBatch(ws[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want[0].Pred {
+		if math.Float64bits(want[0].Pred[j]) != math.Float64bits(got[0].Pred[j]) {
+			t.Fatal("swapped core drifted from the new weights")
+		}
+	}
+}
+
+func TestInferCoreValidation(t *testing.T) {
+	e, ws := fittedEngine(t)
+	c, err := e.NewInferCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ForwardBatch(nil); err == nil {
+		t.Fatal("empty batch must be rejected")
+	}
+	if _, err := c.ForwardBatch([]Window{{Values: ws[0].Values[:3]}}); err == nil {
+		t.Fatal("short window must be rejected")
+	}
+	bad := nn.SnapshotParams(e.model)[:1]
+	if err := c.SwapParams(bad); err == nil {
+		t.Fatal("mismatched snapshot must be rejected")
+	}
+	if c.Horizon() != e.meta.Horizon || c.Nodes() != e.meta.Nodes || c.Features() != e.in {
+		t.Fatal("shape accessors disagree with the engine")
+	}
+	if c.ParamBytes() != nn.ParameterBytes(e.model) {
+		t.Fatal("ParamBytes disagrees with the fitted model")
+	}
+}
+
+func TestInferCoreBeforeFit(t *testing.T) {
+	e := NewEngine(tinyCfg(Index))
+	if _, err := e.NewInferCore(); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("NewInferCore before fit: %v, want ErrNotFitted", err)
+	}
+	if _, err := e.ParamSnapshot(); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("ParamSnapshot before fit: %v, want ErrNotFitted", err)
+	}
+}

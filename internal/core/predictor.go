@@ -2,11 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
-
-	"pgti/internal/autograd"
-	"pgti/internal/nn"
-	"pgti/internal/tensor"
 )
 
 // Window is one raw input window for inference: Horizon time steps of all
@@ -23,27 +18,16 @@ type Window struct {
 // statistics, standardizing inputs and un-z-scoring predictions exactly as
 // the training pipeline did. Obtain one from Engine.Predictor after Fit.
 //
-// Calls serialize on an internal mutex (the model's forward pass shares
-// scratch state), so a single Predictor is safe to share across goroutines;
-// it never mutates the trained parameters.
+// Calls serialize on the embedded InferCore's mutex (the model's forward
+// pass shares scratch state), so a single Predictor is safe to share across
+// goroutines; it never mutates the trained parameters. The InferCore is the
+// same machinery the serving tier's replica pool batches over, so Predictor
+// and a coalescing Server produce bitwise-identical forecasts.
 type Predictor struct {
-	mu                       sync.Mutex
-	model                    nn.SeqModel
-	mean, std                float64
-	horizon, nodes, features int
-	src                      batchSource
-	test                     []int
+	*InferCore
+	src  batchSource
+	test []int
 }
-
-// Horizon returns the forecast length in time steps (the input window must
-// be the same length).
-func (p *Predictor) Horizon() int { return p.horizon }
-
-// Nodes returns the sensor count.
-func (p *Predictor) Nodes() int { return p.nodes }
-
-// Features returns the per-node feature count of an input window.
-func (p *Predictor) Features() int { return p.features }
 
 // TestWindows returns how many held-out test windows PredictTest can serve.
 func (p *Predictor) TestWindows() int { return len(p.test) }
@@ -52,29 +36,11 @@ func (p *Predictor) TestWindows() int { return len(p.test) }
 // returned Forecast carries predictions in original signal units; Actual is
 // empty (live inference has no ground truth).
 func (p *Predictor) Predict(w Window) (Forecast, error) {
-	want := p.horizon * p.nodes * p.features
-	if len(w.Values) != want {
-		return Forecast{}, fmt.Errorf("core: window has %d values, want horizon*nodes*features = %d*%d*%d = %d",
-			len(w.Values), p.horizon, p.nodes, p.features, want)
+	fs, err := p.ForwardBatch([]Window{w})
+	if err != nil {
+		return Forecast{}, err
 	}
-	x := tensor.New(1, p.horizon, p.nodes, p.features)
-	d := x.Data()
-	for i, v := range w.Values {
-		d[i] = (v - p.mean) / p.std
-	}
-	pred := p.forward(x)
-	f := Forecast{
-		SnapshotIndex: -1,
-		Horizon:       pred.Dim(1),
-		Nodes:         p.nodes,
-		Pred:          make([]float64, 0, pred.Dim(1)*p.nodes),
-	}
-	for t := 0; t < f.Horizon; t++ {
-		for nd := 0; nd < p.nodes; nd++ {
-			f.Pred = append(f.Pred, pred.At(0, t, nd, 0)*p.std+p.mean)
-		}
-	}
-	return f, nil
+	return fs[0], nil
 }
 
 // PredictTest runs inference on the first n held-out test windows with
@@ -89,26 +55,25 @@ func (p *Predictor) PredictTest(n int) ([]Forecast, error) {
 	return emitForecasts(p.model, p.src, p.test, n, p.nodes), nil
 }
 
-func (p *Predictor) forward(x *tensor.Tensor) *tensor.Tensor {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.model.Forward(autograd.Constant(x)).Value
-}
-
-// Predictor returns the warm inference handle over the fitted model.
+// Predictor returns the warm inference handle over the fitted model. The
+// handle shares the engine's trained parameters directly (no clone), so it
+// stays bitwise-pinned to the fitted weights; use Engine.NewInferCore for an
+// isolated copy the serving tier can swap independently.
 func (e *Engine) Predictor() (*Predictor, error) {
 	if e.stage < stageFitted {
 		return nil, fmt.Errorf("core: predictor before fit: %w", ErrNotFitted)
 	}
 	src := e.evalSource()
 	return &Predictor{
-		model:    e.model,
-		mean:     src.Mean(),
-		std:      src.Std(),
-		horizon:  e.meta.Horizon,
-		nodes:    e.meta.Nodes,
-		features: e.in,
-		src:      src,
-		test:     e.split.Test,
+		InferCore: &InferCore{
+			model:    e.model,
+			mean:     src.Mean(),
+			std:      src.Std(),
+			horizon:  e.meta.Horizon,
+			nodes:    e.meta.Nodes,
+			features: e.in,
+		},
+		src:  src,
+		test: e.split.Test,
 	}, nil
 }

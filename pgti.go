@@ -35,6 +35,25 @@
 // ErrUnknownDataset), and Fit wraps *OOMError and context errors for
 // errors.Is / errors.As.
 //
+// # Serving
+//
+// A fitted Experiment goes live behind a Server — a goroutine-safe
+// coalescing batch queue feeding a pool of warm model replicas:
+//
+//	srv, err := pgti.NewServer(exp, pgti.WithReplicas(2), pgti.WithMaxBatch(8))
+//	defer srv.Close()
+//	f, err := srv.Predict(ctx, window)   // from any number of goroutines
+//	...
+//	exp2.Fit(ctx)                        // retrain while serving
+//	srv.Swap(exp2)                       // atomic weight swap, no drain
+//
+// Concurrent Predict calls coalesce into batched forwards bitwise identical
+// to serial Predictor calls; Swap installs retrained weights atomically
+// without draining; a full queue sheds load with a typed *OverloadedError;
+// Close drains and later calls get ErrServerClosed. Stats reports modeled
+// p50/p99/QPS under a deterministic virtual clock. Each replica holds a
+// private parameter clone, so serving never races a concurrent retrain.
+//
 // # The compatibility shim
 //
 // Run(Config) is the original one-shot entry point, kept as a thin shim
@@ -42,6 +61,34 @@
 // engine stages and is pinned bitwise-identical to NewExperiment(...).Fit
 // by the compatibility test suite. New code should prefer NewExperiment;
 // Run remains stable for existing callers.
+//
+// Migrating a Config literal to NewExperiment options is mechanical —
+// every field has an option:
+//
+//	Config field                  Option
+//	Dataset                       NewExperiment's first argument
+//	Scale                         WithScale
+//	Model / Strategy              WithModel / WithStrategy
+//	Workers                       WithWorkers
+//	BatchSize / Epochs            WithBatchSize / WithEpochs
+//	LR / ScaleLR                  WithLR / WithLRScaling
+//	Hidden / K                    WithHidden / WithDiffusionSteps
+//	Seed                          WithSeed
+//	Shuffle                       WithShuffle (semantic fix, see below)
+//	GradAlgo/Topology/GradFP16/
+//	GradAutoTune                  WithGradStack
+//	Spatial                       WithSpatial
+//	SystemMemoryGB / GPUMemoryGB  WithMemoryCaps
+//	MissingFrac                   WithMissingData
+//	LoadCheckpoint                WithWarmStart (WithResume to continue)
+//	SaveCheckpoint                WithSaveCheckpoint
+//	EmitForecasts                 WithForecasts
+//
+// The one semantic difference is Shuffle: ShuffleGlobal is the field's zero
+// value, so a Config literal cannot distinguish "explicitly global" from
+// "unset", and StrategyGenDistIndex silently upgrades the unset reading to
+// its batch-shuffling default. WithShuffle(ShuffleGlobal) has no such
+// ambiguity — an explicit option always wins.
 //
 // The six strategies, four models, and six datasets mirror the paper; see
 // DESIGN.md for the experiment index and EXPERIMENTS.md for paper-vs-

@@ -3,8 +3,9 @@ GO ?= go
 # The benchmark families gated by the CI perf regression check: DDP gradient
 # sync, spatial sharding, the distributed index-batching strategies, the
 # event-stream hook path (hooked vs hookless must stay indistinguishable),
-# and the serving tier's modeled latency/throughput under its virtual clock.
-BENCH_GATED = $(GO) test -run '^$$' -bench 'BenchmarkDDP|BenchmarkShard|BenchmarkIndexBatch|BenchmarkEventStream|BenchmarkServe' -benchtime=1x .
+# the serving tier's modeled latency/throughput under its virtual clock, and
+# the staleness-aware prefetch pipeline on the hybrid grid.
+BENCH_GATED = $(GO) test -run '^$$' -bench 'BenchmarkDDP|BenchmarkShard|BenchmarkIndexBatch|BenchmarkEventStream|BenchmarkServe|BenchmarkPipeline' -benchtime=1x .
 
 # Per-package statement-coverage floors (pkg:percent), enforced by `make
 # cover` and the CI workflow. Raise a floor when coverage grows; lowering one

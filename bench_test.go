@@ -567,6 +567,75 @@ func BenchmarkShardOverlapFull2x4(b *testing.B) {
 	benchShardOverlap(b, 2, 4, shard.HaloSyncOverlap, ddp.SyncBucketedOverlap)
 }
 
+// --- gated: staleness-aware prefetch pipeline on the hybrid grid --------------
+
+// benchPipeline layers the training-pipeline mechanisms onto the hybrid
+// grid of benchShard (same fabric, modeled compute, default overlapped
+// schedules): a modeled per-batch collation cost paid serially or hidden by
+// the double-buffered prefetcher, the two-channel comm timeline under a
+// node topology that puts halo traffic on the intra-node channel while
+// gradient buckets ride the inter-node one, and the bounded-staleness
+// gradient mode whose quality cost the val-MAE metric tracks against K=0.
+func benchPipeline(b *testing.B, shards, replicas int, prefetch, twoChannel bool, staleness int) {
+	g, err := graph.RoadNetwork(16, 24, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd, bwd := g.TransitionMatrices()
+	supports := []*sparse.CSR{fwd, bwd}
+	raw := tensor.Randn(tensor.NewRNG(17), 160, 24, 1)
+	data, err := batching.NewIndexDataset(raw, 3, 0.7, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := batching.MakeSplit(data.NumSnapshots(), 0.7, 0.1)
+	factory := func(seed uint64, props []nn.Propagator) nn.SeqModel {
+		return nn.NewPGTDCRNNOn(tensor.NewRNG(seed), props, 1, 1, 16, 3)
+	}
+	cfg := shard.Config{
+		Shards: shards, Replicas: replicas, BatchSize: 2, Epochs: 1, LR: 0.01, Seed: 1,
+		Net:         cluster.NetworkModel{Bandwidth: 1e7, Latency: 2 * time.Microsecond, DispatchOverhead: time.Millisecond},
+		ComputeCost: func(int) time.Duration { return 2 * time.Millisecond },
+		// Paper-scale proxy: on the full sensor graphs collation is a
+		// visible slice of the step, which the tiny bench graph would hide.
+		AssembleCost: func(int) time.Duration { return 500 * time.Microsecond },
+		Prefetch:     prefetch,
+		Staleness:    staleness,
+	}
+	if twoChannel {
+		// One simulated node per replica group: halo exchange stays
+		// intra-node, the two-stage gradient sync crosses nodes, and the
+		// two channels pipeline independently.
+		cfg.Topology = cluster.Topology{Nodes: replicas, GPUsPerNode: shards}
+	}
+	var res *shard.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = shard.Train(data, split, g, supports, factory, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.VirtualTime.Microseconds()), "virt-µs/epoch")
+	b.ReportMetric(float64(res.CommTime.Microseconds()), "exposed-comm-µs")
+	b.ReportMetric(float64(res.HaloHiddenTime.Microseconds()), "halo-hidden-µs")
+	b.ReportMetric(float64(res.CommHiddenTime.Microseconds()), "comm-hidden-µs")
+	b.ReportMetric(res.Curve[len(res.Curve)-1].ValMAE*1000, "val-MAE-milli")
+}
+
+func BenchmarkPipelineSerial2x2(b *testing.B)     { benchPipeline(b, 2, 2, false, false, 0) }
+func BenchmarkPipelinePrefetch2x2(b *testing.B)   { benchPipeline(b, 2, 2, true, false, 0) }
+func BenchmarkPipelineTwoChannel2x2(b *testing.B) { benchPipeline(b, 2, 2, true, true, 0) }
+func BenchmarkPipelineSerial2x4(b *testing.B)     { benchPipeline(b, 2, 4, false, false, 0) }
+func BenchmarkPipelinePrefetch2x4(b *testing.B)   { benchPipeline(b, 2, 4, true, false, 0) }
+func BenchmarkPipelineTwoChannel2x4(b *testing.B) { benchPipeline(b, 2, 4, true, true, 0) }
+
+// Staleness-vs-quality curve on the fully pipelined 2x2 grid: K trades
+// modeled epoch time against the val-MAE drift of delayed, compensated
+// updates (K=0 is BenchmarkPipelineTwoChannel2x2).
+func BenchmarkPipelineStaleK1_2x2(b *testing.B) { benchPipeline(b, 2, 2, true, true, 1) }
+func BenchmarkPipelineStaleK4_2x2(b *testing.B) { benchPipeline(b, 2, 2, true, true, 4) }
+
 // --- gated: index-batching DDP strategies -------------------------------------
 
 // benchIndexBatch runs one modeled epoch of a distributed index-batching

@@ -51,7 +51,7 @@ type Snapshot struct {
 
 func main() {
 	check := flag.String("check", "", "baseline snapshot JSON to compare against (regression gate mode)")
-	family := flag.String("family", "BenchmarkDDP,BenchmarkShard,BenchmarkIndexBatch,BenchmarkEventStream,BenchmarkServe", "comma-separated benchmark name prefixes the gate covers")
+	family := flag.String("family", "BenchmarkDDP,BenchmarkShard,BenchmarkIndexBatch,BenchmarkEventStream,BenchmarkServe,BenchmarkPipeline", "comma-separated benchmark name prefixes the gate covers")
 	// qps is deliberately absent: the gate assumes lower-is-better, and QPS
 	// is the reciprocal of virt-µs anyway for a fixed request count.
 	metrics := flag.String("metrics", "virt-µs/epoch,exposed-comm-µs,halo-µs/epoch,p50-µs,p99-µs,virt-µs", "comma-separated metrics to gate (lower is better; missing metrics are skipped)")
@@ -186,6 +186,12 @@ func runCheck(w io.Writer, cur, base Snapshot, families, metrics []string, thres
 				ok = false
 				fmt.Fprintf(w, "FAIL   %s %s: %.0f vs baseline %.0f (allowed %.0f, %s)\n",
 					b.Name, m, got, want, allow, delta)
+			} else if got < want*(1-threshold)-slack {
+				// A large improvement passes the gate but leaves the stale
+				// baseline masking future regressions up to the same margin —
+				// surface it so the baseline gets refreshed deliberately.
+				fmt.Fprintf(w, "WARN   %s %s: %.0f vs baseline %.0f (%s improvement; run `make bench-baseline` to lock it in)\n",
+					b.Name, m, got, want, delta)
 			} else {
 				fmt.Fprintf(w, "OK     %s %s: %.0f vs baseline %.0f (%s)\n",
 					b.Name, m, got, want, delta)

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(name string, virt float64) Snapshot {
+	return Snapshot{Benchmarks: []Benchmark{{
+		Name: name, Iterations: 1,
+		Metrics: map[string]float64{"virt-µs/epoch": virt},
+	}}}
+}
+
+// TestRunCheckVerdicts pins the gate's three verdicts: a regression beyond
+// the threshold fails, an improvement beyond it warns without failing (the
+// stale baseline would mask future regressions), and anything inside the
+// band is OK.
+func TestRunCheckVerdicts(t *testing.T) {
+	base := snap("BenchmarkPipelineTwoChannel2x2", 1000)
+	cases := []struct {
+		name    string
+		got     float64
+		ok      bool
+		verdict string
+	}{
+		{"regression", 1300, false, "FAIL"},
+		{"improvement", 700, true, "WARN"},
+		{"within band", 1100, true, "OK"},
+		{"exact", 1000, true, "OK"},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		ok := runCheck(&out, snap("BenchmarkPipelineTwoChannel2x2", tc.got), base,
+			[]string{"BenchmarkPipeline"}, []string{"virt-µs/epoch"}, 0.20, 0)
+		if ok != tc.ok {
+			t.Errorf("%s: gate ok=%v, want %v\n%s", tc.name, ok, tc.ok, out.String())
+		}
+		if !strings.Contains(out.String(), tc.verdict) {
+			t.Errorf("%s: verdict %q missing from output:\n%s", tc.name, tc.verdict, out.String())
+		}
+	}
+	// The WARN verdict must point at the baseline-refresh remedy.
+	var out strings.Builder
+	runCheck(&out, snap("BenchmarkPipelineTwoChannel2x2", 700), base,
+		[]string{"BenchmarkPipeline"}, []string{"virt-µs/epoch"}, 0.20, 0)
+	if !strings.Contains(out.String(), "bench-baseline") {
+		t.Errorf("WARN does not suggest regenerating the baseline:\n%s", out.String())
+	}
+}

@@ -80,6 +80,25 @@ func main() {
 			(rep.HaloTime - rep.HaloHiddenTime).Round(1e6), rep.EdgeCut)
 	}
 
+	fmt.Println("\npipelined training on the 2x2 hybrid grid: prefetch double-buffers batch")
+	fmt.Println("assembly (bitwise-identical curve), bounded staleness applies each synced")
+	fmt.Println("gradient up to K steps late with error compensation, hiding the sync tail:")
+	fmt.Println("  variant        | best val MAE | virtual time | comm exposed | comm hidden")
+	hybrid := []pgti.Option{pgti.WithStrategy(pgti.StrategyDistIndex), pgti.WithWorkers(2), pgti.WithSpatial(2)}
+	for _, v := range []struct {
+		name string
+		opts []pgti.Option
+	}{
+		{"synchronous", nil},
+		{"prefetch", []pgti.Option{pgti.WithPrefetch()}},
+		{"staleness K=2", []pgti.Option{pgti.WithPrefetch(), pgti.WithStaleness(2)}},
+	} {
+		rep := run(append(append([]pgti.Option{}, hybrid...), v.opts...)...)
+		fmt.Printf("  %-14s | %12.4f | %12v | %12v | %v\n",
+			v.name, rep.Curve.BestVal(), rep.VirtualTime.Round(1e6),
+			rep.CommTime.Round(1e6), rep.CommHiddenTime.Round(1e6))
+	}
+
 	fmt.Println("\nlarge-global-batch effect (fig. 8): same epochs, growing workers")
 	for _, workers := range []int{1, 4} {
 		plain := run(pgti.WithStrategy(pgti.StrategyDistIndex), pgti.WithWorkers(workers), pgti.WithEpochs(5))

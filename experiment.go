@@ -151,6 +151,26 @@ func WithSpatial(shards int) Option {
 	return func(c *expConfig) { c.core.Spatial = Spatial{Shards: shards} }
 }
 
+// WithPrefetch double-buffers batch assembly on the training hot path: a
+// per-epoch collator builds batch s+1 while step s trains, so only the
+// epoch's leading assembly stays exposed on the modeled timeline. Batch
+// contents are bitwise identical to the serial path — the curve does not
+// change. Ignored when a partition store supplies the data
+// (StrategyGenDistIndex with multiple workers), where fetch latency is
+// modeled instead.
+func WithPrefetch() Option { return func(c *expConfig) { c.core.Prefetch = true } }
+
+// WithStaleness opts into bounded-staleness gradient application: step s
+// applies step s-k's fully synced gradient with error compensation,
+// letting the two-stage gradient sync of up to k steps stay in flight
+// behind compute. k = 0 keeps the synchronous schedule and is
+// bitwise-pinned to it. Requires spatial sharding (WithSpatial on
+// StrategyDistIndex); replicas stay bitwise identical — the queue drains
+// at every epoch end, so the update count matches the synchronous run.
+func WithStaleness(k int) Option {
+	return func(c *expConfig) { c.core.Staleness = k }
+}
+
 // WithMemoryCaps caps the byte-exact memory trackers in GiB (0 =
 // unlimited). A run exceeding the system cap reports OOM.
 func WithMemoryCaps(systemGB, gpuGB float64) Option {
@@ -265,6 +285,12 @@ func (c *expConfig) validate() error {
 			return invalid("Workers", "topology declares a %dx%d grid (%d slots) but the run has only %d workers",
 				cc.Topology.Nodes, cc.Topology.GPUsPerNode, declared, world)
 		}
+	}
+	if cc.Staleness < 0 {
+		return invalid("Staleness", "staleness bound %d is negative", cc.Staleness)
+	}
+	if cc.Staleness > 0 && !spatial {
+		return invalid("Staleness", "bounded staleness requires spatial sharding (WithSpatial on StrategyDistIndex), got %v", cc.Strategy)
 	}
 	if c.warmStart && c.resume {
 		return invalid("Resume", "WithWarmStart and WithResume are mutually exclusive (one checkpoint path)")

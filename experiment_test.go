@@ -102,6 +102,12 @@ func TestOptionValidationTable(t *testing.T) {
 		{"warm-start+resume", []Option{
 			WithWarmStart("a.pgtc"), WithResume("b.pgtc"),
 		}},
+		{"staleness without spatial", []Option{
+			WithStrategy(StrategyDistIndex), WithWorkers(2), WithStaleness(1),
+		}},
+		{"negative staleness", []Option{
+			WithStrategy(StrategyDistIndex), WithWorkers(2), WithSpatial(2), WithStaleness(-1),
+		}},
 	}
 	for _, tc := range cases {
 		_, err := NewExperiment("PeMS-BAY", tc.opts...)
@@ -123,6 +129,10 @@ func TestOptionValidationTable(t *testing.T) {
 		// collective stack's fp16/bucket-cap/autotune knobs.
 		{WithStrategy(StrategyDistIndex), WithWorkers(2), WithSpatial(2),
 			WithGradStack(GradStack{FP16: true, AutoTune: true, BucketBytes: 64 << 10})},
+		// Staleness rides the hybrid grid's bucketed two-stage sync;
+		// prefetch composes with any strategy.
+		{WithStrategy(StrategyDistIndex), WithWorkers(2), WithSpatial(2), WithStaleness(2)},
+		{WithStrategy(StrategyGenDistIndex), WithWorkers(2), WithPrefetch()},
 	}
 	for i, opts := range legal {
 		if _, err := NewExperiment("PeMS-BAY", opts...); err != nil {

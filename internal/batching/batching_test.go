@@ -255,6 +255,69 @@ func TestMakeSplit(t *testing.T) {
 	}
 }
 
+// Property: MakeSplit tiles [0, n) exactly — Train ++ Val ++ Test is the
+// identity sequence — and the boundary sizes are the rounded products
+// round(n*frac) (clamped to n), not float-truncated ones. The old
+// int(float64(n)*frac) boundaries drifted by one for n where the product
+// landed just below an integer in binary (e.g. 0.7*110 = 76.999...), and a
+// tiny valFrac could silently yield an empty Val split.
+func TestPropertyMakeSplitTilesExactly(t *testing.T) {
+	fracs := []struct{ train, val float64 }{
+		{0.7, 0.1}, {0.7, 0.2}, {0.8, 0.1}, {0.6, 0.3}, {0.7, 0.001}, {0, 0},
+	}
+	f := func(nRaw uint16) bool {
+		n := int(nRaw) % 10001 // n in [0, 10000]
+		for _, fr := range fracs {
+			s := MakeSplit(n, fr.train, fr.val)
+			trainFrac, valFrac := fr.train, fr.val
+			if trainFrac <= 0 {
+				trainFrac = DefaultTrainFrac
+			}
+			if valFrac <= 0 {
+				valFrac = DefaultValFrac
+			}
+			wantTrain := int(math.Round(float64(n) * trainFrac))
+			if wantTrain > n {
+				wantTrain = n
+			}
+			wantVal := int(math.Round(float64(n) * valFrac))
+			if wantTrain+wantVal > n {
+				wantVal = n - wantTrain
+			}
+			if len(s.Train) != wantTrain || len(s.Val) != wantVal {
+				return false
+			}
+			// The three parts tile [0, n) in temporal order.
+			next := 0
+			for _, part := range [][]int{s.Train, s.Val, s.Test} {
+				for _, v := range part {
+					if v != next {
+						return false
+					}
+					next++
+				}
+			}
+			if next != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// The concrete truncation victim: 0.7*110 is 76.999... in binary, so the
+	// old code produced a 76-snapshot train split; rounding restores 77.
+	if s := MakeSplit(110, 0.7, 0.1); len(s.Train) != 77 || len(s.Val) != 11 || len(s.Test) != 22 {
+		t.Fatalf("n=110 split %d/%d/%d, want 77/11/22", len(s.Train), len(s.Val), len(s.Test))
+	}
+	// A tiny-but-positive valFrac must still carve a nonempty Val once
+	// n*valFrac rounds to >= 1.
+	if s := MakeSplit(1000, 0.7, 0.001); len(s.Val) != 1 {
+		t.Fatalf("valFrac=0.001 at n=1000 gave %d val snapshots, want 1", len(s.Val))
+	}
+}
+
 func TestBatches(t *testing.T) {
 	b := Batches([]int{0, 1, 2, 3, 4}, 2)
 	if len(b) != 3 || len(b[2]) != 1 || b[2][0] != 4 {

@@ -2,6 +2,7 @@ package batching
 
 import (
 	"fmt"
+	"math"
 
 	"pgti/internal/tensor"
 )
@@ -15,7 +16,10 @@ type Split struct {
 // MakeSplit divides [0, n) contiguously: the first trainFrac for training,
 // the next valFrac for validation, the remainder for test — the temporal
 // split of the reference DCRNN pipeline (shuffling across the split
-// boundary would leak future data).
+// boundary would leak future data). Boundary sizes are the *rounded*
+// products round(n*frac), not truncated ones: truncation drifted each
+// boundary by up to one index depending on how n*frac landed in binary
+// (and a tiny valFrac could silently produce an empty Val split).
 func MakeSplit(n int, trainFrac, valFrac float64) Split {
 	if trainFrac <= 0 {
 		trainFrac = DefaultTrainFrac
@@ -23,11 +27,11 @@ func MakeSplit(n int, trainFrac, valFrac float64) Split {
 	if valFrac <= 0 {
 		valFrac = DefaultValFrac
 	}
-	trainEnd := int(float64(n) * trainFrac)
-	valEnd := trainEnd + int(float64(n)*valFrac)
+	trainEnd := int(math.Round(float64(n) * trainFrac))
 	if trainEnd > n {
 		trainEnd = n
 	}
+	valEnd := trainEnd + int(math.Round(float64(n)*valFrac))
 	if valEnd > n {
 		valEnd = n
 	}

@@ -294,12 +294,31 @@ func (w *Worker) ringExchange(vec []float64) {
 	}
 }
 
+// Channel identifies which physical communication engine an overlapped
+// CommEvent occupies. Events on the same channel serialize back-to-back;
+// events on different channels pipeline independently — a node's NVLink
+// copy engines and its NIC genuinely run concurrently, so a replica-group
+// halo exchange staying on-node does not queue behind an inter-node
+// gradient bucket.
+type Channel int
+
+const (
+	// ChannelInter is the inter-node fabric NIC. It is the zero value, so
+	// single-channel callers that never set Channel keep the old
+	// serialize-everything semantics.
+	ChannelInter Channel = iota
+	// ChannelIntra is the intra-node NVLink-class engine.
+	ChannelIntra
+	numChannels
+)
+
 // CommEvent is one communication launch inside an overlapped step: a
 // collective of modeled duration Cost whose inputs become available ReadyAt
-// into the step's compute.
+// into the step's compute, occupying the engine named by Channel.
 type CommEvent struct {
 	ReadyAt time.Duration
 	Cost    time.Duration
+	Channel Channel
 }
 
 // OverlapFinish returns the completion time of a step whose compute spans
@@ -325,6 +344,33 @@ func OverlapFinish(compute time.Duration, events []CommEvent) time.Duration {
 		return compute
 	}
 	return finish
+}
+
+// OverlapFinishChannels is OverlapFinish with per-channel serialization:
+// each event occupies its Channel's engine back-to-back in slice order
+// (start_i = max(channel_finish, ReadyAt_i)), different channels proceed
+// independently, and the step completes when compute and every channel's
+// last event have finished. With all events on one channel it degenerates
+// exactly to OverlapFinish — which is why flat topologies, whose collectives
+// all ride the fabric, reproduce the single-channel timelines bitwise.
+func OverlapFinishChannels(compute time.Duration, events []CommEvent) time.Duration {
+	var finish [numChannels]time.Duration
+	step := compute
+	for _, e := range events {
+		c := e.Channel
+		if c < 0 || c >= numChannels {
+			c = ChannelInter
+		}
+		start := finish[c]
+		if e.ReadyAt > start {
+			start = e.ReadyAt
+		}
+		finish[c] = start + e.Cost
+		if finish[c] > step {
+			step = finish[c]
+		}
+	}
+	return step
 }
 
 // ReduceOp selects the scalar reduction.

@@ -346,3 +346,81 @@ func TestOverlapFinish(t *testing.T) {
 		t.Fatalf("OverlapFinish %v outside [compute, compute+sum(cost)]", got)
 	}
 }
+
+func TestOverlapFinishChannels(t *testing.T) {
+	ms := func(d float64) time.Duration { return time.Duration(d * float64(time.Millisecond)) }
+	cases := []struct {
+		name    string
+		compute time.Duration
+		events  []CommEvent
+		want    time.Duration
+	}{
+		{"no comm", ms(10), nil, ms(10)},
+		// Two events that would serialize to 13 ms on one channel pipeline
+		// independently when split across the engines.
+		{"channels pipeline", ms(10),
+			[]CommEvent{
+				{ReadyAt: ms(8), Cost: ms(3), Channel: ChannelInter},
+				{ReadyAt: ms(9), Cost: ms(2), Channel: ChannelIntra},
+			}, ms(11)},
+		{"same channel still serializes", ms(10),
+			[]CommEvent{
+				{ReadyAt: ms(8), Cost: ms(3), Channel: ChannelIntra},
+				{ReadyAt: ms(9), Cost: ms(2), Channel: ChannelIntra},
+			}, ms(13)},
+		{"slowest channel governs", ms(1),
+			[]CommEvent{
+				{ReadyAt: 0, Cost: ms(5), Channel: ChannelInter},
+				{ReadyAt: 0, Cost: ms(2), Channel: ChannelIntra},
+				{ReadyAt: 0, Cost: ms(4), Channel: ChannelInter},
+			}, ms(9)},
+	}
+	for _, tc := range cases {
+		if got := OverlapFinishChannels(tc.compute, tc.events); got != tc.want {
+			t.Errorf("%s: OverlapFinishChannels = %v want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestOverlapFinishChannelsDegeneratesToSingle: with every event on one
+// channel (the zero value in particular, which is what unconverted callers
+// produce), the channel-aware charge must equal OverlapFinish exactly — the
+// bitwise-pinning discipline for flat topologies rides on this.
+func TestOverlapFinishChannelsDegeneratesToSingle(t *testing.T) {
+	ms := func(d float64) time.Duration { return time.Duration(d * float64(time.Millisecond)) }
+	schedules := [][]CommEvent{
+		nil,
+		{{ReadyAt: ms(1), Cost: ms(2)}, {ReadyAt: ms(4), Cost: ms(1)}},
+		{{ReadyAt: ms(9), Cost: ms(3)}},
+		{{ReadyAt: ms(8), Cost: ms(3)}, {ReadyAt: ms(9), Cost: ms(2)}, {ReadyAt: 0, Cost: ms(7)}},
+	}
+	for _, compute := range []time.Duration{0, ms(1), ms(10)} {
+		for i, evs := range schedules {
+			single := OverlapFinish(compute, evs)
+			multi := OverlapFinishChannels(compute, evs)
+			if single != multi {
+				t.Errorf("schedule %d compute %v: OverlapFinishChannels %v != OverlapFinish %v", i, compute, multi, single)
+			}
+		}
+	}
+}
+
+func TestGroupChannel(t *testing.T) {
+	world := 8
+	topo := Topology{Nodes: 2, GPUsPerNode: 4}
+	// Ranks 0..3 share node 0 under GPUsPerNode=4.
+	if got := topo.GroupChannel(world, []int{0, 1, 2, 3}); got != ChannelIntra {
+		t.Errorf("on-node group: got channel %d want ChannelIntra", got)
+	}
+	// A stride-4 comb spans both nodes.
+	if got := topo.GroupChannel(world, []int{0, 4}); got != ChannelInter {
+		t.Errorf("cross-node group: got channel %d want ChannelInter", got)
+	}
+	// Flat topology: everything rides the fabric.
+	if got := (Topology{}).GroupChannel(world, []int{0, 1}); got != ChannelInter {
+		t.Errorf("flat topology: got channel %d want ChannelInter", got)
+	}
+	if got := topo.GroupChannel(world, nil); got != ChannelInter {
+		t.Errorf("empty group: got channel %d want ChannelInter", got)
+	}
+}

@@ -40,6 +40,26 @@ func (t Topology) NumNodes(world int) int {
 	return (world + g - 1) / g
 }
 
+// GroupChannel returns the overlap-timeline channel a group collective rides
+// under this topology for the given world size: ChannelIntra when every
+// member shares one simulated node (the collective runs on the NVLink-class
+// engine, mirroring the link groupLink prices it on), ChannelInter otherwise.
+// Trainers stamp their CommEvents with this so OverlapFinishChannels can
+// pipeline on-node and cross-node collectives independently.
+func (t Topology) GroupChannel(world int, group []int) Channel {
+	if t.Flat() || len(group) == 0 {
+		return ChannelInter
+	}
+	g := t.groupSize(world)
+	node := group[0] / g
+	for _, r := range group[1:] {
+		if r/g != node {
+			return ChannelInter
+		}
+	}
+	return ChannelIntra
+}
+
 // NVLinkModel returns the intra-node interconnect cost model: NVLink-class
 // ~300 GB/s per-pair bandwidth, 1 us latency, and no software dispatch
 // (GPU-direct peer copies bypass the data service).

@@ -141,6 +141,23 @@ type Config struct {
 	// the winner (see ddp.AutotuneCandidates).
 	GradAutoTune bool
 
+	// Prefetch double-buffers batch assembly: a per-epoch collator builds
+	// batch s+1 while step s trains, so only the epoch's leading assembly
+	// is exposed on the timeline. Batch contents are bitwise identical to
+	// the serial path. Ignored when a PartitionStore supplies the data
+	// (GenDistIndex multi-worker), where fetch latency is modeled instead.
+	Prefetch bool
+	// AssembleCost models the collation cost of one batch on the virtual
+	// timeline (nil = free, the legacy behavior). The serial path pays it
+	// ahead of every step; with Prefetch it overlaps step compute.
+	AssembleCost func(batchItems int) time.Duration
+	// Staleness bounds the gradient-application lag in steps: step s
+	// applies step s-Staleness's synced gradient with error compensation,
+	// letting the two-stage sync of up to Staleness steps stay in flight.
+	// Zero keeps the synchronous schedule (bitwise-pinned). Requires
+	// spatial sharding (Spatial.Shards >= 2) with bucketed gradient sync.
+	Staleness int
+
 	// Spatial composes spatial graph sharding with the DDP replicas into a
 	// 2D (spatial x data) process grid: the node set splits into
 	// Spatial.Shards blocks, each of the Workers replicas spreads over one

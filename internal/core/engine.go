@@ -485,7 +485,12 @@ func (e *Engine) buildDistributed() error {
 		Topology:        cfg.Topology,
 		FP16:            cfg.GradFP16,
 		AutoTuneBuckets: cfg.GradAutoTune,
+		Prefetch:        cfg.Prefetch,
+		AssembleCost:    cfg.AssembleCost,
 		Init:            init,
+	}
+	if cfg.Staleness > 0 {
+		return fmt.Errorf("core: bounded staleness requires spatial sharding (Spatial.Shards >= 2), got strategy %v without shards", cfg.Strategy)
 	}
 	if cfg.Strategy == GenDistIndex && cfg.Workers > 1 {
 		// The larger-than-memory layout: rows partitioned across workers;
@@ -579,6 +584,9 @@ func (e *Engine) buildHybrid() error {
 		FP16:            cfg.GradFP16,
 		BucketBytes:     cfg.GradBucketBytes,
 		AutoTuneBuckets: cfg.GradAutoTune,
+		Prefetch:        cfg.Prefetch,
+		AssembleCost:    cfg.AssembleCost,
+		Staleness:       cfg.Staleness,
 		Plan:            plan,
 		Init:            init,
 	}

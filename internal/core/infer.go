@@ -104,6 +104,16 @@ func (c *InferCore) SwapParams(snap [][]float64) error {
 	return nn.RestoreParams(c.model, snap)
 }
 
+// ParamSnapshot deep-copies the currently installed parameters, under the
+// same mutex that serializes forwards and swaps. The serving tier captures
+// this pre-swap generation before a pool-wide Swap so a mid-pool failure can
+// roll the already-swapped replicas back to it.
+func (c *InferCore) ParamSnapshot() [][]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return nn.SnapshotParams(c.model)
+}
+
 // NewInferCore builds a warm inference core over a private clone of the
 // fitted model: the clone shares no tensors with the engine, so a pool of
 // cores forwards concurrently and a later Fit (serve-while-retrain) never

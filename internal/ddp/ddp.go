@@ -150,6 +150,18 @@ type Config struct {
 	// for the virtual clock (paper-scale runs). When nil, real elapsed time
 	// is charged.
 	ComputeCost func(batchItems int) time.Duration
+	// Prefetch pipelines batch assembly against the training step: a
+	// double-buffered background collator assembles batch T+1 while batch T
+	// runs forward/backward (exactly one batch deep). Batch contents are
+	// bitwise identical to the serial path, so training curves do not
+	// change. Ignored when Store supplies the data (its fetches are the
+	// pipeline's bottleneck, not local collation).
+	Prefetch bool
+	// AssembleCost, when set, supplies the modeled host-side collation time
+	// of one batch. Serial runs expose it ahead of every step; under
+	// Prefetch the next batch's assembly runs under the current step and
+	// only the epoch's leading assembly is exposed.
+	AssembleCost func(batchItems int) time.Duration
 	// Sync selects the gradient-exchange schedule (default bucketed
 	// overlapping AllReduce). Superseded by Algo; SyncFlatten maps to
 	// GradAlgoFlat when Algo is unset.
@@ -680,8 +692,41 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			}
 		}
 		sampler := NewSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Workers, rank, cfg.Seed)
-		var buf batching.BatchBuffer
+		// The train loop's batches live in the prefetcher's double buffer (or
+		// buf on the serial path); evaluation gets its own buffer so eval
+		// assembly never clobbers a slot the train pipeline still owns.
+		var buf, evalBuf batching.BatchBuffer
 		var gradBuf []float64
+
+		// One prefetcher per epoch; closed on every exit path (the deferred
+		// close covers error returns and cancellation).
+		prefetch := cfg.Prefetch && cfg.Store == nil
+		var pf *batching.Prefetcher
+		defer func() {
+			if pf != nil {
+				pf.Close()
+			}
+		}()
+		// chargeAssemble folds the modeled collation cost into the step: the
+		// serial path pays it ahead of every step; the pipeline assembles the
+		// next batch under this step (max(step, assemble)), exposing only the
+		// epoch's leading assembly (charged at s == 0 before the step).
+		chargeAssemble := func(s, stepsThisEpoch, items int, step time.Duration) time.Duration {
+			if cfg.AssembleCost == nil || cfg.Store != nil {
+				return step
+			}
+			asm := cfg.AssembleCost(items)
+			if pf == nil {
+				return step + asm
+			}
+			if s == 0 {
+				w.AdvanceTime(asm)
+			}
+			if s+1 < stepsThisEpoch && asm > step {
+				return asm
+			}
+			return step
+		}
 		var flatCodec cluster.FP16Codec
 		var comm, hidden time.Duration
 		var curve metrics.Curve
@@ -717,6 +762,9 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			batches := sampler.EpochBatches(epoch)
 			// Equalize step counts across workers so collectives line up.
 			stepsThisEpoch := int(w.AllReduceScalar(float64(len(batches)), cluster.OpMin))
+			if prefetch {
+				pf = batching.NewPrefetcher(data, batches[:stepsThisEpoch])
+			}
 			var trainAcc metrics.Running
 			for s := 0; s < stepsThisEpoch; s++ {
 				if cancellable {
@@ -747,8 +795,18 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 					w.FetchRemote(batchBytes)
 					comm += net.FetchTime(batchBytes)
 				}
+				if pf != nil {
+					// Pipelined path: receive the pre-assembled batch before
+					// the timed span starts (waiting for the collator is
+					// assembly, not compute).
+					var ok bool
+					x, y, ok = pf.Next()
+					if !ok {
+						return fmt.Errorf("ddp: rank %d: prefetcher exhausted at step %d of %d", rank, s, stepsThisEpoch)
+					}
+				}
 				start := time.Now()
-				if cfg.Store == nil {
+				if cfg.Store == nil && pf == nil {
 					x, y = data.AssembleBatch(idx, &buf)
 				}
 				target := y.Slice(3, 0, 1).Contiguous()
@@ -794,6 +852,7 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 						}
 					}
 					step, exposed := syncer.Finish(compute, fwdWall, bwdWall)
+					step = chargeAssemble(s, stepsThisEpoch, len(idx), step)
 					w.AdvanceTime(step)
 					w.Barrier() // straggler wait, as the synchronous step ends
 					comm += exposed
@@ -814,7 +873,7 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 						nn.ClipGradNorm(model, cfg.ClipNorm)
 					}
 					if cfg.ComputeCost != nil {
-						w.AdvanceTime(cfg.ComputeCost(len(idx)))
+						w.AdvanceTime(chargeAssemble(s, stepsThisEpoch, len(idx), cfg.ComputeCost(len(idx))))
 					} else {
 						w.AdvanceTime(time.Since(start))
 					}
@@ -844,6 +903,13 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 				// Report in the signal's original units, like validation.
 				trainAcc.Add(loss.Value.Item()*data.Std, len(idx))
 			}
+			if pf != nil {
+				// Drain the collator before eval (and before the next epoch
+				// builds a fresh one); on cancellation it may still be
+				// mid-stream, which Close handles.
+				pf.Close()
+				pf = nil
+			}
 			if cancelled {
 				// Mid-epoch stop (agreed above): drop the partial epoch's
 				// metrics — the curve holds completed epochs only.
@@ -858,7 +924,7 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			// Epoch metrics: weighted AllReduce of train loss and val MAE
 			// (the validation AllReduce the paper lists as DDP overhead).
 			trainMAE := ReduceWeighted(w, trainAcc)
-			valMAE := evaluateShard(w, model, data, split.Val, cfg.BatchSize, &buf)
+			valMAE := evaluateShard(w, model, data, split.Val, cfg.BatchSize, &evalBuf)
 			rec := metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE}
 			curve = append(curve, rec)
 			if rank == 0 && cfg.OnEpoch != nil {

@@ -1,0 +1,107 @@
+package ddp
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"pgti/internal/metrics"
+)
+
+// TestPrefetchMatchesSerialBitwise: the double-buffered collator must leave
+// DDP curves bitwise identical to the serial assembly path at every worker
+// count, with and without a modeled collation cost.
+func TestPrefetchMatchesSerialBitwise(t *testing.T) {
+	data, split, factory := testSetup(t, 90, 12, 3)
+	run := func(workers int, prefetch bool, asm func(int) time.Duration) metrics.Curve {
+		res, err := Train(data, split, factory, Config{
+			Workers: workers, BatchSize: 4, Epochs: 2, LR: 0.02, Seed: 7,
+			Prefetch: prefetch, AssembleCost: asm,
+		})
+		if err != nil {
+			t.Fatalf("W=%d prefetch=%v: %v", workers, prefetch, err)
+		}
+		return res.Curve
+	}
+	asm := func(int) time.Duration { return time.Millisecond }
+	for _, workers := range []int{1, 2, 4} {
+		serial := run(workers, false, nil)
+		for _, cost := range []func(int) time.Duration{nil, asm} {
+			pipelined := run(workers, true, cost)
+			if len(pipelined) != len(serial) {
+				t.Fatalf("W=%d: curve length %d vs %d", workers, len(pipelined), len(serial))
+			}
+			for i := range serial {
+				if pipelined[i] != serial[i] {
+					t.Fatalf("W=%d epoch %d: prefetch curve %+v != serial %+v",
+						workers, i, pipelined[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPrefetchHidesAssemblyDDP: under a modeled clock, the pipeline exposes
+// only each epoch's leading assembly while the serial path pays one per
+// step.
+func TestPrefetchHidesAssemblyDDP(t *testing.T) {
+	data, split, factory := testSetup(t, 90, 12, 3)
+	asm := func(int) time.Duration { return time.Millisecond }
+	run := func(prefetch bool) *Result {
+		res, err := Train(data, split, factory, Config{
+			Workers: 2, BatchSize: 4, Epochs: 1, LR: 0.02, Seed: 7,
+			ComputeCost:  func(int) time.Duration { return 2 * time.Millisecond },
+			AssembleCost: asm, Prefetch: prefetch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(false)
+	pipelined := run(true)
+	if pipelined.VirtualTime >= serial.VirtualTime {
+		t.Fatalf("prefetch did not shrink the modeled epoch: %v vs serial %v",
+			pipelined.VirtualTime, serial.VirtualTime)
+	}
+	stepsPerEpoch := serial.Steps
+	if hidden, want := serial.VirtualTime-pipelined.VirtualTime, time.Duration(stepsPerEpoch-1)*asm(4); hidden != want {
+		t.Fatalf("pipeline hid %v of assembly, want %v (%d steps)", hidden, want, stepsPerEpoch)
+	}
+}
+
+// TestPrefetchCancellationDrainsDDP: a cancelled pipelined run returns the
+// partial curve and reaps every collator goroutine.
+func TestPrefetchCancellationDrainsDDP(t *testing.T) {
+	data, split, factory := testSetup(t, 90, 12, 3)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Train(data, split, factory, Config{
+		Workers: 2, BatchSize: 4, Epochs: 6, LR: 0.02, Seed: 7,
+		Prefetch: true, Ctx: ctx,
+		OnEpoch: func(rec metrics.EpochRecord) {
+			if rec.Epoch == 0 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cancelled {
+		t.Fatal("run did not report cancellation")
+	}
+	if len(res.Curve) != 1 {
+		t.Fatalf("partial curve has %d epochs, want 1", len(res.Curve))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before Train, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}

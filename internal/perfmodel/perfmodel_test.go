@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"pgti/internal/dataset"
 	"pgti/internal/memsim"
@@ -338,5 +339,19 @@ func TestPropertyDistIndexMonotone(t *testing.T) {
 			t.Fatalf("dist-index time must decrease: %f -> %f at %d workers", prev, cur, p)
 		}
 		prev = cur
+	}
+}
+
+func TestBatchAssembleTime(t *testing.T) {
+	c := NewDeterministic()
+	// 32 windows of 12+12 steps, 100 nodes, 2 features: read + write each
+	// element once through host memory.
+	want := time.Duration(2 * float64(BatchBytes(32, 12, 100, 2)) / HostMemBandwidth * float64(time.Second))
+	if got := c.BatchAssembleTime(32, 12, 100, 2); got != want {
+		t.Fatalf("BatchAssembleTime %v want %v", got, want)
+	}
+	// Linear in batch size.
+	if got, half := c.BatchAssembleTime(64, 12, 100, 2), c.BatchAssembleTime(32, 12, 100, 2); got != 2*half {
+		t.Fatalf("BatchAssembleTime not linear in batch: %v vs 2*%v", got, half)
 	}
 }

@@ -55,6 +55,17 @@ func (c *CostModel) BulkStageTime(bytes int64) time.Duration {
 	return seconds(float64(bytes) / BulkH2DBandwidth)
 }
 
+// BatchAssembleTime returns the host-side collation cost of index-batching
+// one optimizer batch: the gather of batch window views into the contiguous
+// [B, h, N, F] x and y tensors reads each source element and writes its
+// destination once through host memory (factor 2 on the batch volume). This
+// is the per-step cost the training loop's prefetch pipeline hides under the
+// previous step's forward/backward.
+func (c *CostModel) BatchAssembleTime(batch, horizon, nodes, features int) time.Duration {
+	bytes := BatchBytes(batch, horizon, nodes, features)
+	return seconds(2 * float64(bytes) / HostMemBandwidth)
+}
+
 // ReadTime returns the parallel-FS read time for bytes, with the paper's
 // observed jitter band applied.
 func (c *CostModel) ReadTime(bytes int64) time.Duration {

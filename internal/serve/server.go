@@ -19,6 +19,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -140,6 +141,12 @@ type Server struct {
 	cfg      Config
 	replicas []*replica
 
+	// swapMu serializes pool-wide weight swaps; lastSwap remembers the
+	// last fully-installed generation as the rollback fallback for
+	// backends without the snapshotter facet.
+	swapMu   sync.Mutex
+	lastSwap [][]float64
+
 	mu       sync.Mutex
 	queue    []*request
 	closed   bool
@@ -240,14 +247,52 @@ func (s *Server) retryHint(depth int) time.Duration {
 	return time.Duration(batches) * s.cfg.Cost(s.cfg.MaxBatch) / time.Duration(len(s.replicas))
 }
 
+// snapshotter is the optional Backend facet exposing the currently
+// installed parameters (*core.InferCore implements it). Swap captures the
+// pool's pre-swap generation through it so a mid-pool failure can roll the
+// already-swapped replicas back.
+type snapshotter interface {
+	ParamSnapshot() [][]float64
+}
+
 // Swap installs a parameter snapshot into every replica without draining:
 // each replica's swap is atomic against its forwards (in-flight batches
 // finish on the old weights), so no request ever observes torn weights.
+//
+// The pool-wide install is all-or-nothing: if any replica rejects the
+// snapshot, the replicas that had already installed it are rolled back to
+// the pre-swap generation and Swap returns a typed *SwapError naming the
+// failed replica — the pool never keeps serving split weight generations.
+// Concurrent Swaps serialize, so two racing installs cannot interleave
+// across the pool either.
 func (s *Server) Swap(snap [][]float64) error {
-	for _, r := range s.replicas {
-		if err := r.backend.SwapParams(snap); err != nil {
-			return err
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	prev := s.lastSwap
+	if sn, ok := s.replicas[0].backend.(snapshotter); ok {
+		prev = sn.ParamSnapshot()
+	}
+	for i, r := range s.replicas {
+		err := r.backend.SwapParams(snap)
+		if err == nil {
+			continue
 		}
+		serr := &SwapError{Replica: i, Err: err}
+		if prev != nil {
+			for j := 0; j < i; j++ {
+				if rbErr := s.replicas[j].backend.SwapParams(prev); rbErr != nil && serr.RollbackErr == nil {
+					serr.RollbackErr = fmt.Errorf("replica %d: %w", j, rbErr)
+				}
+			}
+		}
+		return serr
+	}
+	// Keep a private copy of the installed generation as the rollback
+	// fallback for backends without the snapshotter facet (the caller may
+	// mutate snap after Swap returns).
+	s.lastSwap = make([][]float64, len(snap))
+	for i, p := range snap {
+		s.lastSwap[i] = append([]float64(nil), p...)
 	}
 	return nil
 }

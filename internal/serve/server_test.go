@@ -376,6 +376,131 @@ func TestSwapIsAtomicPerBatch(t *testing.T) {
 	<-done
 }
 
+// swapStub is a stubBackend whose SwapParams can be armed to fail on its
+// n-th call, and which exposes the snapshotter facet like *core.InferCore.
+type swapStub struct {
+	stubBackend
+	calls    int
+	failCall int // 1-based SwapParams call index that fails; 0 = never
+}
+
+func (b *swapStub) SwapParams(snap [][]float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.calls++
+	if b.failCall != 0 && b.calls == b.failCall {
+		return fmt.Errorf("corrupt snapshot")
+	}
+	b.version = snap[0][0]
+	return nil
+}
+
+func (b *swapStub) ParamSnapshot() [][]float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return [][]float64{{b.version}}
+}
+
+func (b *swapStub) current() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.version
+}
+
+// TestSwapAllOrNothingRollsBackMidPoolFailure is the regression test for the
+// generation-split bug: Swap used to return on the first replica's error,
+// leaving replicas before the failure on the new weights and the rest on the
+// old. The all-or-nothing Swap must roll the already-swapped replicas back
+// and name the failer in a typed *SwapError, so the pool keeps serving
+// exactly one generation.
+func TestSwapAllOrNothingRollsBackMidPoolFailure(t *testing.T) {
+	pool := []*swapStub{{}, {}, {}}
+	backends := make([]Backend, len(pool))
+	for i, b := range pool {
+		backends[i] = b
+	}
+	s := New(backends, Config{MaxBatch: 1, Window: time.Millisecond, Cost: flatCost(time.Millisecond, 0)})
+	defer s.Close()
+
+	if err := s.Swap([][]float64{{1}}); err != nil {
+		t.Fatalf("initial swap: %v", err)
+	}
+	// Replica 1 rejects its next (second) SwapParams call; replica 0 will
+	// have installed the new generation by then.
+	pool[1].failCall = 2
+	err := s.Swap([][]float64{{2}})
+	var se *SwapError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SwapError, got %v", err)
+	}
+	if se.Replica != 1 {
+		t.Fatalf("SwapError names replica %d, want 1", se.Replica)
+	}
+	if se.RollbackErr != nil {
+		t.Fatalf("unexpected rollback failure: %v", se.RollbackErr)
+	}
+	for i, b := range pool {
+		if got := b.current(); got != 1 {
+			t.Fatalf("replica %d serves generation %v after failed swap, want 1 everywhere", i, got)
+		}
+	}
+	// The pool recovers: the next good swap installs everywhere.
+	if err := s.Swap([][]float64{{3}}); err != nil {
+		t.Fatalf("post-failure swap: %v", err)
+	}
+	for i, b := range pool {
+		if got := b.current(); got != 3 {
+			t.Fatalf("replica %d at generation %v after recovery swap, want 3", i, got)
+		}
+	}
+}
+
+// plainSwapStub fails like swapStub but does NOT expose the snapshotter
+// facet, exercising Swap's last-installed-generation fallback.
+type plainSwapStub struct {
+	stubBackend
+	calls    int
+	failCall int
+}
+
+func (b *plainSwapStub) SwapParams(snap [][]float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.calls++
+	if b.failCall != 0 && b.calls == b.failCall {
+		return fmt.Errorf("corrupt snapshot")
+	}
+	b.version = snap[0][0]
+	return nil
+}
+
+func (b *plainSwapStub) current() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.version
+}
+
+func TestSwapRollbackFallbackWithoutSnapshotter(t *testing.T) {
+	pool := []*plainSwapStub{{}, {}}
+	s := New([]Backend{pool[0], pool[1]}, Config{MaxBatch: 1, Window: time.Millisecond, Cost: flatCost(time.Millisecond, 0)})
+	defer s.Close()
+
+	if err := s.Swap([][]float64{{5}}); err != nil {
+		t.Fatalf("initial swap: %v", err)
+	}
+	pool[1].failCall = 2
+	err := s.Swap([][]float64{{6}})
+	var se *SwapError
+	if !errors.As(err, &se) || se.Replica != 1 {
+		t.Fatalf("want *SwapError on replica 1, got %v", err)
+	}
+	for i, b := range pool {
+		if got := b.current(); got != 5 {
+			t.Fatalf("replica %d serves generation %v, want the remembered 5", i, got)
+		}
+	}
+}
+
 func TestLeastLoadedDispatchUsesBothReplicas(t *testing.T) {
 	b0 := &stubBackend{gate: make(chan struct{})}
 	b1 := &stubBackend{gate: make(chan struct{})}

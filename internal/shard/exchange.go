@@ -29,6 +29,13 @@ type Stats struct {
 	// step's compute (zero for the blocking schedule).
 	Hidden time.Duration
 	Wall   time.Duration
+	// PinFirstLaunch stamps each step's first overlapped exchange at ReadyAt
+	// zero on measured timelines: with the prefetch pipeline the batch's
+	// windows are resident before the step starts, so the first forward halo
+	// exchange launches the moment the step begins instead of at its
+	// measured compute offset. Structural timelines already stamp the first
+	// launch at zero, so fully-modeled runs are unaffected.
+	PinFirstLaunch bool
 
 	// Per-step overlap state (reset by BeginStep).
 	stepStart   time.Time
@@ -78,6 +85,9 @@ func (s *Stats) StepEvents(compute time.Duration, structural bool) []cluster.Com
 			s.events[i].ReadyAt = time.Duration(float64(compute) * float64(i) / float64(n))
 		} else {
 			off := s.offsets[i]
+			if s.PinFirstLaunch && i == 0 {
+				off = 0
+			}
 			if off > compute {
 				off = compute
 			}

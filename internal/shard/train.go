@@ -82,6 +82,28 @@ type Config struct {
 	// compute time; each shard is charged its owned-node share. When nil,
 	// real elapsed time is charged.
 	ComputeCost func(batchItems int) time.Duration
+	// Prefetch pipelines batch assembly against the training step: a
+	// double-buffered background collator assembles batch T+1 while batch T
+	// runs forward/backward (exactly one batch deep). Batch contents are
+	// bitwise identical to the serial path, so training curves do not
+	// change; with the windows resident at step start, the first forward
+	// halo exchange also launches immediately instead of at its measured
+	// compute offset.
+	Prefetch bool
+	// AssembleCost, when set, supplies the modeled host-side collation time
+	// of one batch. Serial runs expose it ahead of every step; under
+	// Prefetch the next batch's assembly runs under the current step and
+	// only the epoch's leading assembly is exposed.
+	AssembleCost func(batchItems int) time.Duration
+	// Staleness bounds the gradient pipeline depth: when K > 0 (bucketed
+	// sync only), the two-stage collective still launches every step, but
+	// the optimizer applies each synchronized gradient up to K steps late
+	// with the staleness-compensated extrapolation g + K*(g - g_prev), so
+	// the sync cost hides under the following K steps' compute instead of
+	// the step's own tail. The queue drains at epoch end (and on
+	// cancellation), so every gradient is applied exactly once and replicas
+	// stay bitwise identical; zero keeps the synchronous schedule.
+	Staleness int
 	// Plan, when set, supplies a prebuilt partition (callers that need the
 	// shard sizes up front, e.g. for memory accounting, build it once and
 	// pass it in). When nil, Train builds it from the graph.
@@ -200,6 +222,9 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 	if cfg.Epochs < 1 {
 		return nil, fmt.Errorf("shard: need >= 1 epoch, got %d", cfg.Epochs)
 	}
+	if cfg.Staleness < 0 {
+		return nil, fmt.Errorf("shard: staleness bound must be >= 0, got %d", cfg.Staleness)
+	}
 	if len(split.Train) < cfg.Replicas {
 		return nil, fmt.Errorf("shard: %d training snapshots cannot feed %d replicas", len(split.Train), cfg.Replicas)
 	}
@@ -266,7 +291,7 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		}
 		sp := plan.Parts[sh]
 		ownFrac := float64(len(sp.Own)) / float64(globalN)
-		stats := &Stats{}
+		stats := &Stats{PinFirstLaunch: cfg.Prefetch}
 		model := factory(cfg.Seed, Propagators(w, replicaGroup, sp, cfg.Topology, stats, haloOverlap))
 		params := model.Parameters()
 		opt := nn.NewAdam(model, lr)
@@ -276,13 +301,33 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 			}
 		}
 		sampler := ddp.NewSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Replicas, rep, cfg.Seed)
-		var buf batching.BatchBuffer
+		// The train loop's batches live in the prefetcher's double buffer (or
+		// buf on the serial path); evaluation gets its own buffer so eval
+		// assembly never clobbers a slot the train pipeline still owns.
+		var buf, evalBuf batching.BatchBuffer
 		var gradBuf []float64
 		var flatCodec cluster.FP16Codec
 		var comm, commHidden time.Duration
 		var gradBytes, savedBytes int64
 		var curve metrics.Curve
 		steps := 0
+
+		// The overlap-timeline channels this rank's collectives occupy: halo
+		// exchanges stay within the replica group, gradient buckets cross the
+		// shard group. Under a flat topology both map to the single fabric
+		// channel and the step charge degenerates to the legacy serialized
+		// timeline.
+		haloCh := cfg.Topology.GroupChannel(world, replicaGroup)
+		gradCh := cfg.Topology.GroupChannel(world, shardGroup)
+
+		// One prefetcher per epoch; closed on every exit path (the deferred
+		// close covers error returns and cancellation).
+		var pf *batching.Prefetcher
+		defer func() {
+			if pf != nil {
+				pf.Close()
+			}
+		}()
 
 		// The grouped two-stage collective the bucketed syncer launches per
 		// bucket: sum across the replica group (reduce-scatter), mean across
@@ -303,10 +348,58 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 			sweep, syncer, bucketBytes = ddp.NewGradSync(w, clu.Net(), params, launch, cfg.FP16, cfg.AutoTuneBuckets, cfg.BucketBytes, cfg.OnAutotuneLock)
 		}
 
+		// Bounded-staleness pipeline state (see Config.Staleness): each step's
+		// synchronized gradient is queued with the absolute virtual time its
+		// collectives finish on the persistent gradient engine; the optimizer
+		// applies the queue head once it is K steps old. All ranks hold
+		// bitwise-identical queues (the exchange itself is synchronous — only
+		// the application is deferred), preserving the replica invariant.
+		K := cfg.Staleness
+		stale := K > 0 && bucketed
+		type pendingGrad struct {
+			vec    []float64
+			finish time.Duration
+		}
+		var staleQ []pendingGrad
+		var freeVecs [][]float64
+		var lastApplied, staleComp []float64
+		var gradChanFree time.Duration
+		applyStale := func(g []float64) {
+			comp := g
+			if lastApplied != nil {
+				// Staleness compensation: extrapolate the delayed gradient K
+				// steps forward along its last observed change, first-order
+				// correcting for the weights having moved since it was
+				// computed. The first application has no history and applies
+				// the gradient as-is.
+				if cap(staleComp) < len(g) {
+					staleComp = make([]float64, len(g))
+				}
+				staleComp = staleComp[:len(g)]
+				kf := float64(K)
+				for i := range g {
+					staleComp[i] = g[i] + kf*(g[i]-lastApplied[i])
+				}
+				comp = staleComp
+			}
+			ddp.UnflattenGrads(params, comp)
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(model, cfg.ClipNorm)
+			}
+			opt.Step()
+			if lastApplied != nil {
+				freeVecs = append(freeVecs, lastApplied)
+			}
+			lastApplied = g
+		}
+
 		cancelled := false
 		for epoch := cfg.StartEpoch; epoch < cfg.Epochs; epoch++ {
 			batches := sampler.EpochBatches(epoch)
 			stepsThisEpoch := int(w.AllReduceScalar(float64(len(batches)), cluster.OpMin))
+			if cfg.Prefetch {
+				pf = batching.NewPrefetcher(data, batches[:stepsThisEpoch])
+			}
 			var trainAcc metrics.Running
 			for s := 0; s < stepsThisEpoch; s++ {
 				if cancellable {
@@ -322,10 +415,23 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 					}
 				}
 				idx := batches[s]
+				var x, y *tensor.Tensor
+				if pf != nil {
+					// Pipelined path: receive the pre-assembled batch before
+					// the timed span starts (waiting for the collator is
+					// assembly, not compute).
+					var ok bool
+					x, y, ok = pf.Next()
+					if !ok {
+						return fmt.Errorf("shard: rank %d: prefetcher exhausted at step %d of %d", rank, s, stepsThisEpoch)
+					}
+				}
 				start := time.Now()
 				stats.BeginStep()
 				haloWall := stats.Wall
-				x, y := data.AssembleBatch(idx, &buf)
+				if pf == nil {
+					x, y = data.AssembleBatch(idx, &buf)
+				}
 				xOwn := gatherNodeAxis(x, sp.Own)
 				target := gatherNodeAxis(y.Slice(3, 0, 1).Contiguous(), sp.Own)
 				pred := model.Forward(autograd.Constant(xOwn))
@@ -366,8 +472,9 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 					}
 					syncer.Flush(bwdWall)
 					// Gradients are now globally synchronized; the clip point
-					// is unchanged (after the sync).
-					if cfg.ClipNorm > 0 {
+					// is unchanged (after the sync). Under bounded staleness
+					// clipping moves to application time.
+					if cfg.ClipNorm > 0 && !stale {
 						nn.ClipGradNorm(model, cfg.ClipNorm)
 					}
 				} else if err := autograd.Backward(loss); err != nil {
@@ -391,37 +498,115 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 						compute = 0
 					}
 				}
-				// Charge the step: every overlapped launch (halo exchanges
-				// across the whole step, gradient buckets in the backward
-				// span) serializes on one modeled communication channel and
-				// the clock advances by max(compute, last comm finish). With
-				// both schedules blocking the event list is empty and the
-				// charge degenerates to the legacy compute-only advance (the
-				// blocking halo exchanges charged the clock inline and the
-				// flatten sync charges it below).
+				// Charge the step: overlapped halo launches ride the replica
+				// group's engine and gradient buckets the shard group's, each
+				// engine serializing its own events while the two pipeline
+				// independently (cluster.OverlapFinishChannels); the clock
+				// advances by max(compute, every engine's last finish). Under
+				// a flat topology both groups map to the single fabric
+				// channel and the charge degenerates to the legacy serialized
+				// timeline; with both schedules blocking the event list is
+				// empty and it degenerates further to the compute-only
+				// advance (the blocking halo exchanges charged the clock
+				// inline and the flatten sync charges it below).
+				var asm time.Duration
+				if cfg.AssembleCost != nil {
+					asm = cfg.AssembleCost(len(idx))
+				}
+				if asm > 0 && pf != nil && s == 0 {
+					// Pipeline fill: the epoch's leading assembly has no
+					// previous step to hide under.
+					w.AdvanceTime(asm)
+				}
+				t0 := w.VirtualTime()
 				var events []cluster.CommEvent
 				var haloExposed time.Duration
 				haloStepCost := stats.StepCost()
 				if haloOverlap {
 					hev := stats.StepEvents(compute, structural)
+					for i := range hev {
+						hev[i].Channel = haloCh
+					}
 					haloExposed = cluster.OverlapFinish(compute, hev) - compute
 					events = append(events, hev...)
 				}
+				var gradFinish time.Duration
 				if bucketed {
-					events = append(events, syncer.Timeline(compute, fwdWall, bwdWall)...)
-					sort.SliceStable(events, func(i, j int) bool { return events[i].ReadyAt < events[j].ReadyAt })
+					gevs := syncer.Timeline(compute, fwdWall, bwdWall)
+					for i := range gevs {
+						gevs[i].Channel = gradCh
+					}
+					if stale {
+						// Bounded staleness: the step no longer waits for its
+						// own gradient collectives — they book onto the
+						// persistent gradient engine spanning steps, and step
+						// s+K blocks on this step's finish instead.
+						for _, ev := range gevs {
+							st := t0 + ev.ReadyAt
+							if gradChanFree > st {
+								st = gradChanFree
+							}
+							gradChanFree = st + ev.Cost
+						}
+						gradFinish = gradChanFree
+					} else {
+						events = append(events, gevs...)
+						sort.SliceStable(events, func(i, j int) bool { return events[i].ReadyAt < events[j].ReadyAt })
+					}
 				}
-				step := cluster.OverlapFinish(compute, events)
-				w.AdvanceTime(step)
+				step := cluster.OverlapFinishChannels(compute, events)
 				exposed := step - compute
+				// Host-side collation: the serial path exposes it ahead of
+				// the step; the prefetch pipeline assembles the next batch
+				// under this step, so the step charge is max(step, assemble).
+				if asm > 0 {
+					if pf == nil {
+						step += asm
+					} else if s+1 < stepsThisEpoch && asm > step {
+						step = asm
+					}
+				}
+				stepEnd := t0 + step
 				stats.Hidden += haloStepCost - haloExposed
-				if bucketed {
+				if stale {
+					gv := []float64(nil)
+					if n := len(freeVecs); n > 0 {
+						gv, freeVecs = freeVecs[n-1], freeVecs[:n-1]
+					}
+					gv = ddp.FlattenGrads(params, gv)
+					// The update is deferred; clear the accumulated grads so
+					// the next backward starts from zero (opt.Step, which
+					// normally zeroes them, is skipped this step).
+					for _, pm := range params {
+						pm.V.ZeroGrad()
+					}
+					staleQ = append(staleQ, pendingGrad{vec: gv, finish: gradFinish})
+					var tail time.Duration
+					if len(staleQ) > K {
+						pg := staleQ[0]
+						staleQ = staleQ[1:]
+						if pg.finish > stepEnd {
+							tail = pg.finish - stepEnd
+							stepEnd = pg.finish
+						}
+						applyStale(pg.vec)
+					}
+					comm += tail
+					if hid := syncer.TotalCost() - tail; hid > 0 {
+						commHidden += hid
+					}
+					gradBytes += syncer.StepBytes()
+					savedBytes += syncer.StepSaved()
+					w.AdvanceTime(stepEnd - t0)
+				} else if bucketed {
+					w.AdvanceTime(stepEnd - t0)
 					gradExposed := exposed - haloExposed
 					comm += gradExposed
 					commHidden += syncer.TotalCost() - gradExposed
 					gradBytes += syncer.StepBytes()
 					savedBytes += syncer.StepSaved()
 				} else {
+					w.AdvanceTime(stepEnd - t0)
 					// Flatten baseline: sum over the replica group (the
 					// spatial reduction), then average over the shard group
 					// (the data-parallel mean), both blocking and fully
@@ -453,7 +638,11 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 						nn.ClipGradNorm(model, cfg.ClipNorm)
 					}
 				}
-				opt.Step()
+				if !stale {
+					// Under staleness the optimizer ran inside applyStale
+					// (or the update is still queued).
+					opt.Step()
+				}
 				steps++
 				w.Barrier() // synchronous step boundary (straggler wait)
 				if sweep.Active() {
@@ -463,6 +652,25 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				// Weight by elements seen so the global weighted mean matches
 				// the unsharded per-batch accounting.
 				trainAcc.Add(lossLocal.Value.Item()*data.Std, len(idx)*len(sp.Own))
+			}
+			if pf != nil {
+				// Cancellation (or a short schedule) leaves the collator
+				// mid-stream; Close drains it either way.
+				pf.Close()
+				pf = nil
+			}
+			// Drain the staleness pipeline: every queued gradient applies
+			// before evaluation — and before a cancelled exit — so the update
+			// count matches the synchronous schedule and replicas stay
+			// bitwise identical.
+			for len(staleQ) > 0 {
+				pg := staleQ[0]
+				staleQ = staleQ[1:]
+				if d := pg.finish - w.VirtualTime(); d > 0 {
+					comm += d
+					w.AdvanceTime(d)
+				}
+				applyStale(pg.vec)
 			}
 			if cancelled {
 				break
@@ -474,7 +682,7 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				bucketBytes = sweep.BucketBytes()
 			}
 			trainMAE := ddp.ReduceWeighted(w, trainAcc)
-			valMAE := evaluateShard(w, model, data, split.Val, cfg, sp.Own, rep, &buf, stats)
+			valMAE := evaluateShard(w, model, data, split.Val, cfg, sp.Own, rep, &evalBuf, stats)
 			rec := metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE}
 			curve = append(curve, rec)
 			if rank == 0 && cfg.OnEpoch != nil {

@@ -12,7 +12,7 @@ BENCH_GATED = $(GO) test -run '^$$' -bench 'BenchmarkDDP|BenchmarkShard|Benchmar
 # is a reviewed decision, not a quick fix for a red build.
 COVER_FLOORS = internal/shard:85 internal/cluster:90 internal/graph:90 internal/core:85 internal/sparse:85 internal/autograd:80 internal/serve:85 .:75
 
-.PHONY: ci build vet fmt-check test race cover bench bench-smoke bench-json bench-baseline bench-check bench-ci
+.PHONY: ci build vet fmt-check test race cover bench bench-smoke bench-json bench-baseline bench-check bench-ci trace-smoke
 
 ## ci runs the exact tier-1 gate the CI workflow enforces.
 ci: build vet fmt-check test race bench-smoke
@@ -81,6 +81,18 @@ bench-check:
 	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
 	$(BENCH_GATED) > "$$tmp" || { cat "$$tmp"; exit 1; }; \
 	$(GO) run ./cmd/pgti-benchjson -check bench/baseline.json < "$$tmp"
+
+## trace-smoke exercises the observability layer end to end: a traced 2x2
+## hybrid fit and a traced serve burst, each schema-validated by pgti-trace
+## (well-formed Perfetto JSON, monotone per-thread timestamps, nested spans,
+## balanced async pairs). CI uploads both traces as artifacts.
+trace-smoke:
+	$(GO) run ./cmd/pgti-train -dataset Chickenpox-Hungary -epochs 2 \
+		-strategy dist-index -workers 2 -shards 2 -quiet -trace train-trace.json
+	$(GO) run ./cmd/pgti-trace train-trace.json
+	$(GO) run ./cmd/pgti-serve -dataset Chickenpox-Hungary -epochs 2 \
+		-retrain-epochs 0 -clients 4 -requests 16 -trace serve-trace.json
+	$(GO) run ./cmd/pgti-trace serve-trace.json
 
 ## bench-ci runs the full benchmark suite ONCE, writing the perf snapshot to
 ## bench-snapshot.json and gating that same run against the baseline — the

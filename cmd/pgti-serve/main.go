@@ -42,17 +42,18 @@ func main() {
 	requests := flag.Int("requests", 32, "requests per client per load phase")
 	rate := flag.Duration("rate", 0, "modeled open-loop interarrival (0 = closed-loop virtual clock)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the serving run to this file")
 	flag.Parse()
 
 	if err := run(*ds, *scale, *epochs, *retrain, *replicas, *maxBatch, *window,
-		*queue, *clients, *requests, *rate, *seed); err != nil {
+		*queue, *clients, *requests, *rate, *seed, *traceOut); err != nil {
 		fmt.Fprintf(os.Stderr, "pgti-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(ds string, scale float64, epochs, retrain, replicas, maxBatch int,
-	window time.Duration, queue, clients, requests int, rate time.Duration, seed uint64) error {
+	window time.Duration, queue, clients, requests int, rate time.Duration, seed uint64, traceOut string) error {
 	fit := func(label string, ep int) (*pgti.Experiment, error) {
 		fmt.Printf("%s: %s, %d epochs ...", label, ds, ep)
 		exp, err := pgti.NewExperiment(ds,
@@ -86,6 +87,11 @@ func run(ds string, scale float64, epochs, retrain, replicas, maxBatch int,
 	}
 	if rate > 0 {
 		opts = append(opts, pgti.WithArrivalProcess(rate))
+	}
+	var rec *pgti.TraceRecorder
+	if traceOut != "" {
+		rec = pgti.NewTraceRecorder()
+		opts = append(opts, pgti.WithServeTrace(rec))
 	}
 	srv, err := pgti.NewServer(exp, opts...)
 	if err != nil {
@@ -146,5 +152,24 @@ func run(ds string, scale float64, epochs, retrain, replicas, maxBatch int,
 		load("phase 2 (swapped weights)")
 	}
 
-	return srv.Close()
+	// Close first: the end-of-run serving counters (shed, queue high-water)
+	// flush into the recorder when the collector drains.
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if rec != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := pgti.WriteTrace(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (load at ui.perfetto.dev)\n", traceOut)
+	}
+	return nil
 }

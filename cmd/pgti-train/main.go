@@ -78,6 +78,7 @@ func main() {
 	resume := flag.String("resume", "", "train-state checkpoint to resume deterministically from")
 	save := flag.String("save", "", "train-state checkpoint to write after training")
 	forecast := flag.Int("forecast", 0, "print predictions for the first N test windows")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load at ui.perfetto.dev)")
 	quiet := flag.Bool("quiet", false, "suppress the live per-epoch stream")
 	flag.Parse()
 
@@ -131,6 +132,11 @@ func main() {
 	}
 	if *forecast > 0 {
 		opts = append(opts, pgti.WithForecasts(*forecast))
+	}
+	var rec *pgti.TraceRecorder
+	if *traceOut != "" {
+		rec = pgti.NewTraceRecorder()
+		opts = append(opts, pgti.WithTrace(rec))
 	}
 	if !*quiet {
 		header := false
@@ -196,6 +202,25 @@ func main() {
 		rep.WallTime.Round(1e6), rep.VirtualTime.Round(1e6), rep.CommTime.Round(1e6))
 	fmt.Printf("peak system %s | peak GPU %s | retained data %s\n",
 		pgti.FormatBytes(rep.PeakSystemBytes), pgti.FormatBytes(rep.PeakGPUBytes), pgti.FormatBytes(rep.RetainedDataBytes))
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pgti-train: trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pgti.WriteTrace(f, rec); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pgti-train: trace: %v\n", err)
+			os.Exit(1)
+		}
+		if s := rep.Trace; s != nil {
+			fmt.Printf("trace: %d spans across %d workers -> %s\n", s.Spans, s.Workers, *traceOut)
+		}
+	}
 	for _, f := range rep.Forecasts {
 		fmt.Printf("forecast for test window %d (MAE %.3f):\n", f.SnapshotIndex, f.MAE())
 		steps := f.Horizon

@@ -312,6 +312,20 @@ const (
 	numChannels
 )
 
+// NumChannels is the number of modeled communication engines — the size of
+// per-channel accumulator arrays callers keep alongside the overlap
+// timeline.
+const NumChannels = int(numChannels)
+
+// normChannel coerces out-of-range channels onto the fabric, matching the
+// forgiving behaviour of OverlapFinishChannels.
+func normChannel(c Channel) Channel {
+	if c < 0 || c >= numChannels {
+		return ChannelInter
+	}
+	return c
+}
+
 // CommEvent is one communication launch inside an overlapped step: a
 // collective of modeled duration Cost whose inputs become available ReadyAt
 // into the step's compute, occupying the engine named by Channel.
@@ -357,10 +371,7 @@ func OverlapFinishChannels(compute time.Duration, events []CommEvent) time.Durat
 	var finish [numChannels]time.Duration
 	step := compute
 	for _, e := range events {
-		c := e.Channel
-		if c < 0 || c >= numChannels {
-			c = ChannelInter
-		}
+		c := normChannel(e.Channel)
 		start := finish[c]
 		if e.ReadyAt > start {
 			start = e.ReadyAt
@@ -371,6 +382,63 @@ func OverlapFinishChannels(compute time.Duration, events []CommEvent) time.Durat
 		}
 	}
 	return step
+}
+
+// CommSpan is one event's resolved window on the overlap timeline: the
+// event plus the [Start, Finish) interval its channel's serialization gives
+// it, relative to the step's origin.
+type CommSpan struct {
+	Event         CommEvent
+	Start, Finish time.Duration
+}
+
+// OverlapScheduleChannels resolves each event's start/finish under exactly
+// the per-channel serialization of OverlapFinishChannels (same traversal,
+// same coercion of out-of-range channels onto the fabric) and returns the
+// spans in event order together with the step finish. The trace exporter
+// renders these spans; tests pin max(compute, last finish) ==
+// OverlapFinishChannels so the rendered timeline can never drift from the
+// clock charge.
+func OverlapScheduleChannels(compute time.Duration, events []CommEvent) ([]CommSpan, time.Duration) {
+	var finish [numChannels]time.Duration
+	step := compute
+	spans := make([]CommSpan, len(events))
+	for i, e := range events {
+		c := normChannel(e.Channel)
+		start := finish[c]
+		if e.ReadyAt > start {
+			start = e.ReadyAt
+		}
+		finish[c] = start + e.Cost
+		if finish[c] > step {
+			step = finish[c]
+		}
+		spans[i] = CommSpan{Event: e, Start: start, Finish: finish[c]}
+	}
+	return spans, step
+}
+
+// OverlapChannelExposure returns, per channel, how far that channel's
+// serialized event timeline extends past the step's compute span — the
+// engine's own exposed tail. The step's total exposure is the max (not the
+// sum) across channels: the engines run concurrently, so only the longest
+// tail extends the step.
+func OverlapChannelExposure(compute time.Duration, events []CommEvent) (exposure [NumChannels]time.Duration) {
+	var finish [numChannels]time.Duration
+	for _, e := range events {
+		c := normChannel(e.Channel)
+		start := finish[c]
+		if e.ReadyAt > start {
+			start = e.ReadyAt
+		}
+		finish[c] = start + e.Cost
+	}
+	for c := range finish {
+		if finish[c] > compute {
+			exposure[c] = finish[c] - compute
+		}
+	}
+	return exposure
 }
 
 // ReduceOp selects the scalar reduction.

@@ -29,6 +29,7 @@ import (
 	"pgti/internal/shard"
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
+	"pgti/internal/trace"
 )
 
 // Strategy selects the end-to-end pipeline.
@@ -203,6 +204,14 @@ type Config struct {
 	// Fit: epoch ends, autotune lock-in, memory high-water marks, OOM. See
 	// the Event type for the delivery contract.
 	Events EventFunc
+
+	// Trace, when non-nil, records virtual-clock spans (compute, batch
+	// assembly, halo exchange, gradient sync, exposed communication) and
+	// per-worker counters into the recorder during Fit. Nil disables
+	// tracing entirely; a traced run is bitwise identical to an untraced
+	// one — the recorder only observes times the simulation already
+	// computes, it never advances the clock.
+	Trace *trace.Recorder
 }
 
 func (c *Config) fillDefaults() {
@@ -251,6 +260,14 @@ type Report struct {
 	// CommHiddenTime is modeled communication hidden under backward compute
 	// by the bucketed overlapping AllReduce (distributed strategies only).
 	CommHiddenTime time.Duration
+	// CommExposedIntra and CommExposedInter split the exposed (not hidden)
+	// communication time by fabric channel: intra-node replica traffic vs
+	// inter-node shard traffic. The channels drain concurrently, so each is
+	// that channel's own tail past compute and their sum can exceed the
+	// total exposed time (which is the max). Flat (unsharded) distributed
+	// runs put everything on the inter channel.
+	CommExposedIntra time.Duration
+	CommExposedInter time.Duration
 	// GradBuckets is the per-step gradient bucket count of the DDP run.
 	GradBuckets int
 	// GradBucketBytes is the effective bucket size cap: the autotuned
@@ -298,6 +315,11 @@ type Report struct {
 
 	Steps         int
 	GradSyncBytes int64
+
+	// Trace is the aggregated span/counter summary of the run when
+	// Config.Trace was set (nil otherwise). The full event stream stays in
+	// the recorder for export.
+	Trace *trace.Summary
 }
 
 // Forecast is one test-window prediction in original signal units, laid

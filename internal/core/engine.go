@@ -127,6 +127,11 @@ func (e *Engine) syncMem() {
 	e.report.PeakSystemBytes = e.sys.Peak()
 	e.report.PeakGPUBytes = e.gpu.Peak()
 	e.report.SystemSeries = e.sys.Series()
+	if e.cfg.Trace != nil {
+		e.cfg.Trace.Gauge("memsim.system.peak.bytes", e.sys.Peak())
+		e.cfg.Trace.Gauge("memsim.gpu.peak.bytes", e.gpu.Peak())
+		e.report.Trace = e.cfg.Trace.Summary()
+	}
 }
 
 // seal wraps a stage body: accumulates wall time, mirrors memory
@@ -488,6 +493,7 @@ func (e *Engine) buildDistributed() error {
 		Prefetch:        cfg.Prefetch,
 		AssembleCost:    cfg.AssembleCost,
 		Init:            init,
+		Trace:           cfg.Trace,
 	}
 	if cfg.Staleness > 0 {
 		return fmt.Errorf("core: bounded staleness requires spatial sharding (Spatial.Shards >= 2), got strategy %v without shards", cfg.Strategy)
@@ -589,6 +595,7 @@ func (e *Engine) buildHybrid() error {
 		Staleness:       cfg.Staleness,
 		Plan:            plan,
 		Init:            init,
+		Trace:           cfg.Trace,
 	}
 	return nil
 }
@@ -749,6 +756,9 @@ func (e *Engine) fitDistributed(ctx context.Context) error {
 	report.VirtualTime = res.VirtualTime
 	report.CommTime = res.CommTime
 	report.CommHiddenTime = res.CommHiddenTime
+	// A flat (unsharded) world has no intra-node channel: all exposed
+	// gradient traffic rides the inter fabric.
+	report.CommExposedInter = res.CommTime
 	report.GradBuckets = res.GradBuckets
 	report.GradBucketBytes = res.BucketBytes
 	report.CommBytesSaved = res.CommBytesSaved
@@ -793,6 +803,8 @@ func (e *Engine) fitHybrid(ctx context.Context) error {
 	report.VirtualTime = res.VirtualTime
 	report.CommTime = res.CommTime
 	report.CommHiddenTime = res.CommHiddenTime
+	report.CommExposedIntra = res.CommExposedIntra
+	report.CommExposedInter = res.CommExposedInter
 	report.HaloBytes = res.HaloBytes
 	report.HaloTime = res.HaloTime
 	report.HaloHiddenTime = res.HaloHiddenTime

@@ -17,6 +17,7 @@ import (
 	"pgti/internal/metrics"
 	"pgti/internal/nn"
 	"pgti/internal/tensor"
+	"pgti/internal/trace"
 )
 
 // SamplerKind selects the epoch shuffling strategy.
@@ -209,6 +210,10 @@ type Config struct {
 	// OnAutotuneLock fires on rank 0 when the bucket autotuner locks in its
 	// winning bucket size.
 	OnAutotuneLock func(bucketBytes int64)
+	// Trace, when set, records every worker's spans and counters (see
+	// internal/trace). Recording never touches virtual clocks or
+	// collectives, so a traced run is bitwise identical to an untraced one.
+	Trace *trace.Recorder
 }
 
 // Result summarizes a distributed run.
@@ -415,6 +420,7 @@ type OverlapSyncer struct {
 	events       []cluster.CommEvent // per launch: modeled cost (ReadyAt filled by Timeline)
 	readyFrac    []float64           // per launch: cumulative-elements share (modeled fallback)
 	readyElapsed []time.Duration     // per launch: measured backward offset
+	wire         []int64             // per launch: wire bytes shipped
 	cumElems     int
 	commWall     time.Duration // real time spent blocked inside collective launches
 	totalCost    time.Duration // sum of modeled bucket costs this step
@@ -457,6 +463,7 @@ func (s *OverlapSyncer) Reset() {
 	s.events = s.events[:0]
 	s.readyFrac = s.readyFrac[:0]
 	s.readyElapsed = s.readyElapsed[:0]
+	s.wire = s.wire[:0]
 	s.cumElems = 0
 	s.commWall = 0
 	s.totalCost = 0
@@ -518,6 +525,7 @@ func (s *OverlapSyncer) launchBucket(bi int, elapsed time.Duration) {
 	s.events = append(s.events, cluster.CommEvent{Cost: cost})
 	s.readyFrac = append(s.readyFrac, float64(s.cumElems)/float64(s.totalElems))
 	s.readyElapsed = append(s.readyElapsed, elapsed)
+	s.wire = append(s.wire, wire)
 	s.totalCost += cost
 	s.stepBytes += wire
 }
@@ -617,6 +625,16 @@ func (s *OverlapSyncer) StepSaved() int64 { return s.stepSaved }
 // NumBuckets returns the syncer's bucket count.
 func (s *OverlapSyncer) NumBuckets() int { return len(s.buckets) }
 
+// LaunchBuckets returns the step's bucket indices in launch order — aligned
+// with Timeline's events, it labels the trace's per-bucket comm spans. The
+// slice aliases syncer state and is valid until the next Reset.
+func (s *OverlapSyncer) LaunchBuckets() []int { return s.order }
+
+// LaunchWire returns the wire bytes shipped per launch, aligned with
+// LaunchBuckets. The slice aliases syncer state and is valid until the next
+// Reset.
+func (s *OverlapSyncer) LaunchWire() []int64 { return s.wire }
+
 // Train runs distributed data-parallel training of factory-built replicas
 // over the index dataset. All workers see identical initialization and the
 // deterministic sampler schedule, so the run is reproducible bit-for-bit.
@@ -683,6 +701,8 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 	net := clu.Net()
 	runErr := clu.Run(func(w *cluster.Worker) error {
 		rank := w.Rank()
+		tw := cfg.Trace.Worker(rank)
+		cfg.Trace.NameWorker(rank, fmt.Sprintf("ddp worker %d", rank))
 		model := factory(cfg.Seed)
 		params := model.Parameters()
 		opt := nn.NewAdam(model, lr)
@@ -720,12 +740,22 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 				return step + asm
 			}
 			if s == 0 {
+				// Pipeline fill: the epoch's leading assembly has no
+				// previous step to hide under.
+				tw.Span(trace.KindAssemble, "assemble.fill", trace.StreamAssembly, w.VirtualTime(), asm, 0)
 				w.AdvanceTime(asm)
 			}
 			if s+1 < stepsThisEpoch && asm > step {
 				return asm
 			}
 			return step
+		}
+		// asmOf mirrors chargeAssemble's cost lookup for span rendering.
+		asmOf := func(items int) time.Duration {
+			if cfg.AssembleCost == nil || cfg.Store != nil {
+				return 0
+			}
+			return cfg.AssembleCost(items)
 		}
 		var flatCodec cluster.FP16Codec
 		var comm, hidden time.Duration
@@ -788,10 +818,20 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 					var remote int64
 					x, y, _, remote = cfg.Store.FetchBatch(rank, idx, &buf)
 					if remote > 0 {
+						if tw != nil {
+							cost := net.FetchTime(remote)
+							tw.Span(trace.KindFetch, "fetch.boundary", trace.StreamCommInter, w.VirtualTime(), cost, remote)
+							tw.Span(trace.KindExposed, "fetch.boundary", trace.StreamExposed, w.VirtualTime(), cost, 0)
+						}
 						w.FetchRemote(remote)
 						comm += net.FetchTime(remote)
 					}
 				} else if cfg.RemoteFetch {
+					if tw != nil {
+						cost := net.FetchTime(batchBytes)
+						tw.Span(trace.KindFetch, "fetch.batch", trace.StreamCommInter, w.VirtualTime(), cost, batchBytes)
+						tw.Span(trace.KindExposed, "fetch.batch", trace.StreamExposed, w.VirtualTime(), cost, 0)
+					}
 					w.FetchRemote(batchBytes)
 					comm += net.FetchTime(batchBytes)
 				}
@@ -851,8 +891,33 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 							compute = 0
 						}
 					}
-					step, exposed := syncer.Finish(compute, fwdWall, bwdWall)
-					step = chargeAssemble(s, stepsThisEpoch, len(idx), step)
+					overlapStep, exposed := syncer.Finish(compute, fwdWall, bwdWall)
+					step := chargeAssemble(s, stepsThisEpoch, len(idx), overlapStep)
+					t0 := w.VirtualTime()
+					if tw != nil {
+						// The step body starts after the serially-exposed
+						// assembly; prefetch assembly is occupancy under it.
+						asm, base := asmOf(len(idx)), t0
+						if asm > 0 {
+							name := "assemble"
+							if pf != nil {
+								name = "assemble.next"
+							} else {
+								base += asm
+							}
+							tw.Span(trace.KindAssemble, name, trace.StreamAssembly, t0, asm, 0)
+						}
+						tw.Span(trace.KindCompute, "compute", trace.StreamCompute, base, compute, 0)
+						lb, lw := syncer.LaunchBuckets(), syncer.LaunchWire()
+						spans, _ := cluster.OverlapScheduleChannels(compute, syncer.Timeline(compute, fwdWall, bwdWall))
+						for i, sp := range spans {
+							tw.Span(trace.KindGrad, fmt.Sprintf("grad b%d", lb[i]), trace.StreamCommInter, base+sp.Start, sp.Finish-sp.Start, lw[i])
+						}
+						if exposed > 0 {
+							tw.Span(trace.KindExposed, "comm.tail", trace.StreamExposed, base+compute, exposed, 0)
+						}
+						tw.Span(trace.KindStep, fmt.Sprintf("step %d", steps), trace.StreamStep, t0, step, 0)
+					}
 					w.AdvanceTime(step)
 					w.Barrier() // straggler wait, as the synchronous step ends
 					comm += exposed
@@ -872,11 +937,30 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 					if cfg.ClipNorm > 0 {
 						nn.ClipGradNorm(model, cfg.ClipNorm)
 					}
+					var compute, asm, step time.Duration
 					if cfg.ComputeCost != nil {
-						w.AdvanceTime(chargeAssemble(s, stepsThisEpoch, len(idx), cfg.ComputeCost(len(idx))))
+						compute = cfg.ComputeCost(len(idx))
+						asm = asmOf(len(idx))
+						step = chargeAssemble(s, stepsThisEpoch, len(idx), compute)
 					} else {
-						w.AdvanceTime(time.Since(start))
+						compute = time.Since(start)
+						step = compute
 					}
+					t0 := w.VirtualTime()
+					if tw != nil {
+						base := t0
+						if asm > 0 {
+							name := "assemble"
+							if pf != nil {
+								name = "assemble.next"
+							} else {
+								base += asm
+							}
+							tw.Span(trace.KindAssemble, name, trace.StreamAssembly, t0, asm, 0)
+						}
+						tw.Span(trace.KindCompute, "compute", trace.StreamCompute, base, compute, 0)
+					}
+					w.AdvanceTime(step)
 					gradBuf = FlattenGrads(params, gradBuf)
 					wire := int64(len(gradBuf)) * 8
 					// Quantize only when there are peers: a single worker
@@ -893,10 +977,22 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 					// additionally contains straggler wait, which is compute
 					// imbalance, not communication).
 					if cfg.Workers > 1 {
-						comm += net.RingAllReduceTime(wire, cfg.Workers)
+						cost := net.RingAllReduceTime(wire, cfg.Workers)
+						comm += cost
+						if tw != nil {
+							// The synchronized collective aligned the clock
+							// to the slowest worker plus the cost, so its
+							// window ends at the current virtual time.
+							at := w.VirtualTime() - cost
+							tw.Span(trace.KindGrad, "grad.flatten", trace.StreamCommInter, at, cost, wire)
+							tw.Span(trace.KindExposed, "grad.flatten", trace.StreamExposed, at, cost, 0)
+						}
 					}
 					totalBytes += wire
 					UnflattenGrads(params, gradBuf)
+					if tw != nil {
+						tw.Span(trace.KindStep, fmt.Sprintf("step %d", steps), trace.StreamStep, t0, w.VirtualTime()-t0, 0)
+					}
 				}
 				opt.Step()
 				steps++
@@ -941,6 +1037,15 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		if overlap {
 			buckets = syncer.NumBuckets()
 			effectiveBucketBytes = bucketBytes
+		}
+		if tw != nil {
+			tw.Add("grad.wire.bytes", totalBytes)
+			tw.Add("grad.wire.saved.bytes", savedBytes)
+			tw.Add("comm.exposed.ns", int64(comm))
+			tw.Add("comm.hidden.ns", int64(hidden))
+			// The flat world has no intra-node channel: every collective
+			// rides the fabric.
+			tw.Add("comm.exposed.inter.ns", int64(comm))
 		}
 		outs[rank] = workerOut{
 			curve: curve, vt: w.VirtualTime(), comm: comm, hidden: hidden,

@@ -27,6 +27,7 @@ import (
 
 	"pgti/internal/core"
 	"pgti/internal/device"
+	"pgti/internal/trace"
 )
 
 // Backend is one warm model replica: a batched forward plus an atomic
@@ -82,6 +83,12 @@ type Config struct {
 	// real callers — benchmarks use this for reproducible numbers.
 	// Default 0 (requests arrive when the clock says they do).
 	Interarrival time.Duration
+	// Trace, when non-nil, records per-replica forward spans (one per
+	// dispatched batch), per-request queue-wait spans, and serving
+	// counters (shed count, queue-depth high-water) into the recorder.
+	// Nil disables tracing; the traced serving numbers are identical to
+	// the untraced ones.
+	Trace *trace.Recorder
 }
 
 func (c *Config) fillDefaults() {
@@ -112,6 +119,16 @@ type Stats struct {
 	Virtual   time.Duration // modeled elapsed serving time
 	QPS       float64       // Completed / Virtual
 	Replicas  int
+
+	// SampledRequests is how many latency samples back the percentiles:
+	// the ring holds the most recent max(4096, 4*QueueDepth) completions,
+	// so a burst larger than the ring still keeps enough tail to cover
+	// everything that could have been in flight at once.
+	SampledRequests int64
+	// DroppedSamples counts completions whose latency fell out of the
+	// ring. When positive, P50/P99 describe only the most recent
+	// SampledRequests completions, not the whole run.
+	DroppedSamples int64
 }
 
 type response struct {
@@ -132,6 +149,7 @@ type replica struct {
 	busy     bool          // a batch is currently running on it
 	vfree    time.Duration // virtual time its latest batch completes
 	busyWork time.Duration // cumulative modeled busy time (dispatch key)
+	tw       *trace.Worker // nil when tracing is off
 }
 
 // Server is the goroutine-safe serving front end. Construct with New, issue
@@ -153,13 +171,15 @@ type Server struct {
 	vnow     time.Duration // virtual clock: max completion time so far
 	arrivals int64         // admitted requests (drives Interarrival stamps)
 
-	// Latency ring for percentile estimates (most recent latRingCap).
-	lat    []time.Duration
-	latPos int
+	// Latency ring for percentile estimates (most recent ringCap).
+	lat     []time.Duration
+	latPos  int
+	ringCap int
 
 	completed int64
 	batches   int64
 	shed      int64
+	queueHigh int // deepest the queue has been (trace gauge)
 
 	wake        chan struct{} // pings the collector on enqueue
 	replicaFree chan struct{} // pings acquireReplica on batch completion
@@ -169,6 +189,9 @@ type Server struct {
 	inflight    sync.WaitGroup
 }
 
+// latRingCap is the floor on the latency ring. The actual ring is sized
+// max(latRingCap, 4*QueueDepth) so a deep queue cannot silently rotate
+// in-flight samples out before Stats reads them.
 const latRingCap = 4096
 
 // New builds a Server over a non-empty replica pool. cfg zero values are
@@ -180,13 +203,18 @@ func New(backends []Backend, cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
 		cfg:         cfg,
+		ringCap:     latRingCap,
 		wake:        make(chan struct{}, 1),
 		replicaFree: make(chan struct{}, len(backends)),
 		closeCh:     make(chan struct{}),
 		drained:     make(chan struct{}),
 	}
-	for _, b := range backends {
-		s.replicas = append(s.replicas, &replica{backend: b})
+	if c := 4 * cfg.QueueDepth; c > s.ringCap {
+		s.ringCap = c
+	}
+	for i, b := range backends {
+		cfg.Trace.NameWorker(i, fmt.Sprintf("serve replica %d", i))
+		s.replicas = append(s.replicas, &replica{backend: b, tw: cfg.Trace.Worker(i)})
 	}
 	go s.collector()
 	return s
@@ -224,6 +252,9 @@ func (s *Server) Predict(ctx context.Context, w core.Window) (core.Forecast, err
 	}
 	s.arrivals++
 	s.queue = append(s.queue, req)
+	if d := len(s.queue); d > s.queueHigh {
+		s.queueHigh = d
+	}
 	s.mu.Unlock()
 
 	select {
@@ -314,6 +345,8 @@ func (s *Server) Stats() Stats {
 	if s.vnow > 0 {
 		st.QPS = float64(s.completed) / s.vnow.Seconds()
 	}
+	st.SampledRequests = int64(len(s.lat))
+	st.DroppedSamples = s.completed - st.SampledRequests
 	if len(s.lat) > 0 {
 		sorted := append([]time.Duration(nil), s.lat...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -370,6 +403,20 @@ func (s *Server) collector() {
 		s.launch(r, batch, timerFired)
 	}
 	s.inflight.Wait()
+	s.emitTrace()
+}
+
+// emitTrace flushes the end-of-run serving counters into the recorder.
+// Runs exactly once, after the drain, so the values are final.
+func (s *Server) emitTrace() {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.mu.Lock()
+	shed, high := s.shed, s.queueHigh
+	s.mu.Unlock()
+	s.cfg.Trace.Add("serve.shed", shed)
+	s.cfg.Trace.Gauge("serve.queue.highwater", int64(high))
 }
 
 // waitPending blocks until the queue is non-empty (true) or the server is
@@ -517,6 +564,12 @@ func (s *Server) launch(r *replica, batch []*request, timerFired bool) {
 		}
 		s.completed += int64(len(batch))
 		s.batches++
+		if r.tw != nil {
+			for _, rq := range batch {
+				r.tw.AsyncSpan(trace.KindQueue, "queue.wait", trace.StreamQueue, rq.varrival, vstart-rq.varrival, 0)
+			}
+			r.tw.Span(trace.KindForward, fmt.Sprintf("forward b%d", len(batch)), trace.StreamForward, vstart, cost, 0)
+		}
 		s.mu.Unlock()
 
 		select {
@@ -536,10 +589,10 @@ func (s *Server) launch(r *replica, batch []*request, timerFired bool) {
 
 // recordLatency appends to the percentile ring. Caller holds s.mu.
 func (s *Server) recordLatency(d time.Duration) {
-	if len(s.lat) < latRingCap {
+	if len(s.lat) < s.ringCap {
 		s.lat = append(s.lat, d)
 		return
 	}
 	s.lat[s.latPos] = d
-	s.latPos = (s.latPos + 1) % latRingCap
+	s.latPos = (s.latPos + 1) % s.ringCap
 }

@@ -580,3 +580,53 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(100 * time.Microsecond)
 	}
 }
+
+// TestStatsSampledAndDropped: the latency ring must not silently truncate.
+// Its capacity grows with the admission queue (max(4096, 4*QueueDepth)) so
+// a deep queue cannot rotate in-flight samples out unseen, and Stats now
+// says exactly how many completions back the percentiles (SampledRequests)
+// and how many aged out (DroppedSamples).
+func TestStatsSampledAndDropped(t *testing.T) {
+	b := &stubBackend{}
+	// QueueDepth 1500 grows the ring to 6000; drive 6300 completions so
+	// exactly 300 age out.
+	s := New([]Backend{b}, Config{
+		MaxBatch: 8, Window: time.Nanosecond, QueueDepth: 1500,
+		Cost: flatCost(time.Microsecond, 0),
+	})
+	defer s.Close()
+
+	const total = 6300
+	for i := 0; i < total; i++ {
+		if _, err := s.Predict(context.Background(), win(float64(i%97))); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != total {
+		t.Fatalf("completed %d, want %d", st.Completed, total)
+	}
+	if st.SampledRequests != 6000 {
+		t.Fatalf("SampledRequests = %d, want ring capacity 6000 (4*QueueDepth)", st.SampledRequests)
+	}
+	if st.DroppedSamples != total-6000 {
+		t.Fatalf("DroppedSamples = %d, want %d", st.DroppedSamples, total-6000)
+	}
+	if st.P50 <= 0 || st.P99 < st.P50 {
+		t.Fatalf("percentiles malformed: p50 %v p99 %v", st.P50, st.P99)
+	}
+
+	// Under the cap nothing drops and the books balance.
+	b2 := &stubBackend{}
+	s2 := New([]Backend{b2}, Config{MaxBatch: 4, Window: time.Nanosecond, Cost: flatCost(time.Microsecond, 0)})
+	defer s2.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := s2.Predict(context.Background(), win(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2 := s2.Stats()
+	if st2.SampledRequests != 10 || st2.DroppedSamples != 0 {
+		t.Fatalf("under-cap run: sampled %d dropped %d, want 10 and 0", st2.SampledRequests, st2.DroppedSamples)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"pgti/internal/nn"
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
+	"pgti/internal/trace"
 )
 
 // Stats accumulates one worker's halo traffic: wire bytes shipped, the
@@ -36,12 +37,28 @@ type Stats struct {
 	// measured compute offset. Structural timelines already stamp the first
 	// launch at zero, so fully-modeled runs are unaffected.
 	PinFirstLaunch bool
+	// Trace, when set, receives halo spans (blocking exchanges record them
+	// inline at charge time; the overlapped trainer renders the resolved
+	// step schedule itself from the per-event labels and bytes below).
+	Trace *trace.Worker
+	// Channel is the modeled comm channel this worker's halo traffic rides
+	// (the replica group's channel); blocking charges attribute their
+	// exposure to it in ChannelExposed.
+	Channel cluster.Channel
+	// ChannelExposed accumulates per-channel exposed halo time charged
+	// inline: blocking exchanges and the evaluation settles.
+	ChannelExposed [cluster.NumChannels]time.Duration
 
 	// Per-step overlap state (reset by BeginStep).
 	stepStart   time.Time
 	stepBlocked time.Duration
 	events      []cluster.CommEvent
 	offsets     []time.Duration
+	// Per-event trace annotations, parallel to events (populated only when
+	// Trace is set; the overlapped trainer labels its schedule spans from
+	// them).
+	stepLabels []string
+	stepBytes  []int64
 }
 
 // BeginStep resets the step-scoped overlap timeline.
@@ -50,6 +67,8 @@ func (s *Stats) BeginStep() {
 	s.stepBlocked = 0
 	s.events = s.events[:0]
 	s.offsets = s.offsets[:0]
+	s.stepLabels = s.stepLabels[:0]
+	s.stepBytes = s.stepBytes[:0]
 }
 
 // launchOffset returns the measured offset of an exchange launch into the
@@ -64,12 +83,16 @@ func (s *Stats) launchOffset() time.Duration {
 }
 
 // record books one completed overlapped exchange: wire bytes, modeled cost,
-// and the measured launch offset.
-func (s *Stats) record(bytes int64, cost time.Duration, offset time.Duration) {
+// the measured launch offset, and (when traced) the span label.
+func (s *Stats) record(bytes int64, cost time.Duration, offset time.Duration, label string) {
 	s.Bytes += bytes
 	s.Time += cost
 	s.events = append(s.events, cluster.CommEvent{Cost: cost})
 	s.offsets = append(s.offsets, offset)
+	if s.Trace != nil {
+		s.stepLabels = append(s.stepLabels, label)
+		s.stepBytes = append(s.stepBytes, bytes)
+	}
 }
 
 // StepEvents stamps each of the step's exchange launches with its ReadyAt on
@@ -204,7 +227,7 @@ func (e *Exchanger) GatherFinish() *tensor.Tensor {
 	e.stats.Wall += blocked
 	e.stats.stepBlocked += blocked
 	halo := e.assembleHalo(recvs, e.inflightF)
-	e.stats.record(e.sendBytes, cost, e.offset)
+	e.stats.record(e.sendBytes, cost, e.offset, "halo.gather")
 	e.handle = nil
 	return halo
 }
@@ -278,7 +301,7 @@ func (e *Exchanger) ScatterAddFinish() *tensor.Tensor {
 	e.stats.Wall += blocked
 	e.stats.stepBlocked += blocked
 	out := e.sumOwn(recvs, e.inflightF)
-	e.stats.record(e.sendBytes, cost, e.offset)
+	e.stats.record(e.sendBytes, cost, e.offset, "halo.scatter")
 	e.handle = nil
 	return out
 }
@@ -309,11 +332,27 @@ func payloadBytes(sends []cluster.NeighborSend) int64 {
 	return b
 }
 
+// commStream maps a modeled comm channel onto its trace export lane.
+func commStream(ch cluster.Channel) int {
+	if ch == cluster.ChannelIntra {
+		return trace.StreamCommIntra
+	}
+	return trace.StreamCommInter
+}
+
 // charge records a blocking exchange against the stats and the virtual
-// clock.
+// clock: the full cost is exposed inline, so the trace gets the halo span
+// and its exposed twin at the charge point.
 func (e *Exchanger) charge(sends []cluster.NeighborSend, cost time.Duration) {
-	e.stats.Bytes += payloadBytes(sends)
+	bytes := payloadBytes(sends)
+	e.stats.Bytes += bytes
 	e.stats.Time += cost
+	e.stats.ChannelExposed[e.stats.Channel] += cost
+	if tw := e.stats.Trace; tw != nil {
+		at := e.w.VirtualTime()
+		tw.Span(trace.KindHalo, "halo.blocking", commStream(e.stats.Channel), at, cost, bytes)
+		tw.Span(trace.KindExposed, "halo.blocking", trace.StreamExposed, at, cost, 0)
+	}
 	e.w.AdvanceTime(cost)
 }
 

@@ -15,6 +15,7 @@ import (
 	"pgti/internal/nn"
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
+	"pgti/internal/trace"
 )
 
 // ModelFactory builds one model replica over a shard's propagators. It is
@@ -133,6 +134,10 @@ type Config struct {
 	// OnAutotuneLock fires on rank 0 when the bucket autotuner locks in its
 	// winning bucket size.
 	OnAutotuneLock func(bucketBytes int64)
+	// Trace, when set, records every worker's spans and counters (see
+	// internal/trace). Recording never touches virtual clocks or
+	// collectives, so a traced run is bitwise identical to an untraced one.
+	Trace *trace.Recorder
 
 	// Ctx, when cancellable (Ctx.Done() != nil), is polled once per step
 	// through an agreed scalar collective so every worker of the 2D grid
@@ -169,6 +174,13 @@ type Result struct {
 	HaloTime       time.Duration
 	HaloHiddenTime time.Duration
 	HaloBytes      int64
+	// CommExposedIntra / CommExposedInter split worker 0's exposed
+	// communication by modeled channel: each is the time that channel's
+	// traffic (halo or gradient) extended past compute or was charged
+	// inline. The two tails run concurrently, so their sum can exceed the
+	// total exposed time (which is the per-step max, not the sum).
+	CommExposedIntra time.Duration
+	CommExposedInter time.Duration
 	// GradSyncBytes is worker 0's gradient wire traffic (per bucketed
 	// collective: the bucket's wire size, compressed under FP16; per
 	// flatten stage: the full vector's wire size).
@@ -260,6 +272,7 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		comm        time.Duration
 		commHidden  time.Duration
 		halo        Stats
+		expCh       [cluster.NumChannels]time.Duration
 		gradBytes   int64
 		savedBytes  int64
 		buckets     int
@@ -291,7 +304,9 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		}
 		sp := plan.Parts[sh]
 		ownFrac := float64(len(sp.Own)) / float64(globalN)
-		stats := &Stats{PinFirstLaunch: cfg.Prefetch}
+		tw := cfg.Trace.Worker(rank)
+		cfg.Trace.NameWorker(rank, fmt.Sprintf("train rank %d (replica %d, shard %d)", rank, rep, sh))
+		stats := &Stats{PinFirstLaunch: cfg.Prefetch, Trace: tw}
 		model := factory(cfg.Seed, Propagators(w, replicaGroup, sp, cfg.Topology, stats, haloOverlap))
 		params := model.Parameters()
 		opt := nn.NewAdam(model, lr)
@@ -319,6 +334,10 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		// timeline.
 		haloCh := cfg.Topology.GroupChannel(world, replicaGroup)
 		gradCh := cfg.Topology.GroupChannel(world, shardGroup)
+		stats.Channel = haloCh
+		// Per-channel exposed communication (the Result split and the
+		// comm.exposed.{intra,inter} counters).
+		var expCh [cluster.NumChannels]time.Duration
 
 		// One prefetcher per epoch; closed on every exit path (the deferred
 		// close covers error returns and cancellation).
@@ -516,10 +535,12 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				if asm > 0 && pf != nil && s == 0 {
 					// Pipeline fill: the epoch's leading assembly has no
 					// previous step to hide under.
+					tw.Span(trace.KindAssemble, "assemble.fill", trace.StreamAssembly, w.VirtualTime(), asm, 0)
 					w.AdvanceTime(asm)
 				}
 				t0 := w.VirtualTime()
 				var events []cluster.CommEvent
+				var meta []stepSpanMeta
 				var haloExposed time.Duration
 				haloStepCost := stats.StepCost()
 				if haloOverlap {
@@ -529,6 +550,11 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 					}
 					haloExposed = cluster.OverlapFinish(compute, hev) - compute
 					events = append(events, hev...)
+					if tw != nil {
+						for i := range hev {
+							meta = append(meta, stepSpanMeta{kind: trace.KindHalo, label: stats.stepLabels[i], bytes: stats.stepBytes[i]})
+						}
+					}
 				}
 				var gradFinish time.Duration
 				if bucketed {
@@ -541,17 +567,29 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 						// own gradient collectives — they book onto the
 						// persistent gradient engine spanning steps, and step
 						// s+K blocks on this step's finish instead.
-						for _, ev := range gevs {
+						for gi, ev := range gevs {
 							st := t0 + ev.ReadyAt
 							if gradChanFree > st {
 								st = gradChanFree
+							}
+							if tw != nil {
+								tw.Span(trace.KindGrad, fmt.Sprintf("grad b%d", syncer.LaunchBuckets()[gi]), trace.StreamGradEngine, st, ev.Cost, syncer.LaunchWire()[gi])
 							}
 							gradChanFree = st + ev.Cost
 						}
 						gradFinish = gradChanFree
 					} else {
+						if tw != nil {
+							for i := range gevs {
+								meta = append(meta, stepSpanMeta{kind: trace.KindGrad, label: fmt.Sprintf("grad b%d", syncer.LaunchBuckets()[i]), bytes: syncer.LaunchWire()[i]})
+							}
+						}
 						events = append(events, gevs...)
-						sort.SliceStable(events, func(i, j int) bool { return events[i].ReadyAt < events[j].ReadyAt })
+						// A stable sort's output is uniquely determined by the
+						// keys and the original order, so sorting through the
+						// meta-carrying sorter leaves the event slice exactly
+						// as sort.SliceStable produced it before.
+						sort.Stable(&stepEventSorter{events: events, meta: meta})
 					}
 				}
 				step := cluster.OverlapFinishChannels(compute, events)
@@ -568,6 +606,33 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				}
 				stepEnd := t0 + step
 				stats.Hidden += haloStepCost - haloExposed
+				for c, d := range cluster.OverlapChannelExposure(compute, events) {
+					expCh[c] += d
+				}
+				if tw != nil {
+					// The step body (compute + overlapped comm) starts after
+					// the serially-exposed assembly; the prefetch path's
+					// assembly is occupancy under the step.
+					base := t0
+					if asm > 0 {
+						name := "assemble"
+						if pf != nil {
+							name = "assemble.next"
+						} else {
+							base += asm
+						}
+						tw.Span(trace.KindAssemble, name, trace.StreamAssembly, t0, asm, 0)
+					}
+					tw.Span(trace.KindCompute, "compute", trace.StreamCompute, base, compute, 0)
+					spans, _ := cluster.OverlapScheduleChannels(compute, events)
+					for i, sp := range spans {
+						m := meta[i]
+						tw.Span(m.kind, m.label, commStream(sp.Event.Channel), base+sp.Start, sp.Finish-sp.Start, m.bytes)
+					}
+					if exposed > 0 {
+						tw.Span(trace.KindExposed, "comm.tail", trace.StreamExposed, base+compute, exposed, 0)
+					}
+				}
 				if stale {
 					gv := []float64(nil)
 					if n := len(freeVecs); n > 0 {
@@ -587,11 +652,14 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 						staleQ = staleQ[1:]
 						if pg.finish > stepEnd {
 							tail = pg.finish - stepEnd
+							tw.Span(trace.KindExposed, "stale.tail", trace.StreamExposed, stepEnd, tail, 0)
 							stepEnd = pg.finish
 						}
+						tw.AsyncSpan(trace.KindStaleApply, "stale.apply", trace.StreamGradEngine, pg.finish, stepEnd-pg.finish, 0)
 						applyStale(pg.vec)
 					}
 					comm += tail
+					expCh[gradCh] += tail
 					if hid := syncer.TotalCost() - tail; hid > 0 {
 						commHidden += hid
 					}
@@ -624,12 +692,29 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 					// Saved and shipped bytes stay on the same per-collective
 					// basis: each stage ships (and so each stage saves).
 					if cfg.Shards > 1 {
-						comm += w.GroupRingAllReduceSized(gradBuf, replicaGroup, wire, false, cfg.Topology)
+						cost := w.GroupRingAllReduceSized(gradBuf, replicaGroup, wire, false, cfg.Topology)
+						comm += cost
+						expCh[haloCh] += cost
+						if tw != nil {
+							// The group barrier aligned the clock to the
+							// slowest member plus the cost, so the collective
+							// window ends at the current virtual time.
+							at := w.VirtualTime() - cost
+							tw.Span(trace.KindGrad, "grad.flatten.replica-sum", commStream(haloCh), at, cost, wire)
+							tw.Span(trace.KindExposed, "grad.flatten.replica-sum", trace.StreamExposed, at, cost, 0)
+						}
 						gradBytes += wire
 						savedBytes += saved
 					}
 					if cfg.Replicas > 1 {
-						comm += w.GroupRingAllReduceSized(gradBuf, shardGroup, wire, true, cfg.Topology)
+						cost := w.GroupRingAllReduceSized(gradBuf, shardGroup, wire, true, cfg.Topology)
+						comm += cost
+						expCh[gradCh] += cost
+						if tw != nil {
+							at := w.VirtualTime() - cost
+							tw.Span(trace.KindGrad, "grad.flatten.shard-mean", commStream(gradCh), at, cost, wire)
+							tw.Span(trace.KindExposed, "grad.flatten.shard-mean", trace.StreamExposed, at, cost, 0)
+						}
 						gradBytes += wire
 						savedBytes += saved
 					}
@@ -642,6 +727,9 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 					// Under staleness the optimizer ran inside applyStale
 					// (or the update is still queued).
 					opt.Step()
+				}
+				if tw != nil {
+					tw.Span(trace.KindStep, fmt.Sprintf("step %d", steps), trace.StreamStep, t0, w.VirtualTime()-t0, 0)
 				}
 				steps++
 				w.Barrier() // synchronous step boundary (straggler wait)
@@ -668,8 +756,11 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				staleQ = staleQ[1:]
 				if d := pg.finish - w.VirtualTime(); d > 0 {
 					comm += d
+					expCh[gradCh] += d
+					tw.Span(trace.KindExposed, "stale.drain", trace.StreamExposed, w.VirtualTime(), d, 0)
 					w.AdvanceTime(d)
 				}
+				tw.AsyncSpan(trace.KindStaleApply, "stale.apply", trace.StreamGradEngine, pg.finish, w.VirtualTime()-pg.finish, 0)
 				applyStale(pg.vec)
 			}
 			if cancelled {
@@ -700,9 +791,25 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 			buckets = syncer.NumBuckets()
 			effectiveBucketBytes = bucketBytes
 		}
+		// Fold the inline-charged halo exposure (blocking exchanges, eval
+		// settles) into the per-channel split, then publish the counters.
+		for c, d := range stats.ChannelExposed {
+			expCh[c] += d
+		}
+		if tw != nil {
+			tw.Add("grad.wire.bytes", gradBytes)
+			tw.Add("grad.wire.saved.bytes", savedBytes)
+			tw.Add("halo.wire.bytes", stats.Bytes)
+			tw.Add("comm.exposed.ns", int64(comm))
+			tw.Add("comm.hidden.ns", int64(commHidden))
+			tw.Add("halo.exposed.ns", int64(stats.Time-stats.Hidden))
+			tw.Add("halo.hidden.ns", int64(stats.Hidden))
+			tw.Add("comm.exposed.intra.ns", int64(expCh[cluster.ChannelIntra]))
+			tw.Add("comm.exposed.inter.ns", int64(expCh[cluster.ChannelInter]))
+		}
 		outs[rank] = workerOut{
 			curve: curve, vt: w.VirtualTime(), comm: comm, commHidden: commHidden,
-			halo: *stats, gradBytes: gradBytes, savedBytes: savedBytes,
+			halo: *stats, expCh: expCh, gradBytes: gradBytes, savedBytes: savedBytes,
 			buckets: buckets, bucketBytes: effectiveBucketBytes,
 			steps: steps, checksum: checksum, cancelled: cancelled,
 		}
@@ -722,27 +829,29 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		}
 	}
 	return &Result{
-		Curve:          outs[0].curve,
-		VirtualTime:    outs[0].vt,
-		CommTime:       outs[0].comm,
-		CommHiddenTime: outs[0].commHidden,
-		HaloTime:       outs[0].halo.Time,
-		HaloHiddenTime: outs[0].halo.Hidden,
-		HaloBytes:      outs[0].halo.Bytes,
-		GradSyncBytes:  outs[0].gradBytes,
-		CommBytesSaved: outs[0].savedBytes,
-		GradBuckets:    outs[0].buckets,
-		BucketBytes:    outs[0].bucketBytes,
-		Steps:          outs[0].steps,
-		GlobalBatch:    cfg.BatchSize * cfg.Replicas,
-		Shards:         cfg.Shards,
-		Replicas:       cfg.Replicas,
-		EdgeCut:        plan.EdgeCut,
-		MaxOwn:         plan.MaxOwn(),
-		MaxHalo:        plan.MaxHalo(),
-		Model:          outs[0].model,
-		Opt:            outs[0].opt,
-		Cancelled:      outs[0].cancelled,
+		Curve:            outs[0].curve,
+		VirtualTime:      outs[0].vt,
+		CommTime:         outs[0].comm,
+		CommHiddenTime:   outs[0].commHidden,
+		HaloTime:         outs[0].halo.Time,
+		HaloHiddenTime:   outs[0].halo.Hidden,
+		HaloBytes:        outs[0].halo.Bytes,
+		CommExposedIntra: outs[0].expCh[cluster.ChannelIntra],
+		CommExposedInter: outs[0].expCh[cluster.ChannelInter],
+		GradSyncBytes:    outs[0].gradBytes,
+		CommBytesSaved:   outs[0].savedBytes,
+		GradBuckets:      outs[0].buckets,
+		BucketBytes:      outs[0].bucketBytes,
+		Steps:            outs[0].steps,
+		GlobalBatch:      cfg.BatchSize * cfg.Replicas,
+		Shards:           cfg.Shards,
+		Replicas:         cfg.Replicas,
+		EdgeCut:          plan.EdgeCut,
+		MaxOwn:           plan.MaxOwn(),
+		MaxHalo:          plan.MaxHalo(),
+		Model:            outs[0].model,
+		Opt:              outs[0].opt,
+		Cancelled:        outs[0].cancelled,
 	}, nil
 }
 
@@ -762,12 +871,49 @@ func evaluateShard(w *cluster.Worker, model nn.SeqModel, data *batching.IndexDat
 		xOwn := gatherNodeAxis(x, own)
 		target := gatherNodeAxis(y.Slice(3, 0, 1).Contiguous(), own)
 		pred := model.Forward(autograd.Constant(xOwn))
-		w.AdvanceTime(stats.StepCost())
+		if cost := stats.StepCost(); cost > 0 {
+			stats.ChannelExposed[stats.Channel] += cost
+			if tw := stats.Trace; tw != nil {
+				cursor := w.VirtualTime()
+				for i, ev := range stats.events {
+					tw.Span(trace.KindHalo, stats.stepLabels[i], commStream(stats.Channel), cursor, ev.Cost, stats.stepBytes[i])
+					cursor += ev.Cost
+				}
+				tw.Span(trace.KindExposed, "halo.eval", trace.StreamExposed, w.VirtualTime(), cost, 0)
+			}
+			w.AdvanceTime(cost)
+		}
 		acc.Add(metrics.MAE(pred.Value, target)*data.Std, len(batch)*len(own))
 	}
 	// Weighted-mean over all workers of the 2D grid: each (snapshot, node)
 	// pair is seen by exactly one worker.
 	return ddp.ReduceWeighted(w, acc)
+}
+
+// stepSpanMeta carries the trace annotation of one step comm event (label
+// and wire bytes) through the merged-timeline sort.
+type stepSpanMeta struct {
+	kind  trace.Kind
+	label string
+	bytes int64
+}
+
+// stepEventSorter orders the step's merged comm events by ReadyAt while
+// keeping the (optional) trace metadata aligned. It sorts stably, and a
+// stable sort's output is uniquely determined by keys and input order, so
+// untraced runs (nil meta) produce exactly the slice sort.SliceStable did.
+type stepEventSorter struct {
+	events []cluster.CommEvent
+	meta   []stepSpanMeta
+}
+
+func (s *stepEventSorter) Len() int           { return len(s.events) }
+func (s *stepEventSorter) Less(i, j int) bool { return s.events[i].ReadyAt < s.events[j].ReadyAt }
+func (s *stepEventSorter) Swap(i, j int) {
+	s.events[i], s.events[j] = s.events[j], s.events[i]
+	if s.meta != nil {
+		s.meta[i], s.meta[j] = s.meta[j], s.meta[i]
+	}
 }
 
 // gatherNodeAxis selects the given nodes along axis 2 of a [B, T, N, F]

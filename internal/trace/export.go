@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// quote renders a JSON string literal; span and stream names are plain
+// ASCII, so strconv.Quote's escaping is exact and deterministic.
+func quote(s string) string { return strconv.Quote(s) }
+
+// WriteJSON renders the snapshot in the Chrome trace-event format that
+// Perfetto and chrome://tracing load directly: one pid per worker, one tid
+// per stream, complete ("X") events for synchronous spans and begin/end
+// ("b"/"e") pairs for async ones, with metadata events naming every process
+// and thread. Timestamps are microseconds with fixed three-decimal
+// formatting and events are emitted in the snapshot's deterministic order,
+// so the bytes are identical run-to-run whenever the recorded values are.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	// Metadata: process names for every worker, thread names for every
+	// (worker, stream) pair that carries spans.
+	streamsOf := make(map[int]map[int]bool)
+	for _, sp := range t.Spans {
+		m := streamsOf[sp.Worker]
+		if m == nil {
+			m = make(map[int]bool)
+			streamsOf[sp.Worker] = m
+		}
+		m[sp.Stream] = true
+	}
+	for _, wn := range t.WorkerNames {
+		name := wn.Name
+		if name == "" {
+			name = fmt.Sprintf("worker %d", wn.ID)
+		}
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`, wn.ID, quote(name)))
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_sort_index","args":{"sort_index":%d}}`, wn.ID, wn.ID))
+		for stream := 0; stream < numStreams; stream++ {
+			if !streamsOf[wn.ID][stream] {
+				continue
+			}
+			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`, wn.ID, stream, quote(StreamName(stream))))
+			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, wn.ID, stream, stream))
+		}
+	}
+
+	for _, sp := range t.Spans {
+		args := ""
+		if sp.Bytes > 0 {
+			args = fmt.Sprintf(`,"args":{"bytes":%d}`, sp.Bytes)
+		}
+		if sp.Async {
+			// Begin/end pair keyed by (cat, id): async spans may overlap on
+			// their stream, which complete events cannot express.
+			id := quote(fmt.Sprintf("w%d.%d", sp.Worker, sp.Seq))
+			emit(fmt.Sprintf(`{"ph":"b","cat":%s,"id":%s,"pid":%d,"tid":%d,"ts":%s,"name":%s%s}`,
+				quote(sp.Kind.String()), id, sp.Worker, sp.Stream, usec(sp.Start), quote(sp.Name), args))
+			emit(fmt.Sprintf(`{"ph":"e","cat":%s,"id":%s,"pid":%d,"tid":%d,"ts":%s,"name":%s}`,
+				quote(sp.Kind.String()), id, sp.Worker, sp.Stream, usec(sp.Start+sp.Dur), quote(sp.Name)))
+			continue
+		}
+		emit(fmt.Sprintf(`{"ph":"X","cat":%s,"pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%s%s}`,
+			quote(sp.Kind.String()), sp.Worker, sp.Stream, usec(sp.Start), usec(sp.Dur), quote(sp.Name), args))
+	}
+
+	// Counters and gauges ride one metadata-style counter event each at
+	// t=0 on a reserved "metrics" process, so they survive the JSON round
+	// trip without a side channel.
+	for _, m := range t.Counters {
+		emit(fmt.Sprintf(`{"ph":"C","pid":-1,"ts":0.000,"name":%s,"args":{"value":%d}}`, quote("counter/"+m.Name), m.Value))
+	}
+	for _, m := range t.Gauges {
+		emit(fmt.Sprintf(`{"ph":"C","pid":-1,"ts":0.000,"name":%s,"args":{"value":%d}}`, quote("gauge/"+m.Name), m.Value))
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// usec formats a duration as microseconds with fixed three-decimal
+// precision (nanosecond resolution, deterministic bytes).
+func usec(d time.Duration) string {
+	ns := int64(d)
+	neg := ""
+	if ns < 0 {
+		neg = "-"
+		ns = -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}

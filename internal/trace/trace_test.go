@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil recorder (tracing disabled) must make every entry point a no-op.
+func TestNilRecorderIsDisabled(t *testing.T) {
+	var r *Recorder
+	w := r.Worker(3)
+	if w != nil {
+		t.Fatalf("nil recorder produced a live worker shard")
+	}
+	w.Span(KindCompute, "c", StreamCompute, 0, time.Second, 0)
+	w.AsyncSpan(KindQueue, "q", StreamQueue, 0, time.Second, 0)
+	w.Add("x", 1)
+	w.Gauge("y", 2)
+	r.NameWorker(0, "nope")
+	r.Add("x", 1)
+	r.Gauge("y", 2)
+	if s := r.Summary(); s != nil {
+		t.Fatalf("nil recorder summary = %+v, want nil", s)
+	}
+	snap := r.Snapshot()
+	if len(snap.Spans) != 0 || len(snap.Counters) != 0 {
+		t.Fatalf("nil recorder snapshot not empty: %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil recorder WriteJSON: %v", err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+}
+
+// Snapshot order must be (Start, Worker, Seq) regardless of which goroutine
+// recorded first, and counters/gauges must merge deterministically.
+func TestSnapshotDeterministicAcrossGoroutines(t *testing.T) {
+	build := func() *Recorder {
+		r := New()
+		var wg sync.WaitGroup
+		for id := 0; id < 4; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				w := r.Worker(id)
+				for s := 0; s < 5; s++ {
+					start := time.Duration(s) * time.Millisecond
+					w.Span(KindCompute, "c", StreamCompute, start, time.Millisecond, 0)
+					w.Add("steps", 1)
+					w.Gauge("depth", int64(id*10+s))
+				}
+			}(id)
+		}
+		wg.Wait()
+		return r
+	}
+	a, b := build().Snapshot(), build().Snapshot()
+	if len(a.Spans) != 20 {
+		t.Fatalf("got %d spans, want 20", len(a.Spans))
+	}
+	for i := 1; i < len(a.Spans); i++ {
+		p, q := a.Spans[i-1], a.Spans[i]
+		if q.Start < p.Start || (q.Start == p.Start && q.Worker < p.Worker) ||
+			(q.Start == p.Start && q.Worker == p.Worker && q.Seq < p.Seq) {
+			t.Fatalf("spans out of (start, worker, seq) order at %d: %+v then %+v", i, p, q)
+		}
+	}
+	if len(a.Counters) != 1 || a.Counters[0] != (Metric{Name: "steps", Value: 20}) {
+		t.Fatalf("counters = %+v, want steps=20", a.Counters)
+	}
+	if len(a.Gauges) != 1 || a.Gauges[0] != (Metric{Name: "depth", Value: 34}) {
+		t.Fatalf("gauges = %+v, want depth=34 (max)", a.Gauges)
+	}
+	var ba, bb bytes.Buffer
+	if err := func() error {
+		if err := (&Trace{Spans: a.Spans, Counters: a.Counters, Gauges: a.Gauges, WorkerNames: a.WorkerNames}).WriteJSON(&ba); err != nil {
+			return err
+		}
+		return (&Trace{Spans: b.Spans, Counters: b.Counters, Gauges: b.Gauges, WorkerNames: b.WorkerNames}).WriteJSON(&bb)
+	}(); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("identical recordings exported different bytes")
+	}
+}
+
+// The exported JSON must be well-formed, carry the metadata names, and pair
+// every async begin with an end at start+dur.
+func TestWriteJSONShape(t *testing.T) {
+	r := New()
+	r.NameWorker(0, "replica 0")
+	w := r.Worker(0)
+	w.Span(KindStep, "step 0", StreamStep, 0, 10*time.Microsecond, 0)
+	w.Span(KindGrad, "bucket 1", StreamCommInter, 2*time.Microsecond, 3*time.Microsecond, 4096)
+	w.AsyncSpan(KindQueue, "req 7", StreamQueue, time.Microsecond, 5*time.Microsecond, 0)
+	r.Add("wire.bytes", 4096)
+	r.Gauge("queue.highwater", 3)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var begins, ends, complete, counters int
+	var procName bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "b":
+			begins++
+			if ev["ts"] != 1.0 {
+				t.Fatalf("async begin ts = %v, want 1.0", ev["ts"])
+			}
+		case "e":
+			ends++
+			if ev["ts"] != 6.0 {
+				t.Fatalf("async end ts = %v, want 6.0", ev["ts"])
+			}
+		case "X":
+			complete++
+		case "C":
+			counters++
+		case "M":
+			if ev["name"] == "process_name" {
+				procName = true
+			}
+		}
+	}
+	if begins != 1 || ends != 1 || complete != 2 || counters != 2 || !procName {
+		t.Fatalf("event mix b=%d e=%d X=%d C=%d procName=%v, want 1/1/2/2/true\n%s",
+			begins, ends, complete, counters, procName, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"bytes":4096`) {
+		t.Fatalf("span bytes missing from args:\n%s", buf.String())
+	}
+}
+
+// Summary must roll spans up per kind and expose SpanTotal for
+// reconciliation.
+func TestSummaryTotals(t *testing.T) {
+	r := New()
+	w := r.Worker(0)
+	w.Span(KindExposed, "comm.exposed", StreamExposed, 0, 3*time.Millisecond, 0)
+	w.Span(KindExposed, "stale.tail", StreamExposed, 5*time.Millisecond, 2*time.Millisecond, 0)
+	w.Span(KindCompute, "c", StreamCompute, 0, time.Millisecond, 0)
+	s := r.Summary()
+	if s.Spans != 3 {
+		t.Fatalf("summary spans = %d, want 3", s.Spans)
+	}
+	if got := s.SpanTotal(KindExposed); got != 5*time.Millisecond {
+		t.Fatalf("exposed total = %v, want 5ms", got)
+	}
+	if got := s.SpanTotal(KindHalo); got != 0 {
+		t.Fatalf("halo total = %v, want 0", got)
+	}
+	if (*Summary)(nil).SpanTotal(KindExposed) != 0 {
+		t.Fatalf("nil summary SpanTotal should be 0")
+	}
+}
+
+// Negative durations clamp to zero rather than corrupting the timeline.
+func TestNegativeDurationClamps(t *testing.T) {
+	r := New()
+	r.Worker(0).Span(KindCompute, "c", StreamCompute, time.Millisecond, -time.Second, 0)
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 || snap.Spans[0].Dur != 0 {
+		t.Fatalf("negative duration not clamped: %+v", snap.Spans)
+	}
+}

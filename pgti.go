@@ -83,6 +83,7 @@
 //	LoadCheckpoint                WithWarmStart (WithResume to continue)
 //	SaveCheckpoint                WithSaveCheckpoint
 //	EmitForecasts                 WithForecasts
+//	Trace                         WithTrace
 //
 // The one semantic difference is Shuffle: ShuffleGlobal is the field's zero
 // value, so a Config literal cannot distinguish "explicitly global" from
@@ -247,6 +248,11 @@ type Config struct {
 	// EmitForecasts attaches predictions for the first N test snapshots to
 	// the report (rank 0's replica for distributed strategies).
 	EmitForecasts int
+
+	// Trace, when non-nil, records virtual-clock spans and per-worker
+	// counters into the recorder during the run (see NewTraceRecorder and
+	// WithTrace). A traced run is bitwise identical to an untraced one.
+	Trace *TraceRecorder
 }
 
 // Forecast is one test-window prediction in original units (re-exported
@@ -272,10 +278,16 @@ type Report struct {
 	// is the modeled Polaris time including transfer/collective costs.
 	// CommTime is the exposed communication; CommHiddenTime is the modeled
 	// communication hidden under backward compute by bucketed overlap.
-	WallTime       time.Duration
-	VirtualTime    time.Duration
-	CommTime       time.Duration
-	CommHiddenTime time.Duration
+	// CommExposedIntra / CommExposedInter split the exposed time by fabric
+	// channel (intra-node replica traffic vs inter-node shard traffic);
+	// the channels drain concurrently, so each is that channel's own tail
+	// past compute and their sum can exceed the total.
+	WallTime         time.Duration
+	VirtualTime      time.Duration
+	CommTime         time.Duration
+	CommHiddenTime   time.Duration
+	CommExposedIntra time.Duration
+	CommExposedInter time.Duration
 
 	// GradBuckets and GradBucketBytes describe the gradient bucketing the
 	// run used (bucket count per step, effective size cap — the autotuned
@@ -311,6 +323,11 @@ type Report struct {
 
 	Steps         int
 	GradSyncBytes int64
+
+	// Trace is the aggregated span/counter summary of the run when a
+	// recorder was attached with WithTrace (nil otherwise). The full event
+	// stream stays in the recorder for WriteTrace export.
+	Trace *TraceSummary
 }
 
 // Datasets lists the available dataset names in ascending size order.
@@ -357,6 +374,7 @@ func coreConfig(cfg Config, meta dataset.Meta) core.Config {
 		GradFP16:       cfg.GradFP16,
 		GradAutoTune:   cfg.GradAutoTune,
 		Spatial:        cfg.Spatial,
+		Trace:          cfg.Trace,
 	}
 }
 
@@ -379,6 +397,8 @@ func reportFromCore(rep *core.Report) *Report {
 		VirtualTime:       rep.VirtualTime,
 		CommTime:          rep.CommTime,
 		CommHiddenTime:    rep.CommHiddenTime,
+		CommExposedIntra:  rep.CommExposedIntra,
+		CommExposedInter:  rep.CommExposedInter,
 		GradBuckets:       rep.GradBuckets,
 		GradBucketBytes:   rep.GradBucketBytes,
 		CommBytesSaved:    rep.CommBytesSaved,
@@ -396,6 +416,7 @@ func reportFromCore(rep *core.Report) *Report {
 		OOMError:          rep.OOMError,
 		Steps:             rep.Steps,
 		GradSyncBytes:     rep.GradSyncBytes,
+		Trace:             rep.Trace,
 	}
 }
 

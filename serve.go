@@ -50,6 +50,7 @@ type serveConfig struct {
 	deadline     time.Duration
 	cost         CostModel
 	interarrival time.Duration
+	trace        *TraceRecorder
 }
 
 // ServeOption configures NewServer.
@@ -151,6 +152,7 @@ func NewServer(exp *Experiment, opts ...ServeOption) (*Server, error) {
 			Deadline:     c.deadline,
 			Cost:         cost,
 			Interarrival: c.interarrival,
+			Trace:        c.trace,
 		}),
 		core: first,
 	}, nil

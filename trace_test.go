@@ -1,0 +1,112 @@
+package pgti
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestWithTraceEndToEnd: the public tracing path — WithTrace on a
+// distributed experiment must leave the run bitwise identical, populate
+// Report.Trace, and export well-formed Chrome trace-event JSON carrying
+// spans for every worker.
+func TestWithTraceEndToEnd(t *testing.T) {
+	plainExp, err := NewExperiment("PeMS-BAY", tinyOpts(StrategyDistIndex, 2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := plainExp.Fit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced run carries a trace summary")
+	}
+
+	rec := NewTraceRecorder()
+	tracedExp, err := NewExperiment("PeMS-BAY", append(tinyOpts(StrategyDistIndex, 2), WithTrace(rec))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := tracedExp.Fit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bitwise curve identity. (The modeled-clock identity is asserted in
+	// the internal trainer suites under a pinned ComputeCost; this public
+	// run measures real compute, so its clock is not run-to-run stable
+	// with or without tracing.)
+	for i := range plain.Curve {
+		if traced.Curve[i] != plain.Curve[i] {
+			t.Fatalf("epoch %d: tracing moved the curve: %+v vs %+v", i, traced.Curve[i], plain.Curve[i])
+		}
+	}
+	if traced.Trace == nil || traced.Trace.Spans == 0 || traced.Trace.Workers != 2 {
+		t.Fatalf("Report.Trace = %+v, want spans across 2 workers", traced.Trace)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("export is not well-formed JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			pids[ev.Pid] = true
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("export has spans for %d workers, want 2", len(pids))
+	}
+}
+
+// TestWithServeTraceEndToEnd: WithServeTrace records forward and
+// queue-wait activity per replica and the end-of-run counters flush on
+// Close.
+func TestWithServeTraceEndToEnd(t *testing.T) {
+	exp, ws := fitTiny(t)
+	rec := NewTraceRecorder()
+	srv, err := NewServer(exp,
+		WithReplicas(2),
+		WithMaxBatch(4),
+		WithBatchWindow(time.Millisecond),
+		WithServeTrace(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if _, err := srv.Predict(context.Background(), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sum := rec.Summary()
+	if sum.Spans == 0 {
+		t.Fatal("no serving spans recorded")
+	}
+	counters := map[string]bool{}
+	for _, m := range sum.Counters {
+		counters[m.Name] = true
+	}
+	gauges := map[string]bool{}
+	for _, m := range sum.Gauges {
+		gauges[m.Name] = true
+	}
+	if !counters["serve.shed"] || !gauges["serve.queue.highwater"] {
+		t.Fatalf("missing serving metrics: counters %v gauges %v", sum.Counters, sum.Gauges)
+	}
+}

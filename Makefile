@@ -3,16 +3,17 @@ GO ?= go
 # The benchmark families gated by the CI perf regression check: DDP gradient
 # sync, spatial sharding, the distributed index-batching strategies, the
 # event-stream hook path (hooked vs hookless must stay indistinguishable),
-# the serving tier's modeled latency/throughput under its virtual clock, and
-# the staleness-aware prefetch pipeline on the hybrid grid.
-BENCH_GATED = $(GO) test -run '^$$' -bench 'BenchmarkDDP|BenchmarkShard|BenchmarkIndexBatch|BenchmarkEventStream|BenchmarkServe|BenchmarkPipeline' -benchtime=1x .
+# the serving tier's modeled latency/throughput under its virtual clock, the
+# staleness-aware prefetch pipeline on the hybrid grid, and the streaming
+# subsystem (window replay and mid-run elastic repartitioning).
+BENCH_GATED = $(GO) test -run '^$$' -bench 'BenchmarkDDP|BenchmarkShard|BenchmarkIndexBatch|BenchmarkEventStream|BenchmarkServe|BenchmarkPipeline|BenchmarkStream' -benchtime=1x .
 
 # Per-package statement-coverage floors (pkg:percent), enforced by `make
 # cover` and the CI workflow. Raise a floor when coverage grows; lowering one
 # is a reviewed decision, not a quick fix for a red build.
-COVER_FLOORS = internal/shard:85 internal/cluster:90 internal/graph:90 internal/core:85 internal/sparse:85 internal/autograd:80 internal/serve:85 .:75
+COVER_FLOORS = internal/shard:85 internal/cluster:90 internal/graph:90 internal/core:85 internal/sparse:85 internal/autograd:80 internal/serve:85 internal/stream:85 .:75
 
-.PHONY: ci build vet fmt-check test race cover bench bench-smoke bench-json bench-baseline bench-check bench-ci trace-smoke
+.PHONY: ci build vet fmt-check test race cover bench bench-smoke bench-json bench-baseline bench-check bench-ci trace-smoke stream-smoke
 
 ## ci runs the exact tier-1 gate the CI workflow enforces.
 ci: build vet fmt-check test race bench-smoke
@@ -93,6 +94,17 @@ trace-smoke:
 	$(GO) run ./cmd/pgti-serve -dataset Chickenpox-Hungary -epochs 2 \
 		-retrain-epochs 0 -clients 4 -requests 16 -trace serve-trace.json
 	$(GO) run ./cmd/pgti-trace serve-trace.json
+
+## stream-smoke exercises the streaming subsystem end to end: bootstrap fit →
+## live server → sliding-window ingestion → rolling warm-started retrains with
+## atomic weight swaps → serve burst, with the final round's training trace
+## and the burst's serving trace each schema-validated by pgti-trace. CI
+## uploads both traces as artifacts.
+stream-smoke:
+	$(GO) run ./cmd/pgti-stream -rounds 2 -epochs 1 \
+		-fit-trace stream-fit-trace.json -serve-trace stream-serve-trace.json
+	$(GO) run ./cmd/pgti-trace stream-fit-trace.json
+	$(GO) run ./cmd/pgti-trace stream-serve-trace.json
 
 ## bench-ci runs the full benchmark suite ONCE, writing the perf snapshot to
 ## bench-snapshot.json and gating that same run against the baseline — the

@@ -15,6 +15,7 @@ import (
 
 	"pgti/internal/batching"
 	"pgti/internal/cluster"
+	"pgti/internal/core"
 	"pgti/internal/dataset"
 	"pgti/internal/ddp"
 	"pgti/internal/experiments"
@@ -25,6 +26,7 @@ import (
 	"pgti/internal/perfmodel"
 	"pgti/internal/shard"
 	"pgti/internal/sparse"
+	"pgti/internal/stream"
 	"pgti/internal/tensor"
 
 	"pgti/internal/autograd"
@@ -912,3 +914,128 @@ func BenchmarkServeSerial(b *testing.B)        { benchServe(b, 1, 1, 1, 0, 2250*
 func BenchmarkServeCoalesce8(b *testing.B)     { benchServe(b, 1, 8, 8, 0, 500*time.Microsecond) }
 func BenchmarkServeReplicas2x8(b *testing.B)   { benchServe(b, 2, 8, 16, 0, 250*time.Microsecond) }
 func BenchmarkServeSwapUnderLoad(b *testing.B) { benchServe(b, 1, 8, 8, 6, 500*time.Microsecond) }
+
+// --- gated: streaming ingestion + rolling retrain ----------------------------
+
+// benchStreamMeta is a synthetic fabric-scale dataset for the streaming
+// benches — 24 nodes, 160 entries, horizon 3, matching the sharded-fabric
+// benches above — streamed through the bounded ingestion ring instead of
+// materialized up front.
+var benchStreamMeta = dataset.Meta{
+	Name: "StreamBench", Domain: dataset.Traffic,
+	Nodes: 24, Entries: 160, RawFeatures: 1,
+	Horizon: 3, PeriodSteps: 48, NeighborsK: 4,
+}
+
+// benchStreamBase is the 2 shards x 2 replicas hybrid-grid configuration the
+// streaming benches retrain under: modeled compute and collation costs so
+// every reported clock is virtual.
+func benchStreamBase(epochs int) core.Config {
+	return core.Config{
+		Model: core.ModelPGTDCRNN, Strategy: core.DistIndex,
+		Workers: 2, Spatial: shard.Spatial{Shards: 2},
+		BatchSize: 2, Epochs: epochs, LR: 0.01, Hidden: 16, K: 1, Seed: 1,
+		Prefetch:     true,
+		ComputeCost:  func(int) time.Duration { return 2 * time.Millisecond },
+		AssembleCost: func(int) time.Duration { return 500 * time.Microsecond },
+	}
+}
+
+// benchStreamRun opens a fresh stream over benchStreamMeta and drives the
+// configured retrain rounds through it, returning the last round's report.
+func benchStreamRun(b *testing.B, base core.Config, window, advance, rounds int) *core.Report {
+	b.Helper()
+	src, err := stream.NewSource(benchStreamMeta, base.Seed, stream.Options{Window: benchStreamMeta.Entries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	rt, err := stream.NewRetrainer(src, stream.RetrainConfig{
+		Base: base, Window: window, Advance: advance, Rounds: rounds,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done, err := rt.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return done[len(done)-1].Report
+}
+
+// loadSpread is the max/min ratio of the per-shard structural compute
+// shares — 1.0 is perfectly balanced.
+func loadSpread(loads []float64) float64 {
+	lo, hi := loads[0], loads[0]
+	for _, l := range loads[1:] {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	return hi / lo
+}
+
+// BenchmarkStreamReplay2x2 replays the full stream in one window through the
+// rolling retrainer on the hybrid grid — the streaming contract's unit of
+// cost: ingest the ring, materialize, fit under modeled costs. The virtual
+// clock is the gated metric; it must track the equivalent offline fit.
+func BenchmarkStreamReplay2x2(b *testing.B) {
+	var rep *core.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = benchStreamRun(b, benchStreamBase(1), benchStreamMeta.Entries, 0, 1)
+	}
+	b.ReportMetric(float64(rep.VirtualTime.Microseconds()), "virt-µs/round")
+	b.ReportMetric(float64(rep.CommTime.Microseconds()), "exposed-comm-µs")
+	b.ReportMetric(float64(rep.HaloTime.Microseconds()), "halo-µs/round")
+}
+
+// BenchmarkStreamRepartition2x2 injects a 9:1 compute skew into one shard of
+// a count-balanced partition (StaticPartition pins the imbalanced start) and
+// lets mid-run elastic chunk migration correct it while the window streams
+// in. Gated metrics: the modeled round time, the residual per-shard load
+// spread against the static run's spread (the reduction the subsystem buys),
+// and the migration count.
+func BenchmarkStreamRepartition2x2(b *testing.B) {
+	// Weight shard 0 of the count-based plan 9x, reproducing the partition
+	// the engine will build from the same generated graph.
+	ds, err := dataset.Generate(benchStreamMeta, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fwd, bwd := ds.Graph.TransitionMatrices()
+	plan, err := shard.BuildPlan(ds.Graph, []*sparse.CSR{fwd, bwd}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	weights := make([]float64, ds.Graph.N)
+	for i := range weights {
+		weights[i] = 1
+	}
+	for _, u := range plan.Parts[0].Own {
+		weights[u] = 9
+	}
+	skewed := benchStreamBase(3)
+	skewed.NodeWeights = weights
+	skewed.StaticPartition = true
+
+	static := benchStreamRun(b, skewed, benchStreamMeta.Entries, 0, 1)
+
+	elastic := skewed
+	elastic.Repartition = shard.Repartition{ChunkSize: 4, Threshold: 2}
+	var rep *core.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = benchStreamRun(b, elastic, benchStreamMeta.Entries, 0, 1)
+	}
+	if rep.Repartitions == 0 {
+		b.Fatal("injected skew never triggered a repartition")
+	}
+	b.ReportMetric(float64(rep.VirtualTime.Microseconds()), "virt-µs/round")
+	b.ReportMetric(loadSpread(rep.ShardLoads), "load-spread")
+	b.ReportMetric(loadSpread(static.ShardLoads), "static-spread")
+	b.ReportMetric(float64(rep.Repartitions), "repartitions")
+}

@@ -3,9 +3,11 @@ package pgti
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"pgti/internal/core"
 	"pgti/internal/dataset"
+	"pgti/internal/shard"
 )
 
 // Event is the typed notification stream of a running experiment (see
@@ -25,6 +27,10 @@ type (
 	MemoryEvent = core.MemoryEvent
 	// OOMEvent fires when a memory cap is exhausted.
 	OOMEvent = core.OOMEvent
+	// RepartitionEvent fires after each applied elastic chunk migration
+	// (see WithRepartition) with the epoch, the shards involved, the moved
+	// node count, and the new edge cut.
+	RepartitionEvent = core.RepartitionEvent
 )
 
 // Predictor is the warm, goroutine-safe inference handle returned by
@@ -149,6 +155,50 @@ func WithGradStack(gs GradStack) Option {
 // StrategyDistIndex and a graph-convolutional model.
 func WithSpatial(shards int) Option {
 	return func(c *expConfig) { c.core.Spatial = Spatial{Shards: shards} }
+}
+
+// WithRepartition enables elastic chunk-based repartitioning on the hybrid
+// grid: at each epoch boundary the workers agree on a per-shard load vector
+// (the epoch's accumulated step compute) and, once the heaviest shard
+// exceeds threshold x the lightest, migrate a chunk of chunkSize owned
+// nodes toward the light shard — picked by adjacency affinity so the edge
+// cut stays tight — rebuilding row blocks and halo routing in place. Each
+// applied move emits a typed RepartitionEvent (see WithEvents) and charges
+// the modeled migration transfer to the virtual clock; training results are
+// preserved to fp64 tolerance (the moved loss weights reassociate the same
+// sums). Requires WithSpatial.
+func WithRepartition(chunkSize int, threshold float64) Option {
+	return func(c *expConfig) {
+		c.core.Repartition = shard.Repartition{ChunkSize: chunkSize, Threshold: threshold}
+	}
+}
+
+// WithNodeWeights injects per-node structural compute weights (len must
+// equal the graph's node count): with WithComputeCost set, each spatial
+// shard's modeled step charge scales by its owned share of the total weight
+// instead of its node-count share, and the initial partition balances the
+// weighted load. The skew-injection hook behind the repartitioning studies;
+// loss weighting keeps the node-count share, so curves are unchanged.
+// Requires WithSpatial.
+func WithNodeWeights(w []float64) Option {
+	return func(c *expConfig) { c.core.NodeWeights = w }
+}
+
+// WithComputeCost replaces measured wall time with a modeled per-batch
+// compute cost on the virtual clock. With WithAssembleCost also set, the
+// run's entire modeled timeline becomes a pure function of the
+// configuration — machine-independent and bitwise reproducible — which is
+// what the streaming replay contract and the gated benchmarks pin.
+func WithComputeCost(fn func(batchItems int) time.Duration) Option {
+	return func(c *expConfig) { c.core.ComputeCost = fn }
+}
+
+// WithAssembleCost supplies the modeled host-side batch collation cost.
+// Serial runs expose it ahead of every step; under WithPrefetch only each
+// epoch's leading assembly stays exposed (the rest hides under compute, and
+// the epoch's last train step hides the first eval batch's assembly).
+func WithAssembleCost(fn func(batchItems int) time.Duration) Option {
+	return func(c *expConfig) { c.core.AssembleCost = fn }
 }
 
 // WithPrefetch double-buffers batch assembly on the training hot path: a
@@ -285,6 +335,12 @@ func (c *expConfig) validate() error {
 			return invalid("Workers", "topology declares a %dx%d grid (%d slots) but the run has only %d workers",
 				cc.Topology.Nodes, cc.Topology.GPUsPerNode, declared, world)
 		}
+	}
+	if cc.Repartition.Enabled() && !spatial {
+		return invalid("Repartition", "elastic repartitioning requires spatial sharding (WithSpatial on StrategyDistIndex)")
+	}
+	if cc.NodeWeights != nil && !spatial {
+		return invalid("NodeWeights", "node weights scale per-shard compute and need spatial sharding (WithSpatial)")
 	}
 	if cc.Staleness < 0 {
 		return invalid("Staleness", "staleness bound %d is negative", cc.Staleness)

@@ -102,6 +102,20 @@ type Config struct {
 	Model    ModelKind
 	Strategy Strategy
 
+	// Provided injects a pre-materialized dataset instead of generating one
+	// from Meta: Open uses Provided.Meta, Provided.Data and Provided.Graph
+	// verbatim (no Scale, no MissingFrac injection). The streaming retrainer
+	// materializes each window through the same incremental generator the
+	// offline path uses, so a one-window replay reproduces the offline run
+	// bitwise.
+	Provided *dataset.Dataset
+
+	// WarmParams initializes the model from an in-memory parameter snapshot
+	// (nn.SnapshotParams layout) instead of from a checkpoint file — the
+	// warm-start hook the rolling retrainer uses between windows. Mutually
+	// exclusive with LoadCheckpoint; the optimizer starts fresh.
+	WarmParams [][]float64
+
 	Workers   int // distributed strategies only
 	BatchSize int
 	Epochs    int
@@ -152,6 +166,11 @@ type Config struct {
 	// timeline (nil = free, the legacy behavior). The serial path pays it
 	// ahead of every step; with Prefetch it overlaps step compute.
 	AssembleCost func(batchItems int) time.Duration
+	// ComputeCost models one training step's compute on the virtual
+	// timeline for distributed strategies (nil = measure wall time, the
+	// legacy behavior). A fully-modeled run is machine-independent: curve
+	// and clock are bitwise reproducible.
+	ComputeCost func(batchItems int) time.Duration
 	// Staleness bounds the gradient-application lag in steps: step s
 	// applies step s-Staleness's synced gradient with error compensation,
 	// letting the two-stage sync of up to Staleness steps stay in flight.
@@ -166,6 +185,28 @@ type Config struct {
 	// groups, and gradient AllReduce runs within shard groups. Requires the
 	// DistIndex strategy and a graph-convolutional model (not ST-LLM).
 	Spatial shard.Spatial
+
+	// Repartition enables elastic chunk-based repartitioning for spatially
+	// sharded runs: when the per-shard epoch compute skews past the
+	// threshold, a chunk of nodes migrates from the heaviest to the lightest
+	// shard and the halo routing rebuilds mid-run (surfaced as
+	// RepartitionEvent on the event stream). Requires Spatial.Shards >= 2.
+	Repartition shard.Repartition
+
+	// NodeWeights models per-node compute cost (len = graph nodes after
+	// scaling): the initial partition balances weight instead of node count
+	// (graph.PartitionWeighted) and the sharded trainer scales each shard's
+	// structural compute by its weight share. Loss weighting stays
+	// count-based, so the reported curve is unchanged by weights alone.
+	// Requires spatial sharding.
+	NodeWeights []float64
+
+	// StaticPartition keeps the count-based initial partition even when
+	// NodeWeights skew modeled compute — the elastic-repartitioning
+	// ablation setup: start imbalanced and let mid-run chunk migration
+	// (Repartition) correct what the up-front weighted partition would
+	// have prevented.
+	StaticPartition bool
 
 	// MissingFrac injects sensor dropouts: each (entry, node) observation
 	// is zeroed with this probability before preprocessing, and training
@@ -287,6 +328,13 @@ type Report struct {
 	HaloTime       time.Duration
 	HaloHiddenTime time.Duration
 	EdgeCut        int
+	// Repartitions counts the elastic chunk migrations applied mid-run
+	// (Config.Repartition; 0 when disabled or never triggered).
+	Repartitions int
+	// ShardLoads is the final per-shard structural compute share
+	// (NodeWeights-weighted, sums to 1; nil when unsharded) — after any
+	// elastic repartitioning, so its spread measures the residual skew.
+	ShardLoads []float64
 
 	// PerWorkerBytes is one worker's modeled host footprint (replica +
 	// staging + its data share) for distributed strategies — the quantity

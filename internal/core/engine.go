@@ -181,6 +181,26 @@ func (e *Engine) validate() error {
 	if cfg.Resume && cfg.LoadCheckpoint == "" {
 		return invalidf("Resume", "Resume requires LoadCheckpoint to name the train-state file")
 	}
+	if err := cfg.Repartition.Validate(); err != nil {
+		return invalidf("Repartition", "%v", err)
+	}
+	if cfg.Repartition.Enabled() && !cfg.Spatial.Enabled() {
+		return invalidf("Repartition", "elastic repartitioning requires spatial sharding (Spatial.Shards >= 2)")
+	}
+	if len(cfg.NodeWeights) > 0 && !cfg.Spatial.Enabled() {
+		return invalidf("NodeWeights", "node compute weights require spatial sharding (Spatial.Shards >= 2)")
+	}
+	if len(cfg.WarmParams) > 0 && cfg.LoadCheckpoint != "" {
+		return invalidf("WarmParams", "WarmParams and LoadCheckpoint are mutually exclusive initializers")
+	}
+	if cfg.Provided != nil {
+		if cfg.Scale > 0 && cfg.Scale < 1 {
+			return invalidf("Provided", "a provided dataset cannot be rescaled (Scale %g)", cfg.Scale)
+		}
+		if cfg.MissingFrac > 0 {
+			return invalidf("Provided", "missing-data injection would mutate the provided dataset; inject before providing it")
+		}
+	}
 	return nil
 }
 
@@ -217,14 +237,24 @@ func (e *Engine) open() error {
 	if cfg.Scale < 1 {
 		meta = meta.Scaled(cfg.Scale)
 	}
+	var ds *dataset.Dataset
+	if cfg.Provided != nil {
+		// Injected dataset (streaming replay): the window's materialized
+		// rows and graph stand in for generation; validate() already
+		// rejected the transforms that would mutate them.
+		ds = cfg.Provided
+		meta = ds.Meta
+	} else {
+		var err error
+		ds, err = dataset.Generate(meta, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		if cfg.MissingFrac > 0 {
+			dataset.InjectMissing(ds.Data, cfg.MissingFrac, cfg.Seed^0xd20b)
+		}
+	}
 	e.meta = meta
-	ds, err := dataset.Generate(meta, cfg.Seed)
-	if err != nil {
-		return err
-	}
-	if cfg.MissingFrac > 0 {
-		dataset.InjectMissing(ds.Data, cfg.MissingFrac, cfg.Seed^0xd20b)
-	}
 	e.sys = memsim.NewTracker("system", cfg.SystemMemory)
 	e.gpu = memsim.NewTracker("gpu", cfg.GPUMemory)
 	sys, gpu := e.sys, e.gpu
@@ -370,6 +400,11 @@ func (e *Engine) buildSingle() error {
 	cfg := &e.cfg
 	factory := e.singleFactory()
 	model := factory(cfg.Seed)
+	if len(cfg.WarmParams) > 0 {
+		if err := nn.RestoreParams(model, cfg.WarmParams); err != nil {
+			return err
+		}
+	}
 	state, err := e.loadInto(model)
 	if err != nil {
 		return err
@@ -404,10 +439,20 @@ func (e *Engine) singleFactory() ddp.ModelFactory {
 	}
 }
 
-// checkpointInit loads the configured checkpoint once into probe and
-// returns (a) the per-worker injection hook replaying the snapshot
-// deterministically on every rank, and (b) the resume epoch.
+// checkpointInit loads the configured checkpoint (or in-memory WarmParams
+// snapshot) once into probe and returns (a) the per-worker injection hook
+// replaying the snapshot deterministically on every rank, and (b) the resume
+// epoch.
 func (e *Engine) checkpointInit(probe nn.SeqModel) (func(nn.SeqModel, *nn.Adam) error, int, error) {
+	if len(e.cfg.WarmParams) > 0 {
+		snap := e.cfg.WarmParams
+		if err := nn.RestoreParams(probe, snap); err != nil {
+			return nil, 0, err
+		}
+		return func(m nn.SeqModel, _ *nn.Adam) error {
+			return nn.RestoreParams(m, snap)
+		}, 0, nil
+	}
 	if e.cfg.LoadCheckpoint == "" {
 		return nil, 0, nil
 	}
@@ -492,6 +537,7 @@ func (e *Engine) buildDistributed() error {
 		AutoTuneBuckets: cfg.GradAutoTune,
 		Prefetch:        cfg.Prefetch,
 		AssembleCost:    cfg.AssembleCost,
+		ComputeCost:     cfg.ComputeCost,
 		Init:            init,
 		Trace:           cfg.Trace,
 	}
@@ -520,7 +566,22 @@ func (e *Engine) buildHybrid() error {
 		supports = supports[:1] // A3T-GCN diffuses over the forward support only
 	}
 	shards := cfg.Spatial.Shards
-	plan, err := shard.BuildPlan(e.g, supports, shards)
+	var plan *shard.Plan
+	var err error
+	if len(cfg.NodeWeights) > 0 && len(cfg.NodeWeights) != e.g.N {
+		return invalidf("NodeWeights", "got %d weights for a %d-node graph", len(cfg.NodeWeights), e.g.N)
+	}
+	if len(cfg.NodeWeights) > 0 && !cfg.StaticPartition {
+		// Weighted initial partition: balance modeled compute, not node
+		// count, so a degree- or cost-skewed graph starts load-balanced.
+		owner, werr := graph.PartitionWeighted(e.g, shards, cfg.NodeWeights)
+		if werr != nil {
+			return werr
+		}
+		plan, err = shard.ReplanFrom(e.g, supports, shards, owner)
+	} else {
+		plan, err = shard.BuildPlan(e.g, supports, shards)
+	}
 	if err != nil {
 		return err
 	}
@@ -592,7 +653,10 @@ func (e *Engine) buildHybrid() error {
 		AutoTuneBuckets: cfg.GradAutoTune,
 		Prefetch:        cfg.Prefetch,
 		AssembleCost:    cfg.AssembleCost,
+		ComputeCost:     cfg.ComputeCost,
 		Staleness:       cfg.Staleness,
+		Repartition:     cfg.Repartition,
+		NodeWeights:     cfg.NodeWeights,
 		Plan:            plan,
 		Init:            init,
 		Trace:           cfg.Trace,
@@ -791,6 +855,12 @@ func (e *Engine) fitHybrid(ctx context.Context) error {
 		shardCfg.OnAutotuneLock = func(bucketBytes int64) {
 			e.emit(AutotuneEvent{BucketBytes: bucketBytes})
 		}
+		shardCfg.OnRepartition = func(ev shard.RepartitionEvent) {
+			e.emit(RepartitionEvent{
+				Epoch: ev.Epoch, From: ev.From, To: ev.To,
+				Nodes: len(ev.Nodes), EdgeCut: ev.EdgeCut,
+			})
+		}
 	}
 	res, err := shard.Train(e.idx, e.split, e.g, e.shardSupports, e.shardFactory, shardCfg)
 	if err != nil {
@@ -808,6 +878,8 @@ func (e *Engine) fitHybrid(ctx context.Context) error {
 	report.HaloBytes = res.HaloBytes
 	report.HaloTime = res.HaloTime
 	report.HaloHiddenTime = res.HaloHiddenTime
+	report.Repartitions = res.Repartitions
+	report.ShardLoads = res.ShardLoads
 	report.Steps = res.Steps
 	report.GradSyncBytes = res.GradSyncBytes
 	report.CommBytesSaved = res.CommBytesSaved

@@ -41,7 +41,20 @@ type OOMEvent struct {
 	Err error
 }
 
-func (EpochEvent) event()    {}
-func (AutotuneEvent) event() {}
-func (MemoryEvent) event()   {}
-func (OOMEvent) event()      {}
+// RepartitionEvent fires when the elastic repartitioner migrates a chunk of
+// nodes between spatial shards mid-run (Config.Repartition): Epoch is the
+// completed epoch whose load skew triggered the move, Nodes the chunk size,
+// and EdgeCut the rebuilt plan's cut.
+type RepartitionEvent struct {
+	Epoch   int
+	From    int
+	To      int
+	Nodes   int
+	EdgeCut int
+}
+
+func (EpochEvent) event()       {}
+func (AutotuneEvent) event()    {}
+func (MemoryEvent) event()      {}
+func (OOMEvent) event()         {}
+func (RepartitionEvent) event() {}

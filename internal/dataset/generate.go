@@ -23,6 +23,67 @@ type Dataset struct {
 	Graph *graph.Graph
 }
 
+// stepper produces one timestep of the raw signal at a time, carrying the
+// generator's AR state between calls. out holds nodes*rawFeatures values
+// (the row layout of the materialized tensor).
+type stepper interface {
+	step(t int, out []float64)
+}
+
+// Generator emits a dataset one timestep at a time: the incremental form of
+// Generate that the streaming source consumes. Timesteps arrive in order;
+// materializing meta.Entries of them reproduces Generate(meta, seed) bitwise,
+// because Generate itself is implemented on top of a Generator. The stepper
+// keeps running past meta.Entries (the AR processes are unbounded), so a
+// stream can outlive the offline dataset's nominal length.
+type Generator struct {
+	Meta  Meta
+	Graph *graph.Graph
+	st    stepper
+	t     int
+}
+
+// NewGenerator validates meta, builds the sensor graph, and seeds the
+// domain stepper.
+func NewGenerator(meta Meta, seed uint64) (*Generator, error) {
+	if meta.Nodes <= 0 || meta.Entries <= 0 {
+		return nil, fmt.Errorf("dataset: invalid shape %dx%d for %s", meta.Entries, meta.Nodes, meta.Name)
+	}
+	g, err := graph.RoadNetwork(seed, meta.Nodes, meta.NeighborsK)
+	if err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(seed ^ 0xdecade)
+	var st stepper
+	switch meta.Domain {
+	case Traffic:
+		st = newTrafficStepper(rng, g, meta)
+	case Energy:
+		st = newEnergyStepper(rng, g, meta)
+	case Epidemiological:
+		st = newEpidemicStepper(rng, g, meta)
+	default:
+		return nil, fmt.Errorf("dataset: unknown domain %q", meta.Domain)
+	}
+	return &Generator{Meta: meta, Graph: g, st: st}, nil
+}
+
+// RowLen returns the per-timestep value count, nodes*rawFeatures.
+func (gen *Generator) RowLen() int { return gen.Meta.Nodes * gen.Meta.RawFeatures }
+
+// Step returns the current timestep index (the next Next call's t).
+func (gen *Generator) Step() int { return gen.t }
+
+// Next writes the next timestep into out (length RowLen) and advances the
+// generator state.
+func (gen *Generator) Next(out []float64) {
+	if len(out) != gen.RowLen() {
+		panic(fmt.Sprintf("dataset: generator row is %d values, got buffer of %d", gen.RowLen(), len(out)))
+	}
+	gen.st.step(gen.t, out)
+	gen.t++
+}
+
 // Generate synthesizes a dataset matching meta's shape, deterministically
 // for a given seed. The domain selects the generator:
 //
@@ -34,75 +95,87 @@ type Dataset struct {
 //   - Epidemiological: seasonal baseline with multiplicative outbreak waves
 //     that spread to graph neighbours.
 func Generate(meta Meta, seed uint64) (*Dataset, error) {
-	if meta.Nodes <= 0 || meta.Entries <= 0 {
-		return nil, fmt.Errorf("dataset: invalid shape %dx%d for %s", meta.Entries, meta.Nodes, meta.Name)
-	}
-	if int64(meta.Nodes)*int64(meta.Entries) > MaxGenerateElements {
+	if meta.Nodes > 0 && meta.Entries > 0 && int64(meta.Nodes)*int64(meta.Entries) > MaxGenerateElements {
 		return nil, fmt.Errorf("dataset: %s at full scale (%d node-steps) exceeds the generation cap; use Meta.Scaled for measured runs or the modeled pipelines for paper scale",
 			meta.Name, int64(meta.Nodes)*int64(meta.Entries))
 	}
-	g, err := graph.RoadNetwork(seed, meta.Nodes, meta.NeighborsK)
+	gen, err := NewGenerator(meta, seed)
 	if err != nil {
 		return nil, err
 	}
-	rng := tensor.NewRNG(seed ^ 0xdecade)
-	var data *tensor.Tensor
-	switch meta.Domain {
-	case Traffic:
-		data = generateTraffic(rng, g, meta)
-	case Energy:
-		data = generateEnergy(rng, g, meta)
-	case Epidemiological:
-		data = generateEpidemic(rng, g, meta)
-	default:
-		return nil, fmt.Errorf("dataset: unknown domain %q", meta.Domain)
+	data := tensor.New(meta.Entries, meta.Nodes, meta.RawFeatures)
+	d := data.Data()
+	row := gen.RowLen()
+	for t := 0; t < meta.Entries; t++ {
+		gen.Next(d[t*row : (t+1)*row])
 	}
-	return &Dataset{Meta: meta, Data: data, Graph: g}, nil
+	return &Dataset{Meta: meta, Data: data, Graph: gen.Graph}, nil
 }
 
-// generateTraffic synthesizes loop-detector speeds in mph.
-func generateTraffic(rng *tensor.RNG, g *graph.Graph, meta Meta) *tensor.Tensor {
-	n := meta.Nodes
+// trafficStepper synthesizes loop-detector speeds in mph.
+type trafficStepper struct {
+	rng        *tensor.RNG
+	fwd        *graphTransition
+	free       []float64 // free-flow speed per sensor
+	congestion []float64
+	diffused   []float64
+	n, rawF    int
+	period     int
+}
+
+// graphTransition narrows the dependency to the one operation steppers use.
+type graphTransition struct {
+	mulVec func([]float64) []float64
+}
+
+func transitionOf(g *graph.Graph) *graphTransition {
 	fwd, _ := g.TransitionMatrices()
-	free := make([]float64, n) // free-flow speed per sensor
+	return &graphTransition{mulVec: fwd.MulVec}
+}
+
+func newTrafficStepper(rng *tensor.RNG, g *graph.Graph, meta Meta) *trafficStepper {
+	n := meta.Nodes
+	fwd := transitionOf(g)
+	free := make([]float64, n)
 	for i := range free {
 		free[i] = 55 + 15*rng.Float64()
 	}
-	congestion := make([]float64, n)
 	period := meta.PeriodSteps
 	if period <= 0 {
 		period = 288
 	}
-	data := tensor.New(meta.Entries, n, meta.RawFeatures)
-	d := data.Data()
-	diffused := make([]float64, n)
-	for t := 0; t < meta.Entries; t++ {
-		tod := float64(t%period) / float64(period)
-		day := t / period
-		weekday := day%7 < 5
-		rush := rushIntensity(tod)
-		if !weekday {
-			rush *= 0.3
-		}
-		// Congestion diffuses to downstream sensors through the graph.
-		copy(diffused, congestion)
-		diffused = fwd.MulVec(diffused)
-		for i := 0; i < n; i++ {
-			congestion[i] = 0.60*congestion[i] + 0.25*diffused[i] + 0.45*rush + 0.08*rng.NormFloat64()
-			if congestion[i] < 0 {
-				congestion[i] = 0
-			}
-			if congestion[i] > 1.6 {
-				congestion[i] = 1.6
-			}
-			speed := free[i]*(1-0.45*math.Tanh(congestion[i])) + 1.5*rng.NormFloat64()
-			if speed < 3 {
-				speed = 3
-			}
-			d[(t*n+i)*meta.RawFeatures] = speed
-		}
+	return &trafficStepper{
+		rng: rng, fwd: fwd, free: free,
+		congestion: make([]float64, n), diffused: make([]float64, n),
+		n: n, rawF: meta.RawFeatures, period: period,
 	}
-	return data
+}
+
+func (ts *trafficStepper) step(t int, out []float64) {
+	tod := float64(t%ts.period) / float64(ts.period)
+	day := t / ts.period
+	weekday := day%7 < 5
+	rush := rushIntensity(tod)
+	if !weekday {
+		rush *= 0.3
+	}
+	// Congestion diffuses to downstream sensors through the graph.
+	copy(ts.diffused, ts.congestion)
+	ts.diffused = ts.fwd.mulVec(ts.diffused)
+	for i := 0; i < ts.n; i++ {
+		ts.congestion[i] = 0.60*ts.congestion[i] + 0.25*ts.diffused[i] + 0.45*rush + 0.08*ts.rng.NormFloat64()
+		if ts.congestion[i] < 0 {
+			ts.congestion[i] = 0
+		}
+		if ts.congestion[i] > 1.6 {
+			ts.congestion[i] = 1.6
+		}
+		speed := ts.free[i]*(1-0.45*math.Tanh(ts.congestion[i])) + 1.5*ts.rng.NormFloat64()
+		if speed < 3 {
+			speed = 3
+		}
+		out[i*ts.rawF] = speed
+	}
 }
 
 // rushIntensity is a double-peaked daily congestion profile (morning and
@@ -115,11 +188,19 @@ func rushIntensity(tod float64) float64 {
 	return peak(0.33, 0.045) + 0.9*peak(0.73, 0.06)
 }
 
-// generateEnergy synthesizes normalized turbine output in [0, 1].
-func generateEnergy(rng *tensor.RNG, g *graph.Graph, meta Meta) *tensor.Tensor {
+// energyStepper synthesizes normalized turbine output in [0, 1].
+type energyStepper struct {
+	rng      *tensor.RNG
+	fwd      *graphTransition
+	regional float64 // slow weather-front process shared via graph diffusion
+	local    []float64
+	n, rawF  int
+	period   int
+}
+
+func newEnergyStepper(rng *tensor.RNG, g *graph.Graph, meta Meta) *energyStepper {
 	n := meta.Nodes
-	fwd, _ := g.TransitionMatrices()
-	regional := 0.5 // slow weather-front process shared via graph diffusion
+	fwd := transitionOf(g)
 	local := make([]float64, n)
 	for i := range local {
 		local[i] = rng.Float64() * 0.2
@@ -128,39 +209,50 @@ func generateEnergy(rng *tensor.RNG, g *graph.Graph, meta Meta) *tensor.Tensor {
 	if period <= 0 {
 		period = 24
 	}
-	data := tensor.New(meta.Entries, n, meta.RawFeatures)
-	d := data.Data()
-	for t := 0; t < meta.Entries; t++ {
-		regional = 0.995*regional + 0.01*rng.NormFloat64()
-		if regional < 0 {
-			regional = 0
-		}
-		if regional > 1 {
-			regional = 1
-		}
-		diurnal := 0.12 * math.Sin(2*math.Pi*float64(t%period)/float64(period))
-		smoothed := fwd.MulVec(local)
-		for i := 0; i < n; i++ {
-			local[i] = 0.85*local[i] + 0.1*smoothed[i] + 0.05*rng.NormFloat64()
-			wind := regional + diurnal + local[i]
-			if wind < 0 {
-				wind = 0
-			}
-			if wind > 1 {
-				wind = 1
-			}
-			// Cubic power curve, softened.
-			d[(t*n+i)*meta.RawFeatures] = wind * wind * (3 - 2*wind)
-		}
+	return &energyStepper{
+		rng: rng, fwd: fwd, regional: 0.5, local: local,
+		n: n, rawF: meta.RawFeatures, period: period,
 	}
-	return data
 }
 
-// generateEpidemic synthesizes weekly case counts.
-func generateEpidemic(rng *tensor.RNG, g *graph.Graph, meta Meta) *tensor.Tensor {
+func (es *energyStepper) step(t int, out []float64) {
+	es.regional = 0.995*es.regional + 0.01*es.rng.NormFloat64()
+	if es.regional < 0 {
+		es.regional = 0
+	}
+	if es.regional > 1 {
+		es.regional = 1
+	}
+	diurnal := 0.12 * math.Sin(2*math.Pi*float64(t%es.period)/float64(es.period))
+	smoothed := es.fwd.mulVec(es.local)
+	for i := 0; i < es.n; i++ {
+		es.local[i] = 0.85*es.local[i] + 0.1*smoothed[i] + 0.05*es.rng.NormFloat64()
+		wind := es.regional + diurnal + es.local[i]
+		if wind < 0 {
+			wind = 0
+		}
+		if wind > 1 {
+			wind = 1
+		}
+		// Cubic power curve, softened.
+		out[i*es.rawF] = wind * wind * (3 - 2*wind)
+	}
+}
+
+// epidemicStepper synthesizes weekly case counts.
+type epidemicStepper struct {
+	rng       *tensor.RNG
+	fwd       *graphTransition
+	pop       []float64 // county scale factor
+	infection []float64
+	n, rawF   int
+	period    int
+}
+
+func newEpidemicStepper(rng *tensor.RNG, g *graph.Graph, meta Meta) *epidemicStepper {
 	n := meta.Nodes
-	fwd, _ := g.TransitionMatrices()
-	pop := make([]float64, n) // county scale factor
+	fwd := transitionOf(g)
+	pop := make([]float64, n)
 	for i := range pop {
 		pop[i] = 20 + 80*rng.Float64()
 	}
@@ -172,24 +264,26 @@ func generateEpidemic(rng *tensor.RNG, g *graph.Graph, meta Meta) *tensor.Tensor
 	if period <= 0 {
 		period = 52
 	}
-	data := tensor.New(meta.Entries, n, meta.RawFeatures)
-	d := data.Data()
-	for t := 0; t < meta.Entries; t++ {
-		season := 1 + 0.6*math.Cos(2*math.Pi*float64(t%period)/float64(period))
-		spread := fwd.MulVec(infection)
-		for i := 0; i < n; i++ {
-			infection[i] = 0.7*infection[i] + 0.2*spread[i] + 0.1*(0.5+0.5*rng.Float64())
-			if infection[i] < 0.05 {
-				infection[i] = 0.05
-			}
-			cases := pop[i] * infection[i] * season * (0.9 + 0.2*rng.Float64())
-			if cases < 0 {
-				cases = 0
-			}
-			d[(t*n+i)*meta.RawFeatures] = math.Round(cases)
-		}
+	return &epidemicStepper{
+		rng: rng, fwd: fwd, pop: pop, infection: infection,
+		n: n, rawF: meta.RawFeatures, period: period,
 	}
-	return data
+}
+
+func (ep *epidemicStepper) step(t int, out []float64) {
+	season := 1 + 0.6*math.Cos(2*math.Pi*float64(t%ep.period)/float64(ep.period))
+	spread := ep.fwd.mulVec(ep.infection)
+	for i := 0; i < ep.n; i++ {
+		ep.infection[i] = 0.7*ep.infection[i] + 0.2*spread[i] + 0.1*(0.5+0.5*ep.rng.Float64())
+		if ep.infection[i] < 0.05 {
+			ep.infection[i] = 0.05
+		}
+		cases := ep.pop[i] * ep.infection[i] * season * (0.9 + 0.2*ep.rng.Float64())
+		if cases < 0 {
+			cases = 0
+		}
+		out[i*ep.rawF] = math.Round(cases)
+	}
 }
 
 // AugmentTimeOfDay implements stage 1 of Fig. 3: append a normalized

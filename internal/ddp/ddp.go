@@ -712,6 +712,9 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			}
 		}
 		sampler := NewSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Workers, rank, cfg.Seed)
+		// This worker's validation batches, fixed for the whole run.
+		evalLo, evalHi := batching.PartitionRange(len(split.Val), cfg.Workers, rank)
+		evalBatches := batching.Batches(split.Val[evalLo:evalHi], cfg.BatchSize)
 		// The train loop's batches live in the prefetcher's double buffer (or
 		// buf on the serial path); evaluation gets its own buffer so eval
 		// assembly never clobbers a slot the train pipeline still owns.
@@ -719,34 +722,56 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		var gradBuf []float64
 
 		// One prefetcher per epoch; closed on every exit path (the deferred
-		// close covers error returns and cancellation).
+		// close covers error returns and cancellation). The eval prefetcher
+		// spins up under the epoch's last train step so the first validation
+		// batch is resident when the tail eval pass begins.
 		prefetch := cfg.Prefetch && cfg.Store == nil
-		var pf *batching.Prefetcher
+		var pf, evalPf *batching.Prefetcher
 		defer func() {
 			if pf != nil {
 				pf.Close()
 			}
+			if evalPf != nil {
+				evalPf.Close()
+			}
 		}()
+		// nextAsmOf prices what the background collator works on under step
+		// s: the next train batch, or — on the epoch's last step — the first
+		// eval batch the tail-overlap prefetcher is filling. Zero on the
+		// serial path.
+		nextAsmOf := func(s, stepsThisEpoch, items int) time.Duration {
+			if pf == nil || cfg.AssembleCost == nil || cfg.Store != nil {
+				return 0
+			}
+			if s+1 < stepsThisEpoch {
+				return cfg.AssembleCost(items)
+			}
+			if evalPf != nil {
+				return cfg.AssembleCost(len(evalBatches[0]))
+			}
+			return 0
+		}
 		// chargeAssemble folds the modeled collation cost into the step: the
 		// serial path pays it ahead of every step; the pipeline assembles the
-		// next batch under this step (max(step, assemble)), exposing only the
-		// epoch's leading assembly (charged at s == 0 before the step).
+		// next batch (or the first eval batch) under this step
+		// (max(step, assemble)), exposing only the epoch's leading assembly
+		// (charged at s == 0 before the step).
 		chargeAssemble := func(s, stepsThisEpoch, items int, step time.Duration) time.Duration {
 			if cfg.AssembleCost == nil || cfg.Store != nil {
 				return step
 			}
-			asm := cfg.AssembleCost(items)
 			if pf == nil {
-				return step + asm
+				return step + cfg.AssembleCost(items)
 			}
 			if s == 0 {
 				// Pipeline fill: the epoch's leading assembly has no
 				// previous step to hide under.
+				asm := cfg.AssembleCost(items)
 				tw.Span(trace.KindAssemble, "assemble.fill", trace.StreamAssembly, w.VirtualTime(), asm, 0)
 				w.AdvanceTime(asm)
 			}
-			if s+1 < stepsThisEpoch && asm > step {
-				return asm
+			if next := nextAsmOf(s, stepsThisEpoch, items); next > step {
+				return next
 			}
 			return step
 		}
@@ -844,6 +869,12 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 					if !ok {
 						return fmt.Errorf("ddp: rank %d: prefetcher exhausted at step %d of %d", rank, s, stepsThisEpoch)
 					}
+					if s == stepsThisEpoch-1 && len(evalBatches) > 0 {
+						// Tail overlap: the epoch's last train step has no next
+						// train batch, so the collator assembles the first
+						// validation batch under it instead.
+						evalPf = batching.NewPrefetcher(data, evalBatches)
+					}
 				}
 				start := time.Now()
 				if cfg.Store == nil && pf == nil {
@@ -898,13 +929,17 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 						// The step body starts after the serially-exposed
 						// assembly; prefetch assembly is occupancy under it.
 						asm, base := asmOf(len(idx)), t0
-						if asm > 0 {
-							name := "assemble"
-							if pf != nil {
-								name = "assemble.next"
-							} else {
-								base += asm
+						name := "assemble"
+						if pf != nil {
+							asm = nextAsmOf(s, stepsThisEpoch, len(idx))
+							name = "assemble.next"
+							if s+1 >= stepsThisEpoch {
+								name = "assemble.eval"
 							}
+						} else {
+							base += asm
+						}
+						if asm > 0 {
 							tw.Span(trace.KindAssemble, name, trace.StreamAssembly, t0, asm, 0)
 						}
 						tw.Span(trace.KindCompute, "compute", trace.StreamCompute, base, compute, 0)
@@ -949,13 +984,17 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 					t0 := w.VirtualTime()
 					if tw != nil {
 						base := t0
-						if asm > 0 {
-							name := "assemble"
-							if pf != nil {
-								name = "assemble.next"
-							} else {
-								base += asm
+						name := "assemble"
+						if pf != nil {
+							asm = nextAsmOf(s, stepsThisEpoch, len(idx))
+							name = "assemble.next"
+							if s+1 >= stepsThisEpoch {
+								name = "assemble.eval"
 							}
+						} else {
+							base += asm
+						}
+						if asm > 0 {
 							tw.Span(trace.KindAssemble, name, trace.StreamAssembly, t0, asm, 0)
 						}
 						tw.Span(trace.KindCompute, "compute", trace.StreamCompute, base, compute, 0)
@@ -1020,7 +1059,11 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			// Epoch metrics: weighted AllReduce of train loss and val MAE
 			// (the validation AllReduce the paper lists as DDP overhead).
 			trainMAE := ReduceWeighted(w, trainAcc)
-			valMAE := evaluateShard(w, model, data, split.Val, cfg.BatchSize, &evalBuf)
+			valMAE := evaluateShard(w, model, data, evalBatches, evalPf, &evalBuf)
+			if evalPf != nil {
+				evalPf.Close()
+				evalPf = nil
+			}
 			rec := metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE}
 			curve = append(curve, rec)
 			if rank == 0 && cfg.OnEpoch != nil {
@@ -1112,12 +1155,21 @@ func ReduceWeighted(w *cluster.Worker, acc metrics.Running) float64 {
 }
 
 // evaluateShard computes this worker's share of the validation MAE and
-// AllReduces the weighted mean (in original units, un-z-scored).
-func evaluateShard(w *cluster.Worker, model nn.SeqModel, data *batching.IndexDataset, val []int, batchSize int, buf *batching.BatchBuffer) float64 {
-	lo, hi := batching.PartitionRange(len(val), w.Size(), w.Rank())
+// AllReduces the weighted mean (in original units, un-z-scored). When a
+// tail-overlap prefetcher is handed in, batches stream from it (falling back
+// to serial assembly if it drains early, e.g. after a mid-run Close).
+func evaluateShard(w *cluster.Worker, model nn.SeqModel, data *batching.IndexDataset, batches [][]int, pf *batching.Prefetcher, buf *batching.BatchBuffer) float64 {
 	var acc metrics.Running
-	for _, batch := range batching.Batches(val[lo:hi], batchSize) {
-		x, y := data.AssembleBatch(batch, buf)
+	for _, batch := range batches {
+		var x, y *tensor.Tensor
+		if pf != nil {
+			var ok bool
+			if x, y, ok = pf.Next(); !ok {
+				x, y = data.AssembleBatch(batch, buf)
+			}
+		} else {
+			x, y = data.AssembleBatch(batch, buf)
+		}
 		target := y.Slice(3, 0, 1).Contiguous()
 		pred := model.Forward(autograd.Constant(x))
 		// Report MAE in the signal's original units.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pgti/internal/metrics"
+	"pgti/internal/trace"
 )
 
 // TestPrefetchMatchesSerialBitwise: the double-buffered collator must leave
@@ -68,6 +69,68 @@ func TestPrefetchHidesAssemblyDDP(t *testing.T) {
 	stepsPerEpoch := serial.Steps
 	if hidden, want := serial.VirtualTime-pipelined.VirtualTime, time.Duration(stepsPerEpoch-1)*asm(4); hidden != want {
 		t.Fatalf("pipeline hid %v of assembly, want %v (%d steps)", hidden, want, stepsPerEpoch)
+	}
+}
+
+// TestEvalAssemblyOverlapsLastStep pins the exact exposure arithmetic of
+// the eval tail-overlap: the epoch's last train step hides the FIRST eval
+// batch's assembly, charging max(step, AssembleCost(len(evalBatches[0]))).
+// The fixture inverts the usual cost relation (assembly > compute) so the
+// eval term is the binding one, and trims the splits so every quantity in
+// the closed form is known:
+//
+//	train = 56 indices -> 14 batches of 4; val = 3 indices -> 1 batch of 3
+//	C = ComputeCost = 1ms, asm(n) = n*1ms
+//
+// With one worker every collective is free, so the modeled epoch is exactly
+//
+//	asm(4)              pipeline fill (leading assembly, exposed)
+//	+ 13 * max(C, asm(4))  steps 0..12 hide the next train batch: 4ms each
+//	+ max(C, asm(3))       step 13 hides the first EVAL batch: 3ms
+//	= 4 + 52 + 3 = 59ms
+//
+// which distinguishes the contract from every neighbouring semantics: no
+// eval overlap would give 57ms (last step charges C), pricing the train
+// batch size would give 60ms, and additive (step+asm) charging would give
+// 60ms. The serial path pays 14*(C+asm(4)) = 70ms. Also asserts the
+// "assemble.eval" span renders once per epoch at the eval batch's cost.
+func TestEvalAssemblyOverlapsLastStep(t *testing.T) {
+	data, split, factory := testSetup(t, 90, 12, 3)
+	split.Train = split.Train[:56]
+	split.Val = split.Val[:3]
+	asm := func(items int) time.Duration { return time.Duration(items) * time.Millisecond }
+	run := func(prefetch bool, rec *trace.Recorder) *Result {
+		res, err := Train(data, split, factory, Config{
+			Workers: 1, BatchSize: 4, Epochs: 2, LR: 0.02, Seed: 7,
+			ComputeCost:  func(int) time.Duration { return time.Millisecond },
+			AssembleCost: asm, Prefetch: prefetch, Trace: rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rec := trace.New()
+	pipelined := run(true, rec)
+	if want := 2 * 59 * time.Millisecond; pipelined.VirtualTime != want {
+		t.Fatalf("pipelined modeled clock %v, want exactly %v", pipelined.VirtualTime, want)
+	}
+	serial := run(false, nil)
+	if want := 2 * 70 * time.Millisecond; serial.VirtualTime != want {
+		t.Fatalf("serial modeled clock %v, want exactly %v", serial.VirtualTime, want)
+	}
+	evalSpans := 0
+	for _, sp := range rec.Snapshot().Spans {
+		if sp.Name != "assemble.eval" {
+			continue
+		}
+		evalSpans++
+		if sp.Dur != asm(3) {
+			t.Fatalf("assemble.eval span lasts %v, want %v (first eval batch has 3 items)", sp.Dur, asm(3))
+		}
+	}
+	if evalSpans != 2 {
+		t.Fatalf("%d assemble.eval spans, want one per epoch (2)", evalSpans)
 	}
 }
 

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"time"
 
 	"pgti/internal/autograd"
@@ -357,16 +358,19 @@ func (e *Exchanger) charge(sends []cluster.NeighborSend, cost time.Duration) {
 }
 
 // propagator adapts a sharded support block + exchanger to nn.Propagator.
+// It is a pointer type so an elastic repartition can rebind the block and
+// exchanger in place while the model keeps holding the same Propagator
+// values.
 type propagator struct {
 	block *sparse.ShardCSR
 	ex    *Exchanger
 }
 
 // Nodes implements nn.Propagator.
-func (p propagator) Nodes() int { return p.block.NumOwn() }
+func (p *propagator) Nodes() int { return p.block.NumOwn() }
 
 // Propagate implements nn.Propagator.
-func (p propagator) Propagate(x *autograd.Variable) *autograd.Variable {
+func (p *propagator) Propagate(x *autograd.Variable) *autograd.Variable {
 	return autograd.ShardSpMMBlock(p.block, p.ex, x)
 }
 
@@ -376,10 +380,30 @@ func (p propagator) Propagate(x *autograd.Variable) *autograd.Variable {
 func Propagators(w *cluster.Worker, group []int, sp *ShardPlan, topo cluster.Topology, stats *Stats, overlap bool) []nn.Propagator {
 	props := make([]nn.Propagator, len(sp.Supports))
 	for si, block := range sp.Supports {
-		props[si] = propagator{
+		props[si] = &propagator{
 			block: block,
 			ex:    NewExchanger(w, group, sp.Shard, sp.Exchanges[si], topo, stats, overlap),
 		}
 	}
 	return props
+}
+
+// Rebind points propagators previously built by Propagators at a new
+// ShardPlan after an elastic repartition: each gets the new plan's support
+// block and a fresh Exchanger over the new halo routing, while the model's
+// references to the Propagator values stay valid. The support count must
+// match the original plan's.
+func Rebind(props []nn.Propagator, w *cluster.Worker, group []int, sp *ShardPlan, topo cluster.Topology, stats *Stats, overlap bool) error {
+	if len(props) != len(sp.Supports) {
+		return fmt.Errorf("shard: rebind over %d propagators, plan has %d supports", len(props), len(sp.Supports))
+	}
+	for si, block := range sp.Supports {
+		p, ok := props[si].(*propagator)
+		if !ok {
+			return fmt.Errorf("shard: propagator %d is %T, not rebindable", si, props[si])
+		}
+		p.block = block
+		p.ex = NewExchanger(w, group, sp.Shard, sp.Exchanges[si], topo, stats, overlap)
+	}
+	return nil
 }

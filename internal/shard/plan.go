@@ -91,12 +91,36 @@ func (p *Plan) MaxHalo() int {
 // refinement) and splits every support matrix into per-shard row blocks with
 // halo routing. The supports must share g's node count.
 func BuildPlan(g *graph.Graph, supports []*sparse.CSR, shards int) (*Plan, error) {
-	if len(supports) == 0 {
-		return nil, fmt.Errorf("shard: BuildPlan needs at least one support matrix")
-	}
 	owner, err := graph.Partition(g, shards)
 	if err != nil {
 		return nil, err
+	}
+	return ReplanFrom(g, supports, shards, owner)
+}
+
+// ReplanFrom rebuilds a full Plan from an explicit node->shard assignment —
+// BuildPlan minus the partitioning step. The elastic repartitioner uses it
+// to re-split the support row blocks after migrating a chunk of nodes
+// without recomputing the partition from scratch. owner must assign every
+// node to a shard in [0, shards) and leave no shard empty.
+func ReplanFrom(g *graph.Graph, supports []*sparse.CSR, shards int, owner []int) (*Plan, error) {
+	if len(supports) == 0 {
+		return nil, fmt.Errorf("shard: plan needs at least one support matrix")
+	}
+	if len(owner) != g.N {
+		return nil, fmt.Errorf("shard: owner assigns %d nodes, graph has %d", len(owner), g.N)
+	}
+	counts := make([]int, shards)
+	for node, p := range owner {
+		if p < 0 || p >= shards {
+			return nil, fmt.Errorf("shard: node %d assigned to shard %d of %d", node, p, shards)
+		}
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c == 0 {
+			return nil, fmt.Errorf("shard: shard %d owns no nodes", p)
+		}
 	}
 	plan := &Plan{Shards: shards, GlobalN: g.N, Owner: owner, EdgeCut: graph.EdgeCut(g, owner)}
 	plan.Parts = make([]*ShardPlan, shards)

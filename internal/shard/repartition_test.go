@@ -1,0 +1,272 @@
+package shard
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"pgti/internal/graph"
+	"pgti/internal/nn"
+	"pgti/internal/tensor"
+)
+
+// testModel is the small sharded PGT-DCRNN the repartition tests train.
+func testModel(seed uint64, props []nn.Propagator) nn.SeqModel {
+	return nn.NewPGTDCRNNOn(tensor.NewRNG(seed), props, 1, 1, 4, 3)
+}
+
+func TestReplanFromMatchesBuildPlan(t *testing.T) {
+	g, supports := testGraph(t, 37)
+	for _, shards := range []int{2, 3, 4} {
+		built, err := BuildPlan(g, supports, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replan, err := ReplanFrom(g, supports, shards, built.Owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(replan.Owner, built.Owner) || replan.EdgeCut != built.EdgeCut {
+			t.Fatalf("shards=%d: replan owner/cut diverged", shards)
+		}
+		for p := range built.Parts {
+			if !reflect.DeepEqual(replan.Parts[p].Own, built.Parts[p].Own) {
+				t.Fatalf("shards=%d shard %d: own lists diverged", shards, p)
+			}
+			for si := range built.Parts[p].Supports {
+				if replan.Parts[p].Supports[si].NumHalo() != built.Parts[p].Supports[si].NumHalo() {
+					t.Fatalf("shards=%d shard %d support %d: halo diverged", shards, p, si)
+				}
+			}
+		}
+	}
+}
+
+func TestReplanFromRejectsBadOwners(t *testing.T) {
+	g, supports := testGraph(t, 12)
+	owner := make([]int, g.N)
+	if _, err := ReplanFrom(g, supports, 2, owner[:5]); err == nil {
+		t.Fatal("short owner accepted")
+	}
+	if _, err := ReplanFrom(g, supports, 2, owner); err == nil {
+		t.Fatal("empty shard accepted") // all nodes on shard 0
+	}
+	owner[0] = 7
+	if _, err := ReplanFrom(g, supports, 2, owner); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+func TestChunkMoveThresholdAndDeterminism(t *testing.T) {
+	g, supports := testGraph(t, 40)
+	plan, err := BuildPlan(g, supports, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Repartition{ChunkSize: 3, Threshold: 1.5}
+	if _, _, _, ok := chunkMove(g, plan, []float64{1.0, 1.2}, r); ok {
+		t.Fatal("under-threshold skew moved")
+	}
+	src, dst, nodes, ok := chunkMove(g, plan, []float64{3.0, 1.0}, r)
+	if !ok || src != 0 || dst != 1 {
+		t.Fatalf("move %d->%d ok=%v, want 0->1", src, dst, ok)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("chunk size %d, want 3", len(nodes))
+	}
+	// The chunk is a consecutive run of the source's own list.
+	own := plan.Parts[0].Own
+	start := -1
+	for i := range own {
+		if own[i] == nodes[0] {
+			start = i
+			break
+		}
+	}
+	if start < 0 || !reflect.DeepEqual(own[start:start+3], nodes) {
+		t.Fatalf("chunk %v is not a consecutive owned run", nodes)
+	}
+	// The decision is a pure function of (plan, loads): every rank derives
+	// the identical move.
+	for i := 0; i < 5; i++ {
+		s2, d2, n2, ok2 := chunkMove(g, plan, []float64{3.0, 1.0}, r)
+		if !ok2 || s2 != src || d2 != dst || !reflect.DeepEqual(n2, nodes) {
+			t.Fatal("chunkMove is not deterministic")
+		}
+	}
+	// The source always keeps at least one node, however big the chunk.
+	_, _, big, ok := chunkMove(g, plan, []float64{3.0, 1.0}, Repartition{ChunkSize: 1000, Threshold: 1.5})
+	if !ok || len(big) != len(own)-1 {
+		t.Fatalf("clamped chunk %d, want %d", len(big), len(own)-1)
+	}
+}
+
+func TestApplyMovePreservesCoverage(t *testing.T) {
+	g, supports := testGraph(t, 40)
+	plan, err := BuildPlan(g, supports, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst, nodes, ok := chunkMove(g, plan, []float64{4.0, 1.0}, Repartition{ChunkSize: 4, Threshold: 2})
+	if !ok {
+		t.Fatal("no move")
+	}
+	next, err := applyMove(g, supports, plan, dst, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Parts[src].Own) != len(plan.Parts[src].Own)-4 ||
+		len(next.Parts[dst].Own) != len(plan.Parts[dst].Own)+4 {
+		t.Fatal("ownership counts did not shift by the chunk")
+	}
+	for _, u := range nodes {
+		if next.Owner[u] != dst {
+			t.Fatalf("node %d not migrated", u)
+		}
+	}
+	seen := make([]bool, g.N)
+	for _, sp := range next.Parts {
+		for _, u := range sp.Own {
+			if seen[u] {
+				t.Fatalf("node %d owned twice after move", u)
+			}
+			seen[u] = true
+		}
+	}
+	// The input plan is untouched.
+	if plan.Owner[nodes[0]] != src {
+		t.Fatal("applyMove mutated the input plan")
+	}
+}
+
+// End to end: inject compute skew through NodeWeights, train with elastic
+// repartitioning, and require (a) at least one typed event with coherent
+// fields, (b) the loss curve of the static-partition run preserved to fp64
+// tolerance (repartitioning moves modeled time, not math), and (c) the
+// migration charged on the virtual clock.
+func TestRepartitionEndToEnd(t *testing.T) {
+	const n = 40
+	g, supports := testGraph(t, n)
+	data, split := testData(t, n)
+	plan, err := BuildPlan(g, supports, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0's nodes cost 9x: its modeled epoch compute dwarfs shard 1's.
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	for _, u := range plan.Parts[0].Own {
+		weights[u] = 9
+	}
+	base := Config{
+		Shards: 2, Replicas: 1, BatchSize: 4, Epochs: 3, LR: 0.02, Seed: 5,
+		ComputeCost: func(items int) time.Duration { return 2 * time.Millisecond },
+		Plan:        plan,
+		NodeWeights: weights,
+	}
+	static, err := Train(data, split, g, supports, testModel, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Repartitions != 0 {
+		t.Fatalf("static run repartitioned %d times", static.Repartitions)
+	}
+
+	elastic := base
+	elastic.Repartition = Repartition{ChunkSize: 4, Threshold: 2}
+	var events []RepartitionEvent
+	elastic.OnRepartition = func(ev RepartitionEvent) { events = append(events, ev) }
+	res, err := Train(data, split, g, supports, testModel, elastic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repartitions < 1 || len(events) != res.Repartitions {
+		t.Fatalf("repartitions %d, events %d", res.Repartitions, len(events))
+	}
+	for _, ev := range events {
+		if ev.From != 0 || ev.To != 1 {
+			t.Fatalf("move %d->%d, want heavy shard 0 -> light shard 1", ev.From, ev.To)
+		}
+		if len(ev.Nodes) == 0 || len(ev.Loads) != 2 || ev.EdgeCut <= 0 {
+			t.Fatalf("incoherent event %+v", ev)
+		}
+		if ev.Loads[ev.From] < 2*ev.Loads[ev.To] {
+			t.Fatalf("event loads %v below threshold", ev.Loads)
+		}
+		if ev.Epoch < 0 || ev.Epoch >= base.Epochs-1 {
+			t.Fatalf("event epoch %d outside migratable range", ev.Epoch)
+		}
+	}
+	if len(res.Curve) != len(static.Curve) {
+		t.Fatalf("curve lengths %d vs %d", len(res.Curve), len(static.Curve))
+	}
+	for i := range res.Curve {
+		if d := math.Abs(res.Curve[i].ValMAE - static.Curve[i].ValMAE); d > 1e-9 {
+			t.Fatalf("epoch %d val MAE drifted %g under repartitioning", i, d)
+		}
+		if d := math.Abs(res.Curve[i].TrainMAE - static.Curve[i].TrainMAE); d > 1e-9 {
+			t.Fatalf("epoch %d train MAE drifted %g under repartitioning", i, d)
+		}
+	}
+	// The rebalanced run's modeled time includes the migration charge but
+	// sheds straggler wait: it must differ from the static clock, and the
+	// load vector at the next epoch must be flatter than 9:1.
+	if res.VirtualTime == static.VirtualTime {
+		t.Fatal("repartitioning left the modeled clock untouched")
+	}
+	// MaxMoves caps the churn.
+	capped := elastic
+	capped.Repartition.MaxMoves = 1
+	events = nil
+	resCap, err := Train(data, split, g, supports, testModel, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCap.Repartitions != 1 {
+		t.Fatalf("MaxMoves=1 applied %d moves", resCap.Repartitions)
+	}
+}
+
+// Weighted partitioning plugs into the plan builder: balancing the skewed
+// weights up front starts the run balanced, so no repartition triggers.
+func TestWeightedPlanAvoidsRepartition(t *testing.T) {
+	const n = 40
+	g, supports := testGraph(t, n)
+	data, split := testData(t, n)
+	countPlan, err := BuildPlan(g, supports, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	for _, u := range countPlan.Parts[0].Own {
+		weights[u] = 9
+	}
+	owner, err := graph.PartitionWeighted(g, 2, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ReplanFrom(g, supports, 2, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Shards: 2, Replicas: 1, BatchSize: 4, Epochs: 3, LR: 0.02, Seed: 5,
+		ComputeCost: func(items int) time.Duration { return 2 * time.Millisecond },
+		Plan:        plan,
+		NodeWeights: weights,
+		Repartition: Repartition{ChunkSize: 4, Threshold: 2},
+	}
+	res, err := Train(data, split, g, supports, testModel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repartitions != 0 {
+		t.Fatalf("weight-balanced start still repartitioned %d times", res.Repartitions)
+	}
+}

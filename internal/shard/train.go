@@ -109,6 +109,21 @@ type Config struct {
 	// shard sizes up front, e.g. for memory accounting, build it once and
 	// pass it in). When nil, Train builds it from the graph.
 	Plan *Plan
+	// Repartition enables elastic chunk-based repartitioning: at each epoch
+	// boundary the grid agrees on a per-shard load vector (accumulated step
+	// compute) and, past the threshold, migrates a chunk of nodes from the
+	// heaviest shard to the lightest, rebuilding row blocks and halo routing
+	// in place (see Repartition). Zero value keeps the partition static.
+	Repartition Repartition
+	// NodeWeights, when set with ComputeCost, scales each shard's structural
+	// compute charge by its owned share of the total node weight instead of
+	// its node-count share — the skew-injection hook the repartition tests
+	// and benchmarks use (len must equal the graph's node count). Loss
+	// weighting keeps the node-count share, so training results are
+	// unchanged.
+	NodeWeights []float64
+	// OnRepartition fires on rank 0 after each applied chunk migration.
+	OnRepartition func(ev RepartitionEvent)
 
 	// Sync selects the gradient-exchange schedule. SyncBucketedOverlap
 	// (default) partitions the gradients into size-capped buckets and
@@ -196,9 +211,18 @@ type Result struct {
 	GlobalBatch int
 	Shards      int
 	Replicas    int
-	// EdgeCut, MaxOwn and MaxHalo describe the partition (halo-traffic and
-	// memory-balance proxies; MaxOwn ~ ceil(N/Shards)).
+	// EdgeCut, MaxOwn and MaxHalo describe the initial partition
+	// (halo-traffic and memory-balance proxies; MaxOwn ~ ceil(N/Shards)).
 	EdgeCut, MaxOwn, MaxHalo int
+	// Repartitions counts the elastic chunk migrations applied during the
+	// run (0 when Config.Repartition is disabled or never triggered).
+	Repartitions int
+	// ShardLoads is the final per-shard structural compute share
+	// (NodeWeights-weighted when weights are set, node-count otherwise,
+	// summing to 1). The spread max/min over this vector is the
+	// load-balance figure the gated repartition bench reports: elastic
+	// migration must leave it tighter than the loads it started from.
+	ShardLoads []float64
 	// Model and Opt are rank 0's trained replica (over shard 0's
 	// propagators) and optimizer. Parameters are identical on every worker
 	// and propagator-independent, so they load into a full-graph model of
@@ -243,6 +267,12 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 	if data.Data.Dim(1) != g.N {
 		return nil, fmt.Errorf("shard: data has %d nodes, graph %d", data.Data.Dim(1), g.N)
 	}
+	if err := cfg.Repartition.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NodeWeights != nil && len(cfg.NodeWeights) != g.N {
+		return nil, fmt.Errorf("shard: %d node weights for %d nodes", len(cfg.NodeWeights), g.N)
+	}
 	plan := cfg.Plan
 	if plan == nil {
 		var err error
@@ -267,21 +297,23 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 	}
 
 	type workerOut struct {
-		curve       metrics.Curve
-		vt          time.Duration
-		comm        time.Duration
-		commHidden  time.Duration
-		halo        Stats
-		expCh       [cluster.NumChannels]time.Duration
-		gradBytes   int64
-		savedBytes  int64
-		buckets     int
-		bucketBytes int64
-		steps       int
-		checksum    float64
-		cancelled   bool
-		model       nn.SeqModel
-		opt         *nn.Adam
+		curve        metrics.Curve
+		vt           time.Duration
+		comm         time.Duration
+		commHidden   time.Duration
+		halo         Stats
+		expCh        [cluster.NumChannels]time.Duration
+		gradBytes    int64
+		savedBytes   int64
+		buckets      int
+		bucketBytes  int64
+		steps        int
+		repartitions int
+		loads        []float64
+		checksum     float64
+		cancelled    bool
+		model        nn.SeqModel
+		opt          *nn.Adam
 	}
 	outs := make([]workerOut, world)
 	globalN := g.N
@@ -302,12 +334,36 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		for i := range shardGroup {
 			shardGroup[i] = i*cfg.Shards + sh
 		}
-		sp := plan.Parts[sh]
-		ownFrac := float64(len(sp.Own)) / float64(globalN)
+		// The plan is worker-local state once repartitioning can replace it
+		// mid-run; the shared outer plan is never mutated.
+		myPlan := plan
+		sp := myPlan.Parts[sh]
+		// fracOf splits the shard's two shares: the loss weight is always the
+		// node-count share (Σ shard losses must equal the global mean
+		// exactly), while the structural compute charge uses the NodeWeights
+		// share when skew is injected.
+		var totalWeight float64
+		for _, nw := range cfg.NodeWeights {
+			totalWeight += nw
+		}
+		fracOf := func(own []int) (lossFrac, computeFrac float64) {
+			lossFrac = float64(len(own)) / float64(globalN)
+			computeFrac = lossFrac
+			if cfg.NodeWeights != nil && totalWeight > 0 {
+				s := 0.0
+				for _, u := range own {
+					s += cfg.NodeWeights[u]
+				}
+				computeFrac = s / totalWeight
+			}
+			return lossFrac, computeFrac
+		}
+		ownFrac, computeFrac := fracOf(sp.Own)
 		tw := cfg.Trace.Worker(rank)
 		cfg.Trace.NameWorker(rank, fmt.Sprintf("train rank %d (replica %d, shard %d)", rank, rep, sh))
 		stats := &Stats{PinFirstLaunch: cfg.Prefetch, Trace: tw}
-		model := factory(cfg.Seed, Propagators(w, replicaGroup, sp, cfg.Topology, stats, haloOverlap))
+		props := Propagators(w, replicaGroup, sp, cfg.Topology, stats, haloOverlap)
+		model := factory(cfg.Seed, props)
 		params := model.Parameters()
 		opt := nn.NewAdam(model, lr)
 		if cfg.Init != nil {
@@ -316,6 +372,11 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 			}
 		}
 		sampler := ddp.NewSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Replicas, rep, cfg.Seed)
+		// This replica's validation batches, fixed for the whole run (the
+		// split never changes; only the owned-node slice evaluated per batch
+		// does, and that is read from sp at eval time).
+		evalLo, evalHi := batching.PartitionRange(len(split.Val), cfg.Replicas, rep)
+		evalBatches := batching.Batches(split.Val[evalLo:evalHi], cfg.BatchSize)
 		// The train loop's batches live in the prefetcher's double buffer (or
 		// buf on the serial path); evaluation gets its own buffer so eval
 		// assembly never clobbers a slot the train pipeline still owns.
@@ -326,6 +387,7 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		var gradBytes, savedBytes int64
 		var curve metrics.Curve
 		steps := 0
+		moves := 0
 
 		// The overlap-timeline channels this rank's collectives occupy: halo
 		// exchanges stay within the replica group, gradient buckets cross the
@@ -340,11 +402,16 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		var expCh [cluster.NumChannels]time.Duration
 
 		// One prefetcher per epoch; closed on every exit path (the deferred
-		// close covers error returns and cancellation).
-		var pf *batching.Prefetcher
+		// close covers error returns and cancellation). The eval prefetcher
+		// spins up under the epoch's last train step so the first validation
+		// batch is resident when the tail eval pass begins.
+		var pf, evalPf *batching.Prefetcher
 		defer func() {
 			if pf != nil {
 				pf.Close()
+			}
+			if evalPf != nil {
+				evalPf.Close()
 			}
 		}()
 
@@ -420,6 +487,7 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				pf = batching.NewPrefetcher(data, batches[:stepsThisEpoch])
 			}
 			var trainAcc metrics.Running
+			var epochCompute time.Duration
 			for s := 0; s < stepsThisEpoch; s++ {
 				if cancellable {
 					// Clock-free agreed stop (see ddp.Train): cancellable
@@ -444,6 +512,13 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 					if !ok {
 						return fmt.Errorf("shard: rank %d: prefetcher exhausted at step %d of %d", rank, s, stepsThisEpoch)
 					}
+				}
+				if pf != nil && s == stepsThisEpoch-1 && len(evalBatches) > 0 {
+					// Tail overlap: the epoch's last train step has no next
+					// train batch to collate, so the background collator
+					// assembles the first eval batch under it instead and the
+					// eval pass no longer serializes with the epoch tail.
+					evalPf = batching.NewPrefetcher(data, evalBatches)
 				}
 				start := time.Now()
 				stats.BeginStep()
@@ -506,7 +581,7 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				structural := cfg.ComputeCost != nil
 				var compute time.Duration
 				if structural {
-					compute = time.Duration(ownFrac * float64(cfg.ComputeCost(len(idx))))
+					compute = time.Duration(computeFrac * float64(cfg.ComputeCost(len(idx))))
 					fwdWall, bwdWall = 0, 0
 				} else {
 					compute = time.Since(start) - (stats.Wall - haloWall)
@@ -517,6 +592,7 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 						compute = 0
 					}
 				}
+				epochCompute += compute
 				// Charge the step: overlapped halo launches ride the replica
 				// group's engine and gradient buckets the shard group's, each
 				// engine serializing its own events while the two pipeline
@@ -528,9 +604,20 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				// empty and it degenerates further to the compute-only
 				// advance (the blocking halo exchanges charged the clock
 				// inline and the flatten sync charges it below).
-				var asm time.Duration
+				// asm prices collating this step's batch; nextAsm is what the
+				// background collator works on under this step — the next
+				// train batch, or (on the epoch's last step) the first eval
+				// batch the tail-overlap prefetcher is filling.
+				var asm, nextAsm time.Duration
 				if cfg.AssembleCost != nil {
 					asm = cfg.AssembleCost(len(idx))
+					if pf != nil {
+						if s+1 < stepsThisEpoch {
+							nextAsm = asm
+						} else if evalPf != nil {
+							nextAsm = cfg.AssembleCost(len(evalBatches[0]))
+						}
+					}
 				}
 				if asm > 0 && pf != nil && s == 0 {
 					// Pipeline fill: the epoch's leading assembly has no
@@ -597,12 +684,12 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				// Host-side collation: the serial path exposes it ahead of
 				// the step; the prefetch pipeline assembles the next batch
 				// under this step, so the step charge is max(step, assemble).
-				if asm > 0 {
-					if pf == nil {
+				if pf == nil {
+					if asm > 0 {
 						step += asm
-					} else if s+1 < stepsThisEpoch && asm > step {
-						step = asm
 					}
+				} else if nextAsm > step {
+					step = nextAsm
 				}
 				stepEnd := t0 + step
 				stats.Hidden += haloStepCost - haloExposed
@@ -614,14 +701,17 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 					// the serially-exposed assembly; the prefetch path's
 					// assembly is occupancy under the step.
 					base := t0
-					if asm > 0 {
-						name := "assemble"
-						if pf != nil {
-							name = "assemble.next"
-						} else {
+					if pf == nil {
+						if asm > 0 {
 							base += asm
+							tw.Span(trace.KindAssemble, "assemble", trace.StreamAssembly, t0, asm, 0)
 						}
-						tw.Span(trace.KindAssemble, name, trace.StreamAssembly, t0, asm, 0)
+					} else if nextAsm > 0 {
+						name := "assemble.next"
+						if s+1 >= stepsThisEpoch {
+							name = "assemble.eval"
+						}
+						tw.Span(trace.KindAssemble, name, trace.StreamAssembly, t0, nextAsm, 0)
 					}
 					tw.Span(trace.KindCompute, "compute", trace.StreamCompute, base, compute, 0)
 					spans, _ := cluster.OverlapScheduleChannels(compute, events)
@@ -773,11 +863,57 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				bucketBytes = sweep.BucketBytes()
 			}
 			trainMAE := ddp.ReduceWeighted(w, trainAcc)
-			valMAE := evaluateShard(w, model, data, split.Val, cfg, sp.Own, rep, &evalBuf, stats)
+			valMAE := evaluateShard(w, model, data, evalBatches, evalPf, sp.Own, &evalBuf, stats)
+			if evalPf != nil {
+				evalPf.Close()
+				evalPf = nil
+			}
 			rec := metrics.EpochRecord{Epoch: epoch, TrainMAE: trainMAE, ValMAE: valMAE}
 			curve = append(curve, rec)
 			if rank == 0 && cfg.OnEpoch != nil {
 				cfg.OnEpoch(rec)
+			}
+			if cfg.Repartition.Enabled() && cfg.Shards > 1 && epoch+1 < cfg.Epochs &&
+				(cfg.Repartition.MaxMoves == 0 || moves < cfg.Repartition.MaxMoves) {
+				// Agree on the per-shard load vector without touching the
+				// clock: each entry is the max over that shard's replicas of
+				// the epoch's accumulated step compute (identical across
+				// replicas on structural timelines). Every rank then derives
+				// the same decision from the same vector.
+				loads := make([]float64, cfg.Shards)
+				for q := range loads {
+					v := 0.0
+					if q == sh {
+						v = epochCompute.Seconds()
+					}
+					loads[q] = w.AllReduceScalarFree(v, cluster.OpMax)
+				}
+				if src, dst, nodes, ok := chunkMove(g, myPlan, loads, cfg.Repartition); ok {
+					newPlan, err := applyMove(g, supports, myPlan, dst, nodes)
+					if err != nil {
+						return fmt.Errorf("shard: rank %d repartition: %w", rank, err)
+					}
+					// Modeled migration window: the moved nodes' full feature
+					// history crosses the fabric once; every rank charges the
+					// identical cost so the clocks stay aligned.
+					bytes := int64(len(nodes)) * int64(data.Data.Dim(0)*data.Data.Dim(2)) * 8
+					cost := cfg.Net.FetchTime(bytes)
+					if tw != nil {
+						tw.Span(trace.KindRepartition, fmt.Sprintf("repartition %d->%d", src, dst), trace.StreamStep, w.VirtualTime(), cost, bytes)
+					}
+					w.AdvanceTime(cost)
+					myPlan = newPlan
+					sp = myPlan.Parts[sh]
+					ownFrac, computeFrac = fracOf(sp.Own)
+					if err := Rebind(props, w, replicaGroup, sp, cfg.Topology, stats, haloOverlap); err != nil {
+						return fmt.Errorf("shard: rank %d repartition: %w", rank, err)
+					}
+					moves++
+					if rank == 0 && cfg.OnRepartition != nil {
+						cfg.OnRepartition(RepartitionEvent{Epoch: epoch, From: src, To: dst,
+							Nodes: nodes, Loads: loads, EdgeCut: myPlan.EdgeCut})
+					}
+				}
 			}
 		}
 		var checksum float64
@@ -811,10 +947,15 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 			curve: curve, vt: w.VirtualTime(), comm: comm, commHidden: commHidden,
 			halo: *stats, expCh: expCh, gradBytes: gradBytes, savedBytes: savedBytes,
 			buckets: buckets, bucketBytes: effectiveBucketBytes,
-			steps: steps, checksum: checksum, cancelled: cancelled,
+			steps: steps, repartitions: moves, checksum: checksum, cancelled: cancelled,
 		}
 		if rank == 0 {
 			outs[rank].model, outs[rank].opt = model, opt
+			loads := make([]float64, cfg.Shards)
+			for p := range loads {
+				_, loads[p] = fracOf(myPlan.Parts[p].Own)
+			}
+			outs[rank].loads = loads
 		}
 		return nil
 	})
@@ -849,6 +990,8 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		EdgeCut:          plan.EdgeCut,
 		MaxOwn:           plan.MaxOwn(),
 		MaxHalo:          plan.MaxHalo(),
+		Repartitions:     outs[0].repartitions,
+		ShardLoads:       outs[0].loads,
 		Model:            outs[0].model,
 		Opt:              outs[0].opt,
 		Cancelled:        outs[0].cancelled,
@@ -861,13 +1004,25 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 // overlapped halo schedule the evaluation exchanges record step events
 // nobody overlaps (there is no modeled eval compute to hide under), so
 // their full cost is charged inline per batch — exactly what the blocking
-// schedule charges; with blocking exchanges the settle is a no-op.
-func evaluateShard(w *cluster.Worker, model nn.SeqModel, data *batching.IndexDataset, val []int, cfg Config, own []int, rep int, buf *batching.BatchBuffer, stats *Stats) float64 {
-	lo, hi := batching.PartitionRange(len(val), cfg.Replicas, rep)
+// schedule charges; with blocking exchanges the settle is a no-op. When the
+// tail-overlap prefetcher is supplied, batches arrive pre-assembled (the
+// first one collated under the epoch's last train step, the rest under the
+// preceding eval forwards), so eval collation leaves the wall-clock path.
+func evaluateShard(w *cluster.Worker, model nn.SeqModel, data *batching.IndexDataset, batches [][]int, pf *batching.Prefetcher, own []int, buf *batching.BatchBuffer, stats *Stats) float64 {
 	var acc metrics.Running
-	for _, batch := range batching.Batches(val[lo:hi], cfg.BatchSize) {
+	for _, batch := range batches {
 		stats.BeginStep()
-		x, y := data.AssembleBatch(batch, buf)
+		var x, y *tensor.Tensor
+		if pf != nil {
+			var ok bool
+			if x, y, ok = pf.Next(); !ok {
+				// The prefetcher covers exactly these batches; exhaustion
+				// means Close raced in, so fall back to serial assembly.
+				x, y = data.AssembleBatch(batch, buf)
+			}
+		} else {
+			x, y = data.AssembleBatch(batch, buf)
+		}
 		xOwn := gatherNodeAxis(x, own)
 		target := gatherNodeAxis(y.Slice(3, 0, 1).Contiguous(), own)
 		pred := model.Forward(autograd.Constant(xOwn))

@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+
+	"pgti/internal/core"
+)
+
+// RetrainConfig parameterizes a rolling-retrain driver.
+type RetrainConfig struct {
+	// Base is the per-round training configuration (strategy, model, epoch
+	// budget, modeled costs). Each round clones it, injects the
+	// materialized window as Provided, and warm-starts from the previous
+	// round's parameters. Meta/Scale/Provided/WarmParams and the checkpoint
+	// fields must be left for the retrainer to manage.
+	Base core.Config
+	// Window is the training window length in timesteps.
+	Window int
+	// Advance is how far the window slides between rounds (default Window:
+	// tumbling windows).
+	Advance int
+	// Rounds is the number of retraining rounds to run.
+	Rounds int
+	// Cold disables warm-starting: every round reinitializes from the seed
+	// (round 0 is always cold, which is what makes a one-round replay
+	// bitwise-identical to the offline run).
+	Cold bool
+	// Configure, when set, edits each round's cloned configuration after
+	// the window and warm-start state are injected and before the engine is
+	// built — the per-round hook for attaching a fresh trace recorder or
+	// decaying the learning rate across rounds. It must leave the managed
+	// fields (Provided, Meta, WarmParams, checkpointing) alone.
+	Configure func(round int, cfg *core.Config)
+	// Swap, when set, receives each round's trained parameter snapshot —
+	// wire it to a live server's Swap to publish weights without draining.
+	Swap func(snap [][]float64) error
+	// OnRound, when set, observes each completed round synchronously.
+	OnRound func(r Round)
+}
+
+func (c *RetrainConfig) fillDefaults() {
+	if c.Advance <= 0 {
+		c.Advance = c.Window
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+}
+
+func (c *RetrainConfig) validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("stream: retrain window %d timesteps", c.Window)
+	}
+	if c.Base.Provided != nil || len(c.Base.WarmParams) > 0 {
+		return fmt.Errorf("stream: Base.Provided and Base.WarmParams are managed by the retrainer")
+	}
+	if c.Base.LoadCheckpoint != "" || c.Base.SaveCheckpoint != "" || c.Base.Resume {
+		return fmt.Errorf("stream: checkpointing does not compose with rolling retraining")
+	}
+	if c.Base.Scale > 0 && c.Base.Scale < 1 {
+		return fmt.Errorf("stream: Base.Scale %g — scale the stream's Meta instead", c.Base.Scale)
+	}
+	if c.Base.MissingFrac > 0 {
+		return fmt.Errorf("stream: MissingFrac injection is not supported on streamed windows")
+	}
+	return nil
+}
+
+// Round is one completed retraining round.
+type Round struct {
+	// Round is the zero-based round index.
+	Round int
+	// Lo and Hi delimit the trained window's timesteps, [Lo, Hi).
+	Lo, Hi int
+	// Report is the round's full training report (curve, virtual clock,
+	// memory accounting, repartitions).
+	Report *core.Report
+	// Swapped reports whether the round's parameters were published through
+	// RetrainConfig.Swap.
+	Swapped bool
+}
+
+// Retrainer drives rolling retraining over a streaming source: wait for the
+// next window to fill, materialize it, Fit (warm-started), publish the
+// weights. Each round runs a fresh core.Engine, so every offline facility —
+// events, tracing, spatial sharding, elastic repartitioning — composes with
+// streaming unchanged.
+type Retrainer struct {
+	src *Source
+	cfg RetrainConfig
+}
+
+// NewRetrainer validates the configuration against the source.
+func NewRetrainer(src *Source, cfg RetrainConfig) (*Retrainer, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Window > src.opts.Window {
+		return nil, fmt.Errorf("stream: retrain window %d exceeds the source ring (%d timesteps)", cfg.Window, src.opts.Window)
+	}
+	if min := 2 * src.meta.Horizon; cfg.Window < min {
+		return nil, fmt.Errorf("stream: retrain window %d cannot hold one %s snapshot (needs >= %d timesteps)", cfg.Window, src.meta.Name, min)
+	}
+	if need := (cfg.Rounds-1)*cfg.Advance + cfg.Window; need > src.opts.Total {
+		return nil, fmt.Errorf("stream: %d rounds need %d timesteps, stream ends at %d", cfg.Rounds, need, src.opts.Total)
+	}
+	return &Retrainer{src: src, cfg: cfg}, nil
+}
+
+// Run executes the configured rounds, returning the completed rounds (also
+// on error: a closed source or cancelled Fit ends the run after the rounds
+// already finished).
+func (r *Retrainer) Run(ctx context.Context) ([]Round, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var warm [][]float64
+	rounds := make([]Round, 0, r.cfg.Rounds)
+	for k := 0; k < r.cfg.Rounds; k++ {
+		lo := k * r.cfg.Advance
+		hi := lo + r.cfg.Window
+		if !r.src.WaitFor(hi) {
+			return rounds, fmt.Errorf("stream: source closed before timestep %d (round %d)", hi, k)
+		}
+		ds, err := r.src.Materialize(lo, hi)
+		if err != nil {
+			return rounds, err
+		}
+		cfg := r.cfg.Base
+		cfg.Provided = ds
+		cfg.Meta = ds.Meta
+		if !r.cfg.Cold {
+			cfg.WarmParams = warm // nil on round 0: cold start
+		}
+		if r.cfg.Configure != nil {
+			r.cfg.Configure(k, &cfg)
+		}
+		eng := core.NewEngine(cfg)
+		if err := eng.Fit(ctx); err != nil {
+			return rounds, fmt.Errorf("stream: round %d fit: %w", k, err)
+		}
+		snap, err := eng.ParamSnapshot()
+		if err != nil {
+			return rounds, err
+		}
+		warm = snap
+		round := Round{Round: k, Lo: lo, Hi: hi, Report: eng.Report()}
+		if r.cfg.Swap != nil {
+			if err := r.cfg.Swap(snap); err != nil {
+				return rounds, fmt.Errorf("stream: round %d swap: %w", k, err)
+			}
+			round.Swapped = true
+		}
+		// History below the next window's start is no longer needed; give
+		// it back so the producer can keep sliding.
+		r.src.Release(lo + r.cfg.Advance)
+		if r.cfg.OnRound != nil {
+			r.cfg.OnRound(round)
+		}
+		rounds = append(rounds, round)
+	}
+	return rounds, nil
+}

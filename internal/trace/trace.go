@@ -55,6 +55,10 @@ const (
 	KindQueue
 	// KindForward is one coalesced serve batch forward on a replica.
 	KindForward
+	// KindRepartition is one elastic chunk repartition: the modeled window
+	// during which a chunk's feature rows migrate between shards and the
+	// halo-exchange plans rebuild.
+	KindRepartition
 
 	numKinds
 )
@@ -83,6 +87,8 @@ func (k Kind) String() string {
 		return "queue"
 	case KindForward:
 		return "forward"
+	case KindRepartition:
+		return "repartition"
 	default:
 		return "unknown"
 	}

@@ -85,6 +85,15 @@
 //	EmitForecasts                 WithForecasts
 //	Trace                         WithTrace
 //
+// The streaming-era capabilities exist only on the options surface — the
+// Config shim predates them and gains no new fields:
+//
+//	(no Config field)             WithRepartition (elastic chunk migration)
+//	(no Config field)             WithNodeWeights (weighted partition + skew)
+//	(no Config field)             WithComputeCost / WithAssembleCost
+//	(no Config field)             WithPrefetch / WithStaleness
+//	(no Config field)             NewStream / Stream.Retrain (online retraining)
+//
 // The one semantic difference is Shuffle: ShuffleGlobal is the field's zero
 // value, so a Config literal cannot distinguish "explicitly global" from
 // "unset", and StrategyGenDistIndex silently upgrades the unset reading to
@@ -310,6 +319,13 @@ type Report struct {
 	HaloHiddenTime time.Duration
 	EdgeCut        int
 	PerWorkerBytes int64
+	// Repartitions counts the elastic chunk migrations applied by
+	// WithRepartition (0 when disabled or never triggered).
+	Repartitions int
+	// ShardLoads is the final per-shard structural compute share (weighted
+	// by WithNodeWeights when set, sums to 1; nil when unsharded) — after
+	// any repartitioning, so its max/min spread measures residual skew.
+	ShardLoads []float64
 
 	// PeakSystemBytes/PeakGPUBytes are byte-exact high-water marks;
 	// RetainedDataBytes is eq. (1) or eq. (2) depending on strategy.
@@ -407,6 +423,8 @@ func reportFromCore(rep *core.Report) *Report {
 		HaloTime:          rep.HaloTime,
 		HaloHiddenTime:    rep.HaloHiddenTime,
 		EdgeCut:           rep.EdgeCut,
+		Repartitions:      rep.Repartitions,
+		ShardLoads:        rep.ShardLoads,
 		PerWorkerBytes:    rep.PerWorkerBytes,
 		PeakSystemBytes:   rep.PeakSystemBytes,
 		PeakGPUBytes:      rep.PeakGPUBytes,

@@ -1,0 +1,190 @@
+package pgti
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pgti/internal/core"
+	"pgti/internal/dataset"
+	"pgti/internal/stream"
+)
+
+// Streaming: online ingestion and rolling retraining over the staged
+// lifecycle.
+//
+//	st, _ := pgti.NewStream("Chickenpox-Hungary", 42, pgti.StreamOptions{
+//		Window: 256, Interval: time.Minute})
+//	defer st.Close()
+//	srv, _ := pgti.NewServer(exp, pgti.WithReplicas(2))
+//	rounds, err := st.Retrain(ctx, pgti.RetrainOptions{
+//		Window: 200, Advance: 100, Rounds: 3, Server: srv,
+//	}, pgti.WithEpochs(2), pgti.WithPrefetch())
+//
+// A Stream ingests the signal one timestep at a time into a bounded
+// sliding-window ring; Retrain materializes each window into an ordinary
+// dataset, runs a warm-started Fit through the ordinary engine (every
+// option composes: spatial sharding, repartitioning, tracing, events), and
+// publishes the refreshed weights into a live Server without draining.
+// Determinism carries over from the offline path: arrivals advance a
+// modeled ingest clock, and a single-window replay of the whole stream
+// reproduces the offline experiment's curve — and, under modeled costs, its
+// virtual clock — bitwise.
+
+// StreamOptions parameterizes NewStream's ingestion.
+type StreamOptions struct {
+	// Window is the ring capacity in timesteps — the bounded history the
+	// stream retains. Must hold at least one training snapshot (2*horizon
+	// timesteps). The producer never evicts an unreleased timestep:
+	// backpressure, not data loss, is the overflow behavior.
+	Window int
+	// Interval is the modeled arrival spacing: ingesting timestep t
+	// advances the ingest clock to (t+1)*Interval. Zero models an
+	// instantaneous backfill.
+	Interval time.Duration
+	// Total caps the stream length in timesteps; 0 streams the dataset's
+	// full length, matching the offline run.
+	Total int
+}
+
+// Stream is a live ingestion handle over a named dataset's signal: a
+// background producer fills a bounded sliding-window ring that Retrain
+// consumes. Construct with NewStream; Close when done (idempotent, and safe
+// mid-Retrain — the run ends with a typed error after the current round).
+type Stream struct {
+	src *stream.Source
+}
+
+// NewStream starts streaming the named dataset's signal (same generator,
+// same seed semantics as the offline path — timestep t is bitwise the
+// offline dataset's row t).
+func NewStream(datasetName string, seed uint64, o StreamOptions) (*Stream, error) {
+	meta, err := dataset.ByName(datasetName)
+	if err != nil {
+		return nil, fmt.Errorf("pgti: %w (available: %v)", err, Datasets())
+	}
+	src, err := stream.NewSource(meta, seed, stream.Options{
+		Window: o.Window, Interval: o.Interval, Total: o.Total,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pgti: %w", err)
+	}
+	return &Stream{src: src}, nil
+}
+
+// Retained reports the window of timesteps currently held, [lo, hi).
+func (s *Stream) Retained() (lo, hi int) { return s.src.Retained() }
+
+// IngestClock returns the modeled arrival clock: ingested timesteps times
+// the configured interval, independent of host scheduling.
+func (s *Stream) IngestClock() time.Duration { return s.src.IngestClock() }
+
+// Stats returns the exact mean and standard deviation over the currently
+// retained window (recomputed incrementally, renormalized on eviction).
+func (s *Stream) Stats() (mean, std float64) { return s.src.Stats() }
+
+// Close stops ingestion and wakes every waiter; a Retrain in flight returns
+// its completed rounds alongside a "source closed" error. Idempotent.
+func (s *Stream) Close() { s.src.Close() }
+
+// StreamRound is one completed rolling-retrain round.
+type StreamRound struct {
+	// Round is the zero-based round index; the round trained on timesteps
+	// [Lo, Hi).
+	Round, Lo, Hi int
+	// Report is the round's full training report.
+	Report *Report
+	// Swapped reports that the round's weights were published into the
+	// Server.
+	Swapped bool
+}
+
+// RetrainOptions parameterizes Stream.Retrain.
+type RetrainOptions struct {
+	// Window is the training window length in timesteps (default: the
+	// stream's full ring).
+	Window int
+	// Advance slides the window between rounds (default Window: tumbling).
+	Advance int
+	// Rounds is the number of retraining rounds (default 1).
+	Rounds int
+	// Cold disables warm-starting: every round reinitializes from the seed.
+	// Round 0 is always cold — that is what makes a one-round replay
+	// bitwise-identical to the offline run.
+	Cold bool
+	// Server, when set, receives each round's weights through an atomic
+	// Swap — in-flight predictions finish on the old weights, later ones
+	// see only the new.
+	Server *Server
+	// OnRound observes each completed round synchronously.
+	OnRound func(r StreamRound)
+	// RoundOptions, when set, supplies extra options applied on top of the
+	// base option set for the given round — the hook for per-round state
+	// such as a fresh trace recorder (recorders cannot span rounds: each
+	// round's virtual clocks restart at zero) or a decaying learning rate.
+	// The returned options must keep the configuration legal.
+	RoundOptions func(round int) []Option
+}
+
+// Retrain drives rolling retraining over the stream: wait for the next
+// window to fill, materialize it, Fit with the given experiment options
+// (warm-started from the previous round), publish the weights, release the
+// history behind the window. Returns the completed rounds — also alongside
+// an error, when the stream closes or a round's Fit fails mid-run.
+// Checkpointing and dataset-mutating options (WithScale, WithMissingData,
+// WithWarmStart, WithResume, WithSaveCheckpoint) do not compose with
+// streaming and are rejected.
+func (s *Stream) Retrain(ctx context.Context, ro RetrainOptions, opts ...Option) ([]StreamRound, error) {
+	c := &expConfig{}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if err := c.validate(); err != nil {
+		return nil, fmt.Errorf("pgti: %w", err)
+	}
+	c.core.SamplerSet = c.shuffleSet
+	window := ro.Window
+	if window == 0 {
+		window = s.src.Window()
+	}
+	rc := stream.RetrainConfig{
+		Base:    c.core,
+		Window:  window,
+		Advance: ro.Advance,
+		Rounds:  ro.Rounds,
+		Cold:    ro.Cold,
+	}
+	if ro.Server != nil {
+		rc.Swap = ro.Server.srv.Swap
+	}
+	if ro.OnRound != nil {
+		rc.OnRound = func(r stream.Round) { ro.OnRound(publicRound(r)) }
+	}
+	if ro.RoundOptions != nil {
+		rc.Configure = func(round int, cfg *core.Config) {
+			tmp := &expConfig{core: *cfg}
+			for _, opt := range ro.RoundOptions(round) {
+				opt(tmp)
+			}
+			*cfg = tmp.core
+		}
+	}
+	rt, err := stream.NewRetrainer(s.src, rc)
+	if err != nil {
+		return nil, fmt.Errorf("pgti: %w", err)
+	}
+	rounds, err := rt.Run(ctx)
+	out := make([]StreamRound, len(rounds))
+	for i, r := range rounds {
+		out[i] = publicRound(r)
+	}
+	if err != nil {
+		return out, fmt.Errorf("pgti: %w", err)
+	}
+	return out, nil
+}
+
+func publicRound(r stream.Round) StreamRound {
+	return StreamRound{Round: r.Round, Lo: r.Lo, Hi: r.Hi,
+		Report: reportFromCore(r.Report), Swapped: r.Swapped}
+}

@@ -19,6 +19,7 @@ import (
 	"pgti/internal/dataset"
 	"pgti/internal/ddp"
 	"pgti/internal/experiments"
+	"pgti/internal/fault"
 	"pgti/internal/graph"
 	"pgti/internal/metrics"
 	"pgti/internal/nn"
@@ -1038,4 +1039,99 @@ func BenchmarkStreamRepartition2x2(b *testing.B) {
 	b.ReportMetric(loadSpread(rep.ShardLoads), "load-spread")
 	b.ReportMetric(loadSpread(static.ShardLoads), "static-spread")
 	b.ReportMetric(float64(rep.Repartitions), "repartitions")
+}
+
+// --- gated: fault injection + elastic recovery -------------------------------
+
+// benchFaultCfg is the fully-modeled 2 replicas x 2 shards hybrid grid the
+// fault benches run under: with both cost models pinned, the recovery
+// overhead is an exact virtual-clock quantity, not a host measurement.
+func benchFaultCfg() core.Config {
+	meta, _ := dataset.ByName("Chickenpox-Hungary")
+	return core.Config{
+		Meta: meta, Scale: 0.4,
+		Model: core.ModelPGTDCRNN, Strategy: core.DistIndex,
+		Workers: 2, Spatial: shard.Spatial{Shards: 2},
+		BatchSize: 4, Epochs: 2, Hidden: 8, K: 1, Seed: 3,
+		AssembleCost: func(items int) time.Duration {
+			return time.Duration(items) * 25 * time.Microsecond
+		},
+		ComputeCost: func(int) time.Duration { return 2 * time.Millisecond },
+	}
+}
+
+// BenchmarkFaultRecovery2x2 crashes one rank of the hybrid grid mid-epoch and
+// prices the full recovery path — detection, snapshot rollback, grid
+// re-plan, state re-fill, and the slower surviving grid. Gated metrics: the
+// run's modeled clock, the booked recovery charge, and the total modeled
+// overhead against the fault-free run.
+func BenchmarkFaultRecovery2x2(b *testing.B) {
+	clean, err := core.Run(benchFaultCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *core.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := benchFaultCfg()
+		cfg.Faults = fault.New(11, fault.Crash(3, 8*time.Millisecond))
+		rep, err = core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rep.Recoveries != 1 {
+		b.Fatalf("recoveries = %d, want 1", rep.Recoveries)
+	}
+	b.ReportMetric(float64(rep.VirtualTime.Microseconds()), "virt-µs")
+	b.ReportMetric(float64(rep.RecoveryTime.Microseconds()), "recovery-µs")
+	b.ReportMetric(float64((rep.VirtualTime - clean.VirtualTime).Microseconds()), "overhead-µs")
+}
+
+// BenchmarkFaultServeFailover drives a closed-loop request sequence through a
+// two-replica pool whose first replica dies mid-burst: the batch retries on
+// the healthy replica under the modeled backoff and the pool degrades to one.
+// Gated metrics: the degraded session's modeled p50/p99 and the failover
+// overhead against an identical fault-free session.
+func BenchmarkFaultServeFailover(b *testing.B) {
+	exp, w := benchServeSetup(b)
+	const requests = 16
+	session := func(faulty bool) ServeStats {
+		opts := []ServeOption{
+			WithReplicas(2), WithMaxBatch(1),
+			WithBatchWindow(time.Second), WithQueueDepth(8),
+			WithCostModel(benchServeCost),
+		}
+		if faulty {
+			opts = append(opts,
+				WithReplicaFailure(0, 2),
+				WithServeRetryBackoff(4*time.Millisecond))
+		}
+		srv, err := NewServer(exp, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for r := 0; r < requests; r++ {
+			if _, err := srv.Predict(context.Background(), w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := srv.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return srv.Stats()
+	}
+	cleanSt := session(false)
+	var st ServeStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = session(true)
+	}
+	if st.Completed != requests || st.Retries != 1 || st.EvictedReplicas != 1 || st.Replicas != 1 {
+		b.Fatalf("stats completed=%d retries=%d evicted=%d replicas=%d, want %d/1/1/1",
+			st.Completed, st.Retries, st.EvictedReplicas, st.Replicas, requests)
+	}
+	b.ReportMetric(float64(st.P50.Microseconds()), "p50-µs")
+	b.ReportMetric(float64(st.P99.Microseconds()), "p99-µs")
+	b.ReportMetric(float64((st.P99 - cleanSt.P99).Microseconds()), "failover-overhead-µs")
 }

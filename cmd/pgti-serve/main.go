@@ -43,17 +43,22 @@ func main() {
 	rate := flag.Duration("rate", 0, "modeled open-loop interarrival (0 = closed-loop virtual clock)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the serving run to this file")
+	failReplica := flag.Int("fail-replica", -1, "inject a failure into this replica (-1 = none)")
+	failAfter := flag.Int("fail-after", 0, "forward calls -fail-replica serves before dying")
+	retryBackoff := flag.Duration("retry-backoff", 0, "modeled base backoff before a failover retry (0 = default)")
 	flag.Parse()
 
 	if err := run(*ds, *scale, *epochs, *retrain, *replicas, *maxBatch, *window,
-		*queue, *clients, *requests, *rate, *seed, *traceOut); err != nil {
+		*queue, *clients, *requests, *rate, *seed, *traceOut,
+		*failReplica, *failAfter, *retryBackoff); err != nil {
 		fmt.Fprintf(os.Stderr, "pgti-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(ds string, scale float64, epochs, retrain, replicas, maxBatch int,
-	window time.Duration, queue, clients, requests int, rate time.Duration, seed uint64, traceOut string) error {
+	window time.Duration, queue, clients, requests int, rate time.Duration, seed uint64, traceOut string,
+	failReplica, failAfter int, retryBackoff time.Duration) error {
 	fit := func(label string, ep int) (*pgti.Experiment, error) {
 		fmt.Printf("%s: %s, %d epochs ...", label, ds, ep)
 		exp, err := pgti.NewExperiment(ds,
@@ -87,6 +92,12 @@ func run(ds string, scale float64, epochs, retrain, replicas, maxBatch int,
 	}
 	if rate > 0 {
 		opts = append(opts, pgti.WithArrivalProcess(rate))
+	}
+	if failReplica >= 0 {
+		opts = append(opts, pgti.WithReplicaFailure(failReplica, failAfter))
+	}
+	if retryBackoff > 0 {
+		opts = append(opts, pgti.WithServeRetryBackoff(retryBackoff))
 	}
 	var rec *pgti.TraceRecorder
 	if traceOut != "" {
@@ -134,8 +145,13 @@ func run(ds string, scale float64, epochs, retrain, replicas, maxBatch int,
 			phase, clients, requests, shed.Load(), failed.Load())
 		fmt.Printf("  %-10s %-10s %-10s %-10s %-12s %s\n",
 			"p50", "p99", "QPS", "batches", "mean batch", "virtual")
-		fmt.Printf("  %-10v %-10v %-10.0f %-10d %-12.2f %v\n\n",
+		fmt.Printf("  %-10v %-10v %-10.0f %-10d %-12.2f %v\n",
 			st.P50, st.P99, st.QPS, st.Batches, st.MeanBatch, st.Virtual)
+		if st.Retries > 0 || st.EvictedReplicas > 0 {
+			fmt.Printf("  failover: %d retries, %d replica(s) evicted, %d healthy\n",
+				st.Retries, st.EvictedReplicas, st.Replicas)
+		}
+		fmt.Println()
 	}
 
 	load("phase 1 (initial weights)")

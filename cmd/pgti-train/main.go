@@ -80,6 +80,13 @@ func main() {
 	forecast := flag.Int("forecast", 0, "print predictions for the first N test windows")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (load at ui.perfetto.dev)")
 	quiet := flag.Bool("quiet", false, "suppress the live per-epoch stream")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault plan (with -crash-rank/-straggler-rank)")
+	crashRank := flag.Int("crash-rank", -1, "crash this rank on the virtual clock (-1 = no crash)")
+	crashAt := flag.Duration("crash-at", 0, "virtual time at which -crash-rank dies")
+	stragRank := flag.Int("straggler-rank", -1, "slow this rank's modeled compute (-1 = no straggler)")
+	stragFactor := flag.Float64("straggler-factor", 2, "compute slowdown factor for -straggler-rank")
+	stragFrom := flag.Duration("straggler-from", 0, "virtual start of the straggler window")
+	stragUntil := flag.Duration("straggler-until", 0, "virtual end of the straggler window")
 	flag.Parse()
 
 	strat, ok := strategies[*strategy]
@@ -132,6 +139,16 @@ func main() {
 	}
 	if *forecast > 0 {
 		opts = append(opts, pgti.WithForecasts(*forecast))
+	}
+	var faults []pgti.FaultOption
+	if *crashRank >= 0 {
+		faults = append(faults, pgti.FaultCrash(*crashRank, *crashAt))
+	}
+	if *stragRank >= 0 {
+		faults = append(faults, pgti.FaultStraggler(*stragRank, *stragFactor, *stragFrom, *stragUntil))
+	}
+	if len(faults) > 0 {
+		opts = append(opts, pgti.WithFaultPlan(*faultSeed, faults...))
 	}
 	var rec *pgti.TraceRecorder
 	if *traceOut != "" {
@@ -200,6 +217,10 @@ func main() {
 	}
 	fmt.Printf("wall %v | virtual (modeled Polaris) %v | comm %v\n",
 		rep.WallTime.Round(1e6), rep.VirtualTime.Round(1e6), rep.CommTime.Round(1e6))
+	if rep.Recoveries > 0 {
+		fmt.Printf("recoveries %d | modeled recovery time %v | surviving workers %d\n",
+			rep.Recoveries, rep.RecoveryTime.Round(1e6), rep.Workers)
+	}
 	fmt.Printf("peak system %s | peak GPU %s | retained data %s\n",
 		pgti.FormatBytes(rep.PeakSystemBytes), pgti.FormatBytes(rep.PeakGPUBytes), pgti.FormatBytes(rep.RetainedDataBytes))
 	if rec != nil {

@@ -7,7 +7,6 @@ import (
 
 	"pgti/internal/core"
 	"pgti/internal/dataset"
-	"pgti/internal/shard"
 )
 
 // Event is the typed notification stream of a running experiment (see
@@ -169,8 +168,20 @@ func WithSpatial(shards int) Option {
 // sums). Requires WithSpatial.
 func WithRepartition(chunkSize int, threshold float64) Option {
 	return func(c *expConfig) {
-		c.core.Repartition = shard.Repartition{ChunkSize: chunkSize, Threshold: threshold}
+		c.core.Repartition.ChunkSize = chunkSize
+		c.core.Repartition.Threshold = threshold
 	}
+}
+
+// WithMeasuredRepartition feeds the repartitioner's epoch-boundary load
+// vector from the measured per-shard step compute — the straggler-scaled
+// charge the virtual clock actually advanced by — instead of the structural
+// node-share charge. The structural vector is blind to an injected
+// FaultStraggler (the shard's node share doesn't change when it slows
+// down); the measured vector sees the inflation and triggers the migration.
+// Requires WithRepartition.
+func WithMeasuredRepartition() Option {
+	return func(c *expConfig) { c.core.Repartition.Measured = true }
 }
 
 // WithNodeWeights injects per-node structural compute weights (len must

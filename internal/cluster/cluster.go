@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"pgti/internal/fault"
 )
 
 // NetworkModel captures the interconnect cost parameters.
@@ -88,6 +90,12 @@ type Config struct {
 	// collectives (default NVLink-class, see NVLinkModel). Net remains the
 	// inter-node fabric.
 	IntraNet NetworkModel
+	// Faults optionally arms a deterministic fault schedule (see
+	// internal/fault and fault.go in this package). Every worker consults
+	// the same plan, so crashes, stragglers, and degraded links inject
+	// identically on every rank. Nil means no faults; an armed-but-empty
+	// plan is bitwise identical to nil.
+	Faults *fault.Plan
 }
 
 // Cluster coordinates a fixed set of workers.
@@ -189,7 +197,7 @@ func (w *Worker) AdvanceTime(d time.Duration) {
 // service, advancing only this worker's clock (fetches are asynchronous to
 // other workers).
 func (w *Worker) FetchRemote(bytes int64) {
-	w.vt += w.cluster.cfg.Net.FetchTime(bytes)
+	w.vt += w.commScaled(w.cluster.cfg.Net.FetchTime(bytes))
 }
 
 // Barrier synchronizes all workers, advancing every clock to the maximum.
@@ -198,9 +206,11 @@ func (w *Worker) Barrier() {
 }
 
 // synchronized runs a collective: clocks align to the slowest participant
-// plus the modeled collective cost.
+// plus the modeled collective cost (inflated by any active link-degrade
+// window; the barrier takes the max across ranks, so clocks stay agreed
+// even when a window boundary splits the participants).
 func (w *Worker) synchronized(cost time.Duration) {
-	w.vt, _ = w.cluster.barrier.wait(w.rank, w.vt, cost, 0, OpSum)
+	w.vt, _ = w.cluster.barrier.wait(w.rank, w.vt, w.commScaled(cost), 0, OpSum)
 }
 
 // RingAllReduceMean averages vec element-wise across all workers, in place,
@@ -234,7 +244,7 @@ func (w *Worker) AsyncRingAllReduceMean(vec []float64) time.Duration {
 // in-memory exchange stays float64.
 func (w *Worker) AsyncRingAllReduceMeanSized(vec []float64, wireBytes int64) time.Duration {
 	w.ringExchange(vec)
-	return w.cluster.cfg.Net.RingAllReduceTime(wireBytes, w.Size())
+	return w.commScaled(w.cluster.cfg.Net.RingAllReduceTime(wireBytes, w.Size()))
 }
 
 // NaiveAllReduceMean averages vec across workers via gather-at-root and
@@ -461,7 +471,7 @@ func (w *Worker) AllReduceScalar(v float64, op ReduceOp) float64 {
 		return v
 	}
 	var out float64
-	w.vt, out = w.cluster.barrier.wait(w.rank, w.vt, w.cluster.cfg.Net.RingAllReduceTime(8, p), v, op)
+	w.vt, out = w.cluster.barrier.wait(w.rank, w.vt, w.commScaled(w.cluster.cfg.Net.RingAllReduceTime(8, p)), v, op)
 	return out
 }
 
@@ -498,6 +508,7 @@ type timeBarrier struct {
 	count     int
 	gen       int
 	maxVT     time.Duration
+	maxCost   time.Duration
 	vals      []float64
 	result    time.Duration
 	resultVal float64
@@ -509,20 +520,27 @@ func newTimeBarrier(size int) *timeBarrier {
 	return b
 }
 
-// wait blocks until all workers arrive, then returns (max(vt)+cost,
-// reduce(vals)). cost and op must be identical across one generation's
-// callers; rank slots the caller's contribution for the ordered reduction.
+// wait blocks until all workers arrive, then returns (max(vt)+max(cost),
+// reduce(vals)). op must be identical across one generation's callers; rank
+// slots the caller's contribution for the ordered reduction. Costs reduce by
+// max rather than last-arriver-wins, so the result stays deterministic even
+// when a fault window boundary hands the generation's callers different
+// scaled costs — with equal costs (every fault-free collective) the max is
+// that cost and nothing changes.
 func (b *timeBarrier) wait(rank int, vt, cost time.Duration, val float64, op ReduceOp) (time.Duration, float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if vt > b.maxVT {
 		b.maxVT = vt
 	}
+	if cost > b.maxCost {
+		b.maxCost = cost
+	}
 	b.vals[rank] = val
 	gen := b.gen
 	b.count++
 	if b.count == b.size {
-		b.result = b.maxVT + cost
+		b.result = b.maxVT + b.maxCost
 		b.resultVal = b.vals[0]
 		for _, v := range b.vals[1:] {
 			switch op {
@@ -540,6 +558,7 @@ func (b *timeBarrier) wait(rank int, vt, cost time.Duration, val float64, op Red
 		}
 		b.count = 0
 		b.maxVT = 0
+		b.maxCost = 0
 		b.gen++
 		b.cond.Broadcast()
 		return b.result, b.resultVal

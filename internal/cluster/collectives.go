@@ -43,7 +43,7 @@ func (w *Worker) Send(to, tag int, payload []float64) {
 	buf := make([]float64, len(payload))
 	copy(buf, payload)
 	w.cluster.p2p()[to] <- message{from: w.rank, tag: tag, payload: buf}
-	w.vt += w.cluster.cfg.Net.TransferTime(int64(len(payload)) * 8)
+	w.vt += w.commScaled(w.cluster.cfg.Net.TransferTime(int64(len(payload)) * 8))
 }
 
 // Recv blocks for the next message with the given tag from the given

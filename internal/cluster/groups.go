@@ -81,7 +81,7 @@ func (w *Worker) GroupRingAllReduceSized(vec []float64, group []int, wireBytes i
 			vec[i] *= inv
 		}
 	}
-	cost := w.groupLink(group, topo).RingAllReduceTime(wireBytes, m)
+	cost := w.commScaled(w.groupLink(group, topo).RingAllReduceTime(wireBytes, m))
 	w.GroupBarrier(group, cost)
 	return cost
 }
@@ -188,7 +188,7 @@ func (w *Worker) AsyncTwoStageAllReduce(vec []float64, replicaGroup, shardGroup 
 		w.groupAllGather(vec, replicaGroup)
 		cost += time.Duration(s-1) * w.groupLink(replicaGroup, topo).TransferTime(wireBytes/int64(s))
 	}
-	return cost
+	return w.commScaled(cost)
 }
 
 // NeighborSend is one peer-directed payload of a sparse AllToAllV.
@@ -264,7 +264,7 @@ func (h *NeighborHandle) Finish() (map[int][]float64, time.Duration) {
 	if recvCost > cost {
 		cost = recvCost
 	}
-	return recvs, cost
+	return recvs, w.commScaled(cost)
 }
 
 // linkTo returns the interconnect model for traffic between this worker and

@@ -23,6 +23,7 @@ import (
 	"pgti/internal/cluster"
 	"pgti/internal/dataset"
 	"pgti/internal/ddp"
+	"pgti/internal/fault"
 	"pgti/internal/memsim"
 	"pgti/internal/metrics"
 	"pgti/internal/nn"
@@ -241,9 +242,20 @@ type Config struct {
 	// legacy behavior).
 	EvalTest bool
 
+	// Faults arms a distributed run with a deterministic fault plan (see
+	// internal/fault): scheduled worker crashes are detected via a modeled
+	// timeout, training rolls back to the last in-memory epoch-boundary
+	// snapshot, the grid rebuilds from the survivors (replica dimension
+	// shrinks; a lost shard's nodes re-split across the remaining shards),
+	// and the run continues — surfaced as RecoveryEvent on the event stream
+	// and Recoveries/RecoveryTime on the report. Straggler and link-degrade
+	// windows inflate the affected compute/transfer charges in place. Nil
+	// means no faults; an armed-but-empty plan is bitwise identical to nil.
+	Faults *fault.Plan
+
 	// Events, when set, receives the engine's typed event stream during
-	// Fit: epoch ends, autotune lock-in, memory high-water marks, OOM. See
-	// the Event type for the delivery contract.
+	// Fit: epoch ends, autotune lock-in, memory high-water marks, OOM,
+	// worker-loss recovery. See the Event type for the delivery contract.
 	Events EventFunc
 
 	// Trace, when non-nil, records virtual-clock spans (compute, batch
@@ -331,6 +343,13 @@ type Report struct {
 	// Repartitions counts the elastic chunk migrations applied mid-run
 	// (Config.Repartition; 0 when disabled or never triggered).
 	Repartitions int
+	// Recoveries counts the worker-loss recoveries the run survived
+	// (Config.Faults; 0 when unarmed or fault-free). RecoveryTime is the
+	// modeled time the faults cost: rolled-back progress since the last
+	// snapshot plus the detection and re-plan/re-fill charges — the overhead
+	// the gated fault benchmarks report against a fault-free run.
+	Recoveries   int
+	RecoveryTime time.Duration
 	// ShardLoads is the final per-shard structural compute share
 	// (NodeWeights-weighted, sums to 1; nil when unsharded) — after any
 	// elastic repartitioning, so its spread measures the residual skew.

@@ -8,6 +8,7 @@ import (
 
 	"pgti/internal/autograd"
 	"pgti/internal/batching"
+	"pgti/internal/cluster"
 	"pgti/internal/dataset"
 	"pgti/internal/ddp"
 	"pgti/internal/device"
@@ -19,6 +20,7 @@ import (
 	"pgti/internal/shard"
 	"pgti/internal/sparse"
 	"pgti/internal/tensor"
+	"pgti/internal/trace"
 )
 
 // engineStage tracks lifecycle progress.
@@ -192,6 +194,18 @@ func (e *Engine) validate() error {
 	}
 	if len(cfg.WarmParams) > 0 && cfg.LoadCheckpoint != "" {
 		return invalidf("WarmParams", "WarmParams and LoadCheckpoint are mutually exclusive initializers")
+	}
+	if cfg.Faults != nil {
+		if !cfg.Strategy.IsDistributed() {
+			return invalidf("Faults", "fault injection requires a distributed strategy, got %v", cfg.Strategy)
+		}
+		world := cfg.Workers
+		if cfg.Spatial.Enabled() {
+			world = cfg.Spatial.Shards * cfg.Workers
+		}
+		if err := cfg.Faults.Validate(world); err != nil {
+			return invalidf("Faults", "%v", err)
+		}
 	}
 	if cfg.Provided != nil {
 		if cfg.Scale > 0 && cfg.Scale < 1 {
@@ -540,6 +554,7 @@ func (e *Engine) buildDistributed() error {
 		ComputeCost:     cfg.ComputeCost,
 		Init:            init,
 		Trace:           cfg.Trace,
+		Faults:          cfg.Faults,
 	}
 	if cfg.Staleness > 0 {
 		return fmt.Errorf("core: bounded staleness requires spatial sharding (Spatial.Shards >= 2), got strategy %v without shards", cfg.Strategy)
@@ -660,6 +675,7 @@ func (e *Engine) buildHybrid() error {
 		Plan:            plan,
 		Init:            init,
 		Trace:           cfg.Trace,
+		Faults:          cfg.Faults,
 	}
 	return nil
 }
@@ -722,6 +738,97 @@ func (e *Engine) saveState(nextEpoch int) error {
 	return nn.SaveTrainStateFile(e.cfg.SaveCheckpoint, e.model, e.opt, nextEpoch)
 }
 
+// saveInterrupted is the single write-on-abnormal-exit path: every Fit that
+// ends before its epoch budget — context cancellation or an unrecoverable
+// worker loss — persists the last consistent epoch state through it, so
+// SaveCheckpoint is honored under the same contract either way.
+func (e *Engine) saveInterrupted(nextEpoch int) error { return e.saveState(nextEpoch) }
+
+// restoreSnapshot rebuilds a full-graph model and optimizer from an
+// epoch-boundary recovery snapshot (parameters are propagator-independent,
+// so a sharded capture loads into the full-graph architecture) and installs
+// them as the engine's trained state.
+func (e *Engine) restoreSnapshot(params [][]float64, st *nn.TrainState) error {
+	cfg := &e.cfg
+	model := buildModel(cfg.Model, cfg.Seed, e.supports, e.in, cfg.Hidden, cfg.K, e.meta.Horizon, e.meta.Nodes)
+	if err := nn.RestoreParams(model, params); err != nil {
+		return err
+	}
+	opt := nn.NewAdam(model, cfg.LR)
+	if err := opt.RestoreMoments(st.M, st.V, st.Step); err != nil {
+		return err
+	}
+	e.model, e.opt = model, opt
+	return nil
+}
+
+// snapshotInit returns the per-worker injection hook replaying a recovery
+// snapshot deterministically on every rank of a rebuilt grid.
+func snapshotInit(params [][]float64, st *nn.TrainState) func(nn.SeqModel, *nn.Adam) error {
+	return func(m nn.SeqModel, opt *nn.Adam) error {
+		if err := nn.RestoreParams(m, params); err != nil {
+			return err
+		}
+		return opt.RestoreMoments(st.M, st.V, st.Step)
+	}
+}
+
+// snapshotBytes is a parameter snapshot's wire size (the state the survivors
+// re-fill from the snapshot holder on recovery).
+func snapshotBytes(params [][]float64) int64 {
+	var n int64
+	for _, p := range params {
+		n += int64(len(p)) * 8
+	}
+	return n
+}
+
+// resolvedNet mirrors cluster.New's fabric defaulting so engine-side
+// recovery charges price transfers on the same model the trainer used.
+func resolvedNet(net cluster.NetworkModel) cluster.NetworkModel {
+	if net.Bandwidth <= 0 {
+		return cluster.SlingshotModel()
+	}
+	return net
+}
+
+// recovery is one survived worker loss, as the fit loops book it.
+type recovery struct {
+	lost             *cluster.WorkerLostError
+	refill           time.Duration // modeled re-plan + state/feature re-fill charge
+	epoch            int           // epoch training resumes at (snapshot's NextEpoch)
+	snapVT           time.Duration // snapshot's clock (start of the rolled-back span)
+	shards, replicas int           // surviving grid
+}
+
+// bookRecovery stitches one survived worker loss into the report: counts it,
+// adds the rolled-back progress plus detection and re-fill to RecoveryTime,
+// emits the typed RecoveryEvent, and records the fault/recovery spans on
+// rank 0's trace timeline. Both are async spans: pipelined step tails of the
+// aborted attempt legitimately run past the agreed detection point, so the
+// detection window may overlap them. Returns the clock offset the next
+// attempt's virtual times are stitched onto, after rebasing the recorder so
+// the attempt's locally-zeroed span clocks land there too.
+func (e *Engine) bookRecovery(offset time.Duration, r recovery) time.Duration {
+	detected := offset + r.lost.Detected
+	e.report.Recoveries++
+	e.report.RecoveryTime += r.lost.Detected - r.snapVT + r.refill
+	e.emit(RecoveryEvent{
+		Rank: r.lost.Rank, Epoch: r.epoch,
+		Workers: r.shards * r.replicas, Shards: r.shards, Replicas: r.replicas,
+		Detected: detected, Cost: r.refill,
+	})
+	if tw := e.cfg.Trace.Worker(0); tw != nil {
+		// Attempt-local times: the worker's base (this attempt's offset)
+		// translates them onto the absolute timeline.
+		d := e.cfg.Faults.Detection
+		tw.AsyncSpan(trace.KindFault, fmt.Sprintf("worker %d lost", r.lost.Rank), trace.StreamStep, r.lost.Detected-d, d, 0)
+		tw.AsyncSpan(trace.KindRecovery, fmt.Sprintf("recover %dx%d", r.shards, r.replicas), trace.StreamStep, r.lost.Detected, r.refill, 0)
+	}
+	e.cfg.Trace.Rebase(detected + r.refill)
+	return detected + r.refill
+}
+
 // fitSingle is the single-GPU epoch loop with byte-exact GPU accounting and
 // a transfer-cost virtual clock.
 func (e *Engine) fitSingle(ctx context.Context) error {
@@ -741,7 +848,7 @@ func (e *Engine) fitSingle(ctx context.Context) error {
 				// Persist the interrupted run's state so the completed
 				// epochs survive Ctrl-C: the resumed run redoes the
 				// interrupted epoch (see saveState's contract).
-				if err := e.saveState(epoch); err != nil {
+				if err := e.saveInterrupted(epoch); err != nil {
 					return err
 				}
 				return fmt.Errorf("core: fit cancelled in epoch %d: %w", epoch, ctx.Err())
@@ -798,6 +905,12 @@ func (e *Engine) fitSingle(ctx context.Context) error {
 }
 
 // fitDistributed drives the three DDP strategies through internal/ddp.
+// With a fault plan armed it is also the flat recovery loop: each detected
+// worker loss rolls back to the last epoch-boundary snapshot, drops the dead
+// rank from the world, charges detection + re-fill on the stitched clock,
+// and re-runs the trainer from the snapshot on the survivors — so the
+// post-recovery curve is bitwise identical to a fresh run started from that
+// snapshot on the surviving grid.
 func (e *Engine) fitDistributed(ctx context.Context) error {
 	cfg := &e.cfg
 	report := e.report
@@ -811,31 +924,96 @@ func (e *Engine) fitDistributed(ctx context.Context) error {
 			e.emit(AutotuneEvent{BucketBytes: bucketBytes})
 		}
 	}
-	res, err := ddp.Train(e.idx, e.split, e.factory, ddpCfg)
-	if err != nil {
-		return err
-	}
-	e.sys.Record(1.0)
-	report.Curve = res.Curve
-	report.VirtualTime = res.VirtualTime
-	report.CommTime = res.CommTime
-	report.CommHiddenTime = res.CommHiddenTime
-	// A flat (unsharded) world has no intra-node channel: all exposed
-	// gradient traffic rides the inter fabric.
-	report.CommExposedInter = res.CommTime
-	report.GradBuckets = res.GradBuckets
-	report.GradBucketBytes = res.BucketBytes
-	report.CommBytesSaved = res.CommBytesSaved
-	report.Steps = res.Steps
-	report.GradSyncBytes = res.GradSyncBytes
-	e.model, e.opt = res.Model, res.Opt
-	if res.Cancelled {
-		if err := e.saveState(e.startEpoch + len(res.Curve)); err != nil {
-			return err
+	var (
+		prefix metrics.Curve
+		offset time.Duration
+	)
+	net := resolvedNet(ddpCfg.Net)
+	for {
+		var snap *ddp.Snapshot
+		if ddpCfg.Faults != nil {
+			ddpCfg.OnSnapshot = func(s ddp.Snapshot) { snap = &s }
 		}
-		return fmt.Errorf("core: fit cancelled after %d epochs: %w", len(res.Curve), ctx.Err())
+		res, err := ddp.Train(e.idx, e.split, e.factory, ddpCfg)
+		if err != nil {
+			var lost *cluster.WorkerLostError
+			if !errors.As(err, &lost) || snap == nil {
+				return err
+			}
+			// Rebuild from the survivors: the dead rank drops out, ranks
+			// above it renumber down one, and the remaining fault schedule
+			// shifts onto the new attempt's clock.
+			survivors := ddpCfg.Workers - 1
+			refill := net.FetchTime(snapshotBytes(snap.Params))
+			ranks := make(map[int]int, survivors)
+			for r := 0; r < ddpCfg.Workers; r++ {
+				if r == lost.Rank {
+					continue
+				}
+				nr := r
+				if r > lost.Rank {
+					nr = r - 1
+				}
+				ranks[r] = nr
+			}
+			next := ddpCfg.Faults.Remap(ranks).Shift(lost.Detected + refill)
+			if survivors < 1 || next.Validate(survivors) != nil {
+				// Unrecoverable: the remaining schedule leaves no survivor.
+				// Honor SaveCheckpoint with the last consistent epoch state
+				// through the same abnormal-exit path cancellation uses.
+				if rerr := e.restoreSnapshot(snap.Params, snap.State); rerr != nil {
+					return rerr
+				}
+				if serr := e.saveInterrupted(snap.NextEpoch); serr != nil {
+					return serr
+				}
+				return fmt.Errorf("core: fit unrecoverable in epoch %d: %w", snap.NextEpoch, lost)
+			}
+			prefix = append(prefix, snap.Curve...)
+			offset = e.bookRecovery(offset, recovery{
+				lost: lost, refill: refill, epoch: snap.NextEpoch,
+				snapVT: snap.VirtualTime, shards: 1, replicas: survivors,
+			})
+			ddpCfg.Workers = survivors
+			ddpCfg.StartEpoch = snap.NextEpoch
+			ddpCfg.Init = snapshotInit(snap.Params, snap.State)
+			ddpCfg.Faults = next
+			if ddpCfg.Store != nil {
+				// The partitioned layout re-splits the rows over the
+				// survivors (the dead worker's partition re-fills from its
+				// peers; the clock charge is covered by refill).
+				store, serr := batching.NewPartitionStore(e.idx, survivors)
+				if serr != nil {
+					return serr
+				}
+				ddpCfg.Store = store
+			}
+			continue
+		}
+		e.sys.Record(1.0)
+		report.Workers = ddpCfg.Workers
+		report.GlobalBatch = ddpCfg.BatchSize * ddpCfg.Workers
+		report.Curve = append(prefix, res.Curve...)
+		report.VirtualTime = offset + res.VirtualTime
+		report.CommTime = res.CommTime
+		report.CommHiddenTime = res.CommHiddenTime
+		// A flat (unsharded) world has no intra-node channel: all exposed
+		// gradient traffic rides the inter fabric.
+		report.CommExposedInter = res.CommTime
+		report.GradBuckets = res.GradBuckets
+		report.GradBucketBytes = res.BucketBytes
+		report.CommBytesSaved = res.CommBytesSaved
+		report.Steps = res.Steps
+		report.GradSyncBytes = res.GradSyncBytes
+		e.model, e.opt = res.Model, res.Opt
+		if res.Cancelled {
+			if err := e.saveInterrupted(ddpCfg.StartEpoch + len(res.Curve)); err != nil {
+				return err
+			}
+			return fmt.Errorf("core: fit cancelled after %d epochs: %w", len(prefix)+len(res.Curve), ctx.Err())
+		}
+		return e.saveState(cfg.Epochs)
 	}
-	return e.saveState(cfg.Epochs)
 }
 
 // fitHybrid drives the 2D (spatial x data) grid: cfg.Spatial.Shards node
@@ -862,46 +1040,146 @@ func (e *Engine) fitHybrid(ctx context.Context) error {
 			})
 		}
 	}
-	res, err := shard.Train(e.idx, e.split, e.g, e.shardSupports, e.shardFactory, shardCfg)
-	if err != nil {
-		return err
-	}
-	e.sys.Record(1.0)
-	report.Workers = shardCfg.Shards * cfg.Workers
-	report.GlobalBatch = res.GlobalBatch
-	report.Curve = res.Curve
-	report.VirtualTime = res.VirtualTime
-	report.CommTime = res.CommTime
-	report.CommHiddenTime = res.CommHiddenTime
-	report.CommExposedIntra = res.CommExposedIntra
-	report.CommExposedInter = res.CommExposedInter
-	report.HaloBytes = res.HaloBytes
-	report.HaloTime = res.HaloTime
-	report.HaloHiddenTime = res.HaloHiddenTime
-	report.Repartitions = res.Repartitions
-	report.ShardLoads = res.ShardLoads
-	report.Steps = res.Steps
-	report.GradSyncBytes = res.GradSyncBytes
-	report.CommBytesSaved = res.CommBytesSaved
-	report.GradBuckets = res.GradBuckets
-	report.GradBucketBytes = res.BucketBytes
+	var (
+		prefix metrics.Curve
+		offset time.Duration
+	)
+	net := resolvedNet(shardCfg.Net)
+	for {
+		var snap *shard.Snapshot
+		if shardCfg.Faults != nil {
+			shardCfg.OnSnapshot = func(s shard.Snapshot) { snap = &s }
+		}
+		res, err := shard.Train(e.idx, e.split, e.g, e.shardSupports, e.shardFactory, shardCfg)
+		if err != nil {
+			var lost *cluster.WorkerLostError
+			if !errors.As(err, &lost) || snap == nil {
+				return err
+			}
+			shards, replicas := shardCfg.Shards, shardCfg.Replicas
+			repDead, shDead := lost.Rank/shards, lost.Rank%shards
+			refill := net.FetchTime(snapshotBytes(snap.Params))
+			newShards, newReplicas := shards, replicas
+			owner := snap.Owner
+			ranks := make(map[int]int)
+			if replicas > 1 {
+				// Replica loss: the whole replica group containing the dead
+				// rank drops (its shards cannot finish a batch without it);
+				// the partition is untouched and the surviving replica rows
+				// renumber down one.
+				newReplicas = replicas - 1
+				for q := 0; q < replicas; q++ {
+					if q == repDead {
+						continue
+					}
+					nq := q
+					if q > repDead {
+						nq = q - 1
+					}
+					for s := 0; s < shards; s++ {
+						ranks[q*shards+s] = nq*shards + s
+					}
+				}
+			} else {
+				// Shard loss on a single-replica grid: the dead shard's nodes
+				// re-split round-robin across the survivors (a deterministic
+				// function of the snapshot's owner vector), the row blocks
+				// and halo routing rebuild via ReplanFrom, and the moved
+				// nodes' feature history re-fills over the fabric.
+				newShards = shards - 1
+				owner = make([]int, len(snap.Owner))
+				moved := 0
+				for node, o := range snap.Owner {
+					switch {
+					case o == shDead:
+						owner[node] = moved % newShards
+						moved++
+					case o > shDead:
+						owner[node] = o - 1
+					default:
+						owner[node] = o
+					}
+				}
+				hist := int64(e.idx.Data.Dim(0)) * int64(e.idx.Data.Dim(2)) * 8
+				refill += net.FetchTime(int64(moved) * hist)
+				for s := 0; s < shards; s++ {
+					if s == shDead {
+						continue
+					}
+					ns := s
+					if s > shDead {
+						ns = s - 1
+					}
+					ranks[s] = ns
+				}
+			}
+			world := newShards * newReplicas
+			next := shardCfg.Faults.Remap(ranks).Shift(lost.Detected + refill)
+			if world < 1 || next.Validate(world) != nil {
+				// Unrecoverable: the remaining schedule leaves no survivor;
+				// persist the last consistent epoch state through the shared
+				// abnormal-exit path and surface the typed loss.
+				if rerr := e.restoreSnapshot(snap.Params, snap.State); rerr != nil {
+					return rerr
+				}
+				if serr := e.saveInterrupted(snap.NextEpoch); serr != nil {
+					return serr
+				}
+				return fmt.Errorf("core: fit unrecoverable in epoch %d: %w", snap.NextEpoch, lost)
+			}
+			plan, perr := shard.ReplanFrom(e.g, e.shardSupports, newShards, owner)
+			if perr != nil {
+				return perr
+			}
+			prefix = append(prefix, snap.Curve...)
+			offset = e.bookRecovery(offset, recovery{
+				lost: lost, refill: refill, epoch: snap.NextEpoch,
+				snapVT: snap.VirtualTime, shards: newShards, replicas: newReplicas,
+			})
+			shardCfg.Shards, shardCfg.Replicas = newShards, newReplicas
+			shardCfg.Plan = plan
+			shardCfg.StartEpoch = snap.NextEpoch
+			shardCfg.Init = snapshotInit(snap.Params, snap.State)
+			shardCfg.Faults = next
+			continue
+		}
+		e.sys.Record(1.0)
+		report.Workers = shardCfg.Shards * shardCfg.Replicas
+		report.GlobalBatch = res.GlobalBatch
+		report.Curve = append(prefix, res.Curve...)
+		report.VirtualTime = offset + res.VirtualTime
+		report.CommTime = res.CommTime
+		report.CommHiddenTime = res.CommHiddenTime
+		report.CommExposedIntra = res.CommExposedIntra
+		report.CommExposedInter = res.CommExposedInter
+		report.HaloBytes = res.HaloBytes
+		report.HaloTime = res.HaloTime
+		report.HaloHiddenTime = res.HaloHiddenTime
+		report.Repartitions = res.Repartitions
+		report.ShardLoads = res.ShardLoads
+		report.Steps = res.Steps
+		report.GradSyncBytes = res.GradSyncBytes
+		report.CommBytesSaved = res.CommBytesSaved
+		report.GradBuckets = res.GradBuckets
+		report.GradBucketBytes = res.BucketBytes
 
-	// The trained parameters are identical on every worker and independent
-	// of the propagators, so they load straight into a full-graph model —
-	// the servable artifact checkpoints and the Predictor hold.
-	full := buildModel(cfg.Model, cfg.Seed, e.supports, e.in, cfg.Hidden, cfg.K, meta.Horizon, meta.Nodes)
-	if err := nn.RestoreParams(full, nn.SnapshotParams(res.Model)); err != nil {
-		return err
-	}
-	e.model = full
-	e.opt = res.Opt
-	if res.Cancelled {
-		if err := e.saveState(e.startEpoch + len(res.Curve)); err != nil {
+		// The trained parameters are identical on every worker and independent
+		// of the propagators, so they load straight into a full-graph model —
+		// the servable artifact checkpoints and the Predictor hold.
+		full := buildModel(cfg.Model, cfg.Seed, e.supports, e.in, cfg.Hidden, cfg.K, meta.Horizon, meta.Nodes)
+		if err := nn.RestoreParams(full, nn.SnapshotParams(res.Model)); err != nil {
 			return err
 		}
-		return fmt.Errorf("core: fit cancelled after %d epochs: %w", len(res.Curve), ctx.Err())
+		e.model = full
+		e.opt = res.Opt
+		if res.Cancelled {
+			if err := e.saveInterrupted(shardCfg.StartEpoch + len(res.Curve)); err != nil {
+				return err
+			}
+			return fmt.Errorf("core: fit cancelled after %d epochs: %w", len(prefix)+len(res.Curve), ctx.Err())
+		}
+		return e.saveState(cfg.Epochs)
 	}
-	return e.saveState(cfg.Epochs)
 }
 
 // evalSource returns the batch source evaluation and prediction read from

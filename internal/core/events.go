@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // Event is a typed notification streamed from the engine while Fit runs,
 // through the Config.Events hook. Events let callers observe training live
 // (progress bars, early stopping, memory dashboards) without parsing a
@@ -53,8 +55,26 @@ type RepartitionEvent struct {
 	EdgeCut int
 }
 
+// RecoveryEvent fires when a scheduled worker crash (Config.Faults) has
+// been detected and the engine rebuilt the grid from the survivors: training
+// rolls back to the last epoch-boundary snapshot and resumes at Epoch on a
+// Shards x Replicas grid of Workers workers (flat DDP runs report Shards 1).
+// Detected is the stitched virtual time at which the loss was agreed
+// (including the modeled detection timeout) and Cost the modeled re-plan +
+// state re-fill charge added to the clock before the grid resumes.
+type RecoveryEvent struct {
+	Rank     int
+	Epoch    int
+	Workers  int
+	Shards   int
+	Replicas int
+	Detected time.Duration
+	Cost     time.Duration
+}
+
 func (EpochEvent) event()       {}
 func (AutotuneEvent) event()    {}
 func (MemoryEvent) event()      {}
 func (OOMEvent) event()         {}
 func (RepartitionEvent) event() {}
+func (RecoveryEvent) event()    {}

@@ -14,6 +14,7 @@ import (
 	"pgti/internal/autograd"
 	"pgti/internal/batching"
 	"pgti/internal/cluster"
+	"pgti/internal/fault"
 	"pgti/internal/metrics"
 	"pgti/internal/nn"
 	"pgti/internal/tensor"
@@ -207,6 +208,18 @@ type Config struct {
 	// OnEpoch streams each completed epoch's record from rank 0 (called on
 	// the training goroutine, after the epoch's metric reduction).
 	OnEpoch func(rec metrics.EpochRecord)
+	// Faults arms a deterministic fault schedule on the cluster (see
+	// internal/fault): crashes are detected at step boundaries and surface
+	// as *cluster.WorkerLostError from Train; stragglers and degraded links
+	// scale compute/transfer charges. Nil (and an armed-but-empty plan)
+	// keeps the timeline bitwise identical to today.
+	Faults *fault.Plan
+	// OnSnapshot, when set, streams rank 0's resumable state (params, Adam
+	// moments, completed curve, virtual clock) once before the first epoch
+	// and again at every epoch boundary — the in-memory recovery points an
+	// elastic caller rolls back to after a worker loss. Called on the
+	// training goroutine.
+	OnSnapshot func(snap Snapshot)
 	// OnAutotuneLock fires on rank 0 when the bucket autotuner locks in its
 	// winning bucket size.
 	OnAutotuneLock func(bucketBytes int64)
@@ -214,6 +227,23 @@ type Config struct {
 	// internal/trace). Recording never touches virtual clocks or
 	// collectives, so a traced run is bitwise identical to an untraced one.
 	Trace *trace.Recorder
+}
+
+// Snapshot is one epoch-boundary recovery point: everything a fresh Train
+// call needs (via Config.Init + Config.StartEpoch) to continue bitwise
+// identically from this boundary, plus the completed curve and the
+// synchronized virtual clock for the caller's stitching.
+type Snapshot struct {
+	// NextEpoch is the first epoch a run resumed from this snapshot executes.
+	NextEpoch int
+	// Params are deep copies of the replica parameters at the boundary.
+	Params [][]float64
+	// State carries the Adam moments and step count.
+	State *nn.TrainState
+	// Curve holds the epochs completed so far in this run.
+	Curve metrics.Curve
+	// VirtualTime is the synchronized clock at the boundary.
+	VirtualTime time.Duration
 }
 
 // Result summarizes a distributed run.
@@ -657,7 +687,10 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 	if len(split.Train) < cfg.Workers {
 		return nil, fmt.Errorf("ddp: %d training snapshots cannot feed %d workers", len(split.Train), cfg.Workers)
 	}
-	clu, err := cluster.New(cluster.Config{Workers: cfg.Workers, Net: cfg.Net, IntraNet: cfg.IntraNet})
+	if err := cfg.Faults.Validate(cfg.Workers); err != nil {
+		return nil, fmt.Errorf("ddp: %w", err)
+	}
+	clu, err := cluster.New(cluster.Config{Workers: cfg.Workers, Net: cfg.Net, IntraNet: cfg.IntraNet, Faults: cfg.Faults})
 	if err != nil {
 		return nil, err
 	}
@@ -812,6 +845,22 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 		n, f := data.Data.Dim(1), data.Data.Dim(2)
 		batchBytes := int64(cfg.BatchSize) * int64(2*data.Horizon) * int64(n) * int64(f) * 8
 
+		// Epoch-boundary recovery points (rank 0, only when a consumer
+		// listens): the initial one covers a crash inside the first epoch.
+		capture := func(nextEpoch int, curve metrics.Curve) {
+			if rank != 0 || cfg.OnSnapshot == nil {
+				return
+			}
+			cfg.OnSnapshot(Snapshot{
+				NextEpoch:   nextEpoch,
+				Params:      nn.SnapshotParams(model),
+				State:       nn.CaptureTrainState(opt, nextEpoch),
+				Curve:       append(metrics.Curve(nil), curve...),
+				VirtualTime: w.VirtualTime(),
+			})
+		}
+		capture(cfg.StartEpoch, nil)
+
 		cancelled := false
 		for epoch := cfg.StartEpoch; epoch < cfg.Epochs; epoch++ {
 			batches := sampler.EpochBatches(epoch)
@@ -836,6 +885,12 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 						cancelled = true
 						break
 					}
+				}
+				// Crash detection rides the same agreed step boundary as the
+				// cancellation poll: every rank returns the same typed error,
+				// so no collective is left half-issued.
+				if err := w.FaultPoll(); err != nil {
+					return err
 				}
 				idx := batches[s]
 				var x, y *tensor.Tensor
@@ -922,6 +977,7 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 							compute = 0
 						}
 					}
+					compute = w.ScaleCompute(compute)
 					overlapStep, exposed := syncer.Finish(compute, fwdWall, bwdWall)
 					step := chargeAssemble(s, stepsThisEpoch, len(idx), overlapStep)
 					t0 := w.VirtualTime()
@@ -974,11 +1030,11 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 					}
 					var compute, asm, step time.Duration
 					if cfg.ComputeCost != nil {
-						compute = cfg.ComputeCost(len(idx))
+						compute = w.ScaleCompute(cfg.ComputeCost(len(idx)))
 						asm = asmOf(len(idx))
 						step = chargeAssemble(s, stepsThisEpoch, len(idx), compute)
 					} else {
-						compute = time.Since(start)
+						compute = w.ScaleCompute(time.Since(start))
 						step = compute
 					}
 					t0 := w.VirtualTime()
@@ -1069,6 +1125,7 @@ func Train(data *batching.IndexDataset, split batching.Split, factory ModelFacto
 			if rank == 0 && cfg.OnEpoch != nil {
 				cfg.OnEpoch(rec)
 			}
+			capture(epoch+1, curve)
 		}
 		var checksum float64
 		for _, p := range params {

@@ -28,6 +28,21 @@ func (e *OverloadedError) Error() string {
 	return fmt.Sprintf("serve: overloaded: %d requests queued, retry after %v", e.QueueDepth, e.RetryAfter)
 }
 
+// ReplicaFailedError is the typed failure a Flaky backend returns once its
+// crash point has passed: the replica's Call-th batched forward (zero-based)
+// hit the dead process. The server reacts by evicting the replica and
+// retrying the batch on a healthy one; callers only ever see this error when
+// the pool has degraded to its last replica. Match with errors.As.
+type ReplicaFailedError struct {
+	// Call is the zero-based index of the failed ForwardBatch call on the
+	// replica's own call sequence.
+	Call int
+}
+
+func (e *ReplicaFailedError) Error() string {
+	return fmt.Sprintf("serve: replica failed (forward call %d)", e.Call)
+}
+
 // SwapError is the typed failure of a pool-wide weight swap: replica
 // Replica's SwapParams rejected the snapshot. Swap is all-or-nothing —
 // replicas that had already installed the new weights are rolled back to the

@@ -83,6 +83,12 @@ type Config struct {
 	// real callers — benchmarks use this for reproducible numbers.
 	// Default 0 (requests arrive when the clock says they do).
 	Interarrival time.Duration
+	// RetryBackoff is the modeled delay before a batch whose replica
+	// failed is retried on a healthy one: the k-th retry of one batch
+	// waits RetryBackoff·2^(k-1), capped at 2^6 times the base. Purely
+	// virtual — the retry dispatches immediately in real time and only the
+	// modeled start shifts. Default 1ms.
+	RetryBackoff time.Duration
 	// Trace, when non-nil, records per-replica forward spans (one per
 	// dispatched batch), per-request queue-wait spans, and serving
 	// counters (shed count, queue-depth high-water) into the recorder.
@@ -104,6 +110,9 @@ func (c *Config) fillDefaults() {
 	if c.Cost == nil {
 		c.Cost = DefaultCost(1<<20, 1<<14)
 	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
 }
 
 // Stats is a point-in-time snapshot of the server's modeled serving
@@ -118,7 +127,15 @@ type Stats struct {
 	P99       time.Duration // modeled request latency, 99th percentile
 	Virtual   time.Duration // modeled elapsed serving time
 	QPS       float64       // Completed / Virtual
-	Replicas  int
+	Replicas  int           // healthy replicas still in the dispatch pool
+
+	// Retries counts batches redispatched to a healthy replica after their
+	// original replica failed; EvictedReplicas counts replicas removed from
+	// the pool by such failures. The pool degrades down to one replica
+	// before a failure is surfaced to callers: the last healthy replica is
+	// never evicted, its errors are delivered instead.
+	Retries         int64
+	EvictedReplicas int
 
 	// SampledRequests is how many latency samples back the percentiles:
 	// the ring holds the most recent max(4096, 4*QueueDepth) completions,
@@ -147,6 +164,7 @@ type request struct {
 type replica struct {
 	backend  Backend
 	busy     bool          // a batch is currently running on it
+	dead     bool          // evicted after a backend failure; never redispatched
 	vfree    time.Duration // virtual time its latest batch completes
 	busyWork time.Duration // cumulative modeled busy time (dispatch key)
 	tw       *trace.Worker // nil when tracing is off
@@ -179,6 +197,8 @@ type Server struct {
 	completed int64
 	batches   int64
 	shed      int64
+	retries   int64
+	evicted   int
 	queueHigh int // deepest the queue has been (trace gauge)
 
 	wake        chan struct{} // pings the collector on enqueue
@@ -239,10 +259,11 @@ func (s *Server) Predict(ctx context.Context, w core.Window) (core.Forecast, err
 	}
 	if depth := len(s.queue); depth >= s.cfg.QueueDepth {
 		s.shed++
+		pool := s.healthyLocked()
 		s.mu.Unlock()
 		return core.Forecast{}, &OverloadedError{
 			QueueDepth: depth,
-			RetryAfter: s.retryHint(depth),
+			RetryAfter: s.retryHint(depth, pool),
 		}
 	}
 	if s.cfg.Interarrival > 0 {
@@ -272,10 +293,23 @@ func (s *Server) Predict(ctx context.Context, w core.Window) (core.Forecast, err
 }
 
 // retryHint models the time the present backlog needs to clear: the batches
-// it forms, each priced at a full-batch launch, spread across the pool.
-func (s *Server) retryHint(depth int) time.Duration {
+// it forms, each priced at a full-batch launch, spread across the healthy
+// pool.
+func (s *Server) retryHint(depth, pool int) time.Duration {
 	batches := (depth + s.cfg.MaxBatch - 1) / s.cfg.MaxBatch
-	return time.Duration(batches) * s.cfg.Cost(s.cfg.MaxBatch) / time.Duration(len(s.replicas))
+	return time.Duration(batches) * s.cfg.Cost(s.cfg.MaxBatch) / time.Duration(pool)
+}
+
+// healthyLocked counts replicas still in the dispatch pool. Caller holds
+// s.mu. Never zero: the last healthy replica is never evicted.
+func (s *Server) healthyLocked() int {
+	n := 0
+	for _, r := range s.replicas {
+		if !r.dead {
+			n++
+		}
+	}
+	return n
 }
 
 // snapshotter is the optional Backend facet exposing the currently
@@ -299,20 +333,33 @@ type snapshotter interface {
 func (s *Server) Swap(snap [][]float64) error {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
+	// Evicted replicas are out of the pool; installs go to the healthy ones
+	// only (pool membership is read under s.mu; the install itself runs
+	// outside it — SwapParams is atomic against forwards on its own).
+	s.mu.Lock()
+	var pool []*replica
+	var idx []int
+	for i, r := range s.replicas {
+		if !r.dead {
+			pool = append(pool, r)
+			idx = append(idx, i)
+		}
+	}
+	s.mu.Unlock()
 	prev := s.lastSwap
-	if sn, ok := s.replicas[0].backend.(snapshotter); ok {
+	if sn, ok := pool[0].backend.(snapshotter); ok {
 		prev = sn.ParamSnapshot()
 	}
-	for i, r := range s.replicas {
+	for i, r := range pool {
 		err := r.backend.SwapParams(snap)
 		if err == nil {
 			continue
 		}
-		serr := &SwapError{Replica: i, Err: err}
+		serr := &SwapError{Replica: idx[i], Err: err}
 		if prev != nil {
 			for j := 0; j < i; j++ {
-				if rbErr := s.replicas[j].backend.SwapParams(prev); rbErr != nil && serr.RollbackErr == nil {
-					serr.RollbackErr = fmt.Errorf("replica %d: %w", j, rbErr)
+				if rbErr := pool[j].backend.SwapParams(prev); rbErr != nil && serr.RollbackErr == nil {
+					serr.RollbackErr = fmt.Errorf("replica %d: %w", idx[j], rbErr)
 				}
 			}
 		}
@@ -333,11 +380,13 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Completed: s.completed,
-		Batches:   s.batches,
-		Shed:      s.shed,
-		Virtual:   s.vnow,
-		Replicas:  len(s.replicas),
+		Completed:       s.completed,
+		Batches:         s.batches,
+		Shed:            s.shed,
+		Virtual:         s.vnow,
+		Replicas:        s.healthyLocked(),
+		Retries:         s.retries,
+		EvictedReplicas: s.evicted,
 	}
 	if s.batches > 0 {
 		st.MeanBatch = float64(s.completed) / float64(s.batches)
@@ -414,9 +463,16 @@ func (s *Server) emitTrace() {
 	}
 	s.mu.Lock()
 	shed, high := s.shed, s.queueHigh
+	retries, evicted := s.retries, s.evicted
 	s.mu.Unlock()
 	s.cfg.Trace.Add("serve.shed", shed)
 	s.cfg.Trace.Gauge("serve.queue.highwater", int64(high))
+	if retries > 0 {
+		s.cfg.Trace.Add("serve.retries", retries)
+	}
+	if evicted > 0 {
+		s.cfg.Trace.Add("serve.evicted", int64(evicted))
+	}
 }
 
 // waitPending blocks until the queue is non-empty (true) or the server is
@@ -492,7 +548,7 @@ func (s *Server) acquireReplica() *replica {
 		s.mu.Lock()
 		var best *replica
 		for _, r := range s.replicas {
-			if r.busy {
+			if r.busy || r.dead {
 				continue
 			}
 			if best == nil || r.busyWork < best.busyWork {
@@ -526,6 +582,13 @@ func (s *Server) releaseReplica(r *replica) {
 // latest of the batch's arrivals, the window expiry (when the timer forced
 // dispatch), and the replica's previous completion — advances the clock,
 // frees the replica, and delivers every response.
+//
+// A backend failure is a replica failure: the replica is evicted from the
+// pool and the batch retried on a healthy one, its modeled start pushed by
+// an exponential backoff — unless the failed replica is the pool's last,
+// which is kept (degraded service beats none) and the error delivered to
+// the batch's callers. Retries run inside this goroutine, so Close's drain
+// waits for them; the backoff is purely virtual, never slept.
 func (s *Server) launch(r *replica, batch []*request, timerFired bool) {
 	s.inflight.Add(1)
 	go func() {
@@ -534,57 +597,120 @@ func (s *Server) launch(r *replica, batch []*request, timerFired bool) {
 		for i, rq := range batch {
 			ws[i] = rq.w
 		}
-		fs, err := r.backend.ForwardBatch(ws)
-		cost := s.cfg.Cost(len(batch))
-
-		s.mu.Lock()
-		vstart := batch[0].varrival
-		for _, rq := range batch[1:] {
-			if rq.varrival > vstart {
-				vstart = rq.varrival
+		floor := s.batchStart(batch, timerFired)
+		var backoff time.Duration // cumulative modeled retry delay
+		for attempt := 0; ; attempt++ {
+			fs, err := r.backend.ForwardBatch(ws)
+			if err != nil && s.evict(r, floor+backoff, attempt) {
+				backoff += s.retryDelay(attempt)
+				r = s.acquireReplica()
+				continue
 			}
-		}
-		if timerFired {
-			if t := batch[0].varrival + s.cfg.Window; t > vstart {
-				vstart = t
-			}
-		}
-		if r.vfree > vstart {
-			vstart = r.vfree
-		}
-		vend := vstart + cost
-		r.vfree = vend
-		r.busyWork += cost
-		r.busy = false
-		if vend > s.vnow {
-			s.vnow = vend
-		}
-		for _, rq := range batch {
-			s.recordLatency(vend - rq.varrival)
-		}
-		s.completed += int64(len(batch))
-		s.batches++
-		if r.tw != nil {
-			for _, rq := range batch {
-				r.tw.AsyncSpan(trace.KindQueue, "queue.wait", trace.StreamQueue, rq.varrival, vstart-rq.varrival, 0)
-			}
-			r.tw.Span(trace.KindForward, fmt.Sprintf("forward b%d", len(batch)), trace.StreamForward, vstart, cost, 0)
-		}
-		s.mu.Unlock()
-
-		select {
-		case s.replicaFree <- struct{}{}:
-		default:
-		}
-
-		for i, rq := range batch {
-			if err != nil {
-				rq.done <- response{err: err}
-			} else {
-				rq.done <- response{f: fs[i]}
-			}
+			s.settle(r, batch, floor+backoff, fs, err)
+			return
 		}
 	}()
+}
+
+// batchStart is the modeled dispatch floor of a batch before replica
+// availability: the latest virtual arrival, pushed to the window expiry when
+// the timer forced a short dispatch. Pure — arrival stamps are immutable
+// after admission, so no lock is needed.
+func (s *Server) batchStart(batch []*request, timerFired bool) time.Duration {
+	vstart := batch[0].varrival
+	for _, rq := range batch[1:] {
+		if rq.varrival > vstart {
+			vstart = rq.varrival
+		}
+	}
+	if timerFired {
+		if t := batch[0].varrival + s.cfg.Window; t > vstart {
+			vstart = t
+		}
+	}
+	return vstart
+}
+
+// retryDelay is the modeled backoff charged before retry number attempt+1
+// of one batch: RetryBackoff doubled per retry, capped at 2^6 the base.
+func (s *Server) retryDelay(attempt int) time.Duration {
+	shift := uint(attempt)
+	if shift > 6 {
+		shift = 6
+	}
+	return s.cfg.RetryBackoff << shift
+}
+
+// evict handles a backend failure on r. With at least one other healthy
+// replica in the pool, r is marked dead (it leaves dispatch for good), the
+// retry counters advance, and a fault span records the failure at the
+// attempt's modeled start for the backoff's duration; the caller then
+// redispatches. Returns false when r is the last healthy replica — the pool
+// degrades rather than sheds: r stays, and the caller delivers the error.
+func (s *Server) evict(r *replica, vfail time.Duration, attempt int) bool {
+	delay := s.retryDelay(attempt)
+	s.mu.Lock()
+	if s.healthyLocked() <= 1 {
+		s.mu.Unlock()
+		return false
+	}
+	r.dead = true
+	r.busy = false
+	s.evicted++
+	s.retries++
+	if r.vfree > vfail {
+		vfail = r.vfree
+	}
+	if r.tw != nil {
+		r.tw.Span(trace.KindFault, "replica failed", trace.StreamForward, vfail, delay, 0)
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// settle finishes a batch on replica r: charges the modeled cost from the
+// given dispatch floor (batch arrivals plus any retry backoff), advances the
+// clock, frees the replica, and delivers every response.
+func (s *Server) settle(r *replica, batch []*request, floor time.Duration, fs []core.Forecast, err error) {
+	cost := s.cfg.Cost(len(batch))
+
+	s.mu.Lock()
+	vstart := floor
+	if r.vfree > vstart {
+		vstart = r.vfree
+	}
+	vend := vstart + cost
+	r.vfree = vend
+	r.busyWork += cost
+	r.busy = false
+	if vend > s.vnow {
+		s.vnow = vend
+	}
+	for _, rq := range batch {
+		s.recordLatency(vend - rq.varrival)
+	}
+	s.completed += int64(len(batch))
+	s.batches++
+	if r.tw != nil {
+		for _, rq := range batch {
+			r.tw.AsyncSpan(trace.KindQueue, "queue.wait", trace.StreamQueue, rq.varrival, vstart-rq.varrival, 0)
+		}
+		r.tw.Span(trace.KindForward, fmt.Sprintf("forward b%d", len(batch)), trace.StreamForward, vstart, cost, 0)
+	}
+	s.mu.Unlock()
+
+	select {
+	case s.replicaFree <- struct{}{}:
+	default:
+	}
+
+	for i, rq := range batch {
+		if err != nil {
+			rq.done <- response{err: err}
+		} else {
+			rq.done <- response{f: fs[i]}
+		}
+	}
 }
 
 // recordLatency appends to the percentile ring. Caller holds s.mu.

@@ -21,11 +21,15 @@ type stubBackend struct {
 	version float64
 	batches []int
 	gate    chan struct{}
+	gated   int // forwards that reached the gate (parked or passed)
 	err     error
 }
 
 func (b *stubBackend) ForwardBatch(ws []core.Window) ([]core.Forecast, error) {
 	if b.gate != nil {
+		b.mu.Lock()
+		b.gated++
+		b.mu.Unlock()
 		<-b.gate
 	}
 	b.mu.Lock()

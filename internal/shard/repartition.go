@@ -27,6 +27,13 @@ type Repartition struct {
 	Threshold float64
 	// MaxMoves caps the number of repartitions per run; 0 means unlimited.
 	MaxMoves int
+	// Measured feeds the epoch-boundary load vector from the measured
+	// per-shard step compute — the straggler-scaled charge the virtual clock
+	// actually advanced by, the same quantity the trace compute spans record
+	// — instead of the structural charge. The structural vector prices each
+	// shard's node share and is blind to an injected Straggler fault; the
+	// measured vector sees the inflation and triggers the migration.
+	Measured bool
 }
 
 // Enabled reports whether the configuration can trigger moves.

@@ -10,6 +10,7 @@ import (
 	"pgti/internal/batching"
 	"pgti/internal/cluster"
 	"pgti/internal/ddp"
+	"pgti/internal/fault"
 	"pgti/internal/graph"
 	"pgti/internal/metrics"
 	"pgti/internal/nn"
@@ -167,6 +168,39 @@ type Config struct {
 	Init func(model nn.SeqModel, opt *nn.Adam) error
 	// OnEpoch streams each completed epoch's record from rank 0.
 	OnEpoch func(rec metrics.EpochRecord)
+	// Faults, when set, arms the grid with a deterministic fault plan (see
+	// internal/fault): scheduled crashes abort the run with a typed
+	// *cluster.WorkerLostError once the survivors agree on the loss,
+	// straggler windows inflate the affected rank's step compute, and
+	// link-degrade windows inflate every modeled transfer. An armed but
+	// empty plan is bitwise identical to nil.
+	Faults *fault.Plan
+	// OnSnapshot, when set, streams a consistent epoch-boundary capture of
+	// rank 0's replica (parameters, optimizer state, curve, owner vector,
+	// clock) — the recovery anchor a fault-armed caller rolls back to. An
+	// initial capture fires before the first epoch.
+	OnSnapshot func(snap Snapshot)
+}
+
+// Snapshot is a consistent epoch-boundary capture of a hybrid run: enough
+// state to restart training at NextEpoch on any grid and reproduce the
+// continuation bitwise (parameters and optimizer moments are identical on
+// every worker at epoch boundaries, so rank 0's copy is the global state).
+type Snapshot struct {
+	// NextEpoch is the absolute index of the first epoch a restart from this
+	// snapshot runs.
+	NextEpoch int
+	// Params is a deep copy of the model parameters.
+	Params [][]float64
+	// State carries the optimizer moments and step count.
+	State *nn.TrainState
+	// Curve is the epoch records completed so far.
+	Curve metrics.Curve
+	// Owner is the node->shard assignment in force at the capture point
+	// (elastic chunk migrations may have moved it off the initial plan).
+	Owner []int
+	// VirtualTime is worker 0's synchronized clock at the capture point.
+	VirtualTime time.Duration
 }
 
 // Result summarizes a hybrid run.
@@ -284,7 +318,10 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 		return nil, fmt.Errorf("shard: plan is %d shards over %d nodes, config wants %d over %d", plan.Shards, plan.GlobalN, cfg.Shards, g.N)
 	}
 	world := cfg.Shards * cfg.Replicas
-	clu, err := cluster.New(cluster.Config{Workers: world, Net: cfg.Net, IntraNet: cfg.IntraNet})
+	if err := cfg.Faults.Validate(world); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	clu, err := cluster.New(cluster.Config{Workers: world, Net: cfg.Net, IntraNet: cfg.IntraNet, Faults: cfg.Faults})
 	if err != nil {
 		return nil, err
 	}
@@ -371,6 +408,25 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				return fmt.Errorf("shard: rank %d init: %w", rank, err)
 			}
 		}
+		// Epoch-boundary snapshot stream (rank 0 only): parameters and
+		// optimizer moments are identical on every worker at the boundary, so
+		// rank 0's copy plus the current owner vector is the full recovery
+		// anchor. The initial capture below anchors a crash inside the first
+		// epoch.
+		capture := func(nextEpoch int, curve metrics.Curve) {
+			if rank != 0 || cfg.OnSnapshot == nil {
+				return
+			}
+			cfg.OnSnapshot(Snapshot{
+				NextEpoch:   nextEpoch,
+				Params:      nn.SnapshotParams(model),
+				State:       nn.CaptureTrainState(opt, nextEpoch),
+				Curve:       append(metrics.Curve(nil), curve...),
+				Owner:       append([]int(nil), myPlan.Owner...),
+				VirtualTime: w.VirtualTime(),
+			})
+		}
+		capture(cfg.StartEpoch, nil)
 		sampler := ddp.NewSampler(cfg.Sampler, split.Train, cfg.BatchSize, cfg.Replicas, rep, cfg.Seed)
 		// This replica's validation batches, fixed for the whole run (the
 		// split never changes; only the owned-node slice evaluated per batch
@@ -487,7 +543,12 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				pf = batching.NewPrefetcher(data, batches[:stepsThisEpoch])
 			}
 			var trainAcc metrics.Running
-			var epochCompute time.Duration
+			// epochCompute is the structural per-step charge (blind to
+			// straggler scaling); epochMeasured is the scaled charge the clock
+			// actually advanced by — the same quantity the trace compute spans
+			// record. Repartition.Measured selects which one feeds the
+			// epoch-boundary load vector.
+			var epochCompute, epochMeasured time.Duration
 			for s := 0; s < stepsThisEpoch; s++ {
 				if cancellable {
 					// Clock-free agreed stop (see ddp.Train): cancellable
@@ -500,6 +561,9 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 						cancelled = true
 						break
 					}
+				}
+				if err := w.FaultPoll(); err != nil {
+					return err
 				}
 				idx := batches[s]
 				var x, y *tensor.Tensor
@@ -593,6 +657,8 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 					}
 				}
 				epochCompute += compute
+				compute = w.ScaleCompute(compute)
+				epochMeasured += compute
 				// Charge the step: overlapped halo launches ride the replica
 				// group's engine and gradient buckets the shard group's, each
 				// engine serializing its own events while the two pipeline
@@ -880,11 +946,15 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 				// the epoch's accumulated step compute (identical across
 				// replicas on structural timelines). Every rank then derives
 				// the same decision from the same vector.
+				epochLoad := epochCompute
+				if cfg.Repartition.Measured {
+					epochLoad = epochMeasured
+				}
 				loads := make([]float64, cfg.Shards)
 				for q := range loads {
 					v := 0.0
 					if q == sh {
-						v = epochCompute.Seconds()
+						v = epochLoad.Seconds()
 					}
 					loads[q] = w.AllReduceScalarFree(v, cluster.OpMax)
 				}
@@ -915,6 +985,9 @@ func Train(data *batching.IndexDataset, split batching.Split, g *graph.Graph, su
 					}
 				}
 			}
+			// Captured after any repartition so the owner vector reflects the
+			// state a restart at epoch+1 actually trains on.
+			capture(epoch+1, curve)
 		}
 		var checksum float64
 		for _, p := range params {

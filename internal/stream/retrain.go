@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"pgti/internal/core"
 )
@@ -37,6 +38,18 @@ type RetrainConfig struct {
 	Swap func(snap [][]float64) error
 	// OnRound, when set, observes each completed round synchronously.
 	OnRound func(r Round)
+	// MaxRetries is how many extra attempts a round whose Fit fails gets —
+	// each on a fresh engine over the same materialized window — before Run
+	// gives up. A failed attempt never publishes weights (Swap sees only
+	// complete rounds) and never releases window history: the ring retains
+	// everything the next attempt needs. Cancellation is never retried.
+	// Default 0 (a failed round ends the run, as before).
+	MaxRetries int
+	// RetryBackoff is the modeled delay before retry k of a round,
+	// doubling per retry (RetryBackoff·2^(k-1)) and accumulated into the
+	// round's RetryDelay. Purely virtual — retries dispatch immediately in
+	// real time. Default 0.
+	RetryBackoff time.Duration
 }
 
 func (c *RetrainConfig) fillDefaults() {
@@ -64,6 +77,12 @@ func (c *RetrainConfig) validate() error {
 	if c.Base.MissingFrac > 0 {
 		return fmt.Errorf("stream: MissingFrac injection is not supported on streamed windows")
 	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("stream: max retries %d must be >= 0", c.MaxRetries)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("stream: negative retry backoff %v", c.RetryBackoff)
+	}
 	return nil
 }
 
@@ -79,6 +98,11 @@ type Round struct {
 	// Swapped reports whether the round's parameters were published through
 	// RetrainConfig.Swap.
 	Swapped bool
+	// Attempts is how many Fit attempts the round took (1 = no retry).
+	Attempts int
+	// RetryDelay is the modeled backoff accumulated across the round's
+	// failed attempts (0 when Attempts is 1 or RetryBackoff unset).
+	RetryDelay time.Duration
 }
 
 // Retrainer drives rolling retraining over a streaming source: wait for the
@@ -89,6 +113,12 @@ type Round struct {
 type Retrainer struct {
 	src *Source
 	cfg RetrainConfig
+	// fit runs one training attempt over a fully prepared round
+	// configuration and returns the trained parameter snapshot plus the
+	// report. The default builds a fresh core.Engine per attempt (an engine
+	// fits once — retries need new ones anyway); tests override it to
+	// inject deterministic attempt failures.
+	fit func(ctx context.Context, cfg core.Config) ([][]float64, *core.Report, error)
 }
 
 // NewRetrainer validates the configuration against the source.
@@ -106,7 +136,21 @@ func NewRetrainer(src *Source, cfg RetrainConfig) (*Retrainer, error) {
 	if need := (cfg.Rounds-1)*cfg.Advance + cfg.Window; need > src.opts.Total {
 		return nil, fmt.Errorf("stream: %d rounds need %d timesteps, stream ends at %d", cfg.Rounds, need, src.opts.Total)
 	}
-	return &Retrainer{src: src, cfg: cfg}, nil
+	return &Retrainer{src: src, cfg: cfg, fit: fitOnce}, nil
+}
+
+// fitOnce is the default per-attempt trainer: a fresh engine, one Fit, one
+// parameter snapshot.
+func fitOnce(ctx context.Context, cfg core.Config) ([][]float64, *core.Report, error) {
+	eng := core.NewEngine(cfg)
+	if err := eng.Fit(ctx); err != nil {
+		return nil, nil, err
+	}
+	snap, err := eng.ParamSnapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, eng.Report(), nil
 }
 
 // Run executes the configured rounds, returning the completed rounds (also
@@ -128,25 +172,42 @@ func (r *Retrainer) Run(ctx context.Context) ([]Round, error) {
 		if err != nil {
 			return rounds, err
 		}
-		cfg := r.cfg.Base
-		cfg.Provided = ds
-		cfg.Meta = ds.Meta
-		if !r.cfg.Cold {
-			cfg.WarmParams = warm // nil on round 0: cold start
-		}
-		if r.cfg.Configure != nil {
-			r.cfg.Configure(k, &cfg)
-		}
-		eng := core.NewEngine(cfg)
-		if err := eng.Fit(ctx); err != nil {
-			return rounds, fmt.Errorf("stream: round %d fit: %w", k, err)
-		}
-		snap, err := eng.ParamSnapshot()
-		if err != nil {
-			return rounds, err
+		var snap [][]float64
+		var report *core.Report
+		attempts := 0
+		var delay time.Duration
+		for {
+			attempts++
+			cfg := r.cfg.Base
+			cfg.Provided = ds
+			cfg.Meta = ds.Meta
+			if !r.cfg.Cold {
+				cfg.WarmParams = warm // nil on round 0: cold start
+			}
+			if r.cfg.Configure != nil {
+				r.cfg.Configure(k, &cfg)
+			}
+			snap, report, err = r.fit(ctx, cfg)
+			if err == nil {
+				break
+			}
+			// A cancelled round is the caller's decision, not a fault —
+			// surface it immediately. A failed attempt retries on a fresh
+			// engine after a modeled (never slept) backoff, up to
+			// MaxRetries; nothing is published and no history released
+			// until an attempt succeeds, so a retry trains the identical
+			// window the failed attempt did.
+			if ctx.Err() != nil || attempts > r.cfg.MaxRetries {
+				return rounds, fmt.Errorf("stream: round %d fit (attempt %d): %w", k, attempts, err)
+			}
+			shift := uint(attempts - 1)
+			if shift > 16 {
+				shift = 16
+			}
+			delay += r.cfg.RetryBackoff << shift
 		}
 		warm = snap
-		round := Round{Round: k, Lo: lo, Hi: hi, Report: eng.Report()}
+		round := Round{Round: k, Lo: lo, Hi: hi, Report: report, Attempts: attempts, RetryDelay: delay}
 		if r.cfg.Swap != nil {
 			if err := r.cfg.Swap(snap); err != nil {
 				return rounds, fmt.Errorf("stream: round %d swap: %w", k, err)

@@ -59,6 +59,14 @@ const (
 	// during which a chunk's feature rows migrate between shards and the
 	// halo-exchange plans rebuild.
 	KindRepartition
+	// KindFault is the detection window of one scheduled worker crash: from
+	// the first step boundary past the crash time through the agreed loss,
+	// spanning the modeled detection timeout.
+	KindFault
+	// KindRecovery is the modeled recovery window after a detected worker
+	// loss: grid re-plan plus parameter/feature re-fill, ending where the
+	// survivor grid resumes training.
+	KindRecovery
 
 	numKinds
 )
@@ -89,6 +97,10 @@ func (k Kind) String() string {
 		return "forward"
 	case KindRepartition:
 		return "repartition"
+	case KindFault:
+		return "fault"
+	case KindRecovery:
+		return "recovery"
 	default:
 		return "unknown"
 	}
@@ -166,6 +178,7 @@ type Metric struct {
 type Worker struct {
 	id       int
 	seq      int
+	base     time.Duration
 	spans    []Span
 	counters map[string]int64
 	gauges   map[string]int64
@@ -195,7 +208,7 @@ func (w *Worker) record(kind Kind, name string, stream int, start, dur time.Dura
 	}
 	w.spans = append(w.spans, Span{
 		Worker: w.id, Seq: w.seq, Kind: kind, Name: name,
-		Start: start, Dur: dur, Stream: stream, Bytes: bytes, Async: async,
+		Start: w.base + start, Dur: dur, Stream: stream, Bytes: bytes, Async: async,
 	})
 	w.seq++
 }
@@ -230,6 +243,7 @@ func (w *Worker) Gauge(name string, v int64) {
 // metrics. The zero of its pointer type (nil) is the disabled recorder.
 type Recorder struct {
 	mu       sync.Mutex
+	base     time.Duration
 	workers  map[int]*Worker
 	names    map[int]string
 	counters map[string]int64
@@ -257,10 +271,27 @@ func (r *Recorder) Worker(id int) *Worker {
 	defer r.mu.Unlock()
 	w := r.workers[id]
 	if w == nil {
-		w = &Worker{id: id}
+		w = &Worker{id: id, base: r.base}
 		r.workers[id] = w
 	}
 	return w
+}
+
+// Rebase sets the clock origin added to every subsequently recorded span
+// start, on existing shards and shards created later. The engine uses it to
+// stitch a recovery attempt's locally-zeroed virtual clocks onto the run's
+// absolute timeline, so spans from successive attempts never interleave.
+// Call only between attempts (same quiescence contract as Snapshot).
+func (r *Recorder) Rebase(origin time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.base = origin
+	for _, w := range r.workers {
+		w.base = origin
+	}
 }
 
 // NameWorker sets the exporter's process name for a worker id (default

@@ -89,10 +89,12 @@
 // Config shim predates them and gains no new fields:
 //
 //	(no Config field)             WithRepartition (elastic chunk migration)
+//	(no Config field)             WithMeasuredRepartition (measured skew detection)
 //	(no Config field)             WithNodeWeights (weighted partition + skew)
 //	(no Config field)             WithComputeCost / WithAssembleCost
 //	(no Config field)             WithPrefetch / WithStaleness
 //	(no Config field)             NewStream / Stream.Retrain (online retraining)
+//	(no Config field)             WithFaultPlan (deterministic fault injection)
 //
 // The one semantic difference is Shuffle: ShuffleGlobal is the field's zero
 // value, so a Config literal cannot distinguish "explicitly global" from
@@ -322,6 +324,12 @@ type Report struct {
 	// Repartitions counts the elastic chunk migrations applied by
 	// WithRepartition (0 when disabled or never triggered).
 	Repartitions int
+	// Recoveries counts elastic recoveries from scheduled worker crashes
+	// (WithFaultPlan); RecoveryTime is their total modeled overhead — the
+	// rolled-back progress since the last snapshot plus detection, re-plan,
+	// and state re-fill charges.
+	Recoveries   int
+	RecoveryTime time.Duration
 	// ShardLoads is the final per-shard structural compute share (weighted
 	// by WithNodeWeights when set, sums to 1; nil when unsharded) — after
 	// any repartitioning, so its max/min spread measures residual skew.
@@ -424,6 +432,8 @@ func reportFromCore(rep *core.Report) *Report {
 		HaloHiddenTime:    rep.HaloHiddenTime,
 		EdgeCut:           rep.EdgeCut,
 		Repartitions:      rep.Repartitions,
+		Recoveries:        rep.Recoveries,
+		RecoveryTime:      rep.RecoveryTime,
 		ShardLoads:        rep.ShardLoads,
 		PerWorkerBytes:    rep.PerWorkerBytes,
 		PeakSystemBytes:   rep.PeakSystemBytes,

@@ -50,6 +50,8 @@ type serveConfig struct {
 	deadline     time.Duration
 	cost         CostModel
 	interarrival time.Duration
+	retryBackoff time.Duration
+	failAfter    map[int]int
 	trace        *TraceRecorder
 }
 
@@ -104,6 +106,33 @@ func WithArrivalProcess(d time.Duration) ServeOption {
 	return func(c *serveConfig) { c.interarrival = d }
 }
 
+// WithServeRetryBackoff sets the modeled delay before a batch whose replica
+// failed is retried on a healthy one; the k-th retry of one batch waits
+// d·2^(k-1), capped at 2^6 times the base (default 1ms). Purely virtual —
+// retries dispatch immediately in real time, only the modeled start shifts.
+func WithServeRetryBackoff(d time.Duration) ServeOption {
+	return func(c *serveConfig) { c.retryBackoff = d }
+}
+
+// WithReplicaFailure arms deterministic failure injection on one replica:
+// its failAfter-th batched forward (zero-based) and every later one fail,
+// so the server evicts it from the pool and retries the affected batch on a
+// healthy replica under the modeled backoff (Stats.Retries and
+// Stats.EvictedReplicas count the fallout). The per-replica call counter —
+// not wall time — is the trigger, so a fixed request schedule reproduces
+// the same eviction sequence run to run. The pool degrades down to one
+// replica before errors reach callers: the last healthy replica is never
+// evicted. The chaos harness and the failover benchmark use this;
+// production pools leave it unset.
+func WithReplicaFailure(replica, failAfter int) ServeOption {
+	return func(c *serveConfig) {
+		if c.failAfter == nil {
+			c.failAfter = make(map[int]int)
+		}
+		c.failAfter[replica] = failAfter
+	}
+}
+
 // Server is the goroutine-safe serving front end over a fitted Experiment:
 // a coalescing batch queue feeding a replica pool of warm model copies.
 // Construct with NewServer; Close when done.
@@ -138,6 +167,9 @@ func NewServer(exp *Experiment, opts ...ServeOption) (*Server, error) {
 			first = ic
 		}
 		backends[i] = ic
+		if n, ok := c.failAfter[i]; ok {
+			backends[i] = serve.NewFlaky(ic, n)
+		}
 	}
 	cost := c.cost
 	if cost == nil {
@@ -152,6 +184,7 @@ func NewServer(exp *Experiment, opts ...ServeOption) (*Server, error) {
 			Deadline:     c.deadline,
 			Cost:         cost,
 			Interarrival: c.interarrival,
+			RetryBackoff: c.retryBackoff,
 			Trace:        c.trace,
 		}),
 		core: first,
@@ -179,6 +212,21 @@ func (c *serveConfig) validate() error {
 	}
 	if c.interarrival < 0 {
 		return invalid("ArrivalProcess", "interarrival %v must not be negative", c.interarrival)
+	}
+	if c.retryBackoff < 0 {
+		return invalid("ServeRetryBackoff", "retry backoff %v must not be negative", c.retryBackoff)
+	}
+	replicas := c.replicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	for r, n := range c.failAfter {
+		if r < 0 || r >= replicas {
+			return invalid("ReplicaFailure", "replica %d outside the pool of %d", r, replicas)
+		}
+		if n < 0 {
+			return invalid("ReplicaFailure", "fail-after %d must be >= 0", n)
+		}
 	}
 	return nil
 }

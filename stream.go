@@ -97,6 +97,12 @@ type StreamRound struct {
 	// Swapped reports that the round's weights were published into the
 	// Server.
 	Swapped bool
+	// Attempts is how many Fit attempts the round took (1 = no retry; see
+	// RetrainOptions.MaxRetries).
+	Attempts int
+	// RetryDelay is the modeled backoff accumulated across the round's
+	// failed attempts.
+	RetryDelay time.Duration
 }
 
 // RetrainOptions parameterizes Stream.Retrain.
@@ -124,6 +130,15 @@ type RetrainOptions struct {
 	// round's virtual clocks restart at zero) or a decaying learning rate.
 	// The returned options must keep the configuration legal.
 	RoundOptions func(round int) []Option
+	// MaxRetries is how many extra attempts a round whose Fit fails gets —
+	// each on a fresh engine over the same materialized window — before
+	// Retrain gives up. A failed attempt never publishes weights into the
+	// Server and never releases window history, so a retry trains the
+	// identical window. Cancellation is never retried. Default 0.
+	MaxRetries int
+	// RetryBackoff is the modeled delay before retry k of a round, doubling
+	// per retry and accumulated into the round's RetryDelay. Purely virtual.
+	RetryBackoff time.Duration
 }
 
 // Retrain drives rolling retraining over the stream: wait for the next
@@ -148,11 +163,13 @@ func (s *Stream) Retrain(ctx context.Context, ro RetrainOptions, opts ...Option)
 		window = s.src.Window()
 	}
 	rc := stream.RetrainConfig{
-		Base:    c.core,
-		Window:  window,
-		Advance: ro.Advance,
-		Rounds:  ro.Rounds,
-		Cold:    ro.Cold,
+		Base:         c.core,
+		Window:       window,
+		Advance:      ro.Advance,
+		Rounds:       ro.Rounds,
+		Cold:         ro.Cold,
+		MaxRetries:   ro.MaxRetries,
+		RetryBackoff: ro.RetryBackoff,
 	}
 	if ro.Server != nil {
 		rc.Swap = ro.Server.srv.Swap
@@ -186,5 +203,6 @@ func (s *Stream) Retrain(ctx context.Context, ro RetrainOptions, opts ...Option)
 
 func publicRound(r stream.Round) StreamRound {
 	return StreamRound{Round: r.Round, Lo: r.Lo, Hi: r.Hi,
-		Report: reportFromCore(r.Report), Swapped: r.Swapped}
+		Report: reportFromCore(r.Report), Swapped: r.Swapped,
+		Attempts: r.Attempts, RetryDelay: r.RetryDelay}
 }
